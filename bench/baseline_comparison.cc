@@ -1,0 +1,117 @@
+// Baseline comparison supporting §2's related-work argument.
+//
+//  * Kernighan–Lin graph partitioning "could be used in our setting ...
+//    [but is] deemed computationally expensive considering ... any
+//    partitioning computed will be valid/appropriate only for a short
+//    period": we measure KL's runtime against the paper's algorithms on
+//    the same windows. Quality-wise KL is competitive; the cost of
+//    recomputing it at the paper's repartition cadence is what rules it
+//    out.
+//  * Naive per-tag hash partitioning (the random partitions of §5.2's
+//    model): balanced and replication-free, but it leaves most multi-tag
+//    tagsets covered by no Calculator — requirement 1 of §1.1 — so their
+//    coefficients cannot be computed at all.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/cooccurrence.h"
+#include "core/hash_baseline.h"
+#include "core/kl_algorithm.h"
+#include "core/partitioning.h"
+#include "core/spectral_algorithm.h"
+#include "gen/tweet_generator.h"
+
+namespace {
+
+using namespace corrtrack;
+
+double MultiTagCoverage(const CooccurrenceSnapshot& snapshot,
+                        const PartitionSet& ps) {
+  uint64_t covered = 0;
+  uint64_t total = 0;
+  for (const TagsetStats& stats : snapshot.tagsets()) {
+    if (stats.tags.size() < 2) continue;
+    total += stats.count;
+    if (ps.CoveringPartition(stats.tags).has_value()) covered += stats.count;
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(covered) /
+                          static_cast<double>(total);
+}
+
+}  // namespace
+
+int main() {
+  const int k = 10;
+  std::printf("=== Baseline comparison (§2): KL graph partitioning and "
+              "per-tag hashing ===\n\n");
+
+  for (const int minutes : {2, 5, 10}) {
+    gen::GeneratorConfig config;
+    config.seed = 11;
+    gen::TweetGenerator generator(config);
+    std::vector<Document> docs;
+    while (docs.empty() ||
+           docs.back().time < minutes * kMillisPerMinute) {
+      docs.push_back(generator.Next());
+    }
+    const auto snapshot =
+        CooccurrenceSnapshot::FromDocuments(docs.begin(), docs.end());
+    std::printf("window %d min: %llu docs, %zu tagsets\n", minutes,
+                static_cast<unsigned long long>(snapshot.num_docs()),
+                snapshot.tagsets().size());
+    std::printf("  %-10s %-10s %-10s %-10s %-12s %-12s\n", "method",
+                "runtime", "avg comm", "gini", "coverage", "cover(m>=2)");
+
+    struct Entry {
+      const char* name;
+      std::unique_ptr<PartitioningAlgorithm> algorithm;
+    };
+    std::vector<Entry> entries;
+    entries.push_back({"DS", MakeAlgorithm(AlgorithmKind::kDS)});
+    entries.push_back({"SCC", MakeAlgorithm(AlgorithmKind::kSCC)});
+    entries.push_back({"SCL", MakeAlgorithm(AlgorithmKind::kSCL)});
+    entries.push_back({"KL", std::make_unique<KlAlgorithm>()});
+    entries.push_back({"spectral", std::make_unique<SpectralAlgorithm>()});
+    entries.push_back(
+        {"spec+KL", std::make_unique<SpectralAlgorithm>(/*kl_refine=*/true)});
+
+    for (const Entry& entry : entries) {
+      const auto start = std::chrono::steady_clock::now();
+      const PartitionSet ps =
+          entry.algorithm->CreatePartitions(snapshot, k, 5);
+      const double ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      const PartitionQuality q = EvaluatePartitionQuality(snapshot, ps);
+      std::printf("  %-10s %7.1fms %-10.3f %-10.3f %-12.3f %-12.3f\n",
+                  entry.name, ms, q.avg_communication, q.load_gini,
+                  q.coverage, MultiTagCoverage(snapshot, ps));
+    }
+    {
+      const auto start = std::chrono::steady_clock::now();
+      const PartitionSet ps = HashPartitionBaseline(snapshot, k, 5);
+      const double ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      const PartitionQuality q = EvaluatePartitionQuality(snapshot, ps);
+      std::printf("  %-10s %7.1fms %-10.3f %-10.3f %-12.3f %-12.3f\n",
+                  "hash", ms, q.avg_communication, q.load_gini, q.coverage,
+                  MultiTagCoverage(snapshot, ps));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "reading: KL quality is competitive but its runtime grows steeply "
+      "with the window — at the repartition cadence of §8 (every few "
+      "thousand documents) that cost recurs constantly, which is the "
+      "paper's argument for purpose-built algorithms. Per-tag hashing is "
+      "balanced but leaves most multi-tag tagsets uncovered: their "
+      "coefficients can never be computed.\n");
+  return 0;
+}

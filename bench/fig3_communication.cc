@@ -1,0 +1,21 @@
+// Reproduces Figure 3 (a-d): average Communication — the mean number of
+// messages the Disseminator sends to Calculators per received tagset
+// (tagsets found in no Calculator are excluded), for DS / SCI / SCC / SCL
+// under the §8.1 parameter sweeps.
+//
+// Expected shape (paper): DS lowest (≈1, zero redundancy by construction)
+// and flat in k; SCC close behind; SCI clearly worse than SCC despite the
+// similar algorithm; SCL worst; communication grows with the number of
+// partitions k for all set-cover variants.
+
+#include "bench/figure_common.h"
+
+int main() {
+  corrtrack::bench::RunFigureSweeps(
+      "Figure 3 — Communication (avg messages per notified tagset)",
+      {{"Communication (avg)",
+        [](const corrtrack::exp::ExperimentResult& r) {
+          return r.avg_communication;
+        }}});
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Reproduces Figure 4 (a-d): Processing Load inequality — the Gini
+// coefficient over the per-Calculator shares of sent notifications
+// (§8.2.2), for DS / SCI / SCC / SCL under the §8.1 parameter sweeps.
+//
+// Expected shape (paper): SCL lowest (load is its optimisation target);
+// imbalance grows with the number of partitions k; SCC is also affected by
+// the number of Partitioners P (its careful tagset selection keeps
+// communication low but cannot help load balance).
+
+#include "bench/figure_common.h"
+
+int main() {
+  corrtrack::bench::RunFigureSweeps(
+      "Figure 4 — Processing Load (Gini over per-calculator notifications)",
+      {{"Load (Gini)",
+        [](const corrtrack::exp::ExperimentResult& r) {
+          return r.load_gini;
+        }},
+       {"Max load share",
+        [](const corrtrack::exp::ExperimentResult& r) {
+          return r.max_load_share;
+        }}});
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Reproduces Figure 5 (a-d): the average error of the distributed Jaccard
+// coefficients against the centralised baseline, over tagsets seen more
+// than sn = 3 times (§8.2.3), plus the paper's coverage claim ("all
+// algorithms manage to compute a Jaccard coefficient for more than 97% of
+// the tagsets seen more than 3 times in the input").
+//
+// Expected shape (paper): errors are small fractions of the coefficient
+// scale; repartition-heavy algorithms report multiple/partial coefficients
+// and suffer; more Partitioners reduce SCC's error.
+
+#include "bench/figure_common.h"
+
+int main() {
+  corrtrack::bench::RunFigureSweeps(
+      "Figure 5 — Error vs centralised baseline (tagsets seen > 3 times)",
+      {{"Error (avg |dJ|)",
+        [](const corrtrack::exp::ExperimentResult& r) {
+          return r.jaccard_error;
+        },
+        4},
+       {"Coverage (fraction of baseline tagsets ever reported)",
+        [](const corrtrack::exp::ExperimentResult& r) { return r.coverage; },
+        3}});
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Reproduces Figure 6 (a-d): the number of repartitions, split by the
+// violated quality bound — Communication, Load, or Both (§8.2.4) — for
+// DS / SCI / SCC / SCL under the §8.1 parameter sweeps.
+//
+// Expected shape (paper): DS repartitions are driven by load imbalance and
+// its communication creep from Single Additions; SCC and SCI repartition
+// because of communication; SCL and SCI do not manage to reduce their
+// repartition count at the larger threshold ("it is very difficult in
+// general for these algorithms to maintain acceptable communication");
+// SCL/SCI repartition roughly once every ~2750 processed documents.
+
+#include <cstdio>
+#include <string>
+
+#include "exp/report.h"
+#include "exp/sweep.h"
+
+namespace {
+
+using corrtrack::exp::ExperimentResult;
+
+void PrintCauseTable(const char* caption, const char* fixed,
+                     const std::vector<corrtrack::exp::SweepPoint>& points,
+                     const corrtrack::exp::SweepResults& results) {
+  std::printf("%s   [%s]\n", caption, fixed);
+  std::printf("  %-8s", "");
+  for (const auto& point : points) {
+    std::printf("%-22s", point.column_label.c_str());
+  }
+  std::printf("\n  %-8s", "");
+  for (size_t i = 0; i < points.size(); ++i) {
+    std::printf("%-22s", "comm/both/load  total");
+  }
+  std::printf("\n");
+  const auto algorithms = corrtrack::AllAlgorithms();
+  for (size_t a = 0; a < algorithms.size(); ++a) {
+    std::printf("  %-8s", corrtrack::AlgorithmName(algorithms[a]).data());
+    for (const ExperimentResult& r : results[a]) {
+      char cell[64];
+      std::snprintf(cell, sizeof(cell), "%llu/%llu/%llu  %llu",
+                    static_cast<unsigned long long>(
+                        r.repartitions_communication),
+                    static_cast<unsigned long long>(r.repartitions_both),
+                    static_cast<unsigned long long>(r.repartitions_load),
+                    static_cast<unsigned long long>(r.TotalRepartitions()));
+      std::printf("%-22s", cell);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace corrtrack::exp;
+  const ExperimentConfig base = PaperBaseConfig();
+  std::printf("=== Figure 6 — Number of repartitions by cause ===\n");
+  std::printf("base: %s, %llu documents per run\n\n",
+              DescribeBase(base).c_str(),
+              static_cast<unsigned long long>(base.num_documents));
+
+  {
+    const auto points = ThresholdSweep();
+    PrintCauseTable("(a) Varying threshold", "P=10 k=10 tps=1300", points,
+                    RunSweep(points, base));
+  }
+  {
+    const auto points = PartitionerSweep();
+    PrintCauseTable("(b) Varying Partitioners", "k=10 thr=0.5 tps=1300",
+                    points, RunSweep(points, base));
+  }
+  {
+    const auto points = PartitionSweep();
+    PrintCauseTable("(c) Varying partitions", "P=10 thr=0.5 tps=1300",
+                    points, RunSweep(points, base));
+  }
+  {
+    const auto points = RateSweep();
+    PrintCauseTable("(d) Varying tweets rate", "P=10 k=10 thr=0.5", points,
+                    RunSweep(points, base));
+  }
+  return 0;
+}

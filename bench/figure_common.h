@@ -1,0 +1,64 @@
+#ifndef CORRTRACK_BENCH_FIGURE_COMMON_H_
+#define CORRTRACK_BENCH_FIGURE_COMMON_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/report.h"
+#include "exp/sweep.h"
+
+namespace corrtrack::bench {
+
+/// The four parameter sweeps shared by Figures 3-6 (§8.1), run against the
+/// paper's base configuration. Prints one table per sub-figure.
+///
+/// `metric` extracts the plotted value from each run. Results are computed
+/// once per sweep and can be reused by a second metric printer
+/// (`extra_metric`, optional) — Figure 5 prints error and coverage.
+struct MetricPrinter {
+  std::string name;
+  std::function<double(const exp::ExperimentResult&)> metric;
+  int precision = 3;
+};
+
+inline void RunFigureSweeps(const std::string& figure_title,
+                            const std::vector<MetricPrinter>& printers) {
+  const exp::ExperimentConfig base = exp::PaperBaseConfig();
+  std::printf("=== %s ===\n", figure_title.c_str());
+  std::printf("base: %s, %llu documents per run\n\n",
+              exp::DescribeBase(base).c_str(),
+              static_cast<unsigned long long>(base.num_documents));
+
+  struct SweepDef {
+    const char* sub;
+    const char* caption;
+    std::vector<exp::SweepPoint> points;
+    const char* fixed;
+  };
+  const SweepDef sweeps[] = {
+      {"a", "Varying threshold", exp::ThresholdSweep(),
+       "P=10 k=10 tps=1300"},
+      {"b", "Varying Partitioners", exp::PartitionerSweep(),
+       "k=10 thr=0.5 tps=1300"},
+      {"c", "Varying partitions", exp::PartitionSweep(),
+       "P=10 thr=0.5 tps=1300"},
+      {"d", "Varying tweets rate", exp::RateSweep(), "P=10 k=10 thr=0.5"},
+  };
+  for (const SweepDef& sweep : sweeps) {
+    const exp::SweepResults results = exp::RunSweep(sweep.points, base);
+    for (const MetricPrinter& printer : printers) {
+      const exp::FigureTable table = exp::MakeFigureTable(
+          "(" + std::string(sweep.sub) + ") " + sweep.caption + " — " +
+              printer.name,
+          sweep.fixed, sweep.points, results, printer.metric,
+          printer.precision);
+      std::printf("%s\n", exp::RenderTable(table).c_str());
+    }
+  }
+}
+
+}  // namespace corrtrack::bench
+
+#endif  // CORRTRACK_BENCH_FIGURE_COMMON_H_

@@ -1,0 +1,57 @@
+// Reproduces §5.2 ("Communication"): the closed-form expected communication
+// load of equal-sized random partitions,
+//
+//   E[communication] = k * (1 - (C(v-m, m) / C(v, m))^(n/k)),
+//
+// swept over vocabulary size v and tags-per-tweet m, plus a Monte-Carlo
+// validation of the formula.
+//
+// Expected shape (paper): "for small vocabulary and large number of tags
+// per tweet, each incoming tweet needs to be sent to (almost) all
+// partitions; a knockout blow for any decentralised approach. For large
+// vocabularies and few tags per tweet, as is the case for Twitter data,
+// the problem appears tractable."
+
+#include <cstdio>
+#include <initializer_list>
+
+#include "theory/comm_model.h"
+
+int main() {
+  using namespace corrtrack::theory;
+
+  const double n = 10000;  // Tweets forming the partitions.
+  std::printf(
+      "=== §5.2 — Expected communication of random equal partitions ===\n");
+  std::printf("n = %.0f tweets forming the partitions\n\n", n);
+
+  for (const double k : {5.0, 10.0, 20.0}) {
+    std::printf("k = %.0f partitions\n", k);
+    std::printf("  %-12s", "vocab v");
+    for (const double m : {1.0, 2.0, 4.0, 8.0}) {
+      std::printf("m=%-8.0f", m);
+    }
+    std::printf("\n");
+    for (const double v : {100.0, 1000.0, 10000.0, 100000.0, 600000.0}) {
+      std::printf("  %-12.0f", v);
+      for (const double m : {1.0, 2.0, 4.0, 8.0}) {
+        std::printf("%-10.3f", ExpectedCommunication(v, n, k, m));
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("Monte-Carlo validation (k = 10, n = 1000, 4000 probes):\n");
+  std::printf("  %-10s %-6s %-12s %-12s\n", "v", "m", "model", "simulated");
+  struct Case {
+    uint32_t v, m;
+  };
+  for (const Case c : {Case{500, 2}, Case{500, 5}, Case{5000, 2},
+                       Case{5000, 5}, Case{50000, 3}}) {
+    const double model = ExpectedCommunication(c.v, 1000, 10, c.m);
+    const double sim = SimulateCommunication(c.v, 1000, 10, c.m, 4000, 99);
+    std::printf("  %-10u %-6u %-12.3f %-12.3f\n", c.v, c.m, model, sim);
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Partition explorer: runs all four partitioning algorithms (plus the §8.3
+// DS-with-splitting variant) over one window of the synthetic stream and
+// prints the §1.1 quality trade-off each of them makes — replication
+// (communication), load balance (Gini / max share) and coverage — along
+// with the window's connectivity structure (Figure 7's quantities for this
+// window).
+//
+// Useful for getting an intuition for the paper's core tension: "keeping
+// the load in each Calculator close to the average means that tagsets
+// sharing tags have to be assigned to different partitions, and keeping
+// the communication low means that tagsets sharing tags should be assigned
+// to the same partitions".
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/cooccurrence.h"
+#include "core/ds_algorithm.h"
+#include "core/partitioning.h"
+#include "core/stats.h"
+#include "gen/tweet_generator.h"
+
+int main(int argc, char** argv) {
+  using namespace corrtrack;
+
+  const int k = argc > 1 ? std::atoi(argv[1]) : 10;
+  const int window_minutes = argc > 2 ? std::atoi(argv[2]) : 5;
+  if (k <= 0 || window_minutes <= 0) {
+    std::fprintf(stderr, "usage: %s [k] [window_minutes]\n", argv[0]);
+    return 1;
+  }
+
+  gen::GeneratorConfig config;
+  config.seed = 17;
+  gen::TweetGenerator generator(config);
+  std::vector<Document> docs;
+  const Timestamp span = window_minutes * kMillisPerMinute;
+  for (Document doc = generator.Next(); doc.time < span;
+       doc = generator.Next()) {
+    docs.push_back(doc);
+  }
+  const auto snapshot =
+      CooccurrenceSnapshot::FromDocuments(docs.begin(), docs.end());
+
+  std::printf("window: %d min, %llu documents, %zu distinct tagsets, %zu "
+              "tags, %zu disjoint sets\n",
+              window_minutes,
+              static_cast<unsigned long long>(snapshot.num_docs()),
+              snapshot.tagsets().size(), snapshot.num_tags(),
+              snapshot.components().size());
+  const ComponentStats& giant = snapshot.components().front();
+  std::printf("largest disjoint set: %zu tags (%.1f%%), load %llu docs "
+              "(%.1f%%)\n\n",
+              giant.tags.size(),
+              100.0 * static_cast<double>(giant.tags.size()) /
+                  static_cast<double>(snapshot.num_tags()),
+              static_cast<unsigned long long>(giant.load),
+              100.0 * static_cast<double>(giant.load) /
+                  static_cast<double>(snapshot.num_docs()));
+
+  std::printf("partitioning into k = %d:\n", k);
+  std::printf("  %-10s %-12s %-12s %-10s %-10s %-10s\n", "algorithm",
+              "avg comm", "replication", "gini", "max load", "coverage");
+
+  struct Entry {
+    const char* name;
+    std::unique_ptr<PartitioningAlgorithm> algorithm;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"DS", MakeAlgorithm(AlgorithmKind::kDS)});
+  entries.push_back({"SCI", MakeAlgorithm(AlgorithmKind::kSCI)});
+  entries.push_back({"SCC", MakeAlgorithm(AlgorithmKind::kSCC)});
+  entries.push_back({"SCL", MakeAlgorithm(AlgorithmKind::kSCL)});
+  entries.push_back({"DS+split", std::make_unique<DsSplitAlgorithm>(0.15)});
+
+  for (const Entry& entry : entries) {
+    const PartitionSet ps =
+        entry.algorithm->CreatePartitions(snapshot, k, /*seed=*/7);
+    const PartitionQuality q = EvaluatePartitionQuality(snapshot, ps);
+    const double replication =
+        static_cast<double>(ps.TotalReplication()) /
+        static_cast<double>(ps.NumDistinctTags());
+    // Gini over realised notification traffic, not book-kept loads.
+    std::printf("  %-10s %-12.3f %-12.3f %-10.3f %-10.3f %-10.3f\n",
+                entry.name, q.avg_communication, replication, q.load_gini,
+                q.max_load, q.coverage);
+  }
+
+  std::printf(
+      "\nreading: DS = zero replication but the giant set pins one node;\n"
+      "SCL = balanced load but popular tags replicated everywhere;\n"
+      "DS+split (§8.3's lesson) = disjoint sets as the basis, oversized\n"
+      "ones split with SCL.\n");
+  return 0;
+}

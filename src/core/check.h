@@ -1,0 +1,53 @@
+#ifndef CORRTRACK_CORE_CHECK_H_
+#define CORRTRACK_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Invariant-checking macros. corrtrack is built without exceptions (per the
+/// project style); internal invariant violations abort with a diagnostic.
+/// These are for programmer errors, not for recoverable conditions — fallible
+/// public APIs return std::optional or bool instead.
+
+namespace corrtrack::internal {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr) {
+  std::fprintf(stderr, "CORRTRACK_CHECK failed at %s:%d: %s\n", file, line,
+               expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace corrtrack::internal
+
+/// Aborts the process when `cond` is false. Always on (also in release
+/// builds): the checked conditions are cheap and guard data-structure
+/// invariants whose violation would silently corrupt experiment results.
+#define CORRTRACK_CHECK(cond)                                         \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::corrtrack::internal::CheckFail(__FILE__, __LINE__, #cond);    \
+    }                                                                 \
+  } while (0)
+
+/// Convenience comparisons (avoid double evaluation by binding to locals).
+#define CORRTRACK_CHECK_OP(op, a, b)                                  \
+  do {                                                                \
+    const auto& corrtrack_check_a = (a);                              \
+    const auto& corrtrack_check_b = (b);                              \
+    if (!(corrtrack_check_a op corrtrack_check_b)) {                  \
+      ::corrtrack::internal::CheckFail(__FILE__, __LINE__,            \
+                                       #a " " #op " " #b);            \
+    }                                                                 \
+  } while (0)
+
+#define CORRTRACK_CHECK_EQ(a, b) CORRTRACK_CHECK_OP(==, a, b)
+#define CORRTRACK_CHECK_NE(a, b) CORRTRACK_CHECK_OP(!=, a, b)
+#define CORRTRACK_CHECK_LT(a, b) CORRTRACK_CHECK_OP(<, a, b)
+#define CORRTRACK_CHECK_LE(a, b) CORRTRACK_CHECK_OP(<=, a, b)
+#define CORRTRACK_CHECK_GT(a, b) CORRTRACK_CHECK_OP(>, a, b)
+#define CORRTRACK_CHECK_GE(a, b) CORRTRACK_CHECK_OP(>=, a, b)
+
+#endif  // CORRTRACK_CORE_CHECK_H_

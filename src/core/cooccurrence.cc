@@ -1,0 +1,157 @@
+#include "core/cooccurrence.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "core/union_find.h"
+
+namespace corrtrack {
+
+namespace {
+const std::vector<uint32_t>& EmptyIndexVector() {
+  static const std::vector<uint32_t>* const kEmpty =
+      new std::vector<uint32_t>();
+  return *kEmpty;
+}
+}  // namespace
+
+CooccurrenceSnapshot CooccurrenceSnapshot::FromWeightedTagsets(
+    std::vector<std::pair<TagSet, uint64_t>> weighted) {
+  // Merge duplicates so downstream invariants (one entry per distinct
+  // tagset) hold regardless of caller hygiene.
+  std::unordered_map<TagSet, size_t, TagSetHash> index;
+  std::vector<std::pair<TagSet, uint64_t>> merged;
+  merged.reserve(weighted.size());
+  for (auto& [tags, count] : weighted) {
+    if (tags.empty() || count == 0) continue;
+    auto [pos, inserted] = index.emplace(tags, merged.size());
+    if (inserted) {
+      merged.emplace_back(std::move(tags), count);
+    } else {
+      merged[pos->second].second += count;
+    }
+  }
+  return CooccurrenceSnapshot(std::move(merged));
+}
+
+CooccurrenceSnapshot::CooccurrenceSnapshot(
+    std::vector<std::pair<TagSet, uint64_t>> weighted) {
+  tagsets_.reserve(weighted.size());
+  for (auto& [tags, count] : weighted) {
+    TagsetStats stats;
+    stats.tags = std::move(tags);
+    stats.count = count;
+    num_docs_ += count;
+    tagsets_.push_back(std::move(stats));
+  }
+  BuildTagIndex();
+  ComputeTagsetLoads();
+  BuildComponents();
+}
+
+void CooccurrenceSnapshot::BuildTagIndex() {
+  for (uint32_t i = 0; i < tagsets_.size(); ++i) {
+    for (TagId t : tagsets_[i].tags) {
+      auto [it, inserted] =
+          tag_local_.emplace(t, static_cast<uint32_t>(tags_.size()));
+      if (inserted) {
+        tags_.push_back(t);
+        tag_counts_.push_back(0);
+        tag_tagsets_.emplace_back();
+      }
+      tag_counts_[it->second] += tagsets_[i].count;
+      tag_tagsets_[it->second].push_back(i);
+    }
+  }
+  // Canonical ascending order of tags_ with index remap keeps results
+  // deterministic regardless of input order.
+  std::vector<uint32_t> order(tags_.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](uint32_t a, uint32_t b) { return tags_[a] < tags_[b]; });
+  std::vector<TagId> tags(tags_.size());
+  std::vector<uint64_t> counts(tags_.size());
+  std::vector<std::vector<uint32_t>> tagset_lists(tags_.size());
+  for (uint32_t new_idx = 0; new_idx < order.size(); ++new_idx) {
+    const uint32_t old_idx = order[new_idx];
+    tags[new_idx] = tags_[old_idx];
+    counts[new_idx] = tag_counts_[old_idx];
+    tagset_lists[new_idx] = std::move(tag_tagsets_[old_idx]);
+    tag_local_[tags[new_idx]] = new_idx;
+  }
+  tags_ = std::move(tags);
+  tag_counts_ = std::move(counts);
+  tag_tagsets_ = std::move(tagset_lists);
+  visit_stamp_.assign(tagsets_.size(), 0);
+}
+
+void CooccurrenceSnapshot::ComputeTagsetLoads() {
+  for (TagsetStats& stats : tagsets_) {
+    stats.load = ComputeLoad(stats.tags);
+  }
+}
+
+uint64_t CooccurrenceSnapshot::ComputeLoad(const TagSet& tags) const {
+  ++current_stamp_;
+  uint64_t load = 0;
+  for (TagId t : tags) {
+    auto it = tag_local_.find(t);
+    if (it == tag_local_.end()) continue;
+    for (uint32_t tagset_idx : tag_tagsets_[it->second]) {
+      if (visit_stamp_[tagset_idx] == current_stamp_) continue;
+      visit_stamp_[tagset_idx] = current_stamp_;
+      load += tagsets_[tagset_idx].count;
+    }
+  }
+  return load;
+}
+
+uint64_t CooccurrenceSnapshot::TagCount(TagId tag) const {
+  auto it = tag_local_.find(tag);
+  if (it == tag_local_.end()) return 0;
+  return tag_counts_[it->second];
+}
+
+const std::vector<uint32_t>& CooccurrenceSnapshot::TagsetsWithTag(
+    TagId tag) const {
+  auto it = tag_local_.find(tag);
+  if (it == tag_local_.end()) return EmptyIndexVector();
+  return tag_tagsets_[it->second];
+}
+
+void CooccurrenceSnapshot::BuildComponents() {
+  UnionFind uf(tags_.size());
+  for (const TagsetStats& stats : tagsets_) {
+    if (stats.tags.size() < 2) continue;
+    const uint32_t first = tag_local_.at(stats.tags[0]);
+    for (size_t i = 1; i < stats.tags.size(); ++i) {
+      uf.Union(first, tag_local_.at(stats.tags[i]));
+    }
+  }
+  std::unordered_map<size_t, uint32_t> root_to_component;
+  for (uint32_t local = 0; local < tags_.size(); ++local) {
+    const size_t root = uf.Find(local);
+    auto [it, inserted] = root_to_component.emplace(
+        root, static_cast<uint32_t>(components_.size()));
+    if (inserted) components_.emplace_back();
+    components_[it->second].tags.push_back(tags_[local]);
+  }
+  // Every tagset lies entirely inside one component; attribute its ids and
+  // count there.
+  for (uint32_t i = 0; i < tagsets_.size(); ++i) {
+    const size_t root = uf.Find(tag_local_.at(tagsets_[i].tags[0]));
+    ComponentStats& comp = components_[root_to_component.at(root)];
+    comp.tagset_ids.push_back(i);
+    comp.load += tagsets_[i].count;
+  }
+  std::sort(components_.begin(), components_.end(),
+            [](const ComponentStats& a, const ComponentStats& b) {
+              if (a.load != b.load) return a.load > b.load;
+              return a.tags < b.tags;  // Deterministic tie-break.
+            });
+  for (ComponentStats& comp : components_) {
+    CORRTRACK_CHECK(std::is_sorted(comp.tags.begin(), comp.tags.end()));
+  }
+}
+
+}  // namespace corrtrack

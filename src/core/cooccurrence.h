@@ -1,0 +1,118 @@
+#ifndef CORRTRACK_CORE_COOCCURRENCE_H_
+#define CORRTRACK_CORE_COOCCURRENCE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/document.h"
+#include "core/tagset.h"
+#include "core/types.h"
+
+namespace corrtrack {
+
+/// A distinct co-occurring tagset s_j observed in a window, with the number
+/// of documents annotated with exactly s_j (`count`) and its load
+/// l_j = |{d : s_j ∩ tags(d) ≠ ∅}| — the number of documents annotated with
+/// *any* tag of s_j (§4.2). For the DS algorithm the same quantity per
+/// connected component is the component load (Algorithm 1, line 4).
+struct TagsetStats {
+  TagSet tags;
+  uint64_t count = 0;
+  uint64_t load = 0;
+};
+
+/// Statistics of one connected component of the tag co-occurrence graph.
+struct ComponentStats {
+  std::vector<TagId> tags;           // Ascending.
+  std::vector<uint32_t> tagset_ids;  // Indices into snapshot tagsets().
+  uint64_t load = 0;                 // Documents touching the component.
+};
+
+/// Immutable aggregate view of a window of documents: the distinct tagsets,
+/// their multiplicities and loads, per-tag document counts, and the
+/// connected components of the tag graph. This is the input all four
+/// partitioning algorithms consume.
+///
+/// The snapshot can equally be built from weighted tagsets (tagset, count)
+/// with no underlying documents — the Merger uses this to re-run a
+/// partitioning algorithm over partition fragments proposed by the
+/// Partitioners (§6.2), treating each fragment as a tagset whose count is
+/// the fragment's load.
+class CooccurrenceSnapshot {
+ public:
+  /// Aggregates documents (multiset of tagsets) into a snapshot.
+  template <typename DocIterator>
+  static CooccurrenceSnapshot FromDocuments(DocIterator first,
+                                            DocIterator last) {
+    std::vector<std::pair<TagSet, uint64_t>> weighted;
+    std::unordered_map<TagSet, size_t, TagSetHash> index;
+    for (DocIterator it = first; it != last; ++it) {
+      const TagSet& tags = it->tags;
+      if (tags.empty()) continue;
+      auto [pos, inserted] = index.emplace(tags, weighted.size());
+      if (inserted) {
+        weighted.emplace_back(tags, 1);
+      } else {
+        ++weighted[pos->second].second;
+      }
+    }
+    return CooccurrenceSnapshot(std::move(weighted));
+  }
+
+  /// Builds directly from distinct (tagset, count) pairs. Duplicate tagsets
+  /// are merged.
+  static CooccurrenceSnapshot FromWeightedTagsets(
+      std::vector<std::pair<TagSet, uint64_t>> weighted);
+
+  /// Distinct tagsets with count and load.
+  const std::vector<TagsetStats>& tagsets() const { return tagsets_; }
+
+  /// Total number of documents aggregated (sum of counts).
+  uint64_t num_docs() const { return num_docs_; }
+
+  /// Distinct tags, ascending.
+  const std::vector<TagId>& tags() const { return tags_; }
+  size_t num_tags() const { return tags_.size(); }
+
+  /// Number of documents containing `tag` (0 if the tag is not in the
+  /// snapshot).
+  uint64_t TagCount(TagId tag) const;
+
+  /// Indices (into tagsets()) of the tagsets containing `tag`; empty for
+  /// unknown tags.
+  const std::vector<uint32_t>& TagsetsWithTag(TagId tag) const;
+
+  /// Load of an arbitrary tagset: number of documents containing any of its
+  /// tags. Works for tagsets not present in the snapshot.
+  uint64_t ComputeLoad(const TagSet& tags) const;
+
+  /// Connected components of the tag graph (two tags connected when they
+  /// co-occur in a tagset), ordered by descending load.
+  const std::vector<ComponentStats>& components() const { return components_; }
+
+ private:
+  explicit CooccurrenceSnapshot(
+      std::vector<std::pair<TagSet, uint64_t>> weighted);
+
+  void BuildTagIndex();
+  void ComputeTagsetLoads();
+  void BuildComponents();
+
+  std::vector<TagsetStats> tagsets_;
+  uint64_t num_docs_ = 0;
+  std::vector<TagId> tags_;
+  std::unordered_map<TagId, uint32_t> tag_local_;  // TagId -> index in tags_.
+  std::vector<uint64_t> tag_counts_;               // By local index.
+  std::vector<std::vector<uint32_t>> tag_tagsets_;  // By local index.
+  std::vector<ComponentStats> components_;
+
+  // Scratch for ComputeLoad-style traversals (stamped visited marks).
+  mutable std::vector<uint32_t> visit_stamp_;
+  mutable uint32_t current_stamp_ = 0;
+};
+
+}  // namespace corrtrack
+
+#endif  // CORRTRACK_CORE_COOCCURRENCE_H_

@@ -1,0 +1,21 @@
+#ifndef CORRTRACK_CORE_DOCUMENT_H_
+#define CORRTRACK_CORE_DOCUMENT_H_
+
+#include "core/tagset.h"
+#include "core/types.h"
+
+namespace corrtrack {
+
+/// A document d_i in the stream D: a tweet reduced to its arrival time and
+/// its annotation tagset s_i (§1.1). Documents without tags never enter the
+/// pipeline (they add no edges and no coefficients), so `tags` is non-empty
+/// by convention.
+struct Document {
+  DocId id = 0;
+  Timestamp time = 0;
+  TagSet tags;
+};
+
+}  // namespace corrtrack
+
+#endif  // CORRTRACK_CORE_DOCUMENT_H_

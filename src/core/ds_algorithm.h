@@ -1,0 +1,54 @@
+#ifndef CORRTRACK_CORE_DS_ALGORITHM_H_
+#define CORRTRACK_CORE_DS_ALGORITHM_H_
+
+#include "core/partitioning.h"
+
+namespace corrtrack {
+
+/// Disjoint Sets algorithm (Algorithm 1).
+///
+/// Phase 1 groups tags into connected components of the co-occurrence graph
+/// ("disjoint sets"); phase 2 assigns components to the k partitions
+/// largest-load-first, each going to its own partition while fresh
+/// partitions remain and to the least-loaded partition afterwards.
+///
+/// Because components are never split, partitions are mutually disjoint:
+/// zero tag replication, communication exactly 1 per routed document. The
+/// price is load imbalance when one component dominates (§5.1, §8.3).
+class DsAlgorithm : public PartitioningAlgorithm {
+ public:
+  AlgorithmKind kind() const override { return AlgorithmKind::kDS; }
+
+  PartitionSet CreatePartitions(const CooccurrenceSnapshot& snapshot, int k,
+                                uint64_t seed) const override;
+
+  /// DS Partitioner instances emit their disjoint sets unmerged, so the
+  /// Merger can first re-combine overlapping sets from different instances
+  /// and only then bin-pack into k partitions (§6.2, Merger).
+  std::vector<PartitionFragment> ProposeFragments(
+      const CooccurrenceSnapshot& snapshot, int k,
+      uint64_t seed) const override;
+};
+
+/// §8.3's "lesson learned" variant (our extension; not one of the paper's
+/// evaluated four): run DS, but split any component whose load exceeds
+/// `max_component_share` of the window by re-partitioning the component's
+/// tagsets with SCL across the partitions. Keeps DS's near-zero replication
+/// while bounding the worst-case load of a single partition.
+class DsSplitAlgorithm : public PartitioningAlgorithm {
+ public:
+  explicit DsSplitAlgorithm(double max_component_share = 0.3)
+      : max_component_share_(max_component_share) {}
+
+  AlgorithmKind kind() const override { return AlgorithmKind::kDS; }
+
+  PartitionSet CreatePartitions(const CooccurrenceSnapshot& snapshot, int k,
+                                uint64_t seed) const override;
+
+ private:
+  double max_component_share_;
+};
+
+}  // namespace corrtrack
+
+#endif  // CORRTRACK_CORE_DS_ALGORITHM_H_

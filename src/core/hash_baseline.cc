@@ -1,0 +1,22 @@
+#include "core/hash_baseline.h"
+
+namespace corrtrack {
+
+PartitionSet HashPartitionBaseline(const CooccurrenceSnapshot& snapshot,
+                                   int k, uint64_t seed) {
+  PartitionSet ps(k);
+  for (TagId tag : snapshot.tags()) {
+    // splitmix64-style mix of (tag, seed) for a stable uniform placement.
+    uint64_t x = (static_cast<uint64_t>(tag) + 1) * 0x9e3779b97f4a7c15ull ^
+                 seed;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    const int target = static_cast<int>(x % static_cast<uint64_t>(k));
+    ps.AddTag(target, tag);
+    ps.AddLoad(target, snapshot.TagCount(tag));
+  }
+  return ps;
+}
+
+}  // namespace corrtrack

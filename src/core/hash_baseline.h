@@ -1,0 +1,24 @@
+#ifndef CORRTRACK_CORE_HASH_BASELINE_H_
+#define CORRTRACK_CORE_HASH_BASELINE_H_
+
+#include "core/cooccurrence.h"
+#include "core/partition.h"
+
+namespace corrtrack {
+
+/// The naive strawman the problem statement (§1.1) rules out: hash every
+/// tag independently to one of k partitions. Perfectly balanced and
+/// replication-free — but it ignores co-occurrence, so most multi-tag
+/// tagsets end up covered by *no* partition and their Jaccard coefficients
+/// simply cannot be computed (requirement 1 of §1.1 fails). §5.2's
+/// expected-communication model describes exactly such random partitions.
+///
+/// Not a PartitioningAlgorithm: it intentionally violates the coverage
+/// invariant that interface guarantees. Used by bench/baseline_comparison
+/// to quantify what the paper's algorithms buy.
+PartitionSet HashPartitionBaseline(const CooccurrenceSnapshot& snapshot,
+                                   int k, uint64_t seed);
+
+}  // namespace corrtrack
+
+#endif  // CORRTRACK_CORE_HASH_BASELINE_H_

@@ -1,0 +1,200 @@
+#ifndef CORRTRACK_CORE_INLINED_VECTOR_H_
+#define CORRTRACK_CORE_INLINED_VECTOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+
+#include "core/check.h"
+
+namespace corrtrack {
+
+/// A vector with small-buffer optimisation, restricted to trivially copyable
+/// element types. Tag sets in social-media documents are tiny (the paper
+/// observes < 10 tags per tweet), so TagSet keeps its elements inline and
+/// never touches the heap on the hot path.
+///
+/// Supported operations are the subset needed by corrtrack: push_back,
+/// indexing, iteration, resize/clear, erase, insert-at-end, comparison.
+template <typename T, size_t N>
+class InlinedVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlinedVector requires trivially copyable elements");
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  InlinedVector() = default;
+
+  InlinedVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  InlinedVector(const InlinedVector& other) { CopyFrom(other); }
+
+  InlinedVector& operator=(const InlinedVector& other) {
+    if (this != &other) {
+      Deallocate();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  InlinedVector(InlinedVector&& other) noexcept { MoveFrom(other); }
+
+  InlinedVector& operator=(InlinedVector&& other) noexcept {
+    if (this != &other) {
+      Deallocate();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  ~InlinedVector() { Deallocate(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+  bool is_inline() const { return data_ == InlineData(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+  const_iterator cbegin() const { return data_; }
+  const_iterator cend() const { return data_ + size_; }
+
+  T& operator[](size_t i) {
+    CORRTRACK_CHECK_LT(i, size_);
+    return data_[i];
+  }
+  const T& operator[](size_t i) const {
+    CORRTRACK_CHECK_LT(i, size_);
+    return data_[i];
+  }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    data_[size_++] = v;
+  }
+
+  void pop_back() {
+    CORRTRACK_CHECK_GT(size_, 0u);
+    --size_;
+  }
+
+  void clear() { size_ = 0; }
+
+  /// Grows or shrinks to `n` elements; new elements are value-initialised.
+  void resize(size_t n) {
+    if (n > capacity_) Grow(std::max(n, capacity_ * 2));
+    for (size_t i = size_; i < n; ++i) data_[i] = T{};
+    size_ = n;
+  }
+
+  void reserve(size_t n) {
+    if (n > capacity_) Grow(n);
+  }
+
+  /// Removes the element at `pos`, shifting the tail left. Returns an
+  /// iterator to the element after the erased one.
+  iterator erase(iterator pos) {
+    CORRTRACK_CHECK(pos >= begin() && pos < end());
+    std::memmove(pos, pos + 1, sizeof(T) * static_cast<size_t>(end() - pos - 1));
+    --size_;
+    return pos;
+  }
+
+  void append(const_iterator first, const_iterator last) {
+    const size_t extra = static_cast<size_t>(last - first);
+    reserve(size_ + extra);
+    std::memcpy(data_ + size_, first, sizeof(T) * extra);
+    size_ += extra;
+  }
+
+  friend bool operator==(const InlinedVector& a, const InlinedVector& b) {
+    return a.size_ == b.size_ &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const InlinedVector& a, const InlinedVector& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const InlinedVector& a, const InlinedVector& b) {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                        b.end());
+  }
+
+ private:
+  T* InlineData() { return reinterpret_cast<T*>(inline_storage_); }
+  const T* InlineData() const {
+    return reinterpret_cast<const T*>(inline_storage_);
+  }
+
+  void Grow(size_t new_capacity) {
+    new_capacity = std::max(new_capacity, N + 1);
+    T* heap = new T[new_capacity];
+    std::memcpy(heap, data_, sizeof(T) * size_);
+    if (!is_inline()) delete[] data_;
+    data_ = heap;
+    capacity_ = new_capacity;
+  }
+
+  void Deallocate() {
+    if (!is_inline()) delete[] data_;
+    data_ = InlineData();
+    capacity_ = N;
+    size_ = 0;
+  }
+
+  void CopyFrom(const InlinedVector& other) {
+    size_ = other.size_;
+    if (other.size_ <= N) {
+      data_ = InlineData();
+      capacity_ = N;
+    } else {
+      data_ = new T[other.size_];
+      capacity_ = other.size_;
+    }
+    std::memcpy(data_, other.data_, sizeof(T) * other.size_);
+  }
+
+  // Leaves `other` empty (inline, size 0).
+  void MoveFrom(InlinedVector& other) {
+    if (other.is_inline()) {
+      data_ = InlineData();
+      capacity_ = N;
+      size_ = other.size_;
+      std::memcpy(data_, other.data_, sizeof(T) * other.size_);
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.InlineData();
+      other.capacity_ = N;
+    }
+    other.size_ = 0;
+  }
+
+  alignas(T) unsigned char inline_storage_[sizeof(T) * N];
+  T* data_ = InlineData();
+  size_t size_ = 0;
+  size_t capacity_ = N;
+};
+
+}  // namespace corrtrack
+
+#endif  // CORRTRACK_CORE_INLINED_VECTOR_H_

@@ -1,0 +1,59 @@
+#include "core/jaccard.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "core/types.h"
+
+namespace corrtrack {
+
+void SubsetCounterTable::Observe(const TagSet& tags) {
+  tags.ForEachSubset([this](const TagSet& subset) { ++counters_[subset]; });
+}
+
+uint64_t SubsetCounterTable::Count(const TagSet& tags) const {
+  auto it = counters_.find(tags);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::optional<JaccardEstimate> SubsetCounterTable::Compute(
+    const TagSet& tags) const {
+  const uint64_t intersection = Count(tags);
+  if (intersection == 0) return std::nullopt;
+  // Eq. 2 (inclusion–exclusion): |∪ a_i| = Σ_{∅≠A⊆s} (−1)^{|A|+1} |∩ A|.
+  int64_t union_count = 0;
+  tags.ForEachSubset([&](const TagSet& subset) {
+    const int64_t term = static_cast<int64_t>(Count(subset));
+    if (subset.size() % 2 == 1) {
+      union_count += term;
+    } else {
+      union_count -= term;
+    }
+  });
+  CORRTRACK_CHECK_GE(union_count, static_cast<int64_t>(intersection));
+  JaccardEstimate estimate;
+  estimate.tags = tags;
+  estimate.intersection_count = intersection;
+  estimate.union_count = static_cast<uint64_t>(union_count);
+  estimate.coefficient = static_cast<double>(intersection) /
+                         static_cast<double>(union_count);
+  return estimate;
+}
+
+std::vector<JaccardEstimate> SubsetCounterTable::ReportAll(
+    uint64_t min_support) const {
+  std::vector<JaccardEstimate> out;
+  for (const auto& [tags, count] : counters_) {
+    if (tags.size() < 2 || count <= min_support) continue;
+    std::optional<JaccardEstimate> estimate = Compute(tags);
+    CORRTRACK_CHECK(estimate.has_value());
+    out.push_back(*std::move(estimate));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const JaccardEstimate& a, const JaccardEstimate& b) {
+              return a.tags < b.tags;
+            });
+  return out;
+}
+
+}  // namespace corrtrack

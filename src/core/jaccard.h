@@ -1,0 +1,67 @@
+#ifndef CORRTRACK_CORE_JACCARD_H_
+#define CORRTRACK_CORE_JACCARD_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/tagset.h"
+
+namespace corrtrack {
+
+/// One reported coefficient (the Calculator -> Tracker tuple of §6.2:
+/// (s_i, J(s_i), CN(s_i))).
+struct JaccardEstimate {
+  TagSet tags;
+  double coefficient = 0.0;
+  /// CN(s_i): documents containing *all* tags of the set — the counter the
+  /// Tracker uses to pick among duplicate reports.
+  uint64_t intersection_count = 0;
+  /// Documents containing *any* tag of the set (inclusion–exclusion, Eq. 2).
+  uint64_t union_count = 0;
+};
+
+/// The Calculator's counting state (§3.1): one exact counter per observed
+/// co-occurring tagset.
+///
+/// Observe(s) increments the counter of every non-empty subset of s, so
+/// counter(A) = number of observed notifications containing all tags of A.
+/// When the partition covering this calculator holds all tags of A, that
+/// equals |∩_{t∈A} T_t| exactly, and Eq. 2 recovers |∪ T_t| from the
+/// counters, giving the exact Jaccard coefficient of Eq. 1 — no sketches
+/// (§2 argues Bloom/Count-Min false positives are counter-productive here).
+class SubsetCounterTable {
+ public:
+  SubsetCounterTable() = default;
+
+  /// Counts one document/notification. All non-empty subsets of `tags` get
+  /// +1. Requires tags.size() <= kMaxTagsPerDocument.
+  void Observe(const TagSet& tags);
+
+  /// Counter value for `tags` (0 when never observed together).
+  uint64_t Count(const TagSet& tags) const;
+
+  /// The Jaccard coefficient of `tags` from the current counters, or
+  /// std::nullopt when the tags never co-occurred (counter 0).
+  std::optional<JaccardEstimate> Compute(const TagSet& tags) const;
+
+  /// Computes coefficients for every tracked tagset with at least two tags
+  /// and intersection count > `min_support` ("the maximum possible number
+  /// of Jaccard coefficients", §6.2). Deterministic order (sorted by
+  /// tagset).
+  std::vector<JaccardEstimate> ReportAll(uint64_t min_support = 0) const;
+
+  /// Number of live counters (co-occurring tagsets incl. singletons).
+  size_t num_counters() const { return counters_.size(); }
+
+  /// Deletes all counters (after each reporting period, §6.2).
+  void Reset() { counters_.clear(); }
+
+ private:
+  std::unordered_map<TagSet, uint64_t, TagSetHash> counters_;
+};
+
+}  // namespace corrtrack
+
+#endif  // CORRTRACK_CORE_JACCARD_H_

@@ -1,0 +1,56 @@
+#include "core/kl_algorithm.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/check.h"
+#include "core/tagset_graph.h"
+
+namespace corrtrack {
+
+PartitionSet KlAlgorithm::CreatePartitions(
+    const CooccurrenceSnapshot& snapshot, int k, uint64_t /*seed*/) const {
+  const auto& tagsets = snapshot.tagsets();
+  const TagsetGraph graph = BuildTagsetGraph(snapshot);
+
+  // Balanced greedy initialisation: heaviest tagsets first, least-loaded
+  // partition.
+  std::vector<uint32_t> order(tagsets.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (tagsets[a].load != tagsets[b].load) {
+      return tagsets[a].load > tagsets[b].load;
+    }
+    return a < b;
+  });
+  std::vector<int> assignment(tagsets.size(), 0);
+  std::vector<uint64_t> counts(static_cast<size_t>(k), 0);
+  uint64_t total = 0;
+  for (uint32_t v : order) {
+    int target = 0;
+    for (int p = 1; p < k; ++p) {
+      if (counts[static_cast<size_t>(p)] <
+          counts[static_cast<size_t>(target)]) {
+        target = p;
+      }
+    }
+    assignment[v] = target;
+    counts[static_cast<size_t>(target)] += tagsets[v].count;
+    total += tagsets[v].count;
+  }
+  const uint64_t cap = static_cast<uint64_t>(
+      (1.0 + balance_slack_) * static_cast<double>(total) /
+      static_cast<double>(k));
+
+  KlRefine(snapshot, graph, k, max_passes_, cap, &assignment, &counts);
+
+  PartitionSet ps(k);
+  for (uint32_t v = 0; v < tagsets.size(); ++v) {
+    ps.AddTags(assignment[v], tagsets[v].tags);
+    ps.AddLoad(assignment[v], tagsets[v].load);
+  }
+  return ps;
+}
+
+}  // namespace corrtrack

@@ -1,0 +1,51 @@
+#ifndef CORRTRACK_CORE_KL_ALGORITHM_H_
+#define CORRTRACK_CORE_KL_ALGORITHM_H_
+
+#include "core/partitioning.h"
+
+namespace corrtrack {
+
+/// Kernighan–Lin-style graph partitioning baseline (§2, [12]).
+///
+/// The paper's related-work section: classic graph partitioning (KL,
+/// spectral) "could be used in our setting to create the partitions of
+/// tag-sets. However, in a dynamic environment like ours all these
+/// techniques are deemed computationally expensive considering ... any
+/// partitioning computed will be valid/appropriate only for a short
+/// period." This class exists to quantify that claim
+/// (bench/baseline_comparison): its partitions are competitive, its
+/// runtime is not.
+///
+/// Model (§4): vertices are the distinct tagsets; assigning a vertex to a
+/// partition assigns all its tags, so coverage holds by construction. The
+/// edge weight between two tagsets is their shared-tag count; the KL
+/// objective (minimise the weight of cut edges under a load-balance
+/// constraint) is exactly "tagsets sharing tags should be assigned to the
+/// same partitions" with bounded imbalance.
+///
+/// Implementation: greedy balanced initialisation (largest-load first onto
+/// the least-loaded partition), then `max_passes` rounds of single-vertex
+/// moves in KL gain order: each pass repeatedly moves the vertex with the
+/// best cut-weight gain whose move keeps every partition below
+/// (1 + balance_slack) × ideal load, stopping when no positive-gain move
+/// remains.
+class KlAlgorithm : public PartitioningAlgorithm {
+ public:
+  explicit KlAlgorithm(int max_passes = 8, double balance_slack = 0.10)
+      : max_passes_(max_passes), balance_slack_(balance_slack) {}
+
+  /// Reported as DS for naming purposes only; KL is a baseline outside the
+  /// paper's evaluated four.
+  AlgorithmKind kind() const override { return AlgorithmKind::kDS; }
+
+  PartitionSet CreatePartitions(const CooccurrenceSnapshot& snapshot, int k,
+                                uint64_t seed) const override;
+
+ private:
+  int max_passes_;
+  double balance_slack_;
+};
+
+}  // namespace corrtrack
+
+#endif  // CORRTRACK_CORE_KL_ALGORITHM_H_

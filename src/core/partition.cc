@@ -1,0 +1,199 @@
+#include "core/partition.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "core/stats.h"
+
+namespace corrtrack {
+
+namespace {
+const InlinedVector<uint16_t, 4>& EmptyPartitionList() {
+  static const InlinedVector<uint16_t, 4>* const kEmpty =
+      new InlinedVector<uint16_t, 4>();
+  return *kEmpty;
+}
+}  // namespace
+
+PartitionSet::PartitionSet(int k)
+    : partitions_(static_cast<size_t>(k)), loads_(static_cast<size_t>(k), 0) {
+  CORRTRACK_CHECK_GT(k, 0);
+}
+
+const std::unordered_set<TagId>& PartitionSet::partition(int p) const {
+  CORRTRACK_CHECK_GE(p, 0);
+  CORRTRACK_CHECK_LT(static_cast<size_t>(p), partitions_.size());
+  return partitions_[static_cast<size_t>(p)];
+}
+
+std::vector<TagId> PartitionSet::SortedTags(int p) const {
+  const auto& set = partition(p);
+  std::vector<TagId> tags(set.begin(), set.end());
+  std::sort(tags.begin(), tags.end());
+  return tags;
+}
+
+void PartitionSet::AddTag(int p, TagId tag) {
+  CORRTRACK_CHECK_GE(p, 0);
+  CORRTRACK_CHECK_LT(static_cast<size_t>(p), partitions_.size());
+  auto [it, inserted] = partitions_[static_cast<size_t>(p)].insert(tag);
+  if (!inserted) return;
+  InlinedVector<uint16_t, 4>& list = index_[tag];
+  const uint16_t pid = static_cast<uint16_t>(p);
+  auto pos = std::lower_bound(list.begin(), list.end(), pid);
+  if (pos != list.end() && *pos == pid) return;
+  // Insert keeping ascending order.
+  list.push_back(pid);
+  for (auto* q = list.end() - 1; q != list.begin() && *(q - 1) > *q; --q) {
+    std::swap(*(q - 1), *q);
+  }
+}
+
+void PartitionSet::AddTags(int p, const TagSet& tags) {
+  for (TagId t : tags) AddTag(p, t);
+}
+
+bool PartitionSet::PartitionContains(int p, TagId tag) const {
+  return partition(p).count(tag) > 0;
+}
+
+size_t PartitionSet::OverlapSize(int p, const TagSet& tags) const {
+  const auto& set = partition(p);
+  size_t overlap = 0;
+  for (TagId t : tags) overlap += set.count(t);
+  return overlap;
+}
+
+const InlinedVector<uint16_t, 4>& PartitionSet::PartitionsWithTag(
+    TagId tag) const {
+  auto it = index_.find(tag);
+  if (it == index_.end()) return EmptyPartitionList();
+  return it->second;
+}
+
+std::optional<int> PartitionSet::CoveringPartition(const TagSet& tags) const {
+  if (tags.empty()) return std::nullopt;
+  for (uint16_t p : PartitionsWithTag(tags[0])) {
+    const auto& set = partitions_[p];
+    bool all = true;
+    for (TagId t : tags) {
+      if (set.count(t) == 0) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return static_cast<int>(p);
+  }
+  return std::nullopt;
+}
+
+int PartitionSet::Route(const TagSet& tags,
+                        std::vector<RoutedSubset>* out) const {
+  if (out != nullptr) out->clear();
+  // Merge the per-tag partition lists; partition ids are small, so a simple
+  // bitmap over k partitions is the fastest dedup.
+  uint64_t seen_mask = 0;
+  InlinedVector<uint16_t, 16> touched;
+  CORRTRACK_CHECK_LE(partitions_.size(), 64u);
+  for (TagId t : tags) {
+    for (uint16_t p : PartitionsWithTag(t)) {
+      const uint64_t bit = uint64_t{1} << p;
+      if (seen_mask & bit) continue;
+      seen_mask |= bit;
+      touched.push_back(p);
+    }
+  }
+  std::sort(touched.begin(), touched.end());
+  if (out != nullptr) {
+    out->reserve(touched.size());
+    for (uint16_t p : touched) {
+      RoutedSubset routed;
+      routed.partition = static_cast<int>(p);
+      const auto& set = partitions_[p];
+      std::vector<TagId> subset;
+      for (TagId t : tags) {
+        if (set.count(t) > 0) subset.push_back(t);
+      }
+      routed.tags = TagSet(subset);
+      out->push_back(std::move(routed));
+    }
+  }
+  return static_cast<int>(touched.size());
+}
+
+uint64_t PartitionSet::load(int p) const {
+  CORRTRACK_CHECK_GE(p, 0);
+  CORRTRACK_CHECK_LT(static_cast<size_t>(p), loads_.size());
+  return loads_[static_cast<size_t>(p)];
+}
+
+void PartitionSet::AddLoad(int p, uint64_t load) {
+  CORRTRACK_CHECK_GE(p, 0);
+  CORRTRACK_CHECK_LT(static_cast<size_t>(p), loads_.size());
+  loads_[static_cast<size_t>(p)] += load;
+}
+
+uint64_t PartitionSet::TotalReplication() const {
+  uint64_t total = 0;
+  for (const auto& [tag, list] : index_) total += list.size();
+  return total;
+}
+
+bool PartitionSet::IsDisjoint() const {
+  for (const auto& [tag, list] : index_) {
+    if (list.size() > 1) return false;
+  }
+  return true;
+}
+
+std::string PartitionSet::ToString() const {
+  std::string out;
+  for (int p = 0; p < num_partitions(); ++p) {
+    out += "pr" + std::to_string(p) + "(load=" + std::to_string(load(p)) +
+           "): {";
+    const std::vector<TagId> tags = SortedTags(p);
+    for (size_t i = 0; i < tags.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(tags[i]);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+PartitionQuality EvaluatePartitionQuality(const CooccurrenceSnapshot& snapshot,
+                                          const PartitionSet& ps) {
+  PartitionQuality quality;
+  std::vector<uint64_t> notifications(
+      static_cast<size_t>(ps.num_partitions()), 0);
+  uint64_t notified_docs = 0;
+  uint64_t total_notifications = 0;
+  uint64_t covered_docs = 0;
+  for (const TagsetStats& stats : snapshot.tagsets()) {
+    const int touched =
+        ps.ForEachTouchedPartition(stats.tags, [&](int partition) {
+          notifications[static_cast<size_t>(partition)] += stats.count;
+        });
+    if (touched > 0) {
+      notified_docs += stats.count;
+      total_notifications += static_cast<uint64_t>(touched) * stats.count;
+    }
+    if (ps.CoveringPartition(stats.tags).has_value()) {
+      covered_docs += stats.count;
+    }
+  }
+  if (notified_docs > 0) {
+    quality.avg_communication =
+        static_cast<double>(total_notifications) /
+        static_cast<double>(notified_docs);
+  }
+  quality.max_load = MaxShare(notifications);
+  quality.load_gini = GiniCoefficient(notifications);
+  if (snapshot.num_docs() > 0) {
+    quality.coverage = static_cast<double>(covered_docs) /
+                       static_cast<double>(snapshot.num_docs());
+  }
+  return quality;
+}
+
+}  // namespace corrtrack

@@ -1,0 +1,111 @@
+#include "core/partitioning.h"
+
+#include "core/check.h"
+#include "core/ds_algorithm.h"
+#include "core/scc_algorithm.h"
+#include "core/sci_algorithm.h"
+#include "core/scl_algorithm.h"
+
+namespace corrtrack {
+
+std::string_view AlgorithmName(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kDS:
+      return "DS";
+    case AlgorithmKind::kSCC:
+      return "SCC";
+    case AlgorithmKind::kSCL:
+      return "SCL";
+    case AlgorithmKind::kSCI:
+      return "SCI";
+  }
+  CORRTRACK_CHECK(false);
+  return "";
+}
+
+std::vector<PartitionFragment> PartitioningAlgorithm::ProposeFragments(
+    const CooccurrenceSnapshot& snapshot, int k, uint64_t seed) const {
+  // Default (set-cover family): the local k partitions become fragments.
+  const PartitionSet local = CreatePartitions(snapshot, k, seed);
+  std::vector<PartitionFragment> fragments;
+  fragments.reserve(static_cast<size_t>(local.num_partitions()));
+  for (int p = 0; p < local.num_partitions(); ++p) {
+    if (local.partition(p).empty()) continue;
+    PartitionFragment fragment;
+    const std::vector<TagId> tags = local.SortedTags(p);
+    fragment.tags = TagSet::FromSorted(tags.data(), tags.data() + tags.size());
+    fragment.load = local.load(p);
+    fragments.push_back(std::move(fragment));
+  }
+  return fragments;
+}
+
+int PartitioningAlgorithm::ChooseSingleAdditionTarget(
+    const PartitionSet& ps, const TagSet& tags) const {
+  // §7.1: DS, SCC and SCI minimise the increase in communication; SCL keeps
+  // load balanced. SCL overrides this method.
+  return internal::PickPartitionByOverlapThenLoad(ps, tags);
+}
+
+std::unique_ptr<PartitioningAlgorithm> MakeAlgorithm(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kDS:
+      return std::make_unique<DsAlgorithm>();
+    case AlgorithmKind::kSCC:
+      return std::make_unique<SccAlgorithm>();
+    case AlgorithmKind::kSCL:
+      return std::make_unique<SclAlgorithm>();
+    case AlgorithmKind::kSCI:
+      return std::make_unique<SciAlgorithm>();
+  }
+  CORRTRACK_CHECK(false);
+  return nullptr;
+}
+
+std::vector<AlgorithmKind> AllAlgorithms() {
+  return {AlgorithmKind::kDS, AlgorithmKind::kSCI, AlgorithmKind::kSCC,
+          AlgorithmKind::kSCL};
+}
+
+namespace internal {
+
+int PickPartitionByOverlapThenLoad(const PartitionSet& ps,
+                                   const TagSet& tags) {
+  CORRTRACK_CHECK_GT(ps.num_partitions(), 0);
+  int best = 0;
+  size_t best_overlap = ps.OverlapSize(0, tags);
+  uint64_t best_load = ps.load(0);
+  for (int p = 1; p < ps.num_partitions(); ++p) {
+    const size_t overlap = ps.OverlapSize(p, tags);
+    const uint64_t load = ps.load(p);
+    if (overlap > best_overlap ||
+        (overlap == best_overlap && load < best_load)) {
+      best = p;
+      best_overlap = overlap;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+int PickPartitionByLoadThenOverlap(const PartitionSet& ps,
+                                   const TagSet& tags) {
+  CORRTRACK_CHECK_GT(ps.num_partitions(), 0);
+  int best = 0;
+  uint64_t best_load = ps.load(0);
+  size_t best_overlap = ps.OverlapSize(0, tags);
+  for (int p = 1; p < ps.num_partitions(); ++p) {
+    const uint64_t load = ps.load(p);
+    const size_t overlap = ps.OverlapSize(p, tags);
+    if (load < best_load || (load == best_load && overlap > best_overlap)) {
+      best = p;
+      best_load = load;
+      best_overlap = overlap;
+    }
+  }
+  return best;
+}
+
+}  // namespace internal
+
+}  // namespace corrtrack

@@ -1,0 +1,38 @@
+#ifndef CORRTRACK_CORE_SCC_ALGORITHM_H_
+#define CORRTRACK_CORE_SCC_ALGORITHM_H_
+
+#include "core/partitioning.h"
+
+namespace corrtrack {
+
+/// Set-cover-based algorithm optimising communication (Algorithms 2 + 3).
+///
+/// Phase 1 (Algorithm 2, communication cost): k initial partitions seeded
+/// with the cheapest / most-covering tagsets. Phase 2 (Algorithm 3):
+/// repeatedly pick the tagset with the most uncovered tags (ties: fewest
+/// total tags) and append it to the partition sharing the most tags with it
+/// (ties: least load).
+///
+/// Phase-2 selection uses a lazy max-heap: the key |s \ CV| only decreases
+/// as CV grows, so a popped entry whose recomputed key is unchanged is a
+/// true maximum. This makes repartitions O(n log n) instead of the naive
+/// O(n²) rescan (see bench/micro_partitioning for the ablation).
+class SccAlgorithm : public PartitioningAlgorithm {
+ public:
+  /// `use_lazy_heap` exists for the ablation benchmark; both paths compute
+  /// identical partitions.
+  explicit SccAlgorithm(bool use_lazy_heap = true)
+      : use_lazy_heap_(use_lazy_heap) {}
+
+  AlgorithmKind kind() const override { return AlgorithmKind::kSCC; }
+
+  PartitionSet CreatePartitions(const CooccurrenceSnapshot& snapshot, int k,
+                                uint64_t seed) const override;
+
+ private:
+  bool use_lazy_heap_;
+};
+
+}  // namespace corrtrack
+
+#endif  // CORRTRACK_CORE_SCC_ALGORITHM_H_

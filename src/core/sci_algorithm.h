@@ -1,0 +1,29 @@
+#ifndef CORRTRACK_CORE_SCI_ALGORITHM_H_
+#define CORRTRACK_CORE_SCI_ALGORITHM_H_
+
+#include "core/partitioning.h"
+
+namespace corrtrack {
+
+/// The set-cover algorithm of the authors' earlier workshop paper [1]
+/// (Algorithms 2 + 5), used as a baseline in the evaluation.
+///
+/// Phase 1 is Algorithm 2 with all costs fixed to zero (plain maximum
+/// coverage, no budget). Phase 2 (Algorithm 5) draws the remaining tagsets
+/// in random order and appends each to the partition sharing the most tags
+/// with it.
+///
+/// Note: Algorithm 5 line 3 prints `argmax (s_i ∪ pr_j)`; the accompanying
+/// text ("added to the partition with which it shares the most tags") makes
+/// clear the intended operator is ∩, which is what we implement.
+class SciAlgorithm : public PartitioningAlgorithm {
+ public:
+  AlgorithmKind kind() const override { return AlgorithmKind::kSCI; }
+
+  PartitionSet CreatePartitions(const CooccurrenceSnapshot& snapshot, int k,
+                                uint64_t seed) const override;
+};
+
+}  // namespace corrtrack
+
+#endif  // CORRTRACK_CORE_SCI_ALGORITHM_H_

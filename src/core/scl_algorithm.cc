@@ -1,0 +1,111 @@
+#include "core/scl_algorithm.h"
+
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "core/check.h"
+#include "core/set_cover_phase1.h"
+
+namespace corrtrack {
+
+namespace {
+
+size_t CountCovered(const TagSet& tags,
+                    const std::unordered_set<TagId>& covered) {
+  size_t n = 0;
+  for (TagId t : tags) n += covered.count(t);
+  return n;
+}
+
+/// Heap entry ordered by (max load, min covered-overlap, min index).
+struct SclEntry {
+  uint64_t load;
+  size_t covered_overlap;
+  uint32_t index;
+  bool operator<(const SclEntry& other) const {
+    if (load != other.load) return load < other.load;
+    if (covered_overlap != other.covered_overlap) {
+      return covered_overlap > other.covered_overlap;
+    }
+    return index > other.index;
+  }
+};
+
+void AssignTagset(const TagsetStats& stats, PartitionSet* ps,
+                  std::unordered_set<TagId>* covered) {
+  // Line 4: pr_i = argmin Σ l_k and argmax |s_i ∩ pr_j|.
+  const int target = internal::PickPartitionByLoadThenOverlap(*ps, stats.tags);
+  ps->AddTags(target, stats.tags);
+  ps->AddLoad(target, stats.load);
+  for (TagId t : stats.tags) covered->insert(t);
+}
+
+}  // namespace
+
+PartitionSet SclAlgorithm::CreatePartitions(
+    const CooccurrenceSnapshot& snapshot, int k, uint64_t /*seed*/) const {
+  Phase1Result phase1 = RunSetCoverPhase1(snapshot, k, Phase1Cost::kLoad);
+  PartitionSet& ps = phase1.partitions;
+  std::unordered_set<TagId>& covered = phase1.covered;
+  const std::vector<TagsetStats>& tagsets = snapshot.tagsets();
+
+  if (!use_lazy_heap_) {
+    // Algorithm 4 verbatim (quadratic rescan), for tests and the ablation.
+    size_t remaining = 0;
+    for (size_t j = 0; j < tagsets.size(); ++j) {
+      if (!phase1.assigned[j]) ++remaining;
+    }
+    while (remaining > 0) {
+      int best = -1;
+      uint64_t best_load = 0;
+      size_t best_overlap = 0;
+      for (size_t j = 0; j < tagsets.size(); ++j) {
+        if (phase1.assigned[j]) continue;
+        const uint64_t load = tagsets[j].load;
+        const size_t overlap = CountCovered(tagsets[j].tags, covered);
+        if (best < 0 || load > best_load ||
+            (load == best_load && overlap < best_overlap)) {
+          best = static_cast<int>(j);
+          best_load = load;
+          best_overlap = overlap;
+        }
+      }
+      AssignTagset(tagsets[static_cast<size_t>(best)], &ps, &covered);
+      phase1.assigned[static_cast<size_t>(best)] = true;
+      --remaining;
+    }
+    return ps;
+  }
+
+  // Lazy-heap path: load is static, |s ∩ CV| only grows (worsening the
+  // key), so a popped entry whose recomputed overlap is unchanged is the
+  // true maximum.
+  std::priority_queue<SclEntry> heap;
+  for (uint32_t j = 0; j < tagsets.size(); ++j) {
+    if (phase1.assigned[j]) continue;
+    heap.push({tagsets[j].load, CountCovered(tagsets[j].tags, covered), j});
+  }
+  while (!heap.empty()) {
+    SclEntry top = heap.top();
+    heap.pop();
+    if (phase1.assigned[top.index]) continue;
+    const size_t now = CountCovered(tagsets[top.index].tags, covered);
+    if (now != top.covered_overlap) {
+      CORRTRACK_CHECK_GT(now, top.covered_overlap);
+      top.covered_overlap = now;
+      heap.push(top);
+      continue;
+    }
+    AssignTagset(tagsets[top.index], &ps, &covered);
+    phase1.assigned[top.index] = true;
+  }
+  return ps;
+}
+
+int SclAlgorithm::ChooseSingleAdditionTarget(const PartitionSet& ps,
+                                             const TagSet& tags) const {
+  return internal::PickPartitionByLoadThenOverlap(ps, tags);
+}
+
+}  // namespace corrtrack

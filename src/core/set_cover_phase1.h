@@ -1,0 +1,45 @@
+#ifndef CORRTRACK_CORE_SET_COVER_PHASE1_H_
+#define CORRTRACK_CORE_SET_COVER_PHASE1_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/cooccurrence.h"
+#include "core/partition.h"
+#include "core/types.h"
+
+namespace corrtrack {
+
+/// The cost function c_i that Algorithm 2 plugs into the budgeted-maximum-
+/// coverage greedy selection (§4.2).
+enum class Phase1Cost {
+  /// c_i = |s_i ∩ CV|: tags already covered — communication optimisation
+  /// (SCC).
+  kCommunication,
+  /// c_i = |plop − pl_n|: distance of the candidate's load share from the
+  /// optimal share 1/m at iteration m — load optimisation (SCL).
+  kLoad,
+  /// c_i = 0: plain maximum coverage, as in the earlier paper [1] (SCI).
+  kZero,
+};
+
+/// Output of Algorithm 2: the k initial partitions (partition m holds the
+/// m-th selected tagset), which tagsets were consumed, and the covered-tag
+/// set CV that phase 2 continues from.
+struct Phase1Result {
+  PartitionSet partitions;
+  std::vector<bool> assigned;  // Indexed like snapshot.tagsets().
+  std::unordered_set<TagId> covered;
+};
+
+/// Runs Algorithm 2 over `snapshot` with the given cost function: in each of
+/// (up to) k iterations selects the tagset with minimum cost, breaking ties
+/// towards maximum newly covered tags |s \ CV|, then minimum tagset index
+/// (deterministic).
+Phase1Result RunSetCoverPhase1(const CooccurrenceSnapshot& snapshot, int k,
+                               Phase1Cost cost);
+
+}  // namespace corrtrack
+
+#endif  // CORRTRACK_CORE_SET_COVER_PHASE1_H_

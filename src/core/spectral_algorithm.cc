@@ -1,0 +1,153 @@
+#include "core/spectral_algorithm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "core/check.h"
+#include "core/tagset_graph.h"
+
+namespace corrtrack {
+
+namespace {
+
+/// Approximates the Fiedler direction of the subgraph induced by
+/// `vertices`: the dominant eigenvector of (c·I − L) after deflating the
+/// constant vector, where L = D − A is the Laplacian and c bounds its
+/// spectrum. Returns one value per vertex of `vertices`.
+std::vector<double> FiedlerDirection(const TagsetGraph& graph,
+                                     const std::vector<uint32_t>& vertices,
+                                     int iterations, std::mt19937_64& rng) {
+  const size_t n = vertices.size();
+  std::vector<int> local(graph.num_vertices(), -1);
+  for (size_t i = 0; i < n; ++i) {
+    local[vertices[i]] = static_cast<int>(i);
+  }
+  // Induced weighted degrees and spectral bound c = 2·max_degree + 1.
+  std::vector<double> degree(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (const auto& [u, w] : graph.adjacency[vertices[i]]) {
+      if (local[u] >= 0) degree[i] += w;
+    }
+  }
+  const double c =
+      2.0 * (*std::max_element(degree.begin(), degree.end())) + 1.0;
+
+  std::uniform_real_distribution<double> uniform(-1.0, 1.0);
+  std::vector<double> v(n);
+  for (double& x : v) x = uniform(rng);
+  std::vector<double> next(n);
+  for (int it = 0; it < iterations; ++it) {
+    // Deflate the constant vector (the Laplacian's null space).
+    const double mean =
+        std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(n);
+    for (double& x : v) x -= mean;
+    // next = (c·I − L)·v = c·v − degree⊙v + A·v.
+    for (size_t i = 0; i < n; ++i) {
+      next[i] = (c - degree[i]) * v[i];
+    }
+    for (size_t i = 0; i < n; ++i) {
+      for (const auto& [u, w] : graph.adjacency[vertices[i]]) {
+        const int j = local[u];
+        if (j >= 0) next[i] += static_cast<double>(w) * v[static_cast<size_t>(j)];
+      }
+    }
+    double norm = 0;
+    for (double x : next) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) break;  // Degenerate (e.g. edgeless subgraph).
+    for (size_t i = 0; i < n; ++i) v[i] = next[i] / norm;
+  }
+  return v;
+}
+
+struct Splitter {
+  const CooccurrenceSnapshot& snapshot;
+  const TagsetGraph& graph;
+  int iterations;
+  std::mt19937_64 rng;
+  std::vector<int> assignment;
+  int next_partition = 0;
+
+  /// Recursively bisects `vertices` into `parts` partitions, cutting each
+  /// Fiedler ordering at the load-proportional point.
+  void Split(std::vector<uint32_t> vertices, int parts) {
+    CORRTRACK_CHECK_GE(parts, 1);
+    if (parts == 1 || vertices.size() <= 1) {
+      const int p = next_partition++;
+      // Remaining parts collapse into one partition when out of vertices.
+      for (uint32_t v : vertices) assignment[v] = p;
+      next_partition += parts - 1;
+      return;
+    }
+    const std::vector<double> fiedler =
+        FiedlerDirection(graph, vertices, iterations, rng);
+    std::vector<uint32_t> order(vertices.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      if (fiedler[a] != fiedler[b]) return fiedler[a] < fiedler[b];
+      return vertices[a] < vertices[b];  // Deterministic ties.
+    });
+    uint64_t total = 0;
+    for (uint32_t v : vertices) total += snapshot.tagsets()[v].count;
+    const int left_parts = parts / 2;
+    const uint64_t left_target =
+        total * static_cast<uint64_t>(left_parts) /
+        static_cast<uint64_t>(parts);
+    std::vector<uint32_t> left;
+    std::vector<uint32_t> right;
+    uint64_t left_load = 0;
+    for (uint32_t idx : order) {
+      const uint32_t v = vertices[idx];
+      if ((left_load < left_target && left.size() < vertices.size() - 1) ||
+          left.empty()) {
+        left.push_back(v);
+        left_load += snapshot.tagsets()[v].count;
+      } else {
+        right.push_back(v);
+      }
+    }
+    Split(std::move(left), left_parts);
+    Split(std::move(right), parts - left_parts);
+  }
+};
+
+}  // namespace
+
+PartitionSet SpectralAlgorithm::CreatePartitions(
+    const CooccurrenceSnapshot& snapshot, int k, uint64_t seed) const {
+  const auto& tagsets = snapshot.tagsets();
+  const TagsetGraph graph = BuildTagsetGraph(snapshot);
+
+  Splitter splitter{snapshot, graph, power_iterations_,
+                    std::mt19937_64(seed ^ 0x5ec7a1ull),
+                    std::vector<int>(tagsets.size(), 0), 0};
+  std::vector<uint32_t> all(tagsets.size());
+  std::iota(all.begin(), all.end(), 0u);
+  if (!all.empty()) splitter.Split(std::move(all), k);
+
+  std::vector<int>& assignment = splitter.assignment;
+  std::vector<uint64_t> counts(static_cast<size_t>(k), 0);
+  uint64_t total = 0;
+  for (uint32_t v = 0; v < tagsets.size(); ++v) {
+    counts[static_cast<size_t>(assignment[v])] += tagsets[v].count;
+    total += tagsets[v].count;
+  }
+  if (kl_refine_) {
+    // [11]: spectral initialisation + KL refinement beats either alone.
+    const uint64_t cap = static_cast<uint64_t>(
+        1.10 * static_cast<double>(total) / static_cast<double>(k));
+    KlRefine(snapshot, graph, k, kl_passes_, cap, &assignment, &counts);
+  }
+
+  PartitionSet ps(k);
+  for (uint32_t v = 0; v < tagsets.size(); ++v) {
+    ps.AddTags(assignment[v], tagsets[v].tags);
+    ps.AddLoad(assignment[v], tagsets[v].load);
+  }
+  return ps;
+}
+
+}  // namespace corrtrack

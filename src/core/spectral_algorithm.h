@@ -1,0 +1,45 @@
+#ifndef CORRTRACK_CORE_SPECTRAL_ALGORITHM_H_
+#define CORRTRACK_CORE_SPECTRAL_ALGORITHM_H_
+
+#include "core/partitioning.h"
+
+namespace corrtrack {
+
+/// Spectral graph-partitioning baseline (§2, Donath & Hoffman [6]) with the
+/// optional Kernighan–Lin refinement that [11] (Hendrickson & Leland)
+/// showed improves the pure spectral cut.
+///
+/// Like KlAlgorithm, this exists to quantify the paper's related-work
+/// claim that classic graph partitioning is too expensive for a stream
+/// that repartitions every few thousand documents (bench/
+/// baseline_comparison). Vertices are the distinct tagsets (so coverage
+/// holds by construction); the algorithm recursively bisects by the
+/// Fiedler vector — the eigenvector of the graph Laplacian's second-
+/// smallest eigenvalue, approximated with deflated power iteration — and
+/// cuts each bisection at the load-proportional point so the k parts stay
+/// balanced.
+class SpectralAlgorithm : public PartitioningAlgorithm {
+ public:
+  explicit SpectralAlgorithm(bool kl_refine = false,
+                             int power_iterations = 60,
+                             int kl_passes = 4)
+      : kl_refine_(kl_refine),
+        power_iterations_(power_iterations),
+        kl_passes_(kl_passes) {}
+
+  /// Named DS for the factory-facing enum only; spectral is a baseline
+  /// outside the paper's evaluated four.
+  AlgorithmKind kind() const override { return AlgorithmKind::kDS; }
+
+  PartitionSet CreatePartitions(const CooccurrenceSnapshot& snapshot, int k,
+                                uint64_t seed) const override;
+
+ private:
+  bool kl_refine_;
+  int power_iterations_;
+  int kl_passes_;
+};
+
+}  // namespace corrtrack
+
+#endif  // CORRTRACK_CORE_SPECTRAL_ALGORITHM_H_

@@ -1,0 +1,45 @@
+#include "core/stats.h"
+
+#include <algorithm>
+
+namespace corrtrack {
+
+double GiniCoefficient(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  double total = 0;
+  double weighted = 0;
+  const double n = static_cast<double>(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    total += values[i];
+    weighted += static_cast<double>(i + 1) * values[i];
+  }
+  if (total <= 0) return 0.0;
+  // G = (2 * sum_i i*x_(i) ) / (n * sum x) - (n + 1) / n, x ascending, i from 1.
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+double GiniCoefficient(const std::vector<uint64_t>& values) {
+  std::vector<double> v(values.begin(), values.end());
+  return GiniCoefficient(std::move(v));
+}
+
+double MaxShare(const std::vector<uint64_t>& values) {
+  uint64_t total = 0;
+  uint64_t max = 0;
+  for (uint64_t v : values) {
+    total += v;
+    max = std::max(max, v);
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(max) / static_cast<double>(total);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace corrtrack

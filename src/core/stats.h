@@ -1,0 +1,43 @@
+#ifndef CORRTRACK_CORE_STATS_H_
+#define CORRTRACK_CORE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace corrtrack {
+
+/// Gini coefficient of a non-negative distribution (§8.2.2's load-imbalance
+/// measure). 0 = perfectly equal, -> 1 = maximally concentrated. Returns 0
+/// for empty input or an all-zero distribution.
+double GiniCoefficient(std::vector<double> values);
+double GiniCoefficient(const std::vector<uint64_t>& values);
+
+/// Largest value as a share of the total (the paper's maxLoad quality
+/// statistic, §7.2). Returns 0 when the total is 0.
+double MaxShare(const std::vector<uint64_t>& values);
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+/// Streaming mean accumulator (used for avgCom' batches, §7.2).
+class MeanAccumulator {
+ public:
+  void Add(double v) {
+    sum_ += v;
+    ++count_;
+  }
+  void Reset() {
+    sum_ = 0;
+    count_ = 0;
+  }
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+ private:
+  double sum_ = 0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace corrtrack
+
+#endif  // CORRTRACK_CORE_STATS_H_

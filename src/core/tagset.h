@@ -1,0 +1,105 @@
+#ifndef CORRTRACK_CORE_TAGSET_H_
+#define CORRTRACK_CORE_TAGSET_H_
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/check.h"
+#include "core/inlined_vector.h"
+#include "core/types.h"
+
+namespace corrtrack {
+
+/// A canonical set of tags: sorted, duplicate-free, inline-stored for up to
+/// 8 tags (the paper observes < 10 tags per tweet, §3.1).
+///
+/// TagSet is the unit of everything in the system: a document's annotation,
+/// a co-occurring tagset s_i for which a Jaccard coefficient is computed, and
+/// a Disseminator notification (the subset of a document's tags assigned to
+/// one Calculator).
+class TagSet {
+ public:
+  using Storage = InlinedVector<TagId, 8>;
+  using const_iterator = Storage::const_iterator;
+
+  TagSet() = default;
+
+  /// Builds a canonical set from arbitrary input (sorts, deduplicates).
+  explicit TagSet(std::initializer_list<TagId> tags)
+      : TagSet(std::vector<TagId>(tags)) {}
+  explicit TagSet(const std::vector<TagId>& tags);
+
+  /// Builds from a range that is already sorted and duplicate-free.
+  /// Checked in debug: callers must uphold the precondition.
+  static TagSet FromSorted(const TagId* first, const TagId* last);
+
+  size_t size() const { return tags_.size(); }
+  bool empty() const { return tags_.empty(); }
+
+  const_iterator begin() const { return tags_.begin(); }
+  const_iterator end() const { return tags_.end(); }
+
+  TagId operator[](size_t i) const { return tags_[i]; }
+
+  /// Binary-searches for `tag`.
+  bool Contains(TagId tag) const;
+
+  /// True when every tag of *this is contained in `other`.
+  bool IsSubsetOf(const TagSet& other) const;
+
+  /// Number of tags present in both sets (linear merge).
+  size_t IntersectionSize(const TagSet& other) const;
+
+  /// Set intersection / union (canonical results).
+  TagSet Intersect(const TagSet& other) const;
+  TagSet Union(const TagSet& other) const;
+
+  /// Invokes `fn(const TagSet&)` for every non-empty subset of *this with at
+  /// least `min_size` tags. Requires size() <= kMaxTagsPerDocument (bitmask
+  /// enumeration). The subsets passed to `fn` are canonical.
+  template <typename Fn>
+  void ForEachSubset(Fn&& fn, size_t min_size = 1) const {
+    const size_t n = tags_.size();
+    CORRTRACK_CHECK_LE(n, static_cast<size_t>(kMaxTagsPerDocument));
+    if (n == 0) return;
+    const uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1);
+    for (uint32_t mask = 1; mask <= full; ++mask) {
+      if (static_cast<size_t>(__builtin_popcount(mask)) < min_size) continue;
+      TagSet subset;
+      for (size_t i = 0; i < n; ++i) {
+        if (mask & (1u << i)) subset.tags_.push_back(tags_[i]);
+      }
+      fn(static_cast<const TagSet&>(subset));
+    }
+  }
+
+  /// FNV-1a over the tag ids; canonical form makes this a set hash.
+  size_t Hash() const;
+
+  /// "{1,5,9}" — for diagnostics and test failure messages.
+  std::string ToString() const;
+
+  friend bool operator==(const TagSet& a, const TagSet& b) {
+    return a.tags_ == b.tags_;
+  }
+  friend bool operator!=(const TagSet& a, const TagSet& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const TagSet& a, const TagSet& b) {
+    return a.tags_ < b.tags_;
+  }
+
+ private:
+  Storage tags_;
+};
+
+struct TagSetHash {
+  size_t operator()(const TagSet& s) const { return s.Hash(); }
+};
+
+}  // namespace corrtrack
+
+#endif  // CORRTRACK_CORE_TAGSET_H_

@@ -1,0 +1,87 @@
+#include "core/tagset_graph.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace corrtrack {
+
+TagsetGraph BuildTagsetGraph(const CooccurrenceSnapshot& snapshot) {
+  TagsetGraph graph;
+  const auto& tagsets = snapshot.tagsets();
+  graph.adjacency.resize(tagsets.size());
+  auto& adj = graph.adjacency;
+  // For every tag, connect all tagsets containing it; weights accumulate
+  // once per shared tag.
+  for (TagId tag : snapshot.tags()) {
+    const auto& members = snapshot.TagsetsWithTag(tag);
+    if (members.size() < 2) continue;
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        adj[members[i]].emplace_back(members[j], 1);
+        adj[members[j]].emplace_back(members[i], 1);
+      }
+    }
+  }
+  for (auto& neighbours : adj) {
+    std::sort(neighbours.begin(), neighbours.end());
+    size_t out = 0;
+    for (size_t i = 0; i < neighbours.size();) {
+      size_t j = i;
+      int weight = 0;
+      while (j < neighbours.size() &&
+             neighbours[j].first == neighbours[i].first) {
+        weight += neighbours[j].second;
+        ++j;
+      }
+      neighbours[out++] = {neighbours[i].first, weight};
+      i = j;
+    }
+    neighbours.resize(out);
+  }
+  return graph;
+}
+
+void KlRefine(const CooccurrenceSnapshot& snapshot, const TagsetGraph& graph,
+              int k, int max_passes, uint64_t cap,
+              std::vector<int>* assignment, std::vector<uint64_t>* counts) {
+  CORRTRACK_CHECK(assignment != nullptr);
+  CORRTRACK_CHECK(counts != nullptr);
+  CORRTRACK_CHECK_EQ(assignment->size(), snapshot.tagsets().size());
+  CORRTRACK_CHECK_EQ(counts->size(), static_cast<size_t>(k));
+  const auto& tagsets = snapshot.tagsets();
+  for (int pass = 0; pass < max_passes; ++pass) {
+    bool moved_any = false;
+    for (uint32_t v = 0; v < tagsets.size(); ++v) {
+      std::vector<int> link(static_cast<size_t>(k), 0);
+      for (const auto& [u, w] : graph.adjacency[v]) {
+        link[static_cast<size_t>((*assignment)[u])] += w;
+      }
+      const int from = (*assignment)[v];
+      int best_to = from;
+      int best_gain = 0;
+      for (int to = 0; to < k; ++to) {
+        if (to == from) continue;
+        if ((*counts)[static_cast<size_t>(to)] + tagsets[v].count > cap) {
+          continue;
+        }
+        const int gain =
+            link[static_cast<size_t>(to)] - link[static_cast<size_t>(from)];
+        if (gain > best_gain ||
+            (gain == best_gain && gain > 0 && to < best_to)) {
+          best_gain = gain;
+          best_to = to;
+        }
+      }
+      if (best_to != from && best_gain > 0) {
+        (*counts)[static_cast<size_t>(from)] -= tagsets[v].count;
+        (*counts)[static_cast<size_t>(best_to)] += tagsets[v].count;
+        (*assignment)[v] = best_to;
+        moved_any = true;
+      }
+    }
+    if (!moved_any) break;
+  }
+}
+
+}  // namespace corrtrack

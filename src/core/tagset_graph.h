@@ -1,0 +1,38 @@
+#ifndef CORRTRACK_CORE_TAGSET_GRAPH_H_
+#define CORRTRACK_CORE_TAGSET_GRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/cooccurrence.h"
+
+namespace corrtrack {
+
+/// The §4 partitioning graph: one vertex per distinct tagset, an edge
+/// between tagsets sharing tags, weighted by the number of shared tags.
+/// Shared substrate of the classic-graph-partitioning baselines (§2):
+/// Kernighan–Lin [12], spectral bisection [6], and their combination [11].
+struct TagsetGraph {
+  /// adjacency[v] = sorted (neighbour, weight) pairs, deduplicated.
+  std::vector<std::vector<std::pair<uint32_t, int>>> adjacency;
+
+  size_t num_vertices() const { return adjacency.size(); }
+};
+
+TagsetGraph BuildTagsetGraph(const CooccurrenceSnapshot& snapshot);
+
+/// Kernighan–Lin-style single-vertex refinement (the move pass shared by
+/// the KL baseline and the spectral+KL combination of [11]): repeatedly
+/// moves the vertex with the best cut-gain to another partition while the
+/// per-partition document count stays below `cap`. Mutates `assignment`
+/// (tagset index -> partition) and `counts` (per-partition document
+/// counts). Runs at most `max_passes` sweeps; stops early when no move
+/// helps.
+void KlRefine(const CooccurrenceSnapshot& snapshot, const TagsetGraph& graph,
+              int k, int max_passes, uint64_t cap,
+              std::vector<int>* assignment, std::vector<uint64_t>* counts);
+
+}  // namespace corrtrack
+
+#endif  // CORRTRACK_CORE_TAGSET_GRAPH_H_

@@ -1,0 +1,39 @@
+#ifndef CORRTRACK_CORE_TYPES_H_
+#define CORRTRACK_CORE_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace corrtrack {
+
+/// Identifier of an interned tag (hashtag). Dense, assigned by TagDictionary
+/// in arrival order starting from 0.
+using TagId = uint32_t;
+
+/// Identifier of a document (tweet). Dense, assigned by the stream source in
+/// arrival order starting from 0.
+using DocId = uint64_t;
+
+/// Virtual time in milliseconds since the start of the stream. All windowing
+/// and reporting logic operates on this clock, never on wall time.
+using Timestamp = int64_t;
+
+/// Monotone generation counter of the installed tag partitions. Bumped every
+/// time the Merger broadcasts a fresh set of partitions.
+using Epoch = uint32_t;
+
+/// Sentinel for "no tag".
+inline constexpr TagId kInvalidTag = std::numeric_limits<TagId>::max();
+
+/// Virtual-time helpers.
+inline constexpr Timestamp kMillisPerSecond = 1000;
+inline constexpr Timestamp kMillisPerMinute = 60 * kMillisPerSecond;
+
+/// Upper bound on tags per document that the subset-enumeration code
+/// supports. The paper (§3.1) observes fewer than 10 tags per tweet; subsets
+/// are enumerated with a bitmask, so this must stay well below 32.
+inline constexpr int kMaxTagsPerDocument = 16;
+
+}  // namespace corrtrack
+
+#endif  // CORRTRACK_CORE_TYPES_H_

@@ -1,0 +1,50 @@
+#include "core/union_find.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "core/check.h"
+
+namespace corrtrack {
+
+UnionFind::UnionFind(size_t n)
+    : parent_(n), size_(n, 1), num_sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), size_t{0});
+}
+
+size_t UnionFind::Find(size_t x) {
+  CORRTRACK_CHECK_LT(x, parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // Path halving.
+    x = parent_[x];
+  }
+  return x;
+}
+
+size_t UnionFind::Union(size_t a, size_t b) {
+  size_t ra = Find(a);
+  size_t rb = Find(b);
+  if (ra == rb) return ra;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_sets_;
+  return ra;
+}
+
+std::vector<std::vector<size_t>> UnionFind::Components() {
+  std::unordered_map<size_t, size_t> root_to_index;
+  root_to_index.reserve(num_sets_);
+  std::vector<std::vector<size_t>> out;
+  out.reserve(num_sets_);
+  for (size_t x = 0; x < parent_.size(); ++x) {
+    const size_t root = Find(x);
+    auto [it, inserted] = root_to_index.emplace(root, out.size());
+    if (inserted) out.emplace_back();
+    out[it->second].push_back(x);
+  }
+  return out;
+}
+
+}  // namespace corrtrack

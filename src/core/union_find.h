@@ -1,0 +1,50 @@
+#ifndef CORRTRACK_CORE_UNION_FIND_H_
+#define CORRTRACK_CORE_UNION_FIND_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace corrtrack {
+
+/// Disjoint-set forest with path halving and union by size.
+///
+/// The DS partitioning algorithm (Algorithm 1) first groups tags into
+/// connected components ("disjoint sets" in the paper's terminology): two
+/// tags are connected when they co-occur in some document. This structure
+/// makes that grouping near-linear in the number of (tag, document)
+/// incidences.
+class UnionFind {
+ public:
+  /// Creates `n` singleton sets, elements 0..n-1.
+  explicit UnionFind(size_t n);
+
+  /// Returns the representative of `x`'s set.
+  size_t Find(size_t x);
+
+  /// Merges the sets of `a` and `b`; returns the surviving representative.
+  size_t Union(size_t a, size_t b);
+
+  /// True when `a` and `b` are in the same set.
+  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+
+  /// Size of the set containing `x`.
+  size_t SetSize(size_t x) { return size_[Find(x)]; }
+
+  /// Number of distinct sets.
+  size_t NumSets() const { return num_sets_; }
+
+  size_t NumElements() const { return parent_.size(); }
+
+  /// Groups all elements by representative. Result: one vector per set, in
+  /// ascending order of smallest member; members ascend within each set.
+  std::vector<std::vector<size_t>> Components();
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+  size_t num_sets_;
+};
+
+}  // namespace corrtrack
+
+#endif  // CORRTRACK_CORE_UNION_FIND_H_

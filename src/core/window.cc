@@ -1,0 +1,35 @@
+#include "core/window.h"
+
+#include "core/check.h"
+
+namespace corrtrack {
+
+SlidingWindow::SlidingWindow(Timestamp span, size_t max_count)
+    : span_(span), max_count_(max_count) {
+  CORRTRACK_CHECK(span > 0 || max_count > 0);
+}
+
+void SlidingWindow::Add(const Document& doc) {
+  CORRTRACK_CHECK_GE(doc.time, last_time_);
+  last_time_ = doc.time;
+  docs_.push_back(doc);
+  EvictForTime(doc.time);
+  if (max_count_ > 0) {
+    while (docs_.size() > max_count_) docs_.pop_front();
+  }
+}
+
+void SlidingWindow::AdvanceTo(Timestamp now) {
+  if (now < last_time_) return;
+  last_time_ = now;
+  EvictForTime(now);
+}
+
+void SlidingWindow::EvictForTime(Timestamp now) {
+  if (span_ <= 0) return;
+  while (!docs_.empty() && docs_.front().time <= now - span_) {
+    docs_.pop_front();
+  }
+}
+
+}  // namespace corrtrack

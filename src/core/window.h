@@ -1,0 +1,60 @@
+#ifndef CORRTRACK_CORE_WINDOW_H_
+#define CORRTRACK_CORE_WINDOW_H_
+
+#include <deque>
+#include <limits>
+
+#include "core/document.h"
+#include "core/types.h"
+
+namespace corrtrack {
+
+/// Sliding window over the document stream (§3.2, cf. Krämer & Seeger [14]).
+///
+/// Conceptually time-based (e.g. the last 5 minutes of tweets) or count-based
+/// (e.g. the last 10 000 tweets); both bounds can be active at once, in which
+/// case the stricter one wins. Documents must be added in non-decreasing
+/// timestamp order.
+class SlidingWindow {
+ public:
+  /// `span` <= 0 disables the time bound; `max_count` == 0 disables the count
+  /// bound. At least one bound must be active.
+  SlidingWindow(Timestamp span, size_t max_count);
+
+  static SlidingWindow TimeBased(Timestamp span) {
+    return SlidingWindow(span, 0);
+  }
+  static SlidingWindow CountBased(size_t max_count) {
+    return SlidingWindow(0, max_count);
+  }
+
+  /// Appends `doc` and evicts documents that fall out of the window. The
+  /// time bound keeps documents with time > doc.time - span.
+  void Add(const Document& doc);
+
+  /// Evicts by time only, for callers advancing a clock without new
+  /// documents.
+  void AdvanceTo(Timestamp now);
+
+  size_t size() const { return docs_.size(); }
+  bool empty() const { return docs_.empty(); }
+
+  /// Oldest-first iteration.
+  std::deque<Document>::const_iterator begin() const { return docs_.begin(); }
+  std::deque<Document>::const_iterator end() const { return docs_.end(); }
+
+  Timestamp span() const { return span_; }
+  size_t max_count() const { return max_count_; }
+
+ private:
+  void EvictForTime(Timestamp now);
+
+  Timestamp span_;
+  size_t max_count_;
+  Timestamp last_time_ = std::numeric_limits<Timestamp>::min();
+  std::deque<Document> docs_;
+};
+
+}  // namespace corrtrack
+
+#endif  // CORRTRACK_CORE_WINDOW_H_

@@ -1,0 +1,34 @@
+#ifndef CORRTRACK_EXP_CONFIG_H_
+#define CORRTRACK_EXP_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "gen/tweet_generator.h"
+#include "ops/pipeline_config.h"
+
+namespace corrtrack::exp {
+
+/// One experiment run: the pipeline knobs (§8.1's k, P, thr; sn, z, W, y)
+/// plus the workload (tps lives in the generator config) and the run
+/// length.
+///
+/// Scale note: the paper replays 6 h of tweets (~1.4 M tagged documents,
+/// Figures 8/9). The default here is a 10× shorter stream so the full
+/// figure grid regenerates in minutes on a laptop; the shapes are stable
+/// from ~10^5 documents on (see EXPERIMENTS.md).
+struct ExperimentConfig {
+  std::string label;
+  ops::PipelineConfig pipeline;
+  gen::GeneratorConfig generator;
+  uint64_t num_documents = 140000;
+  uint64_t series_stride = 10000;
+  bool with_centralized_baseline = true;
+
+  /// Applies the paper's tps parameter (raw tweets/second).
+  void set_tps(double tps) { generator.tps = tps; }
+};
+
+}  // namespace corrtrack::exp
+
+#endif  // CORRTRACK_EXP_CONFIG_H_

@@ -1,0 +1,117 @@
+#include "exp/driver.h"
+
+#include <cmath>
+#include <memory>
+
+#include "core/check.h"
+#include "ops/centralized.h"
+#include "ops/source.h"
+#include "ops/topology_builder.h"
+#include "ops/tracker_op.h"
+#include "stream/simulation.h"
+
+namespace corrtrack::exp {
+
+namespace {
+
+/// §8.2.3's two measures.
+///
+/// Error: average |J_distributed − J_centralised| over period-matched
+/// tagsets (the baseline only reports tagsets seen more than sn times in
+/// the period). Periods that ended before the first partitions existed are
+/// skipped — the distributed system was not running yet.
+///
+/// Coverage: the paper's "coefficient computed for more than 97 % of the
+/// tagsets seen more than 3 times in the input" — a tagset counts as
+/// covered when the Tracker reported it in *any* period, not necessarily
+/// the same one the baseline did (single additions lag by sn sightings, so
+/// the first report can land one period late).
+void CompareAgainstBaseline(const ops::TrackerBolt& tracker,
+                            const ops::CentralizedBolt& baseline,
+                            Timestamp first_full_period_end,
+                            ExperimentResult* result) {
+  std::unordered_map<TagSet, bool, TagSetHash> ever_tracked;
+  for (const auto& [period_end, results] : tracker.periods()) {
+    for (const auto& [tags, estimate] : results) {
+      ever_tracked[tags] = true;
+    }
+  }
+  double error_sum = 0.0;
+  uint64_t matched = 0;
+  std::unordered_map<TagSet, bool, TagSetHash> baseline_tagsets;
+  for (const auto& [period_end, base_results] : baseline.periods()) {
+    if (period_end < first_full_period_end) continue;
+    const auto tracker_period_it = tracker.periods().find(period_end);
+    for (const auto& [tags, base_estimate] : base_results) {
+      auto [slot, inserted] = baseline_tagsets.emplace(tags, false);
+      if (ever_tracked.count(tags) > 0) slot->second = true;
+      if (tracker_period_it == tracker.periods().end()) continue;
+      const auto it = tracker_period_it->second.find(tags);
+      if (it == tracker_period_it->second.end()) continue;
+      ++matched;
+      error_sum +=
+          std::abs(it->second.coefficient - base_estimate.coefficient);
+    }
+  }
+  uint64_t covered = 0;
+  for (const auto& [tags, was_tracked] : baseline_tagsets) {
+    if (was_tracked) ++covered;
+  }
+  result->compared_tagsets = matched;
+  result->jaccard_error = matched > 0 ? error_sum / matched : 0.0;
+  result->coverage = baseline_tagsets.empty()
+                         ? 0.0
+                         : static_cast<double>(covered) /
+                               static_cast<double>(baseline_tagsets.size());
+}
+
+}  // namespace
+
+ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  MetricsCollector metrics(config.pipeline.num_calculators,
+                           config.series_stride);
+
+  stream::Topology<ops::Message> topology;
+  auto spout = std::make_unique<ops::GeneratorSpout>(config.generator,
+                                                     config.num_documents);
+  const ops::TopologyHandles handles = ops::BuildCorrelationTopology(
+      &topology, std::move(spout), config.pipeline, &metrics,
+      config.with_centralized_baseline);
+
+  stream::SimulationRuntime<ops::Message> runtime(&topology);
+  runtime.Run(/*flush_horizon=*/config.pipeline.report_period);
+  metrics.FinishSeries();
+
+  ExperimentResult result;
+  result.label = config.label;
+  result.documents = metrics.docs_routed();
+  result.avg_communication = metrics.AvgCommunication();
+  result.load_gini = metrics.LoadGini();
+  result.max_load_share = metrics.MaxLoadShare();
+  result.repartitions_communication =
+      metrics.CountRepartitions(ops::kCauseCommunication);
+  result.repartitions_load = metrics.CountRepartitions(ops::kCauseLoad);
+  result.repartitions_both = metrics.CountRepartitions(
+      ops::kCauseCommunication | ops::kCauseLoad);
+  result.single_additions = metrics.single_additions();
+  result.partitions_installed = metrics.installs();
+  result.series = metrics.series();
+  result.repartition_events = metrics.repartitions();
+
+  if (config.with_centralized_baseline && metrics.any_install()) {
+    const auto* tracker = static_cast<ops::TrackerBolt*>(
+        runtime.bolt(handles.tracker, 0));
+    const auto* baseline = static_cast<ops::CentralizedBolt*>(
+        runtime.bolt(handles.centralized, 0));
+    // First period whose full span the distributed system observed.
+    const Timestamp period = config.pipeline.report_period;
+    const Timestamp install = metrics.first_install_time();
+    const Timestamp first_full_period_end =
+        ((install + period - 1) / period + 1) * period;
+    CompareAgainstBaseline(*tracker, *baseline, first_full_period_end,
+                           &result);
+  }
+  return result;
+}
+
+}  // namespace corrtrack::exp

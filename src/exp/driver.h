@@ -1,0 +1,53 @@
+#ifndef CORRTRACK_EXP_DRIVER_H_
+#define CORRTRACK_EXP_DRIVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/config.h"
+#include "exp/metrics.h"
+
+namespace corrtrack::exp {
+
+/// Everything the evaluation section reports, for one run.
+struct ExperimentResult {
+  std::string label;
+
+  // Figure 3: communication.
+  double avg_communication = 0.0;
+  // Figure 4: load distribution.
+  double load_gini = 0.0;
+  double max_load_share = 0.0;
+  // Figure 5: accuracy vs the centralised baseline (tagsets with more than
+  // sn occurrences in a reporting period).
+  double jaccard_error = 0.0;
+  double coverage = 0.0;  // Fraction of baseline tagsets with a reported J.
+  uint64_t compared_tagsets = 0;
+  // Figure 6: repartitions by cause.
+  uint64_t repartitions_communication = 0;
+  uint64_t repartitions_load = 0;
+  uint64_t repartitions_both = 0;
+  uint64_t TotalRepartitions() const {
+    return repartitions_communication + repartitions_load +
+           repartitions_both;
+  }
+  // §7.1 dynamics.
+  uint64_t single_additions = 0;
+  uint64_t partitions_installed = 0;
+
+  uint64_t documents = 0;
+
+  // Figures 8/9 time series.
+  std::vector<SeriesSample> series;
+  std::vector<RepartitionEvent> repartition_events;
+};
+
+/// Builds the Fig. 2 topology for `config`, streams the synthetic workload
+/// through the deterministic runtime, and assembles the result (including
+/// the tracker-vs-centralised error comparison of §8.2.3).
+ExperimentResult RunExperiment(const ExperimentConfig& config);
+
+}  // namespace corrtrack::exp
+
+#endif  // CORRTRACK_EXP_DRIVER_H_

@@ -1,0 +1,92 @@
+#include "exp/report.h"
+
+#include <cstdio>
+
+#include "core/check.h"
+
+namespace corrtrack::exp {
+
+namespace {
+
+std::string FormatDouble(double v, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, v);
+  return buffer;
+}
+
+void AppendPadded(std::string* out, const std::string& cell, size_t width) {
+  *out += cell;
+  for (size_t i = cell.size(); i < width; ++i) *out += ' ';
+}
+
+}  // namespace
+
+std::string RenderTable(const FigureTable& table) {
+  CORRTRACK_CHECK_EQ(table.row_labels.size(), table.values.size());
+  constexpr size_t kCell = 10;
+  std::string out = table.title;
+  if (!table.fixed_params.empty()) {
+    out += "   [" + table.fixed_params + "]";
+  }
+  out += '\n';
+  std::string header(12, ' ');
+  for (const std::string& label : table.column_labels) {
+    AppendPadded(&header, label, kCell);
+  }
+  out += header + '\n';
+  for (size_t r = 0; r < table.row_labels.size(); ++r) {
+    CORRTRACK_CHECK_EQ(table.values[r].size(), table.column_labels.size());
+    std::string row = "  ";
+    AppendPadded(&row, table.row_labels[r], 10);
+    for (double v : table.values[r]) {
+      AppendPadded(&row, FormatDouble(v, table.precision), kCell);
+    }
+    out += row + '\n';
+  }
+  return out;
+}
+
+std::string RenderSeries(const std::string& title,
+                         const std::vector<std::string>& column_labels,
+                         const std::vector<uint64_t>& xs,
+                         const std::vector<std::vector<double>>& rows,
+                         const std::vector<int>* repartitions_per_row) {
+  CORRTRACK_CHECK_EQ(xs.size(), rows.size());
+  constexpr size_t kCell = 10;
+  std::string out = title + '\n';
+  std::string header;
+  AppendPadded(&header, "docs", kCell);
+  for (const std::string& label : column_labels) {
+    AppendPadded(&header, label, kCell);
+  }
+  if (repartitions_per_row != nullptr) {
+    AppendPadded(&header, "repart", kCell);
+  }
+  out += header + '\n';
+  for (size_t i = 0; i < xs.size(); ++i) {
+    std::string row;
+    AppendPadded(&row, std::to_string(xs[i]), kCell);
+    for (double v : rows[i]) {
+      AppendPadded(&row, FormatDouble(v, 3), kCell);
+    }
+    if (repartitions_per_row != nullptr) {
+      const int n = (*repartitions_per_row)[i];
+      AppendPadded(&row, n > 0 ? std::string(static_cast<size_t>(n), '|')
+                               : std::string("."),
+                   kCell);
+    }
+    out += row + '\n';
+  }
+  return out;
+}
+
+std::string DescribeBase(const ExperimentConfig& config) {
+  std::string out;
+  out += "P=" + std::to_string(config.pipeline.num_partitioners);
+  out += " k=" + std::to_string(config.pipeline.num_calculators);
+  out += " thr=" + FormatDouble(config.pipeline.repartition_threshold, 1);
+  out += " tps=" + std::to_string(static_cast<int>(config.generator.tps));
+  return out;
+}
+
+}  // namespace corrtrack::exp

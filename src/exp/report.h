@@ -1,0 +1,43 @@
+#ifndef CORRTRACK_EXP_REPORT_H_
+#define CORRTRACK_EXP_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "exp/driver.h"
+
+namespace corrtrack::exp {
+
+/// ASCII rendering of the paper's grouped-bar figures: one row per
+/// algorithm, one column per swept parameter value.
+///
+///   Figure 3(c) — Communication (avg)   [P=10 thr=0.5 tps=1300]
+///                k=5     k=10    k=20
+///     DS        1.02     1.03    1.05
+///     ...
+struct FigureTable {
+  std::string title;
+  std::string fixed_params;
+  std::vector<std::string> column_labels;  // Parameter values.
+  std::vector<std::string> row_labels;     // Algorithms.
+  // values[row][column].
+  std::vector<std::vector<double>> values;
+  int precision = 3;
+};
+
+std::string RenderTable(const FigureTable& table);
+
+/// Renders a Figures 8/9-style series: x = processed documents, columns as
+/// given; repartition markers appended per row when provided.
+std::string RenderSeries(const std::string& title,
+                         const std::vector<std::string>& column_labels,
+                         const std::vector<uint64_t>& xs,
+                         const std::vector<std::vector<double>>& rows,
+                         const std::vector<int>* repartitions_per_row);
+
+/// Convenience: "k=10 P=10 thr=0.5 tps=1300"-style suffix.
+std::string DescribeBase(const ExperimentConfig& config);
+
+}  // namespace corrtrack::exp
+
+#endif  // CORRTRACK_EXP_REPORT_H_

@@ -1,0 +1,72 @@
+#include "gen/file_source.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace corrtrack::gen {
+
+bool SaveDocuments(const std::string& path,
+                   const std::vector<Document>& docs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = true;
+  for (const Document& doc : docs) {
+    std::string line = std::to_string(doc.id);
+    line += '\t';
+    line += std::to_string(doc.time);
+    line += '\t';
+    bool first = true;
+    for (TagId t : doc.tags) {
+      if (!first) line += ',';
+      first = false;
+      line += std::to_string(t);
+    }
+    line += '\n';
+    if (std::fwrite(line.data(), 1, line.size(), f) != line.size()) {
+      ok = false;
+      break;
+    }
+  }
+  if (std::fclose(f) != 0) ok = false;
+  return ok;
+}
+
+bool LoadDocuments(const std::string& path, std::vector<Document>* docs) {
+  if (docs == nullptr) return false;
+  docs->clear();
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  char buffer[4096];
+  bool ok = true;
+  while (std::fgets(buffer, sizeof(buffer), f) != nullptr) {
+    char* saveptr = nullptr;
+    char* id_str = strtok_r(buffer, "\t", &saveptr);
+    char* time_str = strtok_r(nullptr, "\t", &saveptr);
+    char* tags_str = strtok_r(nullptr, "\t\n", &saveptr);
+    if (id_str == nullptr || time_str == nullptr || tags_str == nullptr) {
+      ok = false;
+      break;
+    }
+    Document doc;
+    doc.id = std::strtoull(id_str, nullptr, 10);
+    doc.time = std::strtoll(time_str, nullptr, 10);
+    std::vector<TagId> tags;
+    char* tag_save = nullptr;
+    for (char* tok = strtok_r(tags_str, ",", &tag_save); tok != nullptr;
+         tok = strtok_r(nullptr, ",", &tag_save)) {
+      tags.push_back(static_cast<TagId>(std::strtoul(tok, nullptr, 10)));
+    }
+    if (tags.empty()) {
+      ok = false;
+      break;
+    }
+    doc.tags = TagSet(tags);
+    docs->push_back(std::move(doc));
+  }
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) docs->clear();
+  return ok;
+}
+
+}  // namespace corrtrack::gen

@@ -1,0 +1,22 @@
+#ifndef CORRTRACK_GEN_FILE_SOURCE_H_
+#define CORRTRACK_GEN_FILE_SOURCE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/document.h"
+
+namespace corrtrack::gen {
+
+/// TSV persistence for document streams: "id<TAB>time<TAB>tag,tag,...".
+/// The paper's Source spout reads tweets "for repeatability of experiments
+/// ... from a file" (§6.2); this is that path.
+///
+/// Both functions return false on I/O or parse errors (no exceptions).
+bool SaveDocuments(const std::string& path,
+                   const std::vector<Document>& docs);
+bool LoadDocuments(const std::string& path, std::vector<Document>* docs);
+
+}  // namespace corrtrack::gen
+
+#endif  // CORRTRACK_GEN_FILE_SOURCE_H_

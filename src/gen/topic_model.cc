@@ -1,0 +1,44 @@
+#include "gen/topic_model.h"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "core/check.h"
+
+namespace corrtrack::gen {
+
+TopicModel::TopicModel(const TopicModelConfig& config, uint64_t seed)
+    : config_(config),
+      topic_zipf_(static_cast<size_t>(config.num_topics), config.topic_skew),
+      tag_zipf_(static_cast<size_t>(config.tags_per_topic), config.tag_skew),
+      joint_zipf_(static_cast<size_t>(
+                      config.joint_vocab_size > 0 ? config.joint_vocab_size
+                                                  : 1),
+                  config.tag_skew) {
+  CORRTRACK_CHECK_GT(config.num_topics, 0);
+  CORRTRACK_CHECK_GT(config.tags_per_topic, 0);
+  CORRTRACK_CHECK_GE(config.joint_vocab_size, 0);
+  CORRTRACK_CHECK_GE(config.joint_prob, 0.0);
+  CORRTRACK_CHECK_LE(config.joint_prob, 1.0);
+
+  // Joint vocabulary takes the first ids, then topic vocabularies.
+  joint_vocab_.reserve(static_cast<size_t>(config.joint_vocab_size));
+  for (int i = 0; i < config.joint_vocab_size; ++i) {
+    joint_vocab_.push_back(next_tag_++);
+  }
+  topic_vocabs_.resize(static_cast<size_t>(config.num_topics));
+  for (auto& vocab : topic_vocabs_) {
+    vocab.reserve(static_cast<size_t>(config.tags_per_topic));
+    for (int i = 0; i < config.tags_per_topic; ++i) {
+      vocab.push_back(next_tag_++);
+    }
+  }
+  permutation_.resize(static_cast<size_t>(config.num_topics));
+  std::iota(permutation_.begin(), permutation_.end(), 0);
+  // Seeded initial shuffle so topic id order carries no popularity meaning.
+  std::mt19937_64 rng(seed);
+  std::shuffle(permutation_.begin(), permutation_.end(), rng);
+}
+
+}  // namespace corrtrack::gen

@@ -1,0 +1,135 @@
+#ifndef CORRTRACK_GEN_TOPIC_MODEL_H_
+#define CORRTRACK_GEN_TOPIC_MODEL_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/types.h"
+#include "gen/zipf.h"
+
+namespace corrtrack::gen {
+
+/// Configuration of the topic-structured tag vocabulary.
+///
+/// §5.1's reading of the real data: "as long as users select tags from
+/// topic-specific vocabularies, graph G falls apart in as many connected
+/// components as topics … if tags from a joint vocabulary are used with
+/// probability 1 − α a large connected component can develop". The model
+/// below realises exactly that structure.
+struct TopicModelConfig {
+  int num_topics = 1500;
+  int tags_per_topic = 25;
+  /// Shared tags ("#news", "#breaking", …) that bridge topics.
+  int joint_vocab_size = 200;
+  /// 1 − α: probability that a tag position draws from the joint
+  /// vocabulary instead of the tweet's topic vocabulary.
+  double joint_prob = 0.004;
+  /// Zipf skew of topic popularity.
+  double topic_skew = 1.0;
+  /// Zipf skew of tag popularity inside a topic (and the joint vocabulary).
+  double tag_skew = 0.75;
+  /// Fresh tags enter their topic's popularity ranking at a hot position
+  /// (top 5) with this probability — a "viral" new hashtag; otherwise they
+  /// join the cold tail.
+  double viral_fresh_prob = 0.02;
+};
+
+/// Evolving mapping from topics to tag vocabularies, with a shared joint
+/// vocabulary and popularity drift.
+///
+/// TagIds are allocated densely by the model itself; the tweet generator
+/// renders them as "#t<id>" strings for the Parser.
+class TopicModel {
+ public:
+  TopicModel(const TopicModelConfig& config, uint64_t seed);
+
+  /// Samples the topic of a new tweet (popularity is Zipf over a drifting
+  /// permutation of topics).
+  template <typename Rng>
+  int SampleTopic(Rng& rng) const {
+    const size_t rank = topic_zipf_.Sample(rng);
+    return permutation_[rank - 1];
+  }
+
+  /// Samples one tag for a tweet of `topic`: joint vocabulary with
+  /// probability joint_prob, else the topic's own vocabulary.
+  template <typename Rng>
+  TagId SampleTag(int topic, Rng& rng) {
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    if (!joint_vocab_.empty() && uniform(rng) < config_.joint_prob) {
+      const size_t rank = joint_zipf_.Sample(rng);
+      return joint_vocab_[rank - 1];
+    }
+    const std::vector<TagId>& vocab = topic_vocabs_[static_cast<size_t>(topic)];
+    std::uniform_int_distribution<size_t> tail(0, vocab.size() - 1);
+    const size_t rank = tag_zipf_.Sample(rng);
+    // Vocabularies grow over time; ranks beyond the base table fall back to
+    // a uniform draw over the whole (grown) vocabulary.
+    if (rank <= vocab.size()) return vocab[rank - 1];
+    return vocab[tail(rng)];
+  }
+
+  /// Adds a brand-new tag to `topic`'s vocabulary and returns it (models
+  /// freshly coined hashtags, §7's "new tags ... introduced by users").
+  /// Most enter the cold tail of the topic's popularity ranking; with
+  /// viral_fresh_prob the tag lands in the top ranks and trends.
+  template <typename Rng>
+  TagId AddFreshTag(int topic, Rng& rng) {
+    std::vector<TagId>& vocab = topic_vocabs_[static_cast<size_t>(topic)];
+    const TagId tag = next_tag_++;
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    size_t position;
+    if (uniform(rng) < config_.viral_fresh_prob) {
+      std::uniform_int_distribution<size_t> hot(
+          0, std::min<size_t>(4, vocab.size()));
+      position = hot(rng);
+    } else {
+      std::uniform_int_distribution<size_t> cold(vocab.size() / 2,
+                                                 vocab.size());
+      position = cold(rng);
+    }
+    vocab.insert(vocab.begin() + static_cast<ptrdiff_t>(position), tag);
+    return tag;
+  }
+
+  /// Popularity drift: `swaps` random transpositions in the topic
+  /// popularity permutation (old topics fade, new ones rise) plus
+  /// `promotions` topics pulled into the top-10 ranks (viral events).
+  template <typename Rng>
+  void Drift(int swaps, int promotions, Rng& rng) {
+    if (permutation_.size() < 2) return;
+    std::uniform_int_distribution<size_t> pick(0, permutation_.size() - 1);
+    for (int i = 0; i < swaps; ++i) {
+      std::swap(permutation_[pick(rng)], permutation_[pick(rng)]);
+    }
+    std::uniform_int_distribution<size_t> top(
+        0, std::min<size_t>(2, permutation_.size() - 1));
+    for (int i = 0; i < promotions; ++i) {
+      std::swap(permutation_[top(rng)], permutation_[pick(rng)]);
+    }
+  }
+
+  int num_topics() const { return config_.num_topics; }
+  TagId num_tags() const { return next_tag_; }
+  const std::vector<TagId>& topic_vocab(int topic) const {
+    return topic_vocabs_[static_cast<size_t>(topic)];
+  }
+  const std::vector<TagId>& joint_vocab() const { return joint_vocab_; }
+
+ private:
+  TopicModelConfig config_;
+  std::vector<std::vector<TagId>> topic_vocabs_;
+  std::vector<TagId> joint_vocab_;
+  std::vector<int> permutation_;  // permutation_[rank-1] = topic id.
+  ZipfDistribution topic_zipf_;
+  ZipfDistribution tag_zipf_;
+  ZipfDistribution joint_zipf_;
+  TagId next_tag_ = 0;
+};
+
+}  // namespace corrtrack::gen
+
+#endif  // CORRTRACK_GEN_TOPIC_MODEL_H_

@@ -1,0 +1,101 @@
+#include "gen/tweet_generator.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace corrtrack::gen {
+
+TweetGenerator::TweetGenerator(const GeneratorConfig& config)
+    : config_(config),
+      topics_(config.topics, config.seed ^ 0x9e3779b97f4a7c15ull),
+      tags_per_tweet_(static_cast<size_t>(config.max_tags_per_tweet),
+                      config.tags_per_tweet_skew),
+      rng_(config.seed),
+      next_drift_(config.drift_period) {
+  CORRTRACK_CHECK_GT(config.max_tags_per_tweet, 0);
+  CORRTRACK_CHECK_LE(config.max_tags_per_tweet, kMaxTagsPerDocument);
+  CORRTRACK_CHECK_GT(config.tagged_tps(), 0.0);
+  ResampleEvents();
+}
+
+void TweetGenerator::ResampleEvents() {
+  events_.clear();
+  if (config_.num_events <= 0) return;
+  // Events pair a hot topic with an arbitrary one: breaking news pulls a
+  // community into the mainstream conversation.
+  std::uniform_int_distribution<int> any(0, topics_.num_topics() - 1);
+  for (int e = 0; e < config_.num_events; ++e) {
+    const int hot = topics_.SampleTopic(rng_);
+    int other = any(rng_);
+    if (other == hot) other = (other + 1) % topics_.num_topics();
+    events_.emplace_back(hot, other);
+  }
+}
+
+Document TweetGenerator::Next() {
+  // Exponential inter-arrival at the tagged-document rate.
+  std::exponential_distribution<double> interarrival(config_.tagged_tps() /
+                                                     1000.0);
+  time_ms_ += interarrival(rng_);
+  const Timestamp now = static_cast<Timestamp>(time_ms_);
+
+  // Topic-popularity drift (§7: old topics fade, new combinations appear).
+  while (config_.drift_period > 0 && now >= next_drift_) {
+    topics_.Drift(config_.drift_swaps, config_.drift_promotions, rng_);
+    ResampleEvents();
+    next_drift_ += config_.drift_period;
+  }
+
+  Document doc;
+  doc.id = next_doc_++;
+  doc.time = now;
+
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  // Tags per tweet: Zipf rank m in [1, mmax] (see GeneratorConfig on the
+  // conditional skew).
+  const int m = static_cast<int>(tags_per_tweet_.Sample(rng_));
+
+  // Regular tweet: one topic. Event tweet: mixes two topics' vocabularies
+  // (at least 2 tags so the mix actually bridges).
+  int topic = topics_.SampleTopic(rng_);
+  int second_topic = -1;
+  if (!events_.empty() && uniform(rng_) < config_.event_prob) {
+    std::uniform_int_distribution<size_t> pick(0, events_.size() - 1);
+    const auto& [a, b] = events_[pick(rng_)];
+    topic = a;
+    second_topic = b;
+  }
+
+  const int total = second_topic >= 0 ? std::max(m, 2) : m;
+  std::vector<TagId> tags;
+  tags.reserve(static_cast<size_t>(total));
+  for (int i = 0; i < total; ++i) {
+    const int source_topic =
+        (second_topic >= 0 && i % 2 == 1) ? second_topic : topic;
+    TagId tag;
+    if (uniform(rng_) < config_.fresh_tag_prob) {
+      tag = topics_.AddFreshTag(source_topic, rng_);
+    } else {
+      tag = topics_.SampleTag(source_topic, rng_);
+    }
+    tags.push_back(tag);
+  }
+  doc.tags = TagSet(tags);  // Canonicalises; duplicates collapse.
+  // Guarantee at least one tag survived deduplication.
+  CORRTRACK_CHECK_GE(doc.tags.size(), 1u);
+  return doc;
+}
+
+std::string TweetGenerator::RenderText(const Document& doc) {
+  std::string text = "doc ";
+  text += std::to_string(doc.id);
+  for (TagId t : doc.tags) {
+    text += " #t";
+    text += std::to_string(t);
+  }
+  return text;
+}
+
+}  // namespace corrtrack::gen

@@ -1,0 +1,44 @@
+#include "gen/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace corrtrack::gen {
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) : s_(s) {
+  CORRTRACK_CHECK_GT(n, 0u);
+  cdf_.resize(n);
+  double total = 0;
+  for (size_t r = 1; r <= n; ++r) {
+    total += std::pow(static_cast<double>(r), -s);
+    cdf_[r - 1] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // Guard against rounding.
+}
+
+double ZipfDistribution::Pmf(size_t rank) const {
+  CORRTRACK_CHECK_GE(rank, 1u);
+  CORRTRACK_CHECK_LE(rank, cdf_.size());
+  const double lo = rank == 1 ? 0.0 : cdf_[rank - 2];
+  return cdf_[rank - 1] - lo;
+}
+
+size_t ZipfDistribution::SampleFromUniform(double u) const {
+  CORRTRACK_CHECK_GE(u, 0.0);
+  CORRTRACK_CHECK_LT(u, 1.0);
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfDistribution::GeneralizedHarmonic(size_t n, double s) {
+  double total = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    total += std::pow(static_cast<double>(i), -s);
+  }
+  return total;
+}
+
+}  // namespace corrtrack::gen

@@ -1,0 +1,49 @@
+#ifndef CORRTRACK_OPS_CALCULATOR_OP_H_
+#define CORRTRACK_OPS_CALCULATOR_OP_H_
+
+#include "core/jaccard.h"
+#include "ops/messages.h"
+#include "ops/pipeline_config.h"
+#include "stream/topology.h"
+
+namespace corrtrack::ops {
+
+/// Calculator bolt (§3.1, §6.2): oblivious to its assigned tags, it infers
+/// the co-occurring tagsets from the notifications it receives, keeps one
+/// exact counter per subset, and every reporting period emits the Jaccard
+/// coefficient of every tracked tagset (with the counter value CN for the
+/// Tracker's dedup) and deletes the counters.
+class CalculatorBolt : public stream::Bolt<Message> {
+ public:
+  explicit CalculatorBolt(const PipelineConfig& config, int instance)
+      : config_(config), instance_(instance) {}
+
+  void Execute(const stream::Envelope<Message>& in,
+               stream::Emitter<Message>& out) override {
+    (void)out;
+    const auto* notification = std::get_if<Notification>(&in.payload);
+    if (notification == nullptr) return;
+    counters_.Observe(notification->tags);
+  }
+
+  void OnTick(Timestamp tick_time, stream::Emitter<Message>& out) override {
+    JaccardReport report;
+    report.calculator = instance_;
+    report.period_end = tick_time;
+    report.estimates = counters_.ReportAll();
+    counters_.Reset();
+    if (report.estimates.empty()) return;
+    out.Emit(Message(std::move(report)));
+  }
+
+  const SubsetCounterTable& counters() const { return counters_; }
+
+ private:
+  PipelineConfig config_;
+  int instance_;
+  SubsetCounterTable counters_;
+};
+
+}  // namespace corrtrack::ops
+
+#endif  // CORRTRACK_OPS_CALCULATOR_OP_H_

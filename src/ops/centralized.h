@@ -1,0 +1,59 @@
+#ifndef CORRTRACK_OPS_CENTRALIZED_H_
+#define CORRTRACK_OPS_CENTRALIZED_H_
+
+#include <map>
+#include <unordered_map>
+
+#include "core/jaccard.h"
+#include "core/tagset.h"
+#include "ops/messages.h"
+#include "ops/pipeline_config.h"
+#include "stream/topology.h"
+
+namespace corrtrack::ops {
+
+/// The centralised baseline of §8.2.3: a single node that receives every
+/// tagset and computes all Jaccard coefficients exactly, on the same
+/// reporting schedule as the Calculators. The experiment driver compares
+/// the Tracker's coefficients against these to obtain the error metric
+/// (restricted, as in the paper, to tagsets seen more than sn = 3 times).
+class CentralizedBolt : public stream::Bolt<Message> {
+ public:
+  using PeriodResults =
+      std::unordered_map<TagSet, JaccardEstimate, TagSetHash>;
+
+  explicit CentralizedBolt(const PipelineConfig& config) : config_(config) {}
+
+  void Execute(const stream::Envelope<Message>& in,
+               stream::Emitter<Message>& out) override {
+    (void)out;
+    const auto* parsed = std::get_if<ParsedDoc>(&in.payload);
+    if (parsed == nullptr) return;
+    counters_.Observe(parsed->doc.tags);
+  }
+
+  void OnTick(Timestamp tick_time, stream::Emitter<Message>& out) override {
+    (void)out;
+    PeriodResults& results = periods_[tick_time];
+    // "Since a tagset is added when seen at least 3 times the centralised
+    // approach considers only tagsets appearing more than 3 times."
+    for (JaccardEstimate& estimate : counters_.ReportAll(
+             static_cast<uint64_t>(config_.single_addition_threshold))) {
+      results.emplace(estimate.tags, std::move(estimate));
+    }
+    counters_.Reset();
+  }
+
+  const std::map<Timestamp, PeriodResults>& periods() const {
+    return periods_;
+  }
+
+ private:
+  PipelineConfig config_;
+  SubsetCounterTable counters_;
+  std::map<Timestamp, PeriodResults> periods_;
+};
+
+}  // namespace corrtrack::ops
+
+#endif  // CORRTRACK_OPS_CENTRALIZED_H_

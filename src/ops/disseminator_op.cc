@@ -1,0 +1,153 @@
+#include "ops/disseminator_op.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace corrtrack::ops {
+
+DisseminatorBolt::DisseminatorBolt(const PipelineConfig& config,
+                                   MetricsSink* metrics)
+    : config_(config),
+      metrics_(metrics != nullptr ? metrics : NullMetricsSink()),
+      batch_per_calculator_(static_cast<size_t>(config.num_calculators), 0) {}
+
+void DisseminatorBolt::Prepare(stream::TaskAddress /*self*/,
+                               int parallelism) {
+  // Monitoring state (batches, uncovered counts, repartition tokens) is
+  // per-instance; the evaluation runs one Disseminator (§8.2).
+  CORRTRACK_CHECK_EQ(parallelism, 1);
+}
+
+void DisseminatorBolt::Execute(const stream::Envelope<Message>& in,
+                               stream::Emitter<Message>& out) {
+  if (const auto* parsed = std::get_if<ParsedDoc>(&in.payload)) {
+    HandleDoc(*parsed, out);
+  } else if (const auto* final = std::get_if<FinalPartitions>(&in.payload)) {
+    HandleFinalPartitions(*final);
+  } else if (const auto* decision =
+                 std::get_if<SingleAdditionDecision>(&in.payload)) {
+    HandleAdditionDecision(*decision);
+  }
+}
+
+void DisseminatorBolt::HandleDoc(const ParsedDoc& parsed,
+                                 stream::Emitter<Message>& out) {
+  if (partitions_ == nullptr) {
+    // Bootstrap: ask for the initial partitions once the Partitioners have
+    // a filled window.
+    if (!bootstrap_requested_ && parsed.doc.time >= config_.bootstrap_time) {
+      bootstrap_requested_ = true;
+      RepartitionRequest request;
+      request.token = next_token_++;
+      request.cause = 0;  // Initial creation, not a quality violation.
+      out.Emit(Message(request));
+    }
+    return;
+  }
+
+  const TagSet& tags = parsed.doc.tags;
+  const int notified = partitions_->Route(tags, &routed_scratch_);
+  for (const RoutedSubset& routed : routed_scratch_) {
+    Notification notification;
+    notification.tags = routed.tags;
+    notification.epoch = epoch_;
+    out.EmitDirect(routed.partition, Message(std::move(notification)));
+    metrics_->OnNotification(routed.partition);
+  }
+  metrics_->OnRouted(notified, parsed.doc.time);
+
+  // §7.1: tagsets found in no Calculator accumulate towards a Single
+  // Addition after sn sightings.
+  if (!partitions_->CoveringPartition(tags).has_value()) {
+    int& count = uncovered_counts_[tags];
+    if (count >= 0) {
+      ++count;
+      if (count >= config_.single_addition_threshold) {
+        UncoveredTagset uncovered;
+        uncovered.tags = tags;
+        uncovered.epoch = epoch_;
+        out.Emit(Message(std::move(uncovered)));
+        count = -1;  // Await the Merger's verdict.
+      }
+    }
+  }
+
+  if (notified > 0) UpdateQualityStats(notified, routed_scratch_, out);
+}
+
+void DisseminatorBolt::UpdateQualityStats(
+    int notified, const std::vector<RoutedSubset>& routed,
+    stream::Emitter<Message>& out) {
+  if (cooldown_remaining_ > 0) {
+    --cooldown_remaining_;
+    return;
+  }
+  ++batch_count_;
+  batch_notifications_ += static_cast<uint64_t>(notified);
+  for (const RoutedSubset& r : routed) {
+    ++batch_per_calculator_[static_cast<size_t>(r.partition)];
+  }
+  if (batch_count_ < static_cast<uint64_t>(config_.quality_batch_size)) {
+    return;
+  }
+  // End of a z-batch: compute avgCom' and maxLoad' (§7.2).
+  const double avg_com = static_cast<double>(batch_notifications_) /
+                         static_cast<double>(batch_count_);
+  uint64_t total = 0;
+  uint64_t max = 0;
+  for (uint64_t c : batch_per_calculator_) {
+    total += c;
+    max = std::max(max, c);
+  }
+  const double max_load =
+      total > 0 ? static_cast<double>(max) / static_cast<double>(total) : 0.0;
+  metrics_->OnQualityBatch(avg_com, max_load, ref_avg_com_, ref_max_load_);
+
+  uint8_t cause = 0;
+  const double margin = 1.0 + config_.repartition_threshold;
+  if (ref_avg_com_ > 0 && avg_com > ref_avg_com_ * margin) {
+    cause |= kCauseCommunication;
+  }
+  if (ref_max_load_ > 0 && max_load > ref_max_load_ * margin) {
+    cause |= kCauseLoad;
+  }
+  ResetBatch();
+  if (cause != 0 && !repartition_pending_) {
+    repartition_pending_ = true;
+    ++repartitions_requested_;
+    RepartitionRequest request;
+    request.token = next_token_++;
+    request.cause = cause;
+    metrics_->OnRepartitionRequested(cause, out.now());
+    out.Emit(Message(request));
+  }
+}
+
+void DisseminatorBolt::ResetBatch() {
+  batch_count_ = 0;
+  batch_notifications_ = 0;
+  std::fill(batch_per_calculator_.begin(), batch_per_calculator_.end(), 0);
+}
+
+void DisseminatorBolt::HandleFinalPartitions(const FinalPartitions& final) {
+  if (final.epoch <= epoch_ && partitions_ != nullptr) return;  // Stale.
+  CORRTRACK_CHECK(final.partitions != nullptr);
+  partitions_ = std::make_unique<PartitionSet>(*final.partitions);
+  epoch_ = final.epoch;
+  ref_avg_com_ = final.avg_com;
+  ref_max_load_ = final.max_load;
+  repartition_pending_ = false;
+  uncovered_counts_.clear();
+  cooldown_remaining_ = config_.repartition_latency_docs;
+  ResetBatch();
+}
+
+void DisseminatorBolt::HandleAdditionDecision(
+    const SingleAdditionDecision& decision) {
+  if (partitions_ == nullptr || decision.epoch != epoch_) return;
+  partitions_->AddTags(decision.calculator, decision.tags);
+  uncovered_counts_.erase(decision.tags);
+}
+
+}  // namespace corrtrack::ops

@@ -1,0 +1,82 @@
+#ifndef CORRTRACK_OPS_DISSEMINATOR_OP_H_
+#define CORRTRACK_OPS_DISSEMINATOR_OP_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/partition.h"
+#include "core/tagset.h"
+#include "ops/messages.h"
+#include "ops/metrics_sink.h"
+#include "ops/pipeline_config.h"
+#include "stream/topology.h"
+
+namespace corrtrack::ops {
+
+/// Disseminator bolt (§3.3, §6.2, §7): the hub of the topology.
+///
+///  * Routing: for every parsed document, looks up the tag -> Calculator
+///    index and sends each involved Calculator the subset of the document's
+///    tags it was assigned (direct grouping).
+///  * Evolving partitions (§7.1): counts occurrences of tagsets covered by
+///    no Calculator; at sn occurrences asks the Merger for a Single
+///    Addition and applies the verdict to its index.
+///  * Quality monitoring (§7.2): over batches of z notified tagsets,
+///    computes avgCom' and maxLoad'; when either exceeds the reference
+///    value from the Merger by more than thr, asks the Partitioners for new
+///    partitions, tagging the request with the observed cause(s).
+///
+/// The evaluated configurations use exactly one Disseminator (§8.2), which
+/// this implementation requires: monitoring state is per-instance.
+class DisseminatorBolt : public stream::Bolt<Message> {
+ public:
+  DisseminatorBolt(const PipelineConfig& config, MetricsSink* metrics);
+
+  void Prepare(stream::TaskAddress self, int parallelism) override;
+
+  void Execute(const stream::Envelope<Message>& in,
+               stream::Emitter<Message>& out) override;
+
+  Epoch current_epoch() const { return epoch_; }
+  bool has_partitions() const { return partitions_ != nullptr; }
+  const PartitionSet* partitions() const { return partitions_.get(); }
+  uint64_t repartitions_requested() const { return repartitions_requested_; }
+
+ private:
+  void HandleDoc(const ParsedDoc& parsed, stream::Emitter<Message>& out);
+  void HandleFinalPartitions(const FinalPartitions& final);
+  void HandleAdditionDecision(const SingleAdditionDecision& decision);
+  void UpdateQualityStats(int notified, const std::vector<RoutedSubset>& routed,
+                          stream::Emitter<Message>& out);
+  void ResetBatch();
+
+  PipelineConfig config_;
+  MetricsSink* metrics_;
+
+  std::unique_ptr<PartitionSet> partitions_;  // Mutable: single additions.
+  Epoch epoch_ = 0;
+  double ref_avg_com_ = 0.0;
+  double ref_max_load_ = 0.0;
+
+  bool bootstrap_requested_ = false;
+  bool repartition_pending_ = false;
+  uint32_t next_token_ = 1;
+  uint64_t repartitions_requested_ = 0;
+  int cooldown_remaining_ = 0;  // Simulated creation latency (see config).
+
+  // §7.2 quality batch (z notified tagsets).
+  uint64_t batch_count_ = 0;
+  uint64_t batch_notifications_ = 0;
+  std::vector<uint64_t> batch_per_calculator_;
+
+  // §7.1 uncovered-tagset occurrence counts; value == -1 marks "addition
+  // already requested, waiting for the verdict".
+  std::unordered_map<TagSet, int, TagSetHash> uncovered_counts_;
+
+  std::vector<RoutedSubset> routed_scratch_;
+};
+
+}  // namespace corrtrack::ops
+
+#endif  // CORRTRACK_OPS_DISSEMINATOR_OP_H_

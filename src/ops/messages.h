@@ -1,0 +1,118 @@
+#ifndef CORRTRACK_OPS_MESSAGES_H_
+#define CORRTRACK_OPS_MESSAGES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "core/document.h"
+#include "core/jaccard.h"
+#include "core/partition.h"
+#include "core/partitioning.h"
+#include "core/tagset.h"
+#include "core/types.h"
+
+namespace corrtrack::ops {
+
+/// Wire protocol of the Fig. 2 topology. Every component communicates with
+/// one std::variant message type; bolts ignore alternatives that are not
+/// addressed to them (the engine's subscriptions are per-producer, like
+/// Storm streams).
+
+/// Source -> Parser (shuffle): a raw tweet. `text` carries the hashtags
+/// inline ("... #tag ..."), exactly what the paper's Parser extracts.
+struct RawTweet {
+  DocId id = 0;
+  Timestamp time = 0;
+  std::string text;
+};
+
+/// Parser -> {Partitioner (fields on tagset), Disseminator (shuffle),
+/// Centralized baseline (global)}: (timestamp_i, s_i).
+struct ParsedDoc {
+  Document doc;
+};
+
+/// Partitioner -> Merger (global): the instance's proposal for repartition
+/// round `token` — its fragments (disjoint sets for DS, local partitions
+/// for the set-cover family) plus its window's distinct tagsets, which the
+/// Merger needs to compute the reference quality of the final partitions.
+struct PartitionProposal {
+  uint32_t token = 0;
+  int partitioner = -1;
+  std::vector<PartitionFragment> fragments;
+  std::vector<std::pair<TagSet, uint64_t>> window_tagsets;
+};
+
+/// Merger -> Disseminator (all): the final k partitions with their
+/// reference quality (partitions, avgCom, maxLoad) of §7.2.
+struct FinalPartitions {
+  Epoch epoch = 0;
+  std::shared_ptr<const PartitionSet> partitions;
+  double avg_com = 0.0;
+  double max_load = 0.0;
+};
+
+/// Disseminator -> Calculator (direct): a notification s_i^j — the subset
+/// of a document's tags held by the target Calculator.
+struct Notification {
+  TagSet tags;
+  Epoch epoch = 0;
+};
+
+/// Disseminator -> Merger (global): tagset seen `sn` times with no covering
+/// Calculator (§7.1).
+struct UncoveredTagset {
+  TagSet tags;
+  Epoch epoch = 0;
+};
+
+/// Merger -> Disseminator (all): the Single Addition verdict — which
+/// Calculator was assigned `tags` (§7.1: sent to all Disseminators,
+/// whether they asked or not).
+struct SingleAdditionDecision {
+  TagSet tags;
+  int calculator = -1;
+  Epoch epoch = 0;
+};
+
+/// Disseminator -> Partitioner (all): partition quality degraded beyond
+/// thr; create new partitions from the current windows (§7.2). `cause` is
+/// a bitmask of RepartitionCause values — the paper's Figure 6 splits
+/// repartitions into Communication / Load / Both.
+struct RepartitionRequest {
+  uint32_t token = 0;
+  uint8_t cause = 0;
+};
+
+inline constexpr uint8_t kCauseCommunication = 1;
+inline constexpr uint8_t kCauseLoad = 2;
+
+/// Calculator -> Tracker (global): the coefficients of one reporting
+/// period, each carrying its counter CN(s_i) for the Tracker's
+/// max-CN dedup heuristic (§6.2).
+struct JaccardReport {
+  int calculator = -1;
+  Timestamp period_end = 0;
+  std::vector<JaccardEstimate> estimates;
+};
+
+using Message =
+    std::variant<RawTweet, ParsedDoc, PartitionProposal, FinalPartitions,
+                 Notification, UncoveredTagset, SingleAdditionDecision,
+                 RepartitionRequest, JaccardReport>;
+
+/// Fields-grouping hash for Parser -> Partitioner: the whole tagset s_i, so
+/// identical tagsets always reach the same Partitioner instance (§6.2).
+inline size_t TagsetFieldHash(const Message& msg) {
+  const auto* parsed = std::get_if<ParsedDoc>(&msg);
+  if (parsed == nullptr) return 0;
+  return parsed->doc.tags.Hash();
+}
+
+}  // namespace corrtrack::ops
+
+#endif  // CORRTRACK_OPS_MESSAGES_H_

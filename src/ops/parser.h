@@ -1,0 +1,82 @@
+#ifndef CORRTRACK_OPS_PARSER_H_
+#define CORRTRACK_OPS_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/tag_dictionary.h"
+#include "ops/messages.h"
+#include "stream/topology.h"
+
+namespace corrtrack::ops {
+
+/// Parser bolt (§6.2): extracts the hashtags of each incoming tweet and
+/// emits (timestamp_i, s_i). The tagset could be enriched with named
+/// entities / locations / sentiment; hashtags are what the evaluation uses.
+///
+/// Each instance owns its TagDictionary; the evaluated configurations use
+/// one Parser ("All configurations use one Parser and one Disseminator",
+/// §8.2), so ids are globally consistent.
+class ParserBolt : public stream::Bolt<Message> {
+ public:
+  /// With `extract_mentions`, "@user" mentions are interned as additional
+  /// tags (§6.2's enrichment hook: "named entities, location, or
+  /// sentiment ... interpreted as additional tags"). Mentions keep their
+  /// '@' prefix in the dictionary, so #paris and @paris stay distinct.
+  explicit ParserBolt(bool extract_mentions = false)
+      : extract_mentions_(extract_mentions) {}
+
+  void Execute(const stream::Envelope<Message>& in,
+               stream::Emitter<Message>& out) override {
+    const auto* raw = std::get_if<RawTweet>(&in.payload);
+    if (raw == nullptr) return;
+    const std::vector<TagId> tags = ExtractTags(raw->text);
+    if (tags.empty()) return;  // Untagged tweets add nothing (§1.1).
+    ParsedDoc parsed;
+    parsed.doc.id = raw->id;
+    parsed.doc.time = raw->time;
+    parsed.doc.tags = TagSet(tags);
+    out.Emit(Message(std::move(parsed)));
+  }
+
+  /// Tokenises `text` and interns every "#tag" (letters, digits and '_'
+  /// after the '#'), plus "@mention"s when enabled.
+  std::vector<TagId> ExtractTags(std::string_view text) {
+    std::vector<TagId> tags;
+    size_t i = 0;
+    while (i < text.size()) {
+      const char marker = text[i];
+      if (marker != '#' && !(extract_mentions_ && marker == '@')) {
+        ++i;
+        continue;
+      }
+      size_t j = i + 1;
+      while (j < text.size() && (std::isalnum(static_cast<unsigned char>(
+                                     text[j])) != 0 ||
+                                 text[j] == '_')) {
+        ++j;
+      }
+      if (j > i + 1) {
+        const size_t start = marker == '#' ? i + 1 : i;  // Keep '@'.
+        tags.push_back(dictionary_.GetOrAdd(text.substr(start, j - start)));
+      }
+      i = j;
+    }
+    return tags;
+  }
+
+  /// Back-compat name used throughout tests/benches.
+  std::vector<TagId> ExtractHashtags(std::string_view text) {
+    return ExtractTags(text);
+  }
+
+  const TagDictionary& dictionary() const { return dictionary_; }
+
+ private:
+  bool extract_mentions_;
+  TagDictionary dictionary_;
+};
+
+}  // namespace corrtrack::ops
+
+#endif  // CORRTRACK_OPS_PARSER_H_

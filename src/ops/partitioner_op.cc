@@ -1,0 +1,66 @@
+#include "ops/partitioner_op.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/cooccurrence.h"
+
+namespace corrtrack::ops {
+
+PartitionerBolt::PartitionerBolt(const PipelineConfig& config, int instance)
+    : config_(config),
+      instance_(instance),
+      algorithm_(MakeAlgorithm(config.algorithm)),
+      // The count bound is global ("e.g. 10000 tweets", §6.2); fields
+      // grouping spreads documents ~evenly, so each instance keeps its
+      // 1/P share.
+      window_(config.window_span,
+              config.window_count == 0
+                  ? 0
+                  : std::max<size_t>(
+                        1, config.window_count /
+                               static_cast<size_t>(std::max(
+                                   1, config.num_partitioners)))) {}
+
+void PartitionerBolt::Execute(const stream::Envelope<Message>& in,
+                              stream::Emitter<Message>& out) {
+  if (const auto* parsed = std::get_if<ParsedDoc>(&in.payload)) {
+    HandleDoc(*parsed);
+  } else if (const auto* request =
+                 std::get_if<RepartitionRequest>(&in.payload)) {
+    HandleRequest(*request, out);
+  }
+}
+
+void PartitionerBolt::HandleDoc(const ParsedDoc& parsed) {
+  window_.Add(parsed.doc);
+}
+
+void PartitionerBolt::HandleRequest(const RepartitionRequest& request,
+                                    stream::Emitter<Message>& out) {
+  // One proposal per round: duplicate requests with an already-answered
+  // token are dropped (e.g. replays in the threaded runtime).
+  if (answered_any_ && request.token == last_token_) return;
+  last_token_ = request.token;
+  answered_any_ = true;
+
+  const CooccurrenceSnapshot snapshot =
+      CooccurrenceSnapshot::FromDocuments(window_.begin(), window_.end());
+  PartitionProposal proposal;
+  proposal.token = request.token;
+  proposal.partitioner = instance_;
+  // Salt the seed with instance and round so SCI's shuffles differ across
+  // instances and rounds but stay reproducible.
+  const uint64_t seed = config_.seed ^
+                        (static_cast<uint64_t>(instance_) << 32) ^
+                        request.token;
+  proposal.fragments =
+      algorithm_->ProposeFragments(snapshot, config_.num_calculators, seed);
+  proposal.window_tagsets.reserve(snapshot.tagsets().size());
+  for (const TagsetStats& stats : snapshot.tagsets()) {
+    proposal.window_tagsets.emplace_back(stats.tags, stats.count);
+  }
+  out.Emit(Message(std::move(proposal)));
+}
+
+}  // namespace corrtrack::ops

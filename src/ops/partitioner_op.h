@@ -1,0 +1,46 @@
+#ifndef CORRTRACK_OPS_PARTITIONER_OP_H_
+#define CORRTRACK_OPS_PARTITIONER_OP_H_
+
+#include <memory>
+
+#include "core/partitioning.h"
+#include "core/window.h"
+#include "ops/messages.h"
+#include "ops/pipeline_config.h"
+#include "stream/topology.h"
+
+namespace corrtrack::ops {
+
+/// Partitioner bolt (§3.2, §6.2): maintains a sliding window over the
+/// tagsets it receives (fields grouping on the whole tagset, so identical
+/// tagsets always land on the same instance) and, when the Disseminator
+/// requests new partitions, runs the configured algorithm over the window
+/// and sends its proposal to the Merger.
+///
+/// For DS the proposal is the phase-1 disjoint sets (unmerged, §6.2); for
+/// the set-cover family it is the instance's k local partitions.
+class PartitionerBolt : public stream::Bolt<Message> {
+ public:
+  PartitionerBolt(const PipelineConfig& config, int instance);
+
+  void Execute(const stream::Envelope<Message>& in,
+               stream::Emitter<Message>& out) override;
+
+  size_t window_size() const { return window_.size(); }
+
+ private:
+  void HandleDoc(const ParsedDoc& parsed);
+  void HandleRequest(const RepartitionRequest& request,
+                     stream::Emitter<Message>& out);
+
+  PipelineConfig config_;
+  int instance_;
+  std::unique_ptr<PartitioningAlgorithm> algorithm_;
+  SlidingWindow window_;
+  uint32_t last_token_ = 0;
+  bool answered_any_ = false;
+};
+
+}  // namespace corrtrack::ops
+
+#endif  // CORRTRACK_OPS_PARTITIONER_OP_H_

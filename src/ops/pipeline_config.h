@@ -1,0 +1,77 @@
+#ifndef CORRTRACK_OPS_PIPELINE_CONFIG_H_
+#define CORRTRACK_OPS_PIPELINE_CONFIG_H_
+
+#include <cstdint>
+
+#include "core/partitioning.h"
+#include "core/types.h"
+
+namespace corrtrack::ops {
+
+/// Knobs of the Fig. 2 topology, defaults per §8.2: P=10, k=10, thr=0.5,
+/// sn=3, quality statistics every 1000 notified tagsets, coefficients
+/// reported every 5 minutes, partitions built from the last 5 minutes.
+struct PipelineConfig {
+  AlgorithmKind algorithm = AlgorithmKind::kDS;
+
+  /// k: number of partitions == number of Calculators.
+  int num_calculators = 10;
+
+  /// P: number of Partitioner instances.
+  int num_partitioners = 10;
+
+  /// thr: repartition when avgCom' or maxLoad' exceeds the reference by
+  /// more than this relative margin (0.5 = 50 % worse).
+  double repartition_threshold = 0.5;
+
+  /// sn: occurrences of an uncovered tagset before a Single Addition.
+  int single_addition_threshold = 3;
+
+  /// z: notified tagsets per quality-statistics batch.
+  int quality_batch_size = 1000;
+
+  /// Repartition latency, expressed in documents: in the real deployment,
+  /// creating + merging + installing partitions takes seconds while the
+  /// stream keeps flowing; the Disseminator cannot observe a violation of
+  /// the *new* partitions during that time. The deterministic simulator
+  /// installs instantly, so it skips quality accounting for this many
+  /// documents after each install. The paper's measured cadence of "one
+  /// repartition every 2750 processed documents" for SCL/SCI (§8.2.5) is
+  /// z = 1000 violation detection plus ≈ 1750 documents of creation
+  /// latency (≈ 13 s at 130 tagged docs/s).
+  int repartition_latency_docs = 1750;
+
+  /// W: Partitioner window span (time-based). §6.2 allows the window to be
+  /// "time-based (e.g. capturing 5 minutes of tweets) or count-based
+  /// (e.g. 10000 tweets)": a positive `window_count` bounds the window by
+  /// document count as well (the stricter bound wins); set window_span <= 0
+  /// for a purely count-based window.
+  Timestamp window_span = 5 * kMillisPerMinute;
+  size_t window_count = 0;
+
+  /// y: Calculator reporting period.
+  Timestamp report_period = 5 * kMillisPerMinute;
+
+  /// Virtual time at which the Disseminator requests the initial
+  /// partitions (the Partitioners need one filled window first).
+  Timestamp bootstrap_time = 5 * kMillisPerMinute;
+
+  /// Seed for the algorithms' randomised choices (SCI phase 2).
+  uint64_t seed = 7;
+
+  /// §7.3 topology scaling: Storm 0.8.2 cannot resize a running topology,
+  /// so `num_calculators` is the *maximum*; when
+  /// `target_docs_per_calculator` > 0 the Merger sizes each round's
+  /// partition count to ceil(window load / target), capped at
+  /// num_calculators. Calculators without a partition are not indexed by
+  /// the Disseminator, receive no documents and compute nothing.
+  uint64_t target_docs_per_calculator = 0;
+
+  /// §6.2 Parser enrichment: also interpret @mentions as tags ("the tagset
+  /// can be enriched with named entities, location, or sentiment").
+  bool parser_extract_mentions = false;
+};
+
+}  // namespace corrtrack::ops
+
+#endif  // CORRTRACK_OPS_PIPELINE_CONFIG_H_

@@ -1,0 +1,66 @@
+#ifndef CORRTRACK_OPS_SOURCE_H_
+#define CORRTRACK_OPS_SOURCE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "gen/tweet_generator.h"
+#include "ops/messages.h"
+#include "stream/topology.h"
+
+namespace corrtrack::ops {
+
+/// Source spout (§6.2): emits tweets "either based on live data through
+/// Twitter's streaming API or for repeatability of experiments read from a
+/// file". Here: the calibrated synthetic generator (see DESIGN.md), bounded
+/// by a document budget.
+class GeneratorSpout : public stream::Spout<Message> {
+ public:
+  GeneratorSpout(const gen::GeneratorConfig& config, uint64_t num_documents)
+      : generator_(config), remaining_(num_documents) {}
+
+  bool Next(Message* out, Timestamp* time) override {
+    if (remaining_ == 0) return false;
+    --remaining_;
+    const Document doc = generator_.Next();
+    RawTweet tweet;
+    tweet.id = doc.id;
+    tweet.time = doc.time;
+    tweet.text = gen::TweetGenerator::RenderText(doc);
+    *time = doc.time;
+    *out = Message(std::move(tweet));
+    return true;
+  }
+
+ private:
+  gen::TweetGenerator generator_;
+  uint64_t remaining_;
+};
+
+/// Replay spout over pre-materialised documents (the paper's
+/// read-from-file mode; see gen::LoadDocuments).
+class ReplaySpout : public stream::Spout<Message> {
+ public:
+  explicit ReplaySpout(std::vector<Document> docs) : docs_(std::move(docs)) {}
+
+  bool Next(Message* out, Timestamp* time) override {
+    if (next_ >= docs_.size()) return false;
+    const Document& doc = docs_[next_++];
+    RawTweet tweet;
+    tweet.id = doc.id;
+    tweet.time = doc.time;
+    tweet.text = gen::TweetGenerator::RenderText(doc);
+    *time = doc.time;
+    *out = Message(std::move(tweet));
+    return true;
+  }
+
+ private:
+  std::vector<Document> docs_;
+  size_t next_ = 0;
+};
+
+}  // namespace corrtrack::ops
+
+#endif  // CORRTRACK_OPS_SOURCE_H_

@@ -1,0 +1,101 @@
+#include "ops/topology_builder.h"
+
+#include "ops/calculator_op.h"
+#include "ops/centralized.h"
+#include "ops/disseminator_op.h"
+#include "ops/merger_op.h"
+#include "ops/parser.h"
+#include "ops/partitioner_op.h"
+#include "ops/tracker_op.h"
+
+namespace corrtrack::ops {
+
+namespace {
+using stream::Grouping;
+}  // namespace
+
+MetricsSink* NullMetricsSink() {
+  static MetricsSink* const kSink = new MetricsSink();
+  return kSink;
+}
+
+TopologyHandles BuildCorrelationTopology(
+    stream::Topology<Message>* topology,
+    std::unique_ptr<stream::Spout<Message>> spout,
+    const PipelineConfig& config, MetricsSink* metrics,
+    bool with_centralized_baseline) {
+  TopologyHandles handles;
+
+  handles.source = topology->AddSpout("source", std::move(spout));
+
+  handles.parser = topology->AddBolt(
+      "parser",
+      [config](int) {
+        return std::make_unique<ParserBolt>(config.parser_extract_mentions);
+      },
+      /*parallelism=*/1);
+
+  handles.partitioner = topology->AddBolt(
+      "partitioner",
+      [config](int instance) {
+        return std::make_unique<PartitionerBolt>(config, instance);
+      },
+      config.num_partitioners);
+
+  handles.merger = topology->AddBolt(
+      "merger",
+      [config, metrics](int) {
+        return std::make_unique<MergerBolt>(config, metrics);
+      },
+      /*parallelism=*/1);
+
+  handles.disseminator = topology->AddBolt(
+      "disseminator",
+      [config, metrics](int) {
+        return std::make_unique<DisseminatorBolt>(config, metrics);
+      },
+      /*parallelism=*/1);
+
+  handles.calculator = topology->AddBolt(
+      "calculator",
+      [config](int instance) {
+        return std::make_unique<CalculatorBolt>(config, instance);
+      },
+      config.num_calculators, config.report_period);
+
+  handles.tracker = topology->AddBolt(
+      "tracker", [](int) { return std::make_unique<TrackerBolt>(); },
+      /*parallelism=*/1);
+
+  // Wiring per Fig. 2.
+  topology->Subscribe(handles.parser, handles.source,
+                      Grouping<Message>::Shuffle());
+  topology->Subscribe(handles.partitioner, handles.parser,
+                      Grouping<Message>::Fields(TagsetFieldHash));
+  topology->Subscribe(handles.disseminator, handles.parser,
+                      Grouping<Message>::Shuffle());
+  topology->Subscribe(handles.merger, handles.partitioner,
+                      Grouping<Message>::Global());
+  topology->Subscribe(handles.disseminator, handles.merger,
+                      Grouping<Message>::All());
+  topology->Subscribe(handles.calculator, handles.disseminator,
+                      Grouping<Message>::Direct());
+  topology->Subscribe(handles.partitioner, handles.disseminator,
+                      Grouping<Message>::All());
+  topology->Subscribe(handles.merger, handles.disseminator,
+                      Grouping<Message>::Global());
+  topology->Subscribe(handles.tracker, handles.calculator,
+                      Grouping<Message>::Global());
+
+  if (with_centralized_baseline) {
+    handles.centralized = topology->AddBolt(
+        "centralized",
+        [config](int) { return std::make_unique<CentralizedBolt>(config); },
+        /*parallelism=*/1, config.report_period);
+    topology->Subscribe(handles.centralized, handles.parser,
+                        Grouping<Message>::Global());
+  }
+  return handles;
+}
+
+}  // namespace corrtrack::ops

@@ -1,0 +1,48 @@
+#ifndef CORRTRACK_OPS_TOPOLOGY_BUILDER_H_
+#define CORRTRACK_OPS_TOPOLOGY_BUILDER_H_
+
+#include <memory>
+
+#include "ops/messages.h"
+#include "ops/metrics_sink.h"
+#include "ops/pipeline_config.h"
+#include "stream/topology.h"
+
+namespace corrtrack::ops {
+
+/// Component ids of the built topology, for post-run state inspection.
+struct TopologyHandles {
+  int source = -1;
+  int parser = -1;
+  int partitioner = -1;
+  int merger = -1;
+  int disseminator = -1;
+  int calculator = -1;
+  int tracker = -1;
+  int centralized = -1;  // -1 when the baseline is disabled.
+};
+
+/// Wires the Fig. 2 topology:
+///
+///   source -> parser(1) --shuffle--> disseminator(1)
+///                        --fields(tagset)--> partitioner(P)
+///                        --global--> centralized(1)       [baseline]
+///   partitioner --global--> merger(1)
+///   merger --all--> disseminator                          [partitions]
+///   disseminator --direct--> calculator(k)                [notifications]
+///   disseminator --all--> partitioner                     [repartition]
+///   disseminator --global--> merger                       [uncovered]
+///   calculator --global--> tracker(1)
+///
+/// `spout` becomes the source; `metrics` may be null. When
+/// `with_centralized_baseline` is false the baseline bolt is omitted
+/// (examples don't need it; the error experiments do).
+TopologyHandles BuildCorrelationTopology(
+    stream::Topology<Message>* topology,
+    std::unique_ptr<stream::Spout<Message>> spout,
+    const PipelineConfig& config, MetricsSink* metrics,
+    bool with_centralized_baseline);
+
+}  // namespace corrtrack::ops
+
+#endif  // CORRTRACK_OPS_TOPOLOGY_BUILDER_H_

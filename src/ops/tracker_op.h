@@ -1,0 +1,53 @@
+#ifndef CORRTRACK_OPS_TRACKER_OP_H_
+#define CORRTRACK_OPS_TRACKER_OP_H_
+
+#include <map>
+#include <unordered_map>
+
+#include "core/jaccard.h"
+#include "core/tagset.h"
+#include "ops/messages.h"
+#include "stream/topology.h"
+
+namespace corrtrack::ops {
+
+/// Tracker bolt (§6.2): collects the Calculators' coefficient reports. When
+/// tag replication makes several Calculators report the same tagset in the
+/// same period, it keeps the one tracked for the longest period — the
+/// maximum counter value CN(s_i) — which "guarantees that at least all
+/// tagsets assigned to the partitions during the creation of them will have
+/// a correct Jaccard coefficient".
+class TrackerBolt : public stream::Bolt<Message> {
+ public:
+  using PeriodResults =
+      std::unordered_map<TagSet, JaccardEstimate, TagSetHash>;
+
+  TrackerBolt() = default;
+
+  void Execute(const stream::Envelope<Message>& in,
+               stream::Emitter<Message>& out) override {
+    (void)out;
+    const auto* report = std::get_if<JaccardReport>(&in.payload);
+    if (report == nullptr) return;
+    PeriodResults& results = periods_[report->period_end];
+    for (const JaccardEstimate& estimate : report->estimates) {
+      auto [it, inserted] = results.emplace(estimate.tags, estimate);
+      if (!inserted &&
+          estimate.intersection_count > it->second.intersection_count) {
+        it->second = estimate;  // Max-CN wins.
+      }
+    }
+  }
+
+  /// Results per reporting period (keyed by the period-end timestamp).
+  const std::map<Timestamp, PeriodResults>& periods() const {
+    return periods_;
+  }
+
+ private:
+  std::map<Timestamp, PeriodResults> periods_;
+};
+
+}  // namespace corrtrack::ops
+
+#endif  // CORRTRACK_OPS_TRACKER_OP_H_

@@ -1,0 +1,32 @@
+#ifndef CORRTRACK_STREAM_ENVELOPE_H_
+#define CORRTRACK_STREAM_ENVELOPE_H_
+
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace corrtrack::stream {
+
+/// Identifies one task (operator instance) in a running topology: the
+/// component it belongs to and its index among the component's instances.
+struct TaskAddress {
+  int component = -1;  // Index in topology declaration order.
+  int instance = 0;    // [0, parallelism).
+
+  friend bool operator==(const TaskAddress& a, const TaskAddress& b) {
+    return a.component == b.component && a.instance == b.instance;
+  }
+};
+
+/// A tuple in flight: the payload plus the metadata Storm attaches (source
+/// task and, in our virtual-time engine, the emission timestamp).
+template <typename Message>
+struct Envelope {
+  Message payload;
+  TaskAddress source;
+  Timestamp time = 0;
+};
+
+}  // namespace corrtrack::stream
+
+#endif  // CORRTRACK_STREAM_ENVELOPE_H_

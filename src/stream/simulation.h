@@ -1,0 +1,288 @@
+#ifndef CORRTRACK_STREAM_SIMULATION_H_
+#define CORRTRACK_STREAM_SIMULATION_H_
+
+#include <deque>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/check.h"
+#include "core/types.h"
+#include "stream/envelope.h"
+#include "stream/topology.h"
+
+namespace corrtrack::stream {
+
+/// Deterministic discrete-event executor for a Topology.
+///
+/// Semantics:
+///  * The spout is pulled one tuple at a time; each tuple's cascade (all
+///    transitively triggered bolt executions) drains fully, in global FIFO
+///    order, before the next spout tuple is injected. Per-edge tuple order
+///    is therefore exactly the emission order, as in a single-worker Storm
+///    deployment with ordered queues.
+///  * Virtual time is the spout's timestamp stream; tuples emitted inside a
+///    cascade inherit the current virtual time.
+///  * Tick callbacks fire between cascades: before a spout tuple with
+///    time >= boundary is injected, every task whose component declared a
+///    tick period receives OnTick(boundary) for each elapsed boundary, in
+///    (boundary, task id) order.
+///  * Shuffle grouping is a per-edge round-robin: uniform like Storm's
+///    randomised shuffle, but reproducible.
+///
+/// The engine is single-threaded; see threaded_runtime.h for the concurrent
+/// executor with identical wiring.
+template <typename Message>
+class SimulationRuntime {
+ public:
+  explicit SimulationRuntime(Topology<Message>* topology)
+      : topology_(topology) {
+    CORRTRACK_CHECK(topology != nullptr);
+    Build();
+  }
+
+  SimulationRuntime(const SimulationRuntime&) = delete;
+  SimulationRuntime& operator=(const SimulationRuntime&) = delete;
+
+  /// Runs the spout to exhaustion. After the last tuple, tick boundaries up
+  /// to (last timestamp + flush_horizon) still fire, so periodic reporters
+  /// can flush. Can only be called once.
+  void Run(Timestamp flush_horizon = 0) {
+    CORRTRACK_CHECK(!ran_);
+    ran_ = true;
+    Spout<Message>* spout = FindSpout();
+    Message msg;
+    Timestamp time = 0;
+    Timestamp last_time = 0;
+    while (spout->Next(&msg, &time)) {
+      CORRTRACK_CHECK_GE(time, last_time);
+      last_time = time;
+      FireTicksUpTo(time);
+      now_ = time;
+      DeliverFrom(spout_component_, 0, std::move(msg), time);
+      Pump();
+    }
+    FireTicksUpTo(last_time + flush_horizon);
+  }
+
+  /// Number of tuples delivered to (executed by) the component's bolts.
+  uint64_t TuplesDelivered(int component) const {
+    CORRTRACK_CHECK_GE(component, 0);
+    CORRTRACK_CHECK_LT(static_cast<size_t>(component), delivered_.size());
+    return delivered_[static_cast<size_t>(component)];
+  }
+
+  /// The live bolt instance for (component, instance); callers downcast to
+  /// the concrete operator type they installed.
+  Bolt<Message>* bolt(int component, int instance) {
+    const int task = TaskId(component, instance);
+    return tasks_[static_cast<size_t>(task)].bolt.get();
+  }
+
+  Timestamp now() const { return now_; }
+
+ private:
+  struct EdgeState {
+    int consumer;  // Component id.
+    Grouping<Message> grouping;
+    uint64_t round_robin = 0;
+  };
+
+  struct Task {
+    TaskAddress addr;
+    std::unique_ptr<Bolt<Message>> bolt;  // Null for the spout's task.
+    Timestamp next_tick = 0;              // 0 = no ticks.
+  };
+
+  class EmitterImpl : public Emitter<Message> {
+   public:
+    EmitterImpl(SimulationRuntime* runtime, TaskAddress source,
+                Timestamp time)
+        : runtime_(runtime), source_(source), time_(time) {}
+
+    void Emit(Message msg) override {
+      runtime_->DeliverFrom(source_.component, source_.instance,
+                            std::move(msg), time_);
+    }
+
+    void EmitDirect(int instance, Message msg) override {
+      runtime_->DeliverDirect(source_.component, instance, std::move(msg),
+                              time_, source_);
+    }
+
+    Timestamp now() const override { return time_; }
+
+   private:
+    SimulationRuntime* runtime_;
+    TaskAddress source_;
+    Timestamp time_;
+  };
+
+  void Build() {
+    const auto& components = topology_->components();
+    task_base_.resize(components.size());
+    delivered_.assign(components.size(), 0);
+    edges_.resize(components.size());
+    for (size_t c = 0; c < components.size(); ++c) {
+      const auto& comp = components[c];
+      task_base_[c] = static_cast<int>(tasks_.size());
+      if (comp.is_spout) {
+        CORRTRACK_CHECK_EQ(comp.parallelism, 1);
+        CORRTRACK_CHECK_EQ(spout_component_, -1);
+        spout_component_ = static_cast<int>(c);
+        Task task;
+        task.addr = {static_cast<int>(c), 0};
+        tasks_.push_back(std::move(task));
+        continue;
+      }
+      for (int i = 0; i < comp.parallelism; ++i) {
+        Task task;
+        task.addr = {static_cast<int>(c), i};
+        task.bolt = comp.bolt_factory(i);
+        CORRTRACK_CHECK(task.bolt != nullptr);
+        task.bolt->Prepare(task.addr, comp.parallelism);
+        task.next_tick = comp.tick_period > 0 ? comp.tick_period : 0;
+        tasks_.push_back(std::move(task));
+      }
+    }
+    CORRTRACK_CHECK_NE(spout_component_, -1);
+    // Invert subscriptions into per-producer edge lists.
+    for (size_t c = 0; c < components.size(); ++c) {
+      for (const auto& sub : components[c].subscriptions) {
+        EdgeState edge;
+        edge.consumer = static_cast<int>(c);
+        edge.grouping = sub.grouping;
+        edges_[static_cast<size_t>(sub.producer)].push_back(std::move(edge));
+      }
+    }
+  }
+
+  Spout<Message>* FindSpout() {
+    return topology_->mutable_components()[static_cast<size_t>(
+        spout_component_)].spout.get();
+  }
+
+  int TaskId(int component, int instance) const {
+    CORRTRACK_CHECK_GE(component, 0);
+    CORRTRACK_CHECK_LT(static_cast<size_t>(component), task_base_.size());
+    const auto& comp =
+        topology_->components()[static_cast<size_t>(component)];
+    CORRTRACK_CHECK_GE(instance, 0);
+    CORRTRACK_CHECK_LT(instance, comp.parallelism);
+    return task_base_[static_cast<size_t>(component)] + instance;
+  }
+
+  int Parallelism(int component) const {
+    return topology_->components()[static_cast<size_t>(component)]
+        .parallelism;
+  }
+
+  /// Routes `msg` emitted by (producer, instance) along all non-direct
+  /// subscription edges.
+  void DeliverFrom(int producer, int instance, Message msg, Timestamp time) {
+    auto& edge_list = edges_[static_cast<size_t>(producer)];
+    const TaskAddress source{producer, instance};
+    for (auto& edge : edge_list) {
+      switch (edge.grouping.kind) {
+        case GroupingKind::kShuffle: {
+          const int target = static_cast<int>(
+              edge.round_robin++ %
+              static_cast<uint64_t>(Parallelism(edge.consumer)));
+          Enqueue(edge.consumer, target, msg, source, time);
+          break;
+        }
+        case GroupingKind::kAll:
+          for (int i = 0; i < Parallelism(edge.consumer); ++i) {
+            Enqueue(edge.consumer, i, msg, source, time);
+          }
+          break;
+        case GroupingKind::kFields: {
+          CORRTRACK_CHECK(edge.grouping.field_hash != nullptr);
+          const size_t h = edge.grouping.field_hash(msg);
+          const int target = static_cast<int>(
+              h % static_cast<size_t>(Parallelism(edge.consumer)));
+          Enqueue(edge.consumer, target, msg, source, time);
+          break;
+        }
+        case GroupingKind::kGlobal:
+          Enqueue(edge.consumer, 0, msg, source, time);
+          break;
+        case GroupingKind::kDirect:
+          break;  // Direct subscribers only see EmitDirect.
+      }
+    }
+  }
+
+  void DeliverDirect(int producer, int instance, Message msg, Timestamp time,
+                     TaskAddress source) {
+    auto& edge_list = edges_[static_cast<size_t>(producer)];
+    for (auto& edge : edge_list) {
+      if (edge.grouping.kind != GroupingKind::kDirect) continue;
+      Enqueue(edge.consumer, instance, msg, source, time);
+    }
+  }
+
+  void Enqueue(int component, int instance, const Message& msg,
+               TaskAddress source, Timestamp time) {
+    Envelope<Message> env;
+    env.payload = msg;
+    env.source = source;
+    env.time = time;
+    pending_.emplace_back(TaskId(component, instance), std::move(env));
+  }
+
+  /// Drains the cascade in global FIFO order.
+  void Pump() {
+    while (!pending_.empty()) {
+      auto [task_id, env] = std::move(pending_.front());
+      pending_.pop_front();
+      Task& task = tasks_[static_cast<size_t>(task_id)];
+      ++delivered_[static_cast<size_t>(task.addr.component)];
+      EmitterImpl emitter(this, task.addr, env.time);
+      task.bolt->Execute(env, emitter);
+    }
+  }
+
+  /// Fires every due tick with boundary <= horizon, in (boundary, task)
+  /// order, draining each tick's cascade before the next.
+  void FireTicksUpTo(Timestamp horizon) {
+    while (true) {
+      Timestamp earliest = std::numeric_limits<Timestamp>::max();
+      for (const Task& task : tasks_) {
+        if (task.next_tick > 0 && task.next_tick < earliest) {
+          earliest = task.next_tick;
+        }
+      }
+      if (earliest == std::numeric_limits<Timestamp>::max() ||
+          earliest > horizon) {
+        return;
+      }
+      for (Task& task : tasks_) {
+        if (task.next_tick != earliest) continue;
+        const Timestamp period =
+            topology_->components()[static_cast<size_t>(task.addr.component)]
+                .tick_period;
+        task.next_tick += period;
+        now_ = earliest;
+        EmitterImpl emitter(this, task.addr, earliest);
+        task.bolt->OnTick(earliest, emitter);
+        Pump();
+      }
+    }
+  }
+
+  Topology<Message>* topology_;
+  int spout_component_ = -1;
+  std::vector<Task> tasks_;
+  std::vector<int> task_base_;
+  std::vector<std::vector<EdgeState>> edges_;
+  std::deque<std::pair<int, Envelope<Message>>> pending_;
+  std::vector<uint64_t> delivered_;
+  Timestamp now_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace corrtrack::stream
+
+#endif  // CORRTRACK_STREAM_SIMULATION_H_

@@ -1,0 +1,380 @@
+#ifndef CORRTRACK_STREAM_THREADED_RUNTIME_H_
+#define CORRTRACK_STREAM_THREADED_RUNTIME_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/check.h"
+#include "core/types.h"
+#include "stream/envelope.h"
+#include "stream/topology.h"
+
+namespace corrtrack::stream {
+
+/// Concurrent executor for a Topology: one worker thread per task, bounded
+/// blocking queues between them — the shape of a single-host Storm worker
+/// (§6.1's push-based communication).
+///
+/// Semantics vs SimulationRuntime:
+///  * Per-edge FIFO order is preserved (each producer pushes to each
+///    consumer queue in emission order); the interleaving *across*
+///    producers is nondeterministic, exactly as in Storm. Experiments use
+///    the deterministic simulator; this runtime exists to show the
+///    topology runs unchanged on a real concurrent substrate, and is
+///    validated by tests on order-insensitive aggregates.
+///  * Ticks fire on each task's own thread when the timestamps it observes
+///    cross a period boundary (virtual-time watermarks), so periodic
+///    reporting stays driven by stream time, not wall time.
+///  * Shutdown: when the spout is exhausted, a poison watermark floods the
+///    topology along *forward* edges (producer declared before consumer).
+///    Feedback edges to earlier components — Fig. 2's Disseminator ->
+///    Partitioner/Merger loops — are excluded from shutdown accounting, or
+///    the cycle would deadlock; once a task has seen all forward poisons it
+///    reports done and discards any residual feedback traffic until the
+///    global stop. Consequence (documented engine contract): cyclic edges
+///    must point to earlier-declared components, and messages still in
+///    flight on them at end-of-stream are dropped, as in a Storm topology
+///    kill.
+template <typename Message>
+class ThreadedRuntime {
+ public:
+  explicit ThreadedRuntime(Topology<Message>* topology,
+                           size_t queue_capacity = 4096)
+      : topology_(topology), queue_capacity_(queue_capacity) {
+    CORRTRACK_CHECK(topology != nullptr);
+    Build();
+  }
+
+  ThreadedRuntime(const ThreadedRuntime&) = delete;
+  ThreadedRuntime& operator=(const ThreadedRuntime&) = delete;
+
+  /// Runs the spout to exhaustion, waits for every task to drain, fires
+  /// final ticks up to (last timestamp + flush_horizon), and joins all
+  /// workers. Call once.
+  void Run(Timestamp flush_horizon = 0) {
+    CORRTRACK_CHECK(!ran_);
+    ran_ = true;
+    // Start workers.
+    for (auto& task : tasks_) {
+      if (task->is_spout) continue;
+      Task* t = task.get();
+      t->thread = std::thread([this, t] { WorkerLoop(t); });
+    }
+    // Drive the spout from this thread.
+    Spout<Message>* spout =
+        topology_->mutable_components()[static_cast<size_t>(
+            spout_component_)].spout.get();
+    Message msg;
+    Timestamp time = 0;
+    Timestamp last_time = 0;
+    while (spout->Next(&msg, &time)) {
+      CORRTRACK_CHECK_GE(time, last_time);
+      last_time = time;
+      RouteFrom(spout_component_, 0, msg, time, /*direct_instance=*/-1);
+    }
+    // Poison with the flush horizon so downstream ticks still fire.
+    FloodPoison(spout_component_, last_time + flush_horizon);
+    // Wait until every bolt task has drained its forward inputs, then stop
+    // the residual feedback-discard loops.
+    {
+      std::unique_lock<std::mutex> lock(done_mutex_);
+      all_done_.wait(lock, [this] {
+        return done_tasks_ == tasks_.size() - 1;  // All but the spout task.
+      });
+    }
+    for (auto& task : tasks_) {
+      if (task->is_spout) continue;
+      Item stop;
+      stop.shutdown = true;
+      task->queue->Push(std::move(stop));
+    }
+    for (auto& task : tasks_) {
+      if (task->thread.joinable()) task->thread.join();
+    }
+  }
+
+  Bolt<Message>* bolt(int component, int instance) {
+    return tasks_[static_cast<size_t>(TaskId(component, instance))]
+        ->bolt.get();
+  }
+
+  uint64_t TuplesDelivered(int component) const {
+    uint64_t total = 0;
+    for (const auto& task : tasks_) {
+      if (task->addr.component == component) {
+        total += task->delivered.load(std::memory_order_relaxed);
+      }
+    }
+    return total;
+  }
+
+ private:
+  struct Item {
+    Envelope<Message> envelope;
+    bool poison = false;
+    bool shutdown = false;
+    Timestamp poison_horizon = 0;
+  };
+
+  /// Bounded MPSC blocking queue.
+  class BoundedQueue {
+   public:
+    explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+    void Push(Item item) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_full_.wait(lock, [this] { return items_.size() < capacity_; });
+      items_.push_back(std::move(item));
+      not_empty_.notify_one();
+    }
+
+    Item Pop() {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [this] { return !items_.empty(); });
+      Item item = std::move(items_.front());
+      items_.pop_front();
+      not_full_.notify_one();
+      return item;
+    }
+
+   private:
+    const size_t capacity_;
+    std::mutex mutex_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<Item> items_;
+  };
+
+  struct Task {
+    TaskAddress addr;
+    bool is_spout = false;
+    std::unique_ptr<Bolt<Message>> bolt;
+    std::unique_ptr<BoundedQueue> queue;
+    std::thread thread;
+    int upstream_edges = 0;  // Poisons to await before exiting.
+    Timestamp next_tick = 0;
+    Timestamp tick_period = 0;
+    std::atomic<uint64_t> delivered{0};
+  };
+
+  struct EdgeState {
+    int consumer;
+    Grouping<Message> grouping;
+    std::atomic<uint64_t> round_robin{0};
+  };
+
+  class EmitterImpl : public Emitter<Message> {
+   public:
+    EmitterImpl(ThreadedRuntime* runtime, TaskAddress source, Timestamp time)
+        : runtime_(runtime), source_(source), time_(time) {}
+
+    void Emit(Message msg) override {
+      runtime_->RouteFrom(source_.component, source_.instance,
+                          std::move(msg), time_, -1);
+    }
+
+    void EmitDirect(int instance, Message msg) override {
+      runtime_->RouteFrom(source_.component, source_.instance,
+                          std::move(msg), time_, instance);
+    }
+
+    Timestamp now() const override { return time_; }
+
+   private:
+    ThreadedRuntime* runtime_;
+    TaskAddress source_;
+    Timestamp time_;
+  };
+
+  void Build() {
+    const auto& components = topology_->components();
+    task_base_.resize(components.size());
+    edges_.resize(components.size());
+    for (size_t c = 0; c < components.size(); ++c) {
+      const auto& comp = components[c];
+      task_base_[c] = static_cast<int>(tasks_.size());
+      if (comp.is_spout) {
+        CORRTRACK_CHECK_EQ(spout_component_, -1);
+        spout_component_ = static_cast<int>(c);
+        auto task = std::make_unique<Task>();
+        task->addr = {static_cast<int>(c), 0};
+        task->is_spout = true;
+        tasks_.push_back(std::move(task));
+        continue;
+      }
+      for (int i = 0; i < comp.parallelism; ++i) {
+        auto task = std::make_unique<Task>();
+        task->addr = {static_cast<int>(c), i};
+        task->bolt = comp.bolt_factory(i);
+        task->bolt->Prepare(task->addr, comp.parallelism);
+        task->queue = std::make_unique<BoundedQueue>(queue_capacity_);
+        task->tick_period = comp.tick_period;
+        task->next_tick = comp.tick_period > 0 ? comp.tick_period : 0;
+        tasks_.push_back(std::move(task));
+      }
+    }
+    CORRTRACK_CHECK_NE(spout_component_, -1);
+    for (size_t c = 0; c < components.size(); ++c) {
+      for (const auto& sub : components[c].subscriptions) {
+        auto edge = std::make_unique<EdgeState>();
+        edge->consumer = static_cast<int>(c);
+        edge->grouping = sub.grouping;
+        edges_[static_cast<size_t>(sub.producer)].push_back(std::move(edge));
+        // Shutdown accounting covers forward edges only (see class
+        // comment): every consumer instance awaits one poison per *task*
+        // (producer instance) of each forward producer edge — each
+        // producer instance floods its own poison when it drains.
+        if (sub.producer < static_cast<int>(c)) {
+          const int producer_tasks =
+              components[static_cast<size_t>(sub.producer)].is_spout
+                  ? 1
+                  : components[static_cast<size_t>(sub.producer)]
+                        .parallelism;
+          for (int i = 0; i < components[c].parallelism; ++i) {
+            tasks_[static_cast<size_t>(TaskId(static_cast<int>(c), i))]
+                ->upstream_edges += producer_tasks;
+          }
+        }
+      }
+    }
+    for (const auto& task : tasks_) {
+      // Every bolt must be reachable through forward edges, or shutdown
+      // could not terminate it.
+      if (!task->is_spout) CORRTRACK_CHECK_GT(task->upstream_edges, 0);
+    }
+  }
+
+  int TaskId(int component, int instance) const {
+    return task_base_[static_cast<size_t>(component)] + instance;
+  }
+
+  int Parallelism(int component) const {
+    return topology_->components()[static_cast<size_t>(component)]
+        .parallelism;
+  }
+
+  void RouteFrom(int producer, int instance, const Message& msg,
+                 Timestamp time, int direct_instance) {
+    for (auto& edge : edges_[static_cast<size_t>(producer)]) {
+      const bool is_direct_edge =
+          edge->grouping.kind == GroupingKind::kDirect;
+      if (is_direct_edge != (direct_instance >= 0)) continue;
+      Item item;
+      item.envelope.payload = msg;
+      item.envelope.source = {producer, instance};
+      item.envelope.time = time;
+      switch (edge->grouping.kind) {
+        case GroupingKind::kShuffle: {
+          const uint64_t n = edge->round_robin.fetch_add(
+              1, std::memory_order_relaxed);
+          Deliver(edge->consumer,
+                  static_cast<int>(n % static_cast<uint64_t>(
+                                           Parallelism(edge->consumer))),
+                  std::move(item));
+          break;
+        }
+        case GroupingKind::kAll:
+          for (int i = 0; i < Parallelism(edge->consumer); ++i) {
+            Item copy;
+            copy.envelope = item.envelope;
+            Deliver(edge->consumer, i, std::move(copy));
+          }
+          break;
+        case GroupingKind::kFields: {
+          const size_t h = edge->grouping.field_hash(msg);
+          Deliver(edge->consumer,
+                  static_cast<int>(h % static_cast<size_t>(
+                                           Parallelism(edge->consumer))),
+                  std::move(item));
+          break;
+        }
+        case GroupingKind::kGlobal:
+          Deliver(edge->consumer, 0, std::move(item));
+          break;
+        case GroupingKind::kDirect:
+          Deliver(edge->consumer, direct_instance, std::move(item));
+          break;
+      }
+    }
+  }
+
+  void Deliver(int component, int instance, Item item) {
+    tasks_[static_cast<size_t>(TaskId(component, instance))]->queue->Push(
+        std::move(item));
+  }
+
+  /// Sends one poison marker along every *forward* edge leaving `producer`
+  /// (to every consumer instance).
+  void FloodPoison(int producer, Timestamp horizon) {
+    for (auto& edge : edges_[static_cast<size_t>(producer)]) {
+      if (edge->consumer <= producer) continue;  // Feedback edge.
+      for (int i = 0; i < Parallelism(edge->consumer); ++i) {
+        Item item;
+        item.poison = true;
+        item.poison_horizon = horizon;
+        Deliver(edge->consumer, i, std::move(item));
+      }
+    }
+  }
+
+  void WorkerLoop(Task* task) {
+    int poisons_pending = task->upstream_edges;
+    Timestamp horizon = 0;
+    while (poisons_pending > 0) {
+      Item item = task->queue->Pop();
+      if (item.shutdown) return;  // Defensive; not expected here.
+      if (item.poison) {
+        --poisons_pending;
+        horizon = std::max(horizon, item.poison_horizon);
+        continue;
+      }
+      FireTicks(task, item.envelope.time);
+      task->delivered.fetch_add(1, std::memory_order_relaxed);
+      EmitterImpl emitter(this, task->addr, item.envelope.time);
+      task->bolt->Execute(item.envelope, emitter);
+    }
+    FireTicks(task, horizon);
+    // All forward producers are done; tell downstream, report done, then
+    // discard residual feedback traffic until the global stop.
+    FloodPoison(task->addr.component, horizon);
+    {
+      std::lock_guard<std::mutex> lock(done_mutex_);
+      ++done_tasks_;
+    }
+    all_done_.notify_one();
+    while (true) {
+      Item item = task->queue->Pop();
+      if (item.shutdown) return;
+    }
+  }
+
+  void FireTicks(Task* task, Timestamp now) {
+    if (task->tick_period <= 0) return;
+    while (task->next_tick <= now) {
+      EmitterImpl emitter(this, task->addr, task->next_tick);
+      task->bolt->OnTick(task->next_tick, emitter);
+      task->next_tick += task->tick_period;
+    }
+  }
+
+  Topology<Message>* topology_;
+  size_t queue_capacity_;
+  int spout_component_ = -1;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<int> task_base_;
+  std::vector<std::vector<std::unique_ptr<EdgeState>>> edges_;
+  bool ran_ = false;
+  std::mutex done_mutex_;
+  std::condition_variable all_done_;
+  size_t done_tasks_ = 0;
+};
+
+}  // namespace corrtrack::stream
+
+#endif  // CORRTRACK_STREAM_THREADED_RUNTIME_H_

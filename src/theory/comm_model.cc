@@ -1,0 +1,72 @@
+#include "theory/comm_model.h"
+
+#include <cmath>
+#include <random>
+#include <unordered_set>
+#include <vector>
+
+#include "core/check.h"
+
+namespace corrtrack::theory {
+
+double LogBinomial(double n, double k) {
+  CORRTRACK_CHECK_GE(n, 0.0);
+  if (k < 0 || k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(n + 1) - std::lgamma(k + 1) - std::lgamma(n - k + 1);
+}
+
+double ExpectedCommunication(double v, double n, double k, double m) {
+  CORRTRACK_CHECK_GT(v, 0.0);
+  CORRTRACK_CHECK_GT(k, 0.0);
+  CORRTRACK_CHECK_GT(m, 0.0);
+  if (2 * m > v) {
+    // C(v−m, m) = 0: every partition is hit.
+    return k;
+  }
+  // log of miss probability for one stored tweet.
+  const double log_miss_one = LogBinomial(v - m, m) - LogBinomial(v, m);
+  const double log_miss_all = (n / k) * log_miss_one;
+  return k * (1.0 - std::exp(log_miss_all));
+}
+
+namespace {
+
+std::vector<uint32_t> SampleTags(uint32_t v, uint32_t m,
+                                 std::mt19937_64& rng) {
+  std::unordered_set<uint32_t> chosen;
+  std::uniform_int_distribution<uint32_t> pick(0, v - 1);
+  while (chosen.size() < m) chosen.insert(pick(rng));
+  return std::vector<uint32_t>(chosen.begin(), chosen.end());
+}
+
+}  // namespace
+
+double SimulateCommunication(uint32_t v, uint32_t n, uint32_t k, uint32_t m,
+                             uint32_t probe_tweets, uint64_t seed) {
+  CORRTRACK_CHECK_GE(v, m);
+  CORRTRACK_CHECK_GT(k, 0u);
+  std::mt19937_64 rng(seed);
+  // n tweets spread round-robin over k partitions; each partition owns the
+  // union of its tweets' tags — the "equal-sized, randomly created
+  // partitions" of the §5.2 derivation.
+  std::vector<std::unordered_set<uint32_t>> partitions(k);
+  for (uint32_t i = 0; i < n; ++i) {
+    const std::vector<uint32_t> tags = SampleTags(v, m, rng);
+    partitions[i % k].insert(tags.begin(), tags.end());
+  }
+  uint64_t total_hits = 0;
+  for (uint32_t t = 0; t < probe_tweets; ++t) {
+    const std::vector<uint32_t> tags = SampleTags(v, m, rng);
+    for (const auto& partition : partitions) {
+      for (uint32_t tag : tags) {
+        if (partition.count(tag) > 0) {
+          ++total_hits;
+          break;
+        }
+      }
+    }
+  }
+  return static_cast<double>(total_hits) / probe_tweets;
+}
+
+}  // namespace corrtrack::theory

@@ -1,0 +1,32 @@
+#ifndef CORRTRACK_THEORY_COMM_MODEL_H_
+#define CORRTRACK_THEORY_COMM_MODEL_H_
+
+#include <cstdint>
+
+namespace corrtrack::theory {
+
+/// §5.2's closed form for the expected communication load of equal-sized,
+/// randomly created partitions:
+///
+///   E[communication] = k × (1 − ( C(v−m, m) / C(v, m) )^{n/k})
+///
+/// with vocabulary size v, n tweets forming the partitions, k partitions
+/// and m tags per tweet. A value of 1 means zero redundancy; k means every
+/// tweet hits every partition ("a knockout blow for any decentralised
+/// approach"). Computed in log-space, stable for large v.
+double ExpectedCommunication(double v, double n, double k, double m);
+
+/// Monte-Carlo counterpart of the model: builds k partitions from n random
+/// m-subsets of a v-tag vocabulary (each tweet's tags join one round-robin
+/// partition), then measures the average number of partitions hit by fresh
+/// random tweets. Used to validate the closed form in tests and in
+/// bench/sec52_comm_model.
+double SimulateCommunication(uint32_t v, uint32_t n, uint32_t k, uint32_t m,
+                             uint32_t probe_tweets, uint64_t seed);
+
+/// log C(n, k) via lgamma (helper, exposed for tests).
+double LogBinomial(double n, double k);
+
+}  // namespace corrtrack::theory
+
+#endif  // CORRTRACK_THEORY_COMM_MODEL_H_

@@ -1,0 +1,62 @@
+#include "theory/er_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "core/check.h"
+#include "core/union_find.h"
+
+namespace corrtrack::theory {
+
+ErRegime ClassifyRegime(double np) {
+  if (np < 1.0) return ErRegime::kSubcritical;
+  if (np > 1.0) return ErRegime::kSupercritical;
+  return ErRegime::kCritical;
+}
+
+std::string_view RegimeName(ErRegime regime) {
+  switch (regime) {
+    case ErRegime::kSubcritical:
+      return "subcritical (components O(log n))";
+    case ErRegime::kCritical:
+      return "critical";
+    case ErRegime::kSupercritical:
+      return "supercritical (one giant component)";
+  }
+  CORRTRACK_CHECK(false);
+  return "";
+}
+
+double GiantComponentFraction(double np) {
+  if (np <= 1.0) return 0.0;
+  // Fixed point of θ = 1 − e^{−np·θ}; iteration converges from θ = 1.
+  double theta = 1.0;
+  for (int i = 0; i < 200; ++i) {
+    const double next = 1.0 - std::exp(-np * theta);
+    if (std::abs(next - theta) < 1e-12) return next;
+    theta = next;
+  }
+  return theta;
+}
+
+uint64_t SampleLargestComponent(uint64_t num_vertices, uint64_t num_edges,
+                                uint64_t seed) {
+  CORRTRACK_CHECK_GT(num_vertices, 1u);
+  UnionFind uf(num_vertices);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<uint64_t> pick(0, num_vertices - 1);
+  for (uint64_t e = 0; e < num_edges; ++e) {
+    uint64_t a = pick(rng);
+    uint64_t b = pick(rng);
+    while (b == a) b = pick(rng);
+    uf.Union(a, b);
+  }
+  uint64_t largest = 0;
+  for (uint64_t v = 0; v < num_vertices; ++v) {
+    largest = std::max<uint64_t>(largest, uf.SetSize(v));
+  }
+  return largest;
+}
+
+}  // namespace corrtrack::theory

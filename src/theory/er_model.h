@@ -1,0 +1,30 @@
+#ifndef CORRTRACK_THEORY_ER_MODEL_H_
+#define CORRTRACK_THEORY_ER_MODEL_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace corrtrack::theory {
+
+/// Erdős–Rényi regime of G(n, M) per §5.1's reading of [9].
+enum class ErRegime {
+  kSubcritical,   // np < 1: all components O(log n).
+  kCritical,      // np == 1 (theoretical special case, "left out").
+  kSupercritical  // np > 1: one giant component, rest O(log n).
+};
+
+ErRegime ClassifyRegime(double np);
+std::string_view RegimeName(ErRegime regime);
+
+/// For the supercritical regime, the giant component covers a θ(np) fraction
+/// of vertices, where θ solves θ = 1 − e^{−np·θ}. Returns 0 for np <= 1.
+double GiantComponentFraction(double np);
+
+/// Monte-Carlo check: samples G(n, M) with `num_edges` uniform edges and
+/// returns the size of the largest connected component.
+uint64_t SampleLargestComponent(uint64_t num_vertices, uint64_t num_edges,
+                                uint64_t seed);
+
+}  // namespace corrtrack::theory
+
+#endif  // CORRTRACK_THEORY_ER_MODEL_H_

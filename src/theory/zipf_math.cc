@@ -1,0 +1,55 @@
+#include "theory/zipf_math.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace corrtrack::theory {
+
+namespace {
+constexpr double kPaperDistinctTags = 600000.0;
+constexpr double kPaperDistinctTweetsPerDay = 7000000.0;
+constexpr double kPaperSkew = 0.25;
+constexpr double kMinutesPerDay = 24.0 * 60.0;
+}  // namespace
+
+double TagsPerTweetFrequency(int m, int mmax, double s) {
+  CORRTRACK_CHECK_GE(m, 1);
+  CORRTRACK_CHECK_LE(m, mmax);
+  double harmonic = 0;
+  for (int i = 1; i <= mmax; ++i) {
+    harmonic += std::pow(static_cast<double>(i), -s);
+  }
+  return std::pow(static_cast<double>(m), -s) / harmonic;
+}
+
+double ExpectedEdges(double distinct_tweets, int mmax, double s) {
+  CORRTRACK_CHECK_GE(mmax, 2);
+  double per_tweet = 0;
+  for (int m = 2; m <= mmax; ++m) {
+    const double pairs = static_cast<double>(m) * (m - 1) / 2.0;
+    per_tweet += TagsPerTweetFrequency(m, mmax, s) * pairs;
+  }
+  return distinct_tweets * per_tweet;
+}
+
+double NpValue(double num_tags, double num_edges) {
+  CORRTRACK_CHECK_GT(num_tags, 1.0);
+  // p = M / C(n,2)  =>  n*p = n * M / (n(n-1)/2) = 2M / (n-1).
+  return 2.0 * num_edges / (num_tags - 1.0);
+}
+
+double PaperNpValue(double window_minutes, int mmax) {
+  const double tweets_in_window =
+      kPaperDistinctTweetsPerDay * (window_minutes / kMinutesPerDay);
+  const double edges = ExpectedEdges(tweets_in_window, mmax, kPaperSkew);
+  return NpValue(kPaperDistinctTags, edges);
+}
+
+double PaperEmpiricalNp(double window_minutes, double daily_distinct_pairs) {
+  const double edges =
+      daily_distinct_pairs * (window_minutes / kMinutesPerDay);
+  return NpValue(kPaperDistinctTags, edges);
+}
+
+}  // namespace corrtrack::theory

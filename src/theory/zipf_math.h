@@ -1,0 +1,36 @@
+#ifndef CORRTRACK_THEORY_ZIPF_MATH_H_
+#define CORRTRACK_THEORY_ZIPF_MATH_H_
+
+#include <cstdint>
+
+namespace corrtrack::theory {
+
+/// f(m, mmax, s) — §5.1: the Zipf frequency of tweets annotated with m tags,
+/// f = (1/m^s) / Σ_{i=1..mmax} (1/i^s).
+double TagsPerTweetFrequency(int m, int mmax, double s);
+
+/// E[M] — §5.1: expected number of distinct co-occurrence edges contributed
+/// by `distinct_tweets` tweets, each adding C(m, 2) edges with probability
+/// f(m, mmax, s): E[M] = t × Σ_{m=2..mmax} f(m)·C(m,2).
+double ExpectedEdges(double distinct_tweets, int mmax, double s);
+
+/// n·p for the Erdős–Rényi G(n, M) view of the tag graph: p = M / C(n, 2),
+/// so n·p = 2M / (n − 1). The §5.1 threshold: np < 1 → all components
+/// O(log n); np > 1 → one giant component.
+double NpValue(double num_tags, double num_edges);
+
+/// The paper's §5.1 worked example: 600 000 distinct tags, 7 000 000
+/// distinct tweets/day (worst case for DS), windows of `window_minutes`,
+/// mmax tags per tweet, s = 0.25. Returns the resulting n·p
+/// (≈ 0.76 for 5 min / mmax 8; ≈ 1.52 for 10 min / mmax 8; ≈ 0.85 for
+/// 10 min / mmax 6).
+double PaperNpValue(double window_minutes, int mmax);
+
+/// §5.1's empirical counterpoint: with `daily_distinct_pairs` measured
+/// distinct tag pairs per day (5.5 M), the per-window edge count is the
+/// daily count scaled to the window, giving np ≈ 0.11 for 10 minutes.
+double PaperEmpiricalNp(double window_minutes, double daily_distinct_pairs);
+
+}  // namespace corrtrack::theory
+
+#endif  // CORRTRACK_THEORY_ZIPF_MATH_H_

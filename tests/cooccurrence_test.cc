@@ -1,0 +1,214 @@
+#include "core/cooccurrence.h"
+
+#include <random>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace corrtrack {
+namespace {
+
+Document Doc(DocId id, std::vector<TagId> tags) {
+  Document d;
+  d.id = id;
+  d.time = static_cast<Timestamp>(id);
+  d.tags = TagSet(tags);
+  return d;
+}
+
+// The running example of Figure 1: six tagsets with their multiplicities.
+// Tags: 0=munich 1=beer 2=soccer 3=pizza 4=oktoberfest 5=bavaria 6=beach
+// 7=sunny 8=friday.
+std::vector<Document> Figure1Documents() {
+  std::vector<Document> docs;
+  DocId id = 0;
+  auto add = [&](std::vector<TagId> tags, int count) {
+    for (int i = 0; i < count; ++i) docs.push_back(Doc(id++, tags));
+  };
+  add({0, 1, 2}, 10);  // {munich, beer, soccer}
+  add({1, 3}, 4);      // {beer, pizza}
+  add({0, 4}, 3);      // {munich, oktoberfest}
+  add({5, 2}, 1);      // {bavaria, soccer}
+  add({6, 7}, 2);      // {beach, sunny}
+  add({8, 7}, 1);      // {friday, sunny}
+  return docs;
+}
+
+TEST(CooccurrenceSnapshot, AggregatesDistinctTagsets) {
+  const auto docs = Figure1Documents();
+  const auto snap =
+      CooccurrenceSnapshot::FromDocuments(docs.begin(), docs.end());
+  EXPECT_EQ(snap.num_docs(), 21u);
+  EXPECT_EQ(snap.tagsets().size(), 6u);
+  EXPECT_EQ(snap.num_tags(), 9u);
+}
+
+TEST(CooccurrenceSnapshot, TagCounts) {
+  const auto docs = Figure1Documents();
+  const auto snap =
+      CooccurrenceSnapshot::FromDocuments(docs.begin(), docs.end());
+  EXPECT_EQ(snap.TagCount(0), 13u);  // munich: 10 + 3.
+  EXPECT_EQ(snap.TagCount(1), 14u);  // beer: 10 + 4.
+  EXPECT_EQ(snap.TagCount(2), 11u);  // soccer: 10 + 1.
+  EXPECT_EQ(snap.TagCount(7), 3u);   // sunny: 2 + 1.
+  EXPECT_EQ(snap.TagCount(99), 0u);  // Unknown.
+}
+
+TEST(CooccurrenceSnapshot, TagsetLoads) {
+  const auto docs = Figure1Documents();
+  const auto snap =
+      CooccurrenceSnapshot::FromDocuments(docs.begin(), docs.end());
+  // §3: the load of {munich, beer, soccer} is the documents containing any
+  // of the three: 10 + 4 + 3 + 1 = 18.
+  EXPECT_EQ(snap.ComputeLoad(TagSet({0, 1, 2})), 18u);
+  // {beach, sunny}: 2 + 1 = 3.
+  EXPECT_EQ(snap.ComputeLoad(TagSet({6, 7})), 3u);
+  // A tagset containing an unknown tag still counts the known ones.
+  EXPECT_EQ(snap.ComputeLoad(TagSet({6, 99})), 2u);
+  EXPECT_EQ(snap.ComputeLoad(TagSet({99})), 0u);
+}
+
+TEST(CooccurrenceSnapshot, ConnectedComponentsMatchFigure1) {
+  const auto docs = Figure1Documents();
+  const auto snap =
+      CooccurrenceSnapshot::FromDocuments(docs.begin(), docs.end());
+  // Figure 1: one component {munich,beer,soccer,pizza,oktoberfest,bavaria}
+  // with 18 docs, one {beach,sunny,friday} with 3.
+  ASSERT_EQ(snap.components().size(), 2u);
+  const auto& big = snap.components()[0];
+  const auto& small = snap.components()[1];
+  EXPECT_EQ(big.load, 18u);
+  EXPECT_EQ(small.load, 3u);
+  EXPECT_EQ(std::set<TagId>(big.tags.begin(), big.tags.end()),
+            (std::set<TagId>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(std::set<TagId>(small.tags.begin(), small.tags.end()),
+            (std::set<TagId>{6, 7, 8}));
+  // 86% / 14% of load, as the introduction describes.
+  EXPECT_NEAR(static_cast<double>(big.load) / snap.num_docs(), 0.857, 0.01);
+}
+
+TEST(CooccurrenceSnapshot, ComponentsSortedByLoad) {
+  const auto docs = Figure1Documents();
+  const auto snap =
+      CooccurrenceSnapshot::FromDocuments(docs.begin(), docs.end());
+  for (size_t i = 1; i < snap.components().size(); ++i) {
+    EXPECT_GE(snap.components()[i - 1].load, snap.components()[i].load);
+  }
+}
+
+TEST(CooccurrenceSnapshot, FromWeightedTagsetsMergesDuplicates) {
+  std::vector<std::pair<TagSet, uint64_t>> weighted;
+  weighted.emplace_back(TagSet({1, 2}), 3);
+  weighted.emplace_back(TagSet({2, 1}), 2);  // Same canonical set.
+  weighted.emplace_back(TagSet({3}), 1);
+  weighted.emplace_back(TagSet(), 7);  // Dropped: empty.
+  const auto snap =
+      CooccurrenceSnapshot::FromWeightedTagsets(std::move(weighted));
+  EXPECT_EQ(snap.tagsets().size(), 2u);
+  EXPECT_EQ(snap.num_docs(), 6u);
+  EXPECT_EQ(snap.TagCount(1), 5u);
+}
+
+TEST(CooccurrenceSnapshot, EmptyInput) {
+  std::vector<Document> docs;
+  const auto snap =
+      CooccurrenceSnapshot::FromDocuments(docs.begin(), docs.end());
+  EXPECT_EQ(snap.num_docs(), 0u);
+  EXPECT_TRUE(snap.tagsets().empty());
+  EXPECT_TRUE(snap.components().empty());
+}
+
+TEST(CooccurrenceSnapshot, TagsetsWithTagIndex) {
+  const auto docs = Figure1Documents();
+  const auto snap =
+      CooccurrenceSnapshot::FromDocuments(docs.begin(), docs.end());
+  // beer (1) appears in {munich,beer,soccer} and {beer,pizza}.
+  const auto& with_beer = snap.TagsetsWithTag(1);
+  EXPECT_EQ(with_beer.size(), 2u);
+  for (uint32_t idx : with_beer) {
+    EXPECT_TRUE(snap.tagsets()[idx].tags.Contains(1));
+  }
+  EXPECT_TRUE(snap.TagsetsWithTag(1234).empty());
+}
+
+// Property: loads, counts and components match brute-force computations on
+// random workloads.
+class SnapshotPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SnapshotPropertyTest, MatchesBruteForce) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 1234);
+  std::uniform_int_distribution<TagId> tag(0, 25);
+  std::uniform_int_distribution<int> len(1, 5);
+  std::vector<Document> docs;
+  for (int i = 0; i < 400; ++i) {
+    std::vector<TagId> tags;
+    for (int j = len(rng); j > 0; --j) tags.push_back(tag(rng));
+    docs.push_back(Doc(static_cast<DocId>(i), tags));
+  }
+  const auto snap =
+      CooccurrenceSnapshot::FromDocuments(docs.begin(), docs.end());
+
+  // Counts per distinct tagset.
+  uint64_t total = 0;
+  for (const TagsetStats& stats : snap.tagsets()) {
+    uint64_t expected = 0;
+    for (const Document& d : docs) {
+      if (d.tags == stats.tags) ++expected;
+    }
+    ASSERT_EQ(stats.count, expected);
+    total += stats.count;
+
+    // Load: documents containing any tag of the set.
+    uint64_t load = 0;
+    for (const Document& d : docs) {
+      bool any = false;
+      for (TagId t : stats.tags) {
+        if (d.tags.Contains(t)) any = true;
+      }
+      if (any) ++load;
+    }
+    ASSERT_EQ(stats.load, load);
+  }
+  ASSERT_EQ(total, docs.size());
+
+  // Components: two tags in the same component iff connected via shared
+  // documents (brute-force transitive closure).
+  const size_t n = snap.num_tags();
+  std::vector<std::vector<bool>> adj(n, std::vector<bool>(n, false));
+  auto local = [&](TagId t) {
+    const auto& tags = snap.tags();
+    return static_cast<size_t>(
+        std::lower_bound(tags.begin(), tags.end(), t) - tags.begin());
+  };
+  for (const Document& d : docs) {
+    for (TagId a : d.tags) {
+      for (TagId b : d.tags) adj[local(a)][local(b)] = true;
+    }
+  }
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (adj[i][k] && adj[k][j]) adj[i][j] = true;
+      }
+    }
+  }
+  std::vector<int> component_of(n, -1);
+  for (int c = 0; c < static_cast<int>(snap.components().size()); ++c) {
+    for (TagId t : snap.components()[static_cast<size_t>(c)].tags) {
+      component_of[local(t)] = c;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_NE(component_of[i], -1);
+    for (size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(adj[i][j], component_of[i] == component_of[j])
+          << "tags " << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotPropertyTest, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace corrtrack

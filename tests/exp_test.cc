@@ -1,0 +1,179 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "exp/metrics.h"
+#include "exp/report.h"
+#include "exp/sweep.h"
+#include "ops/messages.h"
+
+namespace corrtrack::exp {
+namespace {
+
+TEST(MetricsCollector, CommunicationAccounting) {
+  MetricsCollector metrics(4, /*series_stride=*/1000);
+  metrics.OnRouted(2, 10);
+  metrics.OnRouted(0, 20);  // Found in no calculator: excluded from avg.
+  metrics.OnRouted(1, 30);
+  EXPECT_EQ(metrics.docs_routed(), 3u);
+  EXPECT_EQ(metrics.notified_docs(), 2u);
+  EXPECT_EQ(metrics.total_notifications(), 3u);
+  EXPECT_DOUBLE_EQ(metrics.AvgCommunication(), 1.5);
+}
+
+TEST(MetricsCollector, LoadAccounting) {
+  MetricsCollector metrics(3, 1000);
+  metrics.OnNotification(0);
+  metrics.OnNotification(0);
+  metrics.OnNotification(1);
+  metrics.OnNotification(2);
+  EXPECT_DOUBLE_EQ(metrics.MaxLoadShare(), 0.5);
+  EXPECT_GT(metrics.LoadGini(), 0.0);
+  EXPECT_EQ(metrics.per_calculator()[0], 2u);
+}
+
+TEST(MetricsCollector, RepartitionCausesSplit) {
+  MetricsCollector metrics(2, 1000);
+  metrics.OnRepartitionRequested(ops::kCauseCommunication, 5);
+  metrics.OnRepartitionRequested(ops::kCauseLoad, 6);
+  metrics.OnRepartitionRequested(ops::kCauseCommunication | ops::kCauseLoad,
+                                 7);
+  metrics.OnRepartitionRequested(ops::kCauseCommunication, 8);
+  EXPECT_EQ(metrics.CountRepartitions(ops::kCauseCommunication), 2u);
+  EXPECT_EQ(metrics.CountRepartitions(ops::kCauseLoad), 1u);
+  EXPECT_EQ(metrics.CountRepartitions(
+                ops::kCauseCommunication | ops::kCauseLoad),
+            1u);
+  EXPECT_EQ(metrics.repartitions().size(), 4u);
+}
+
+TEST(MetricsCollector, InstallTracking) {
+  MetricsCollector metrics(2, 1000);
+  EXPECT_FALSE(metrics.any_install());
+  metrics.OnPartitionsInstalled(1, 1.0, 0.5, 300);
+  metrics.OnPartitionsInstalled(2, 1.1, 0.4, 600);
+  EXPECT_TRUE(metrics.any_install());
+  EXPECT_EQ(metrics.installs(), 2u);
+  EXPECT_EQ(metrics.first_install_time(), 300);
+}
+
+TEST(MetricsCollector, SeriesSegmentsAndFlush) {
+  MetricsCollector metrics(2, /*series_stride=*/3);
+  // Segment 1: three docs, comm 2,1 and one unrouted.
+  metrics.OnNotification(0);
+  metrics.OnNotification(1);
+  metrics.OnRouted(2, 1);
+  metrics.OnNotification(0);
+  metrics.OnRouted(1, 2);
+  metrics.OnRouted(0, 3);
+  ASSERT_EQ(metrics.series().size(), 1u);
+  const SeriesSample& s = metrics.series()[0];
+  EXPECT_EQ(s.docs_processed, 3u);
+  EXPECT_DOUBLE_EQ(s.avg_communication, 1.5);
+  ASSERT_EQ(s.sorted_loads.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.sorted_loads[0], 2.0 / 3.0);  // Sorted descending.
+  // Partial segment flushes on demand, once.
+  metrics.OnRouted(1, 4);
+  metrics.FinishSeries();
+  ASSERT_EQ(metrics.series().size(), 2u);
+  EXPECT_EQ(metrics.series()[1].docs_processed, 4u);
+  metrics.FinishSeries();  // No empty trailing segment.
+  EXPECT_EQ(metrics.series().size(), 2u);
+}
+
+TEST(MetricsCollector, SeriesCountsRepartitionsPerSegment) {
+  MetricsCollector metrics(2, 2);
+  metrics.OnRouted(1, 1);
+  metrics.OnRepartitionRequested(ops::kCauseLoad, 2);
+  metrics.OnRouted(1, 3);
+  ASSERT_EQ(metrics.series().size(), 1u);
+  EXPECT_EQ(metrics.series()[0].repartitions, 1);
+  metrics.OnRouted(1, 4);
+  metrics.OnRouted(1, 5);
+  ASSERT_EQ(metrics.series().size(), 2u);
+  EXPECT_EQ(metrics.series()[1].repartitions, 0);
+}
+
+TEST(Report, RenderTableBasics) {
+  FigureTable table;
+  table.title = "Demo";
+  table.fixed_params = "k=10";
+  table.column_labels = {"a", "b"};
+  table.row_labels = {"DS", "SCL"};
+  table.values = {{1.0, 2.5}, {3.25, 4.0}};
+  table.precision = 2;
+  const std::string out = RenderTable(table);
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("[k=10]"), std::string::npos);
+  EXPECT_NE(out.find("DS"), std::string::npos);
+  EXPECT_NE(out.find("3.25"), std::string::npos);
+  EXPECT_NE(out.find("2.50"), std::string::npos);
+}
+
+TEST(Report, RenderSeriesWithMarkers) {
+  const std::vector<uint64_t> xs = {10, 20};
+  const std::vector<std::vector<double>> rows = {{1.5}, {2.5}};
+  const std::vector<int> reps = {0, 2};
+  const std::string out =
+      RenderSeries("S", {"comm"}, xs, rows, &reps);
+  EXPECT_NE(out.find("10"), std::string::npos);
+  EXPECT_NE(out.find("||"), std::string::npos);  // Two repartitions.
+  EXPECT_NE(out.find("."), std::string::npos);   // Zero marker.
+}
+
+TEST(Sweep, PaperBaseConfigMatchesSection82) {
+  const ExperimentConfig config = PaperBaseConfig();
+  EXPECT_EQ(config.pipeline.num_calculators, 10);
+  EXPECT_EQ(config.pipeline.num_partitioners, 10);
+  EXPECT_DOUBLE_EQ(config.pipeline.repartition_threshold, 0.5);
+  EXPECT_EQ(config.pipeline.single_addition_threshold, 3);
+  EXPECT_EQ(config.pipeline.quality_batch_size, 1000);
+  EXPECT_EQ(config.pipeline.window_span, 5 * kMillisPerMinute);
+  EXPECT_EQ(config.pipeline.report_period, 5 * kMillisPerMinute);
+  EXPECT_DOUBLE_EQ(config.generator.tps, 1300.0);
+}
+
+TEST(Sweep, SweepPointsMatchPaperGrid) {
+  EXPECT_EQ(ThresholdSweep().size(), 2u);
+  EXPECT_EQ(PartitionerSweep().size(), 3u);
+  EXPECT_EQ(PartitionSweep().size(), 3u);
+  EXPECT_EQ(RateSweep().size(), 2u);
+  // Each point mutates the right knob.
+  ExperimentConfig config = PaperBaseConfig();
+  PartitionSweep()[2].apply(&config);
+  EXPECT_EQ(config.pipeline.num_calculators, 20);
+  RateSweep()[1].apply(&config);
+  EXPECT_DOUBLE_EQ(config.generator.tps, 2600.0);
+  ThresholdSweep()[0].apply(&config);
+  EXPECT_DOUBLE_EQ(config.pipeline.repartition_threshold, 0.2);
+  PartitionerSweep()[0].apply(&config);
+  EXPECT_EQ(config.pipeline.num_partitioners, 3);
+}
+
+TEST(Sweep, MakeFigureTableExtractsMetric) {
+  const auto points = ThresholdSweep();
+  SweepResults results;
+  for (size_t a = 0; a < AllAlgorithms().size(); ++a) {
+    std::vector<ExperimentResult> row;
+    for (size_t p = 0; p < points.size(); ++p) {
+      ExperimentResult r;
+      r.avg_communication = static_cast<double>(a * 10 + p);
+      row.push_back(r);
+    }
+    results.push_back(row);
+  }
+  const FigureTable table = MakeFigureTable(
+      "T", "fixed", points, results,
+      [](const ExperimentResult& r) { return r.avg_communication; });
+  EXPECT_EQ(table.row_labels.size(), 4u);
+  EXPECT_EQ(table.row_labels[0], "DS");
+  EXPECT_DOUBLE_EQ(table.values[2][1], 21.0);
+}
+
+TEST(Sweep, DescribeBase) {
+  const ExperimentConfig config = PaperBaseConfig();
+  EXPECT_EQ(DescribeBase(config), "P=10 k=10 thr=0.5 tps=1300");
+}
+
+}  // namespace
+}  // namespace corrtrack::exp

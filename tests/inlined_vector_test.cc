@@ -1,0 +1,177 @@
+#include "core/inlined_vector.h"
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace corrtrack {
+namespace {
+
+TEST(InlinedVector, StartsEmptyAndInline) {
+  InlinedVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+  EXPECT_TRUE(v.is_inline());
+}
+
+TEST(InlinedVector, PushBackWithinInlineCapacity) {
+  InlinedVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_TRUE(v.is_inline());
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], i);
+}
+
+TEST(InlinedVector, SpillsToHeapBeyondInlineCapacity) {
+  InlinedVector<int, 4> v;
+  for (int i = 0; i < 5; ++i) v.push_back(i);
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_EQ(v.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], i);
+}
+
+TEST(InlinedVector, InitializerList) {
+  InlinedVector<int, 2> v{1, 2, 3};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[2], 3);
+}
+
+TEST(InlinedVector, CopyPreservesContentInlineAndHeap) {
+  InlinedVector<int, 2> small{7, 8};
+  InlinedVector<int, 2> small_copy(small);
+  EXPECT_EQ(small_copy, small);
+  EXPECT_TRUE(small_copy.is_inline());
+
+  InlinedVector<int, 2> big{1, 2, 3, 4, 5};
+  InlinedVector<int, 2> big_copy(big);
+  EXPECT_EQ(big_copy, big);
+  EXPECT_FALSE(big_copy.is_inline());
+}
+
+TEST(InlinedVector, CopyAssignOverwrites) {
+  InlinedVector<int, 2> a{1, 2, 3};
+  InlinedVector<int, 2> b{9};
+  b = a;
+  EXPECT_EQ(b, a);
+  a.push_back(4);
+  EXPECT_EQ(b.size(), 3u);  // Deep copy.
+}
+
+TEST(InlinedVector, MoveLeavesSourceEmpty) {
+  InlinedVector<int, 2> big{1, 2, 3, 4};
+  InlinedVector<int, 2> moved(std::move(big));
+  EXPECT_EQ(moved.size(), 4u);
+  EXPECT_EQ(big.size(), 0u);  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(big.is_inline());
+  big.push_back(42);  // Source is reusable.
+  EXPECT_EQ(big[0], 42);
+}
+
+TEST(InlinedVector, MoveAssignHeapToInline) {
+  InlinedVector<int, 2> heap{1, 2, 3, 4, 5, 6};
+  InlinedVector<int, 2> target{7};
+  target = std::move(heap);
+  EXPECT_EQ(target.size(), 6u);
+  EXPECT_EQ(target[5], 6);
+}
+
+TEST(InlinedVector, SelfAssignIsNoOp) {
+  InlinedVector<int, 2> v{1, 2, 3};
+  v = *&v;
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], 3);
+}
+
+TEST(InlinedVector, EraseShiftsTail) {
+  InlinedVector<int, 4> v{1, 2, 3, 4};
+  auto it = v.erase(v.begin() + 1);
+  EXPECT_EQ(*it, 3);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 3);
+  EXPECT_EQ(v[2], 4);
+}
+
+TEST(InlinedVector, ResizeGrowsValueInitialized) {
+  InlinedVector<int, 2> v{5};
+  v.resize(4);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], 5);
+  EXPECT_EQ(v[1], 0);
+  EXPECT_EQ(v[3], 0);
+  v.resize(1);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 5);
+}
+
+TEST(InlinedVector, AppendRange) {
+  InlinedVector<int, 2> v{1};
+  const int extra[] = {2, 3, 4};
+  v.append(extra, extra + 3);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[3], 4);
+}
+
+TEST(InlinedVector, ComparisonOperators) {
+  InlinedVector<int, 2> a{1, 2};
+  InlinedVector<int, 2> b{1, 2};
+  InlinedVector<int, 2> c{1, 3};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+}
+
+TEST(InlinedVector, PopBack) {
+  InlinedVector<int, 2> v{1, 2, 3};
+  v.pop_back();
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.back(), 2);
+}
+
+// Property test: behaves exactly like std::vector under a random operation
+// sequence, across inline capacities.
+class InlinedVectorPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(InlinedVectorPropertyTest, MatchesStdVector) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  InlinedVector<uint32_t, 6> mine;
+  std::vector<uint32_t> reference;
+  std::uniform_int_distribution<int> op(0, 99);
+  std::uniform_int_distribution<uint32_t> value(0, 1000);
+  for (int step = 0; step < 2000; ++step) {
+    const int o = op(rng);
+    if (o < 55) {
+      const uint32_t v = value(rng);
+      mine.push_back(v);
+      reference.push_back(v);
+    } else if (o < 70 && !reference.empty()) {
+      mine.pop_back();
+      reference.pop_back();
+    } else if (o < 85 && !reference.empty()) {
+      std::uniform_int_distribution<size_t> pos(0, reference.size() - 1);
+      const size_t p = pos(rng);
+      mine.erase(mine.begin() + static_cast<long>(p));
+      reference.erase(reference.begin() + static_cast<long>(p));
+    } else if (o < 95) {
+      std::uniform_int_distribution<size_t> size(0, 24);
+      const size_t n = size(rng);
+      mine.resize(n);
+      reference.resize(n);
+    } else {
+      mine.clear();
+      reference.clear();
+    }
+    ASSERT_EQ(mine.size(), reference.size());
+    ASSERT_TRUE(std::equal(mine.begin(), mine.end(), reference.begin()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InlinedVectorPropertyTest,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace corrtrack

@@ -1,0 +1,166 @@
+#include "core/jaccard.h"
+
+#include <random>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/document.h"
+
+namespace corrtrack {
+namespace {
+
+TEST(SubsetCounterTable, ObserveCountsAllSubsets) {
+  SubsetCounterTable table;
+  table.Observe(TagSet({1, 2}));
+  EXPECT_EQ(table.Count(TagSet({1})), 1u);
+  EXPECT_EQ(table.Count(TagSet({2})), 1u);
+  EXPECT_EQ(table.Count(TagSet({1, 2})), 1u);
+  EXPECT_EQ(table.Count(TagSet({3})), 0u);
+  EXPECT_EQ(table.num_counters(), 3u);
+}
+
+TEST(SubsetCounterTable, PaperExampleSection3) {
+  // §3: J({munich,beer}) over the Figure 1 documents.
+  // 0=munich 1=beer: co-occur in 10 docs; munich in 13, beer in 14.
+  SubsetCounterTable table;
+  for (int i = 0; i < 10; ++i) table.Observe(TagSet({0, 1, 2}));
+  for (int i = 0; i < 4; ++i) table.Observe(TagSet({1, 3}));
+  for (int i = 0; i < 3; ++i) table.Observe(TagSet({0, 4}));
+  table.Observe(TagSet({5, 2}));
+
+  const auto j = table.Compute(TagSet({0, 1}));
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->intersection_count, 10u);
+  EXPECT_EQ(j->union_count, 17u);  // 13 + 14 - 10.
+  EXPECT_NEAR(j->coefficient, 10.0 / 17.0, 1e-12);
+}
+
+TEST(SubsetCounterTable, TripleViaInclusionExclusion) {
+  SubsetCounterTable table;
+  // 5 docs {a,b,c}; 3 docs {a,b}; 2 docs {c}.
+  for (int i = 0; i < 5; ++i) table.Observe(TagSet({1, 2, 3}));
+  for (int i = 0; i < 3; ++i) table.Observe(TagSet({1, 2}));
+  for (int i = 0; i < 2; ++i) table.Observe(TagSet({3}));
+  const auto j = table.Compute(TagSet({1, 2, 3}));
+  ASSERT_TRUE(j.has_value());
+  // Union: |a|=8, |b|=8, |c|=7; |ab|=8, |ac|=5, |bc|=5; |abc|=5
+  // => 8+8+7-8-5-5+5 = 10.
+  EXPECT_EQ(j->union_count, 10u);
+  EXPECT_NEAR(j->coefficient, 0.5, 1e-12);
+}
+
+TEST(SubsetCounterTable, ComputeUnknownReturnsNullopt) {
+  SubsetCounterTable table;
+  table.Observe(TagSet({1}));
+  table.Observe(TagSet({2}));
+  // 1 and 2 never co-occurred: no counter for {1,2}.
+  EXPECT_FALSE(table.Compute(TagSet({1, 2})).has_value());
+  EXPECT_FALSE(table.Compute(TagSet({9})).has_value());
+}
+
+TEST(SubsetCounterTable, SingletonJaccardIsOne) {
+  SubsetCounterTable table;
+  for (int i = 0; i < 7; ++i) table.Observe(TagSet({4}));
+  const auto j = table.Compute(TagSet({4}));
+  ASSERT_TRUE(j.has_value());
+  EXPECT_DOUBLE_EQ(j->coefficient, 1.0);
+  EXPECT_EQ(j->union_count, 7u);
+}
+
+TEST(SubsetCounterTable, ReportAllSkipsSingletonsAndLowSupport) {
+  SubsetCounterTable table;
+  for (int i = 0; i < 5; ++i) table.Observe(TagSet({1, 2}));
+  table.Observe(TagSet({3, 4}));
+  const auto all = table.ReportAll();
+  EXPECT_EQ(all.size(), 2u);  // {1,2} and {3,4}; singletons excluded.
+  const auto filtered = table.ReportAll(/*min_support=*/3);
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered[0].tags, TagSet({1, 2}));
+}
+
+TEST(SubsetCounterTable, ReportAllDeterministicOrder) {
+  SubsetCounterTable table;
+  table.Observe(TagSet({5, 6}));
+  table.Observe(TagSet({1, 2}));
+  table.Observe(TagSet({3, 4}));
+  const auto all = table.ReportAll();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].tags, TagSet({1, 2}));
+  EXPECT_EQ(all[1].tags, TagSet({3, 4}));
+  EXPECT_EQ(all[2].tags, TagSet({5, 6}));
+}
+
+TEST(SubsetCounterTable, ResetClearsCounters) {
+  SubsetCounterTable table;
+  table.Observe(TagSet({1, 2}));
+  table.Reset();
+  EXPECT_EQ(table.num_counters(), 0u);
+  EXPECT_EQ(table.Count(TagSet({1})), 0u);
+}
+
+/// Brute-force Jaccard from raw documents, per Eq. 1.
+double ReferenceJaccard(const std::vector<TagSet>& docs, const TagSet& s,
+                        uint64_t* inter_out, uint64_t* union_out) {
+  uint64_t inter = 0;
+  uint64_t uni = 0;
+  for (const TagSet& d : docs) {
+    bool all = true;
+    bool any = false;
+    for (TagId t : s) {
+      if (d.Contains(t)) {
+        any = true;
+      } else {
+        all = false;
+      }
+    }
+    if (all) ++inter;
+    if (any) ++uni;
+  }
+  *inter_out = inter;
+  *union_out = uni;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+}
+
+// Property: for random streams, every reported coefficient equals the
+// Eq. 1 definition computed directly over the documents.
+class JaccardPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JaccardPropertyTest, MatchesDefinitionOnRandomStreams) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 31337);
+  std::uniform_int_distribution<TagId> tag(0, 14);
+  std::uniform_int_distribution<int> len(1, 6);
+  std::vector<TagSet> docs;
+  SubsetCounterTable table;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<TagId> tags;
+    for (int j = len(rng); j > 0; --j) tags.push_back(tag(rng));
+    const TagSet s(tags);
+    docs.push_back(s);
+    table.Observe(s);
+  }
+  const auto estimates = table.ReportAll();
+  ASSERT_FALSE(estimates.empty());
+  for (const JaccardEstimate& e : estimates) {
+    uint64_t inter = 0;
+    uint64_t uni = 0;
+    const double expected = ReferenceJaccard(docs, e.tags, &inter, &uni);
+    ASSERT_EQ(e.intersection_count, inter) << e.tags.ToString();
+    ASSERT_EQ(e.union_count, uni) << e.tags.ToString();
+    ASSERT_NEAR(e.coefficient, expected, 1e-12) << e.tags.ToString();
+  }
+  // And the reported set is exactly the co-occurring tagsets of size >= 2.
+  std::set<TagSet> reported;
+  for (const auto& e : estimates) reported.insert(e.tags);
+  for (const TagSet& d : docs) {
+    d.ForEachSubset(
+        [&](const TagSet& sub) { EXPECT_TRUE(reported.count(sub)); },
+        /*min_size=*/2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JaccardPropertyTest, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace corrtrack

@@ -1,0 +1,529 @@
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ops/calculator_op.h"
+#include "ops/centralized.h"
+#include "ops/disseminator_op.h"
+#include "ops/merger_op.h"
+#include "ops/parser.h"
+#include "ops/partitioner_op.h"
+#include "ops/tracker_op.h"
+#include "stream/simulation.h"
+
+namespace corrtrack::ops {
+namespace {
+
+using stream::Emitter;
+using stream::Envelope;
+
+/// Emitter that records everything for operator-level unit tests.
+class CapturingEmitter : public Emitter<Message> {
+ public:
+  void Emit(Message msg) override { emitted.push_back(std::move(msg)); }
+  void EmitDirect(int instance, Message msg) override {
+    direct.emplace_back(instance, std::move(msg));
+  }
+  Timestamp now() const override { return now_value; }
+
+  template <typename T>
+  std::vector<T> All() const {
+    std::vector<T> out;
+    for (const Message& m : emitted) {
+      if (const T* typed = std::get_if<T>(&m)) out.push_back(*typed);
+    }
+    return out;
+  }
+
+  std::vector<Message> emitted;
+  std::vector<std::pair<int, Message>> direct;
+  Timestamp now_value = 0;
+};
+
+Envelope<Message> Env(Message msg, Timestamp time = 0) {
+  Envelope<Message> env;
+  env.payload = std::move(msg);
+  env.time = time;
+  return env;
+}
+
+RawTweet Tweet(DocId id, Timestamp time, std::string text) {
+  RawTweet t;
+  t.id = id;
+  t.time = time;
+  t.text = std::move(text);
+  return t;
+}
+
+TEST(ParserBolt, ExtractsHashtags) {
+  ParserBolt parser;
+  const auto tags = parser.ExtractHashtags("hello #World_1 and #abc!#d");
+  ASSERT_EQ(tags.size(), 3u);
+  EXPECT_EQ(parser.dictionary().Name(tags[0]), "World_1");
+  EXPECT_EQ(parser.dictionary().Name(tags[1]), "abc");
+  EXPECT_EQ(parser.dictionary().Name(tags[2]), "d");
+}
+
+TEST(ParserBolt, IgnoresBareHashAndInternsConsistently) {
+  ParserBolt parser;
+  EXPECT_TRUE(parser.ExtractHashtags("# # nothing ##").empty());
+  const auto first = parser.ExtractHashtags("#tag");
+  const auto second = parser.ExtractHashtags("again #tag");
+  EXPECT_EQ(first, second);
+}
+
+TEST(ParserBolt, EmitsParsedDocAndDropsUntagged) {
+  ParserBolt parser;
+  CapturingEmitter emitter;
+  parser.Execute(Env(Message(Tweet(1, 100, "x #a #b")), 100), emitter);
+  parser.Execute(Env(Message(Tweet(2, 200, "no tags")), 200), emitter);
+  const auto parsed = emitter.All<ParsedDoc>();
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].doc.id, 1u);
+  EXPECT_EQ(parsed[0].doc.time, 100);
+  EXPECT_EQ(parsed[0].doc.tags.size(), 2u);
+}
+
+PipelineConfig SmallConfig() {
+  PipelineConfig config;
+  config.algorithm = AlgorithmKind::kDS;
+  config.num_calculators = 2;
+  config.num_partitioners = 1;
+  config.window_span = 1000;
+  config.report_period = 1000;
+  config.bootstrap_time = 100;
+  config.quality_batch_size = 10;
+  config.repartition_latency_docs = 0;
+  return config;
+}
+
+ParsedDoc MakeDoc(DocId id, Timestamp time, std::vector<TagId> tags) {
+  ParsedDoc parsed;
+  parsed.doc.id = id;
+  parsed.doc.time = time;
+  parsed.doc.tags = TagSet(tags);
+  return parsed;
+}
+
+TEST(PartitionerBolt, ProposesFromWindowOnRequest) {
+  const PipelineConfig config = SmallConfig();
+  PartitionerBolt partitioner(config, /*instance=*/3);
+  CapturingEmitter emitter;
+  partitioner.Execute(Env(Message(MakeDoc(1, 10, {1, 2}))), emitter);
+  partitioner.Execute(Env(Message(MakeDoc(2, 20, {3}))), emitter);
+  EXPECT_TRUE(emitter.emitted.empty());  // Docs only fill the window.
+  EXPECT_EQ(partitioner.window_size(), 2u);
+
+  RepartitionRequest request;
+  request.token = 5;
+  partitioner.Execute(Env(Message(request)), emitter);
+  const auto proposals = emitter.All<PartitionProposal>();
+  ASSERT_EQ(proposals.size(), 1u);
+  EXPECT_EQ(proposals[0].token, 5u);
+  EXPECT_EQ(proposals[0].partitioner, 3);
+  // DS proposes its disjoint sets: {1,2} and {3}.
+  ASSERT_EQ(proposals[0].fragments.size(), 2u);
+  EXPECT_EQ(proposals[0].window_tagsets.size(), 2u);
+}
+
+TEST(PartitionerBolt, DuplicateTokenIgnored) {
+  const PipelineConfig config = SmallConfig();
+  PartitionerBolt partitioner(config, 0);
+  CapturingEmitter emitter;
+  partitioner.Execute(Env(Message(MakeDoc(1, 10, {1}))), emitter);
+  RepartitionRequest request;
+  request.token = 1;
+  partitioner.Execute(Env(Message(request)), emitter);
+  partitioner.Execute(Env(Message(request)), emitter);
+  EXPECT_EQ(emitter.All<PartitionProposal>().size(), 1u);
+  request.token = 2;
+  partitioner.Execute(Env(Message(request)), emitter);
+  EXPECT_EQ(emitter.All<PartitionProposal>().size(), 2u);
+}
+
+TEST(PartitionerBolt, WindowEvictsOldDocuments) {
+  const PipelineConfig config = SmallConfig();  // 1000 ms span.
+  PartitionerBolt partitioner(config, 0);
+  CapturingEmitter emitter;
+  partitioner.Execute(Env(Message(MakeDoc(1, 0, {1, 2}))), emitter);
+  partitioner.Execute(Env(Message(MakeDoc(2, 2000, {3, 4}))), emitter);
+  RepartitionRequest request;
+  request.token = 9;
+  partitioner.Execute(Env(Message(request)), emitter);
+  const auto proposals = emitter.All<PartitionProposal>();
+  ASSERT_EQ(proposals.size(), 1u);
+  // Only {3,4} remains in the window.
+  ASSERT_EQ(proposals[0].fragments.size(), 1u);
+  EXPECT_TRUE(proposals[0].fragments[0].tags.Contains(3));
+}
+
+PartitionProposal Proposal(uint32_t token, int partitioner,
+                           std::vector<std::pair<TagSet, uint64_t>> frags) {
+  PartitionProposal p;
+  p.token = token;
+  p.partitioner = partitioner;
+  for (auto& [tags, load] : frags) {
+    PartitionFragment fragment;
+    fragment.tags = tags;
+    fragment.load = load;
+    p.fragments.push_back(fragment);
+    p.window_tagsets.emplace_back(tags, load);
+  }
+  return p;
+}
+
+TEST(MergerBolt, WaitsForAllProposals) {
+  PipelineConfig config = SmallConfig();
+  config.num_partitioners = 2;
+  MergerBolt merger(config, nullptr);
+  CapturingEmitter emitter;
+  merger.Execute(
+      Env(Message(Proposal(1, 0, {{TagSet({1, 2}), 5}}))), emitter);
+  EXPECT_TRUE(emitter.All<FinalPartitions>().empty());
+  merger.Execute(
+      Env(Message(Proposal(1, 1, {{TagSet({3, 4}), 3}}))), emitter);
+  const auto finals = emitter.All<FinalPartitions>();
+  ASSERT_EQ(finals.size(), 1u);
+  EXPECT_EQ(finals[0].epoch, 1u);
+  ASSERT_NE(finals[0].partitions, nullptr);
+  EXPECT_TRUE(
+      finals[0].partitions->CoveringPartition(TagSet({1, 2})).has_value());
+  EXPECT_TRUE(
+      finals[0].partitions->CoveringPartition(TagSet({3, 4})).has_value());
+  // DS over two disjoint fragments into k=2: zero replication, reference
+  // avgCom exactly 1.
+  EXPECT_DOUBLE_EQ(finals[0].avg_com, 1.0);
+  EXPECT_NEAR(finals[0].max_load, 5.0 / 8.0, 1e-12);
+}
+
+TEST(MergerBolt, MergesOverlappingDsFragments) {
+  PipelineConfig config = SmallConfig();
+  config.num_partitioners = 2;
+  MergerBolt merger(config, nullptr);
+  CapturingEmitter emitter;
+  // Fragments {1,2} and {2,3} overlap -> one merged disjoint set.
+  merger.Execute(Env(Message(Proposal(1, 0, {{TagSet({1, 2}), 2}}))),
+                 emitter);
+  merger.Execute(Env(Message(Proposal(1, 1, {{TagSet({2, 3}), 2}}))),
+                 emitter);
+  const auto finals = emitter.All<FinalPartitions>();
+  ASSERT_EQ(finals.size(), 1u);
+  const int p1 = *finals[0].partitions->CoveringPartition(TagSet({1, 2}));
+  const int p2 = *finals[0].partitions->CoveringPartition(TagSet({2, 3}));
+  EXPECT_EQ(p1, p2);
+  EXPECT_TRUE(finals[0].partitions->IsDisjoint());
+}
+
+TEST(MergerBolt, SingleAdditionPlacesAndConfirms) {
+  PipelineConfig config = SmallConfig();
+  config.num_partitioners = 1;
+  MergerBolt merger(config, nullptr);
+  CapturingEmitter emitter;
+  merger.Execute(Env(Message(Proposal(
+                     1, 0, {{TagSet({1, 2}), 5}, {TagSet({7}), 1}}))),
+                 emitter);
+  ASSERT_EQ(merger.current_epoch(), 1u);
+
+  UncoveredTagset uncovered;
+  uncovered.tags = TagSet({2, 7});
+  uncovered.epoch = 1;
+  merger.Execute(Env(Message(uncovered)), emitter);
+  const auto decisions = emitter.All<SingleAdditionDecision>();
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].epoch, 1u);
+  EXPECT_EQ(merger.single_additions(), 1u);
+  EXPECT_TRUE(merger.current_partitions()
+                  ->CoveringPartition(TagSet({2, 7}))
+                  .has_value());
+
+  // A stale-epoch request is dropped.
+  uncovered.epoch = 0;
+  merger.Execute(Env(Message(uncovered)), emitter);
+  EXPECT_EQ(emitter.All<SingleAdditionDecision>().size(), 1u);
+
+  // Re-request of a now-covered tagset confirms without a new addition.
+  uncovered.epoch = 1;
+  merger.Execute(Env(Message(uncovered)), emitter);
+  EXPECT_EQ(emitter.All<SingleAdditionDecision>().size(), 2u);
+  EXPECT_EQ(merger.single_additions(), 1u);
+}
+
+TEST(CalculatorBolt, CountsNotificationsAndReportsOnTick) {
+  CalculatorBolt calculator(SmallConfig(), /*instance=*/4);
+  CapturingEmitter emitter;
+  Notification n;
+  n.tags = TagSet({1, 2});
+  for (int i = 0; i < 3; ++i) {
+    calculator.Execute(Env(Message(n)), emitter);
+  }
+  n.tags = TagSet({1});
+  calculator.Execute(Env(Message(n)), emitter);
+  calculator.OnTick(1000, emitter);
+  const auto reports = emitter.All<JaccardReport>();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].calculator, 4);
+  EXPECT_EQ(reports[0].period_end, 1000);
+  ASSERT_EQ(reports[0].estimates.size(), 1u);  // Only {1,2} (size >= 2).
+  EXPECT_EQ(reports[0].estimates[0].intersection_count, 3u);
+  EXPECT_EQ(reports[0].estimates[0].union_count, 4u);
+  EXPECT_NEAR(reports[0].estimates[0].coefficient, 0.75, 1e-12);
+  // Counters reset: an empty period emits nothing.
+  calculator.OnTick(2000, emitter);
+  EXPECT_EQ(emitter.All<JaccardReport>().size(), 1u);
+}
+
+TEST(TrackerBolt, KeepsMaxCounterPerPeriod) {
+  TrackerBolt tracker;
+  CapturingEmitter emitter;
+  JaccardReport report;
+  report.calculator = 0;
+  report.period_end = 500;
+  JaccardEstimate e;
+  e.tags = TagSet({1, 2});
+  e.coefficient = 0.5;
+  e.intersection_count = 4;
+  report.estimates.push_back(e);
+  tracker.Execute(Env(Message(report)), emitter);
+
+  // A second calculator reports the same tagset with a longer-tracked
+  // counter; it must win (§6.2).
+  report.calculator = 1;
+  report.estimates[0].coefficient = 0.6;
+  report.estimates[0].intersection_count = 9;
+  tracker.Execute(Env(Message(report)), emitter);
+
+  // And a shorter-tracked one must not displace it.
+  report.calculator = 2;
+  report.estimates[0].coefficient = 0.1;
+  report.estimates[0].intersection_count = 2;
+  tracker.Execute(Env(Message(report)), emitter);
+
+  const auto& periods = tracker.periods();
+  ASSERT_EQ(periods.size(), 1u);
+  const auto& results = periods.at(500);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_DOUBLE_EQ(results.at(TagSet({1, 2})).coefficient, 0.6);
+  EXPECT_EQ(results.at(TagSet({1, 2})).intersection_count, 9u);
+}
+
+TEST(TrackerBolt, SeparatesPeriods) {
+  TrackerBolt tracker;
+  CapturingEmitter emitter;
+  JaccardReport report;
+  JaccardEstimate e;
+  e.tags = TagSet({1, 2});
+  e.intersection_count = 1;
+  report.estimates.push_back(e);
+  report.period_end = 100;
+  tracker.Execute(Env(Message(report)), emitter);
+  report.period_end = 200;
+  tracker.Execute(Env(Message(report)), emitter);
+  EXPECT_EQ(tracker.periods().size(), 2u);
+}
+
+TEST(CentralizedBolt, FiltersBySupportThreshold) {
+  PipelineConfig config = SmallConfig();  // sn = 3.
+  CentralizedBolt baseline(config);
+  CapturingEmitter emitter;
+  for (int i = 0; i < 4; ++i) {
+    baseline.Execute(Env(Message(MakeDoc(1, 10, {1, 2}))), emitter);
+  }
+  for (int i = 0; i < 3; ++i) {
+    baseline.Execute(Env(Message(MakeDoc(2, 20, {3, 4}))), emitter);
+  }
+  baseline.OnTick(1000, emitter);
+  const auto& results = baseline.periods().at(1000);
+  // {1,2} seen 4 times (> 3) is in; {3,4} seen 3 times (not > 3) is out.
+  EXPECT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results.count(TagSet({1, 2})));
+}
+
+TEST(DisseminatorBolt, BootstrapRequestsInitialPartitions) {
+  PipelineConfig config = SmallConfig();
+  DisseminatorBolt disseminator(config, nullptr);
+  disseminator.Prepare({0, 0}, 1);
+  CapturingEmitter emitter;
+  // Before bootstrap_time: nothing.
+  disseminator.Execute(Env(Message(MakeDoc(1, 50, {1})), 50), emitter);
+  EXPECT_TRUE(emitter.All<RepartitionRequest>().empty());
+  // At bootstrap_time: exactly one initial request (cause 0).
+  disseminator.Execute(Env(Message(MakeDoc(2, 150, {1})), 150), emitter);
+  disseminator.Execute(Env(Message(MakeDoc(3, 160, {1})), 160), emitter);
+  const auto requests = emitter.All<RepartitionRequest>();
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_EQ(requests[0].cause, 0);
+  EXPECT_FALSE(disseminator.has_partitions());
+}
+
+FinalPartitions MakeFinal(Epoch epoch,
+                          std::vector<std::pair<int, TagSet>> parts, int k,
+                          double avg_com, double max_load) {
+  PartitionSet ps(k);
+  for (auto& [p, tags] : parts) ps.AddTags(p, tags);
+  FinalPartitions final;
+  final.epoch = epoch;
+  final.partitions = std::make_shared<const PartitionSet>(std::move(ps));
+  final.avg_com = avg_com;
+  final.max_load = max_load;
+  return final;
+}
+
+TEST(DisseminatorBolt, RoutesNotificationsDirectly) {
+  PipelineConfig config = SmallConfig();
+  DisseminatorBolt disseminator(config, nullptr);
+  disseminator.Prepare({0, 0}, 1);
+  CapturingEmitter emitter;
+  disseminator.Execute(
+      Env(Message(MakeFinal(1, {{0, TagSet({1, 2})}, {1, TagSet({2, 3})}},
+                            2, 1.5, 0.5))),
+      emitter);
+  EXPECT_TRUE(disseminator.has_partitions());
+
+  disseminator.Execute(Env(Message(MakeDoc(9, 500, {1, 2, 3})), 500),
+                       emitter);
+  ASSERT_EQ(emitter.direct.size(), 2u);
+  EXPECT_EQ(emitter.direct[0].first, 0);
+  const auto* n0 = std::get_if<Notification>(&emitter.direct[0].second);
+  ASSERT_NE(n0, nullptr);
+  EXPECT_EQ(n0->tags, TagSet({1, 2}));
+  const auto* n1 = std::get_if<Notification>(&emitter.direct[1].second);
+  ASSERT_NE(n1, nullptr);
+  EXPECT_EQ(n1->tags, TagSet({2, 3}));
+}
+
+TEST(DisseminatorBolt, SingleAdditionAfterSnSightings) {
+  PipelineConfig config = SmallConfig();  // sn = 3.
+  DisseminatorBolt disseminator(config, nullptr);
+  disseminator.Prepare({0, 0}, 1);
+  CapturingEmitter emitter;
+  disseminator.Execute(
+      Env(Message(MakeFinal(1, {{0, TagSet({1})}, {1, TagSet({2})}}, 2,
+                            1.0, 0.5))),
+      emitter);
+  // {1,2} is covered by no partition; sightings 1 and 2 stay silent.
+  disseminator.Execute(Env(Message(MakeDoc(1, 10, {1, 2}))), emitter);
+  disseminator.Execute(Env(Message(MakeDoc(2, 20, {1, 2}))), emitter);
+  EXPECT_TRUE(emitter.All<UncoveredTagset>().empty());
+  // Third sighting triggers the request...
+  disseminator.Execute(Env(Message(MakeDoc(3, 30, {1, 2}))), emitter);
+  auto uncovered = emitter.All<UncoveredTagset>();
+  ASSERT_EQ(uncovered.size(), 1u);
+  EXPECT_EQ(uncovered[0].tags, TagSet({1, 2}));
+  // ...and only once while awaiting the verdict.
+  disseminator.Execute(Env(Message(MakeDoc(4, 40, {1, 2}))), emitter);
+  EXPECT_EQ(emitter.All<UncoveredTagset>().size(), 1u);
+
+  // The verdict updates the index: the next document routes in one piece.
+  SingleAdditionDecision decision;
+  decision.tags = TagSet({1, 2});
+  decision.calculator = 1;
+  decision.epoch = 1;
+  emitter.direct.clear();
+  disseminator.Execute(Env(Message(decision)), emitter);
+  disseminator.Execute(Env(Message(MakeDoc(5, 50, {1, 2}))), emitter);
+  std::set<int> targets;
+  TagSet full;
+  for (auto& [instance, msg] : emitter.direct) {
+    targets.insert(instance);
+    const auto* n = std::get_if<Notification>(&msg);
+    ASSERT_NE(n, nullptr);
+    full = full.Union(n->tags);
+  }
+  EXPECT_TRUE(targets.count(1));
+  // Calculator 1 now receives the complete tagset.
+  EXPECT_EQ(full, TagSet({1, 2}));
+}
+
+TEST(DisseminatorBolt, QualityViolationTriggersRepartition) {
+  PipelineConfig config = SmallConfig();
+  config.quality_batch_size = 5;
+  config.repartition_threshold = 0.5;
+  DisseminatorBolt disseminator(config, nullptr);
+  disseminator.Prepare({0, 0}, 1);
+  CapturingEmitter emitter;
+  // Reference claims avgCom 1.0; tag 1 is replicated to both partitions,
+  // so every {1} document costs 2 notifications -> violation at the first
+  // full batch.
+  disseminator.Execute(
+      Env(Message(MakeFinal(1, {{0, TagSet({1})}, {1, TagSet({1})}}, 2,
+                            1.0, 0.6))),
+      emitter);
+  for (int i = 0; i < 5; ++i) {
+    disseminator.Execute(
+        Env(Message(MakeDoc(static_cast<DocId>(i), 10 + i, {1}))), emitter);
+  }
+  const auto requests = emitter.All<RepartitionRequest>();
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_EQ(requests[0].cause, kCauseCommunication);
+  EXPECT_EQ(disseminator.repartitions_requested(), 1u);
+  // No duplicate requests while one is pending.
+  for (int i = 0; i < 5; ++i) {
+    disseminator.Execute(
+        Env(Message(MakeDoc(static_cast<DocId>(10 + i), 100, {1}))),
+        emitter);
+  }
+  EXPECT_EQ(emitter.All<RepartitionRequest>().size(), 1u);
+}
+
+TEST(DisseminatorBolt, LoadViolationReportsLoadCause) {
+  PipelineConfig config = SmallConfig();
+  config.quality_batch_size = 4;
+  config.repartition_threshold = 0.2;
+  DisseminatorBolt disseminator(config, nullptr);
+  disseminator.Prepare({0, 0}, 1);
+  CapturingEmitter emitter;
+  // Reference: perfectly balanced (max_load 0.5). All traffic hits
+  // partition 0 only -> maxLoad' = 1.0 > 0.5 * 1.2.
+  disseminator.Execute(
+      Env(Message(MakeFinal(1, {{0, TagSet({1})}, {1, TagSet({2})}}, 2,
+                            1.0, 0.5))),
+      emitter);
+  for (int i = 0; i < 4; ++i) {
+    disseminator.Execute(
+        Env(Message(MakeDoc(static_cast<DocId>(i), 10, {1}))), emitter);
+  }
+  const auto requests = emitter.All<RepartitionRequest>();
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_EQ(requests[0].cause, kCauseLoad);
+}
+
+TEST(DisseminatorBolt, StaleFinalPartitionsIgnored) {
+  PipelineConfig config = SmallConfig();
+  DisseminatorBolt disseminator(config, nullptr);
+  disseminator.Prepare({0, 0}, 1);
+  CapturingEmitter emitter;
+  disseminator.Execute(
+      Env(Message(MakeFinal(2, {{0, TagSet({1})}}, 2, 1.0, 0.5))), emitter);
+  EXPECT_EQ(disseminator.current_epoch(), 2u);
+  disseminator.Execute(
+      Env(Message(MakeFinal(1, {{0, TagSet({9})}}, 2, 1.0, 0.5))), emitter);
+  EXPECT_EQ(disseminator.current_epoch(), 2u);
+  EXPECT_TRUE(disseminator.partitions()->PartitionContains(0, 1));
+}
+
+TEST(DisseminatorBolt, CooldownSuppressesQualityAccounting) {
+  PipelineConfig config = SmallConfig();
+  config.quality_batch_size = 3;
+  config.repartition_latency_docs = 5;
+  DisseminatorBolt disseminator(config, nullptr);
+  disseminator.Prepare({0, 0}, 1);
+  CapturingEmitter emitter;
+  disseminator.Execute(
+      Env(Message(MakeFinal(1, {{0, TagSet({1})}, {1, TagSet({1})}}, 2,
+                            1.0, 0.6))),
+      emitter);
+  // 5 cooldown docs + 2 batch docs: no violation yet despite comm = 2.
+  for (int i = 0; i < 7; ++i) {
+    disseminator.Execute(
+        Env(Message(MakeDoc(static_cast<DocId>(i), 10, {1}))), emitter);
+  }
+  EXPECT_TRUE(emitter.All<RepartitionRequest>().empty());
+  // The 8th document completes the batch -> violation.
+  disseminator.Execute(Env(Message(MakeDoc(99, 10, {1}))), emitter);
+  EXPECT_EQ(emitter.All<RepartitionRequest>().size(), 1u);
+}
+
+}  // namespace
+}  // namespace corrtrack::ops

@@ -1,0 +1,73 @@
+#include "core/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace corrtrack {
+namespace {
+
+TEST(Gini, EmptyAndZeroInputs) {
+  EXPECT_DOUBLE_EQ(GiniCoefficient(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(GiniCoefficient(std::vector<uint64_t>{0, 0, 0}), 0.0);
+}
+
+TEST(Gini, PerfectEqualityIsZero) {
+  EXPECT_NEAR(GiniCoefficient(std::vector<uint64_t>{5, 5, 5, 5}), 0.0, 1e-12);
+}
+
+TEST(Gini, MaximalConcentration) {
+  // One of n holds everything: G = (n-1)/n.
+  EXPECT_NEAR(GiniCoefficient(std::vector<uint64_t>{0, 0, 0, 100}), 0.75,
+              1e-12);
+  EXPECT_NEAR(GiniCoefficient(std::vector<uint64_t>{0, 10}), 0.5, 1e-12);
+}
+
+TEST(Gini, KnownTextbookValue) {
+  // {1,2,3,4}: G = 2*(1*1+2*2+3*3+4*4)/(4*10) - 5/4 = 60/40 - 1.25 = 0.25.
+  EXPECT_NEAR(GiniCoefficient(std::vector<uint64_t>{1, 2, 3, 4}), 0.25,
+              1e-12);
+}
+
+TEST(Gini, InvariantUnderScaling) {
+  const double g1 = GiniCoefficient(std::vector<uint64_t>{1, 2, 3, 9});
+  const double g2 = GiniCoefficient(std::vector<uint64_t>{10, 20, 30, 90});
+  EXPECT_NEAR(g1, g2, 1e-12);
+}
+
+TEST(Gini, InvariantUnderPermutation) {
+  const double g1 = GiniCoefficient(std::vector<uint64_t>{4, 1, 7, 2});
+  const double g2 = GiniCoefficient(std::vector<uint64_t>{7, 4, 2, 1});
+  EXPECT_NEAR(g1, g2, 1e-12);
+}
+
+TEST(Gini, MoreConcentratedIsLarger) {
+  const double balanced = GiniCoefficient(std::vector<uint64_t>{4, 5, 6, 5});
+  const double skewed = GiniCoefficient(std::vector<uint64_t>{1, 1, 1, 17});
+  EXPECT_LT(balanced, skewed);
+}
+
+TEST(MaxShare, Basics) {
+  EXPECT_DOUBLE_EQ(MaxShare({}), 0.0);
+  EXPECT_DOUBLE_EQ(MaxShare({0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(MaxShare({1, 1, 2}), 0.5);
+  EXPECT_DOUBLE_EQ(MaxShare({10}), 1.0);
+}
+
+TEST(Mean, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0}), 3.0);
+}
+
+TEST(MeanAccumulator, AccumulatesAndResets) {
+  MeanAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  acc.Add(2.0);
+  acc.Add(6.0);
+  EXPECT_EQ(acc.count(), 2u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
+  acc.Reset();
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace corrtrack

@@ -1,0 +1,307 @@
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stream/simulation.h"
+#include "stream/topology.h"
+
+namespace corrtrack::stream {
+namespace {
+
+/// Minimal message type for engine tests.
+struct Tick {
+  Timestamp at = 0;
+};
+struct Value {
+  int v = 0;
+};
+using Msg = std::variant<Value, Tick>;
+
+/// Spout emitting 0..n-1 at times 0, 10, 20, ...
+class CountingSpout : public Spout<Msg> {
+ public:
+  explicit CountingSpout(int n) : n_(n) {}
+  bool Next(Msg* out, Timestamp* time) override {
+    if (i_ >= n_) return false;
+    *out = Value{i_};
+    *time = static_cast<Timestamp>(i_) * 10;
+    ++i_;
+    return true;
+  }
+
+ private:
+  int n_;
+  int i_ = 0;
+};
+
+/// Records everything it receives; optionally forwards.
+class RecordingBolt : public Bolt<Msg> {
+ public:
+  explicit RecordingBolt(bool forward = false) : forward_(forward) {}
+
+  void Prepare(TaskAddress self, int parallelism) override {
+    self_ = self;
+    parallelism_ = parallelism;
+  }
+
+  void Execute(const Envelope<Msg>& in, Emitter<Msg>& out) override {
+    if (const auto* value = std::get_if<Value>(&in.payload)) {
+      values.push_back(value->v);
+      times.push_back(in.time);
+      sources.push_back(in.source);
+      if (forward_) out.Emit(in.payload);
+    }
+  }
+
+  void OnTick(Timestamp tick_time, Emitter<Msg>& out) override {
+    (void)out;
+    ticks.push_back(tick_time);
+  }
+
+  std::vector<int> values;
+  std::vector<Timestamp> times;
+  std::vector<TaskAddress> sources;
+  std::vector<Timestamp> ticks;
+  TaskAddress self_;
+  int parallelism_ = 0;
+
+ private:
+  bool forward_;
+};
+
+/// Builds a topology with one spout -> bolt edge using `grouping` and
+/// returns the per-instance recorders.
+struct Harness {
+  Topology<Msg> topology;
+  std::vector<RecordingBolt*> bolts;
+  int bolt_component = -1;
+};
+
+Harness MakeHarness(int n_tuples, int parallelism, Grouping<Msg> grouping,
+                    bool forward = false, Timestamp tick_period = 0) {
+  Harness h;
+  const int spout =
+      h.topology.AddSpout("src", std::make_unique<CountingSpout>(n_tuples));
+  h.bolts.resize(static_cast<size_t>(parallelism), nullptr);
+  h.bolt_component = h.topology.AddBolt(
+      "sink",
+      [&h, forward](int instance) {
+        auto bolt = std::make_unique<RecordingBolt>(forward);
+        h.bolts[static_cast<size_t>(instance)] = bolt.get();
+        return bolt;
+      },
+      parallelism, tick_period);
+  h.topology.Subscribe(h.bolt_component, spout, std::move(grouping));
+  return h;
+}
+
+TEST(Simulation, ShuffleGroupingIsUniformRoundRobin) {
+  Harness h = MakeHarness(9, 3, Grouping<Msg>::Shuffle());
+  SimulationRuntime<Msg> runtime(&h.topology);
+  runtime.Run();
+  EXPECT_EQ(runtime.TuplesDelivered(h.bolt_component), 9u);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(h.bolts[static_cast<size_t>(i)]->values.size(), 3u);
+  }
+  // Round-robin: instance 0 gets 0,3,6.
+  EXPECT_EQ(h.bolts[0]->values, (std::vector<int>{0, 3, 6}));
+  EXPECT_EQ(h.bolts[1]->values, (std::vector<int>{1, 4, 7}));
+}
+
+TEST(Simulation, AllGroupingBroadcasts) {
+  Harness h = MakeHarness(4, 3, Grouping<Msg>::All());
+  SimulationRuntime<Msg> runtime(&h.topology);
+  runtime.Run();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(h.bolts[static_cast<size_t>(i)]->values,
+              (std::vector<int>{0, 1, 2, 3}));
+  }
+  EXPECT_EQ(runtime.TuplesDelivered(h.bolt_component), 12u);
+}
+
+TEST(Simulation, GlobalGroupingTargetsInstanceZero) {
+  Harness h = MakeHarness(4, 3, Grouping<Msg>::Global());
+  SimulationRuntime<Msg> runtime(&h.topology);
+  runtime.Run();
+  EXPECT_EQ(h.bolts[0]->values.size(), 4u);
+  EXPECT_TRUE(h.bolts[1]->values.empty());
+  EXPECT_TRUE(h.bolts[2]->values.empty());
+}
+
+TEST(Simulation, FieldsGroupingIsContentStable) {
+  auto hash = [](const Msg& m) {
+    const auto* value = std::get_if<Value>(&m);
+    return static_cast<size_t>(value == nullptr ? 0 : value->v % 2);
+  };
+  Harness h = MakeHarness(8, 2, Grouping<Msg>::Fields(hash));
+  SimulationRuntime<Msg> runtime(&h.topology);
+  runtime.Run();
+  EXPECT_EQ(h.bolts[0]->values, (std::vector<int>{0, 2, 4, 6}));
+  EXPECT_EQ(h.bolts[1]->values, (std::vector<int>{1, 3, 5, 7}));
+}
+
+TEST(Simulation, EnvelopeCarriesTimeAndSource) {
+  Harness h = MakeHarness(3, 1, Grouping<Msg>::Shuffle());
+  SimulationRuntime<Msg> runtime(&h.topology);
+  runtime.Run();
+  EXPECT_EQ(h.bolts[0]->times, (std::vector<Timestamp>{0, 10, 20}));
+  for (const TaskAddress& src : h.bolts[0]->sources) {
+    EXPECT_EQ(src.component, 0);  // Spout is component 0.
+  }
+}
+
+TEST(Simulation, PrepareSeesAddressAndParallelism) {
+  Harness h = MakeHarness(1, 3, Grouping<Msg>::All());
+  SimulationRuntime<Msg> runtime(&h.topology);
+  runtime.Run();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(h.bolts[static_cast<size_t>(i)]->self_.instance, i);
+    EXPECT_EQ(h.bolts[static_cast<size_t>(i)]->parallelism_, 3);
+  }
+}
+
+TEST(Simulation, TicksFireAtPeriodBoundaries) {
+  // Tuples at t=0..90; ticks every 25 -> boundaries 25, 50, 75 fire before
+  // the stream ends; flush horizon pushes 100.
+  Harness h = MakeHarness(10, 1, Grouping<Msg>::Shuffle(), false,
+                          /*tick_period=*/25);
+  SimulationRuntime<Msg> runtime(&h.topology);
+  runtime.Run(/*flush_horizon=*/10);
+  EXPECT_EQ(h.bolts[0]->ticks, (std::vector<Timestamp>{25, 50, 75, 100}));
+}
+
+TEST(Simulation, TickBeforeTupleAtBoundary) {
+  // A tuple at t=30 must see the t=25 tick delivered first.
+  struct Probe : Bolt<Msg> {
+    void Execute(const Envelope<Msg>& in, Emitter<Msg>&) override {
+      if (std::get_if<Value>(&in.payload)) order.push_back('v');
+    }
+    void OnTick(Timestamp, Emitter<Msg>&) override { order.push_back('t'); }
+    std::string order;
+  };
+  Topology<Msg> topology;
+  const int spout = topology.AddSpout(
+      "src", std::make_unique<CountingSpout>(4));  // t = 0,10,20,30.
+  Probe* probe = nullptr;
+  const int bolt = topology.AddBolt(
+      "probe",
+      [&probe](int) {
+        auto b = std::make_unique<Probe>();
+        probe = b.get();
+        return b;
+      },
+      1, /*tick_period=*/25);
+  topology.Subscribe(bolt, spout, Grouping<Msg>::Shuffle());
+  SimulationRuntime<Msg> runtime(&topology);
+  runtime.Run();
+  EXPECT_EQ(probe->order, "vvvtv");
+}
+
+TEST(Simulation, ChainedBoltsCascade) {
+  Topology<Msg> topology;
+  const int spout =
+      topology.AddSpout("src", std::make_unique<CountingSpout>(5));
+  RecordingBolt* mid = nullptr;
+  RecordingBolt* sink = nullptr;
+  const int mid_id = topology.AddBolt(
+      "mid",
+      [&mid](int) {
+        auto b = std::make_unique<RecordingBolt>(/*forward=*/true);
+        mid = b.get();
+        return b;
+      },
+      1);
+  const int sink_id = topology.AddBolt(
+      "sink",
+      [&sink](int) {
+        auto b = std::make_unique<RecordingBolt>();
+        sink = b.get();
+        return b;
+      },
+      1);
+  topology.Subscribe(mid_id, spout, Grouping<Msg>::Shuffle());
+  topology.Subscribe(sink_id, mid_id, Grouping<Msg>::Shuffle());
+  SimulationRuntime<Msg> runtime(&topology);
+  runtime.Run();
+  EXPECT_EQ(mid->values, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(sink->values, (std::vector<int>{0, 1, 2, 3, 4}));
+  // The sink sees the mid bolt as source.
+  EXPECT_EQ(sink->sources[0].component, mid_id);
+}
+
+TEST(Simulation, DirectGroupingDeliversToNamedInstance) {
+  struct Router : Bolt<Msg> {
+    void Execute(const Envelope<Msg>& in, Emitter<Msg>& out) override {
+      const auto* value = std::get_if<Value>(&in.payload);
+      if (value == nullptr) return;
+      out.EmitDirect(value->v % 3, in.payload);
+      out.Emit(in.payload);  // Must NOT reach the direct subscriber.
+    }
+  };
+  Topology<Msg> topology;
+  const int spout =
+      topology.AddSpout("src", std::make_unique<CountingSpout>(6));
+  const int router = topology.AddBolt(
+      "router", [](int) { return std::make_unique<Router>(); }, 1);
+  std::vector<RecordingBolt*> sinks(3, nullptr);
+  const int sink = topology.AddBolt(
+      "sink",
+      [&sinks](int instance) {
+        auto b = std::make_unique<RecordingBolt>();
+        sinks[static_cast<size_t>(instance)] = b.get();
+        return b;
+      },
+      3);
+  topology.Subscribe(router, spout, Grouping<Msg>::Shuffle());
+  topology.Subscribe(sink, router, Grouping<Msg>::Direct());
+  SimulationRuntime<Msg> runtime(&topology);
+  runtime.Run();
+  EXPECT_EQ(sinks[0]->values, (std::vector<int>{0, 3}));
+  EXPECT_EQ(sinks[1]->values, (std::vector<int>{1, 4}));
+  EXPECT_EQ(sinks[2]->values, (std::vector<int>{2, 5}));
+}
+
+TEST(Simulation, NonDirectSubscriberIgnoresDirectEmissions) {
+  struct DirectOnly : Bolt<Msg> {
+    void Execute(const Envelope<Msg>& in, Emitter<Msg>& out) override {
+      if (std::get_if<Value>(&in.payload)) out.EmitDirect(0, in.payload);
+    }
+  };
+  Topology<Msg> topology;
+  const int spout =
+      topology.AddSpout("src", std::make_unique<CountingSpout>(3));
+  const int router = topology.AddBolt(
+      "router", [](int) { return std::make_unique<DirectOnly>(); }, 1);
+  RecordingBolt* shuffled = nullptr;
+  const int sink = topology.AddBolt(
+      "sink",
+      [&shuffled](int) {
+        auto b = std::make_unique<RecordingBolt>();
+        shuffled = b.get();
+        return b;
+      },
+      1);
+  topology.Subscribe(router, spout, Grouping<Msg>::Shuffle());
+  topology.Subscribe(sink, router, Grouping<Msg>::Shuffle());
+  SimulationRuntime<Msg> runtime(&topology);
+  runtime.Run();
+  EXPECT_TRUE(shuffled->values.empty());
+}
+
+TEST(Simulation, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Harness h = MakeHarness(50, 4, Grouping<Msg>::Shuffle());
+    SimulationRuntime<Msg> runtime(&h.topology);
+    runtime.Run();
+    std::vector<std::vector<int>> all;
+    for (RecordingBolt* b : h.bolts) all.push_back(b->values);
+    return all;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace corrtrack::stream

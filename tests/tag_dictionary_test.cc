@@ -1,0 +1,63 @@
+#include "core/tag_dictionary.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace corrtrack {
+namespace {
+
+TEST(TagDictionary, AssignsDenseIdsInArrivalOrder) {
+  TagDictionary dict;
+  EXPECT_EQ(dict.GetOrAdd("munich"), 0u);
+  EXPECT_EQ(dict.GetOrAdd("beer"), 1u);
+  EXPECT_EQ(dict.GetOrAdd("soccer"), 2u);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(TagDictionary, GetOrAddIsIdempotent) {
+  TagDictionary dict;
+  const TagId id = dict.GetOrAdd("oktoberfest");
+  EXPECT_EQ(dict.GetOrAdd("oktoberfest"), id);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(TagDictionary, RoundTripsNames) {
+  TagDictionary dict;
+  const TagId a = dict.GetOrAdd("alpha");
+  const TagId b = dict.GetOrAdd("beta");
+  EXPECT_EQ(dict.Name(a), "alpha");
+  EXPECT_EQ(dict.Name(b), "beta");
+}
+
+TEST(TagDictionary, FindKnownAndUnknown) {
+  TagDictionary dict;
+  dict.GetOrAdd("known");
+  EXPECT_TRUE(dict.Find("known").has_value());
+  EXPECT_EQ(*dict.Find("known"), 0u);
+  EXPECT_FALSE(dict.Find("unknown").has_value());
+}
+
+TEST(TagDictionary, DistinguishesCaseAndWhitespace) {
+  TagDictionary dict;
+  const TagId lower = dict.GetOrAdd("tag");
+  const TagId upper = dict.GetOrAdd("Tag");
+  EXPECT_NE(lower, upper);
+  EXPECT_FALSE(dict.Find("tag ").has_value());
+}
+
+TEST(TagDictionary, SurvivesRehashing) {
+  TagDictionary dict;
+  // Force many inserts so the map rehashes; names must stay valid.
+  for (int i = 0; i < 10000; ++i) {
+    dict.GetOrAdd("tag" + std::to_string(i));
+  }
+  EXPECT_EQ(dict.size(), 10000u);
+  EXPECT_EQ(dict.Name(0), "tag0");
+  EXPECT_EQ(dict.Name(9999), "tag9999");
+  EXPECT_EQ(*dict.Find("tag1234"), 1234u);
+  EXPECT_EQ(dict.GetOrAdd("tag1234"), 1234u);
+}
+
+}  // namespace
+}  // namespace corrtrack

@@ -1,0 +1,138 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "theory/comm_model.h"
+#include "theory/er_model.h"
+#include "theory/zipf_math.h"
+
+namespace corrtrack::theory {
+namespace {
+
+TEST(ZipfMath, FrequencySumsToOne) {
+  double total = 0;
+  for (int m = 1; m <= 8; ++m) total += TagsPerTweetFrequency(m, 8, 0.25);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfMath, FrequencyDecreasesInM) {
+  for (int m = 2; m <= 8; ++m) {
+    EXPECT_LT(TagsPerTweetFrequency(m, 8, 0.25),
+              TagsPerTweetFrequency(m - 1, 8, 0.25));
+  }
+}
+
+TEST(ZipfMath, ExpectedEdgesGrowsWithTweetsAndMmax) {
+  EXPECT_NEAR(ExpectedEdges(0, 8, 0.25), 0.0, 1e-12);
+  EXPECT_GT(ExpectedEdges(1000, 8, 0.25), ExpectedEdges(500, 8, 0.25));
+  EXPECT_GT(ExpectedEdges(1000, 8, 0.25), ExpectedEdges(1000, 6, 0.25));
+}
+
+TEST(ZipfMath, NpValueDefinition) {
+  // n*p with p = M / C(n,2): for n=601 vertices and M=300 edges,
+  // np = 2*300/600 = 1.
+  EXPECT_NEAR(NpValue(601, 300), 1.0, 1e-12);
+}
+
+TEST(ZipfMath, PaperSection51Numbers) {
+  // §5.1: "a 5 minute window of tweets leads to an np value of 0.76, if a
+  // maximal value of mmax = 8 ... For a 10 minute window, we get np = 1.52
+  // ... but np = 0.85 for mmax = 6."
+  EXPECT_NEAR(PaperNpValue(5, 8), 0.76, 0.05);
+  EXPECT_NEAR(PaperNpValue(10, 8), 1.52, 0.10);
+  EXPECT_NEAR(PaperNpValue(10, 6), 0.85, 0.05);
+  // And the empirical counterpoint: ~34,000 distinct pairs per 10 minutes
+  // -> np = 0.11.
+  EXPECT_NEAR(PaperEmpiricalNp(10, 5500000), 0.11, 0.03);
+}
+
+TEST(ZipfMath, WindowScalingIsLinear) {
+  const double np5 = PaperNpValue(5, 8);
+  const double np10 = PaperNpValue(10, 8);
+  EXPECT_NEAR(np10, 2 * np5, 1e-9);
+}
+
+TEST(ErModel, RegimeClassification) {
+  EXPECT_EQ(ClassifyRegime(0.5), ErRegime::kSubcritical);
+  EXPECT_EQ(ClassifyRegime(1.0), ErRegime::kCritical);
+  EXPECT_EQ(ClassifyRegime(1.5), ErRegime::kSupercritical);
+  EXPECT_FALSE(RegimeName(ErRegime::kSubcritical).empty());
+}
+
+TEST(ErModel, GiantComponentFraction) {
+  EXPECT_DOUBLE_EQ(GiantComponentFraction(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(GiantComponentFraction(1.0), 0.0);
+  // Known fixed points: np=2 -> theta ~ 0.7968.
+  EXPECT_NEAR(GiantComponentFraction(2.0), 0.7968, 1e-3);
+  // Monotone in np.
+  EXPECT_LT(GiantComponentFraction(1.2), GiantComponentFraction(1.5));
+  EXPECT_GT(GiantComponentFraction(5.0), 0.99);
+}
+
+TEST(ErModel, SimulationMatchesTheoryInSupercritical) {
+  const uint64_t n = 20000;
+  const double np = 2.0;
+  const uint64_t m = static_cast<uint64_t>(np * n / 2);
+  const uint64_t largest = SampleLargestComponent(n, m, /*seed=*/11);
+  const double expected = GiantComponentFraction(np);
+  EXPECT_NEAR(static_cast<double>(largest) / n, expected, 0.05);
+}
+
+TEST(ErModel, SimulationSubcriticalHasSmallComponents) {
+  const uint64_t n = 20000;
+  const uint64_t m = static_cast<uint64_t>(0.4 * n / 2);  // np = 0.4.
+  const uint64_t largest = SampleLargestComponent(n, m, /*seed=*/13);
+  // O(log n) components: far below 1% of n.
+  EXPECT_LT(largest, n / 100);
+}
+
+TEST(CommModel, LogBinomial) {
+  EXPECT_NEAR(LogBinomial(5, 2), std::log(10.0), 1e-9);
+  EXPECT_NEAR(LogBinomial(10, 0), 0.0, 1e-9);
+  EXPECT_EQ(LogBinomial(3, 5), -std::numeric_limits<double>::infinity());
+}
+
+TEST(CommModel, BoundaryBehaviours) {
+  // §5.2: "for small vocabulary and large number of tags per tweet, each
+  // incoming tweet needs to be sent to (almost) all partitions".
+  EXPECT_NEAR(ExpectedCommunication(20, 1000, 10, 8), 10.0, 0.2);
+  // Large vocabulary, few tags per tweet: communication stays near 1.
+  EXPECT_LT(ExpectedCommunication(600000, 1000, 10, 2), 1.2);
+}
+
+TEST(CommModel, MonotoneInParameters) {
+  const double base = ExpectedCommunication(10000, 5000, 10, 3);
+  EXPECT_GT(ExpectedCommunication(10000, 10000, 10, 3), base);  // More n.
+  EXPECT_GT(ExpectedCommunication(10000, 5000, 10, 5), base);   // More m.
+  EXPECT_LT(ExpectedCommunication(40000, 5000, 10, 3), base);   // More v.
+}
+
+TEST(CommModel, NeverExceedsKNorDropsBelowZero) {
+  for (double v : {100.0, 10000.0}) {
+    for (double m : {1.0, 4.0, 8.0}) {
+      for (double k : {2.0, 10.0, 20.0}) {
+        const double c = ExpectedCommunication(v, 2000, k, m);
+        EXPECT_GE(c, 0.0);
+        EXPECT_LE(c, k + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(CommModel, MonteCarloMatchesClosedForm) {
+  // The simulation builds partitions exactly per the §5.2 derivation, so
+  // it must agree with the formula.
+  struct Case {
+    uint32_t v, n, k, m;
+  };
+  for (const Case c : {Case{500, 300, 5, 3}, Case{2000, 1000, 10, 2},
+                       Case{200, 100, 4, 5}}) {
+    const double model = ExpectedCommunication(c.v, c.n, c.k, c.m);
+    const double sim =
+        SimulateCommunication(c.v, c.n, c.k, c.m, /*probe=*/4000, 17);
+    EXPECT_NEAR(sim, model, 0.08 * c.k) << c.v << " " << c.m;
+  }
+}
+
+}  // namespace
+}  // namespace corrtrack::theory

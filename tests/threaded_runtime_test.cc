@@ -1,0 +1,228 @@
+#include "stream/threaded_runtime.h"
+
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/metrics.h"
+#include "gen/tweet_generator.h"
+#include "ops/centralized.h"
+#include "ops/source.h"
+#include "ops/topology_builder.h"
+#include "ops/tracker_op.h"
+#include "stream/simulation.h"
+
+namespace corrtrack::stream {
+namespace {
+
+struct Value {
+  int v = 0;
+};
+using Msg = std::variant<Value>;
+
+class CountingSpout : public Spout<Msg> {
+ public:
+  explicit CountingSpout(int n) : n_(n) {}
+  bool Next(Msg* out, Timestamp* time) override {
+    if (i_ >= n_) return false;
+    *out = Value{i_};
+    *time = static_cast<Timestamp>(i_);
+    ++i_;
+    return true;
+  }
+
+ private:
+  int n_;
+  int i_ = 0;
+};
+
+/// Sums received values; thread-confined state, inspected after join.
+class SummingBolt : public Bolt<Msg> {
+ public:
+  explicit SummingBolt(bool forward) : forward_(forward) {}
+  void Execute(const Envelope<Msg>& in, Emitter<Msg>& out) override {
+    const auto& value = std::get<Value>(in.payload);
+    sum += value.v;
+    ++count;
+    if (forward_) out.Emit(in.payload);
+  }
+  void OnTick(Timestamp tick_time, Emitter<Msg>&) override {
+    ticks.push_back(tick_time);
+  }
+  long long sum = 0;
+  long long count = 0;
+  std::vector<Timestamp> ticks;
+
+ private:
+  bool forward_;
+};
+
+TEST(ThreadedRuntime, DeliversEverythingOnce) {
+  const int n = 20000;
+  Topology<Msg> topology;
+  const int spout =
+      topology.AddSpout("src", std::make_unique<CountingSpout>(n));
+  std::vector<SummingBolt*> bolts(4, nullptr);
+  const int sink = topology.AddBolt(
+      "sink",
+      [&bolts](int instance) {
+        auto b = std::make_unique<SummingBolt>(false);
+        bolts[static_cast<size_t>(instance)] = b.get();
+        return b;
+      },
+      4);
+  topology.Subscribe(sink, spout, Grouping<Msg>::Shuffle());
+  ThreadedRuntime<Msg> runtime(&topology);
+  runtime.Run();
+  long long total = 0;
+  long long count = 0;
+  for (SummingBolt* b : bolts) {
+    total += b->sum;
+    count += b->count;
+  }
+  EXPECT_EQ(count, n);
+  EXPECT_EQ(total, static_cast<long long>(n) * (n - 1) / 2);
+  EXPECT_EQ(runtime.TuplesDelivered(sink), static_cast<uint64_t>(n));
+}
+
+TEST(ThreadedRuntime, ChainPreservesAggregate) {
+  const int n = 5000;
+  Topology<Msg> topology;
+  const int spout =
+      topology.AddSpout("src", std::make_unique<CountingSpout>(n));
+  std::vector<SummingBolt*> mids(3, nullptr);
+  const int mid = topology.AddBolt(
+      "mid",
+      [&mids](int instance) {
+        auto b = std::make_unique<SummingBolt>(true);
+        mids[static_cast<size_t>(instance)] = b.get();
+        return b;
+      },
+      3);
+  SummingBolt* last = nullptr;
+  const int sink = topology.AddBolt(
+      "sink",
+      [&last](int) {
+        auto b = std::make_unique<SummingBolt>(false);
+        last = b.get();
+        return b;
+      },
+      1);
+  topology.Subscribe(mid, spout, Grouping<Msg>::Shuffle());
+  topology.Subscribe(sink, mid, Grouping<Msg>::Global());
+  ThreadedRuntime<Msg> runtime(&topology);
+  runtime.Run();
+  EXPECT_EQ(last->count, n);
+  EXPECT_EQ(last->sum, static_cast<long long>(n) * (n - 1) / 2);
+}
+
+TEST(ThreadedRuntime, AllGroupingBroadcasts) {
+  const int n = 1000;
+  Topology<Msg> topology;
+  const int spout =
+      topology.AddSpout("src", std::make_unique<CountingSpout>(n));
+  std::vector<SummingBolt*> bolts(3, nullptr);
+  const int sink = topology.AddBolt(
+      "sink",
+      [&bolts](int instance) {
+        auto b = std::make_unique<SummingBolt>(false);
+        bolts[static_cast<size_t>(instance)] = b.get();
+        return b;
+      },
+      3);
+  topology.Subscribe(sink, spout, Grouping<Msg>::All());
+  ThreadedRuntime<Msg> runtime(&topology);
+  runtime.Run();
+  for (SummingBolt* b : bolts) EXPECT_EQ(b->count, n);
+}
+
+TEST(ThreadedRuntime, TicksFireFromStreamTime) {
+  const int n = 100;  // Times 0..99.
+  Topology<Msg> topology;
+  const int spout =
+      topology.AddSpout("src", std::make_unique<CountingSpout>(n));
+  SummingBolt* bolt = nullptr;
+  const int sink = topology.AddBolt(
+      "sink",
+      [&bolt](int) {
+        auto b = std::make_unique<SummingBolt>(false);
+        bolt = b.get();
+        return b;
+      },
+      1, /*tick_period=*/25);
+  topology.Subscribe(sink, spout, Grouping<Msg>::Shuffle());
+  ThreadedRuntime<Msg> runtime(&topology);
+  runtime.Run(/*flush_horizon=*/26);
+  // Boundaries 25, 50, 75 fire in-stream; 100 and 125 at the horizon.
+  EXPECT_EQ(bolt->ticks,
+            (std::vector<Timestamp>{25, 50, 75, 100, 125}));
+}
+
+TEST(ThreadedRuntime, FullCorrelationTopologyRuns) {
+  // The cyclic Fig. 2 topology must run and terminate on the concurrent
+  // substrate, and its order-insensitive aggregates must line up with a
+  // deterministic-simulator run of the same stream.
+  ops::PipelineConfig pipeline;
+  pipeline.algorithm = AlgorithmKind::kDS;
+  pipeline.num_calculators = 4;
+  pipeline.num_partitioners = 3;
+  pipeline.window_span = kMillisPerMinute;
+  pipeline.report_period = kMillisPerMinute;
+  pipeline.bootstrap_time = kMillisPerMinute;
+
+  gen::GeneratorConfig workload;
+  workload.seed = 21;
+  workload.topics.num_topics = 60;
+  const uint64_t num_docs = 12000;
+
+  // Threaded run.
+  Topology<ops::Message> threaded_topology;
+  const auto threaded_handles = ops::BuildCorrelationTopology(
+      &threaded_topology,
+      std::make_unique<ops::GeneratorSpout>(workload, num_docs), pipeline,
+      nullptr, /*with_centralized_baseline=*/true);
+  ThreadedRuntime<ops::Message> threaded(&threaded_topology);
+  threaded.Run(pipeline.report_period);
+
+  // Reference simulation run.
+  Topology<ops::Message> sim_topology;
+  const auto sim_handles = ops::BuildCorrelationTopology(
+      &sim_topology,
+      std::make_unique<ops::GeneratorSpout>(workload, num_docs), pipeline,
+      nullptr, /*with_centralized_baseline=*/true);
+  SimulationRuntime<ops::Message> sim(&sim_topology);
+  sim.Run(pipeline.report_period);
+
+  // Both runtimes parse the same stream.
+  EXPECT_EQ(threaded.TuplesDelivered(threaded_handles.parser),
+            sim.TuplesDelivered(sim_handles.parser));
+
+  // The centralised baseline is routing-independent: its periods must be
+  // identical across runtimes.
+  const auto* threaded_base = static_cast<ops::CentralizedBolt*>(
+      threaded.bolt(threaded_handles.centralized, 0));
+  const auto* sim_base = static_cast<ops::CentralizedBolt*>(
+      sim.bolt(sim_handles.centralized, 0));
+  ASSERT_EQ(threaded_base->periods().size(), sim_base->periods().size());
+  for (const auto& [period_end, results] : sim_base->periods()) {
+    const auto it = threaded_base->periods().find(period_end);
+    ASSERT_NE(it, threaded_base->periods().end());
+    EXPECT_EQ(it->second.size(), results.size());
+  }
+
+  // The distributed side produced coefficients.
+  const auto* tracker = static_cast<ops::TrackerBolt*>(
+      threaded.bolt(threaded_handles.tracker, 0));
+  size_t tracked = 0;
+  for (const auto& [period_end, results] : tracker->periods()) {
+    tracked += results.size();
+  }
+  EXPECT_GT(tracked, 100u);
+}
+
+}  // namespace
+}  // namespace corrtrack::stream

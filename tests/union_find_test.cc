@@ -1,0 +1,96 @@
+#include "core/union_find.h"
+
+#include <map>
+#include <random>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace corrtrack {
+namespace {
+
+TEST(UnionFind, StartsAsSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.NumSets(), 5u);
+  EXPECT_EQ(uf.NumElements(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.SetSize(i), 1u);
+  }
+}
+
+TEST(UnionFind, UnionMergesAndCounts) {
+  UnionFind uf(4);
+  uf.Union(0, 1);
+  EXPECT_EQ(uf.NumSets(), 3u);
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.SetSize(1), 2u);
+  uf.Union(2, 3);
+  uf.Union(0, 3);
+  EXPECT_EQ(uf.NumSets(), 1u);
+  EXPECT_EQ(uf.SetSize(0), 4u);
+  EXPECT_TRUE(uf.Connected(1, 2));
+}
+
+TEST(UnionFind, UnionIsIdempotent) {
+  UnionFind uf(3);
+  const size_t r1 = uf.Union(0, 1);
+  const size_t r2 = uf.Union(0, 1);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(uf.NumSets(), 2u);
+}
+
+TEST(UnionFind, ComponentsPartitionElements) {
+  UnionFind uf(6);
+  uf.Union(0, 2);
+  uf.Union(3, 4);
+  const auto comps = uf.Components();
+  EXPECT_EQ(comps.size(), 4u);
+  std::set<size_t> all;
+  for (const auto& comp : comps) {
+    for (size_t x : comp) EXPECT_TRUE(all.insert(x).second);
+  }
+  EXPECT_EQ(all.size(), 6u);
+}
+
+// Property: equivalent to a naive label-propagation reference under random
+// union sequences.
+class UnionFindPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnionFindPropertyTest, MatchesNaiveReference) {
+  const size_t n = 60;
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 101);
+  std::uniform_int_distribution<size_t> pick(0, n - 1);
+  UnionFind uf(n);
+  std::vector<int> label(n);
+  for (size_t i = 0; i < n; ++i) label[i] = static_cast<int>(i);
+  for (int step = 0; step < 150; ++step) {
+    const size_t a = pick(rng);
+    const size_t b = pick(rng);
+    uf.Union(a, b);
+    const int la = label[a];
+    const int lb = label[b];
+    if (la != lb) {
+      for (size_t i = 0; i < n; ++i) {
+        if (label[i] == lb) label[i] = la;
+      }
+    }
+    // Spot-check connectivity and set sizes against labels.
+    const size_t x = pick(rng);
+    const size_t y = pick(rng);
+    ASSERT_EQ(uf.Connected(x, y), label[x] == label[y]);
+    size_t label_size = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (label[i] == label[x]) ++label_size;
+    }
+    ASSERT_EQ(uf.SetSize(x), label_size);
+    std::set<int> distinct(label.begin(), label.end());
+    ASSERT_EQ(uf.NumSets(), distinct.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnionFindPropertyTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace corrtrack

@@ -1,0 +1,100 @@
+#include "core/window.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace corrtrack {
+namespace {
+
+Document Doc(DocId id, Timestamp time) {
+  Document d;
+  d.id = id;
+  d.time = time;
+  d.tags = TagSet({static_cast<TagId>(id % 10)});
+  return d;
+}
+
+TEST(SlidingWindow, TimeBasedEviction) {
+  SlidingWindow w = SlidingWindow::TimeBased(100);
+  w.Add(Doc(1, 10));
+  w.Add(Doc(2, 50));
+  w.Add(Doc(3, 100));
+  EXPECT_EQ(w.size(), 3u);
+  w.Add(Doc(4, 111));  // Evicts doc at t=10 (10 <= 111-100).
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.begin()->id, 2u);
+}
+
+TEST(SlidingWindow, BoundaryIsExclusive) {
+  SlidingWindow w = SlidingWindow::TimeBased(100);
+  w.Add(Doc(1, 0));
+  w.Add(Doc(2, 100));  // 0 <= 100-100: doc 1 leaves.
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_EQ(w.begin()->id, 2u);
+}
+
+TEST(SlidingWindow, CountBasedEviction) {
+  SlidingWindow w = SlidingWindow::CountBased(2);
+  w.Add(Doc(1, 1));
+  w.Add(Doc(2, 2));
+  w.Add(Doc(3, 3));
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_EQ(w.begin()->id, 2u);
+}
+
+TEST(SlidingWindow, AdvanceToEvictsWithoutAdding) {
+  SlidingWindow w = SlidingWindow::TimeBased(50);
+  w.Add(Doc(1, 10));
+  w.Add(Doc(2, 40));
+  w.AdvanceTo(70);
+  EXPECT_EQ(w.size(), 1u);
+  w.AdvanceTo(200);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(SlidingWindow, AdvanceToPastIsIgnored) {
+  SlidingWindow w = SlidingWindow::TimeBased(50);
+  w.Add(Doc(1, 100));
+  w.AdvanceTo(10);  // In the past; no effect.
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(SlidingWindow, BothBoundsStricterWins) {
+  SlidingWindow w(/*span=*/1000, /*max_count=*/3);
+  for (int i = 0; i < 5; ++i) w.Add(Doc(static_cast<DocId>(i), i * 10));
+  EXPECT_EQ(w.size(), 3u);  // Count bound is stricter here.
+  w.Add(Doc(99, 5000));
+  EXPECT_EQ(w.size(), 1u);  // Time bound evicted the rest.
+}
+
+// Property: window contents always equal the brute-force definition.
+class SlidingWindowPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SlidingWindowPropertyTest, MatchesBruteForce) {
+  const Timestamp span = 200;
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 13);
+  std::uniform_int_distribution<Timestamp> gap(0, 60);
+  SlidingWindow w = SlidingWindow::TimeBased(span);
+  std::vector<Document> all;
+  Timestamp now = 0;
+  for (int i = 0; i < 500; ++i) {
+    now += gap(rng);
+    const Document d = Doc(static_cast<DocId>(i), now);
+    all.push_back(d);
+    w.Add(d);
+    std::vector<DocId> expected;
+    for (const Document& past : all) {
+      if (past.time > now - span) expected.push_back(past.id);
+    }
+    std::vector<DocId> actual;
+    for (const Document& doc : w) actual.push_back(doc.id);
+    ASSERT_EQ(actual, expected) << "at t=" << now;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlidingWindowPropertyTest,
+                         ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace corrtrack
