@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Runs the micro benchmarks and records the results as BENCH_micro.json at
+# the repo root, so the performance trajectory is tracked across PRs.
+#
+# Usage: bench/run_bench.sh [build_dir]   (default: build)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+BENCH_BIN="${BUILD_DIR}/bench_micro_pipeline"
+
+if [[ ! -x "${BENCH_BIN}" ]]; then
+  echo "error: ${BENCH_BIN} not found — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+"${BENCH_BIN}" \
+  --benchmark_format=json \
+  --benchmark_out="${REPO_ROOT}/BENCH_micro.json" \
+  --benchmark_out_format=json
+
+echo "wrote ${REPO_ROOT}/BENCH_micro.json"

@@ -18,18 +18,38 @@ const std::vector<uint32_t>& EmptyIndexVector() {
 CooccurrenceSnapshot CooccurrenceSnapshot::FromWeightedTagsets(
     std::vector<std::pair<TagSet, uint64_t>> weighted) {
   // Merge duplicates so downstream invariants (one entry per distinct
-  // tagset) hold regardless of caller hygiene.
-  std::unordered_map<TagSet, size_t, TagSetHash> index;
+  // tagset) hold regardless of caller hygiene. Stable sort-merge over an
+  // index array: each run of equal tagsets folds its counts into the
+  // earliest occurrence, which keeps first-appearance order — identical to
+  // the hash-map dedup this replaces, but allocation-flat and ordered.
+  std::vector<uint32_t> order;
+  order.reserve(weighted.size());
+  for (uint32_t i = 0; i < weighted.size(); ++i) {
+    if (!weighted[i].first.empty() && weighted[i].second > 0) {
+      order.push_back(i);
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (weighted[a].first != weighted[b].first) {
+      return weighted[a].first < weighted[b].first;
+    }
+    return a < b;
+  });
+  for (size_t i = 0; i < order.size();) {
+    size_t j = i + 1;
+    while (j < order.size() &&
+           weighted[order[j]].first == weighted[order[i]].first) {
+      weighted[order[i]].second += weighted[order[j]].second;
+      weighted[order[j]].second = 0;  // Folded into the first occurrence.
+      ++j;
+    }
+    i = j;
+  }
   std::vector<std::pair<TagSet, uint64_t>> merged;
-  merged.reserve(weighted.size());
+  merged.reserve(order.size());
   for (auto& [tags, count] : weighted) {
     if (tags.empty() || count == 0) continue;
-    auto [pos, inserted] = index.emplace(tags, merged.size());
-    if (inserted) {
-      merged.emplace_back(std::move(tags), count);
-    } else {
-      merged[pos->second].second += count;
-    }
+    merged.emplace_back(std::move(tags), count);
   }
   return CooccurrenceSnapshot(std::move(merged));
 }
@@ -49,39 +69,31 @@ CooccurrenceSnapshot::CooccurrenceSnapshot(
   BuildComponents();
 }
 
+uint32_t CooccurrenceSnapshot::LocalIndex(TagId tag) const {
+  const auto it = std::lower_bound(tags_.begin(), tags_.end(), tag);
+  if (it == tags_.end() || *it != tag) return kNoLocalIndex;
+  return static_cast<uint32_t>(it - tags_.begin());
+}
+
 void CooccurrenceSnapshot::BuildTagIndex() {
+  // Pass 1: distinct tags, ascending — the sorted-vector index.
+  for (const TagsetStats& stats : tagsets_) {
+    for (TagId t : stats.tags) tags_.push_back(t);
+  }
+  std::sort(tags_.begin(), tags_.end());
+  tags_.erase(std::unique(tags_.begin(), tags_.end()), tags_.end());
+  // Pass 2: per-tag document counts and posting lists (tagset ids ascend
+  // within each list by construction).
+  tag_counts_.assign(tags_.size(), 0);
+  tag_tagsets_.assign(tags_.size(), {});
   for (uint32_t i = 0; i < tagsets_.size(); ++i) {
     for (TagId t : tagsets_[i].tags) {
-      auto [it, inserted] =
-          tag_local_.emplace(t, static_cast<uint32_t>(tags_.size()));
-      if (inserted) {
-        tags_.push_back(t);
-        tag_counts_.push_back(0);
-        tag_tagsets_.emplace_back();
-      }
-      tag_counts_[it->second] += tagsets_[i].count;
-      tag_tagsets_[it->second].push_back(i);
+      const uint32_t local = LocalIndex(t);
+      CORRTRACK_CHECK_NE(local, kNoLocalIndex);
+      tag_counts_[local] += tagsets_[i].count;
+      tag_tagsets_[local].push_back(i);
     }
   }
-  // Canonical ascending order of tags_ with index remap keeps results
-  // deterministic regardless of input order.
-  std::vector<uint32_t> order(tags_.size());
-  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(),
-            [&](uint32_t a, uint32_t b) { return tags_[a] < tags_[b]; });
-  std::vector<TagId> tags(tags_.size());
-  std::vector<uint64_t> counts(tags_.size());
-  std::vector<std::vector<uint32_t>> tagset_lists(tags_.size());
-  for (uint32_t new_idx = 0; new_idx < order.size(); ++new_idx) {
-    const uint32_t old_idx = order[new_idx];
-    tags[new_idx] = tags_[old_idx];
-    counts[new_idx] = tag_counts_[old_idx];
-    tagset_lists[new_idx] = std::move(tag_tagsets_[old_idx]);
-    tag_local_[tags[new_idx]] = new_idx;
-  }
-  tags_ = std::move(tags);
-  tag_counts_ = std::move(counts);
-  tag_tagsets_ = std::move(tagset_lists);
   visit_stamp_.assign(tagsets_.size(), 0);
 }
 
@@ -95,9 +107,9 @@ uint64_t CooccurrenceSnapshot::ComputeLoad(const TagSet& tags) const {
   ++current_stamp_;
   uint64_t load = 0;
   for (TagId t : tags) {
-    auto it = tag_local_.find(t);
-    if (it == tag_local_.end()) continue;
-    for (uint32_t tagset_idx : tag_tagsets_[it->second]) {
+    const uint32_t local = LocalIndex(t);
+    if (local == kNoLocalIndex) continue;
+    for (uint32_t tagset_idx : tag_tagsets_[local]) {
       if (visit_stamp_[tagset_idx] == current_stamp_) continue;
       visit_stamp_[tagset_idx] = current_stamp_;
       load += tagsets_[tagset_idx].count;
@@ -107,40 +119,42 @@ uint64_t CooccurrenceSnapshot::ComputeLoad(const TagSet& tags) const {
 }
 
 uint64_t CooccurrenceSnapshot::TagCount(TagId tag) const {
-  auto it = tag_local_.find(tag);
-  if (it == tag_local_.end()) return 0;
-  return tag_counts_[it->second];
+  const uint32_t local = LocalIndex(tag);
+  if (local == kNoLocalIndex) return 0;
+  return tag_counts_[local];
 }
 
 const std::vector<uint32_t>& CooccurrenceSnapshot::TagsetsWithTag(
     TagId tag) const {
-  auto it = tag_local_.find(tag);
-  if (it == tag_local_.end()) return EmptyIndexVector();
-  return tag_tagsets_[it->second];
+  const uint32_t local = LocalIndex(tag);
+  if (local == kNoLocalIndex) return EmptyIndexVector();
+  return tag_tagsets_[local];
 }
 
 void CooccurrenceSnapshot::BuildComponents() {
   UnionFind uf(tags_.size());
   for (const TagsetStats& stats : tagsets_) {
     if (stats.tags.size() < 2) continue;
-    const uint32_t first = tag_local_.at(stats.tags[0]);
+    const uint32_t first = LocalIndex(stats.tags[0]);
     for (size_t i = 1; i < stats.tags.size(); ++i) {
-      uf.Union(first, tag_local_.at(stats.tags[i]));
+      uf.Union(first, LocalIndex(stats.tags[i]));
     }
   }
-  std::unordered_map<size_t, uint32_t> root_to_component;
+  // Roots are local tag indices, so a dense vector replaces the hash map.
+  std::vector<uint32_t> root_to_component(tags_.size(), kNoLocalIndex);
   for (uint32_t local = 0; local < tags_.size(); ++local) {
     const size_t root = uf.Find(local);
-    auto [it, inserted] = root_to_component.emplace(
-        root, static_cast<uint32_t>(components_.size()));
-    if (inserted) components_.emplace_back();
-    components_[it->second].tags.push_back(tags_[local]);
+    if (root_to_component[root] == kNoLocalIndex) {
+      root_to_component[root] = static_cast<uint32_t>(components_.size());
+      components_.emplace_back();
+    }
+    components_[root_to_component[root]].tags.push_back(tags_[local]);
   }
   // Every tagset lies entirely inside one component; attribute its ids and
   // count there.
   for (uint32_t i = 0; i < tagsets_.size(); ++i) {
-    const size_t root = uf.Find(tag_local_.at(tagsets_[i].tags[0]));
-    ComponentStats& comp = components_[root_to_component.at(root)];
+    const size_t root = uf.Find(LocalIndex(tagsets_[i].tags[0]));
+    ComponentStats& comp = components_[root_to_component[root]];
     comp.tagset_ids.push_back(i);
     comp.load += tagsets_[i].count;
   }

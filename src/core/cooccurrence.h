@@ -2,11 +2,11 @@
 #define CORRTRACK_CORE_COOCCURRENCE_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/document.h"
+#include "core/flat_counter_table.h"
 #include "core/tagset.h"
 #include "core/types.h"
 
@@ -42,22 +42,26 @@ struct ComponentStats {
 /// the fragment's load.
 class CooccurrenceSnapshot {
  public:
-  /// Aggregates documents (multiset of tagsets) into a snapshot.
+  /// Aggregates documents (multiset of tagsets) into a snapshot. Counting
+  /// happens during collection (duplicate-heavy windows are the norm), so
+  /// the buffered state scales with distinct tagsets, not documents;
+  /// FlatTagSetMap iterates in insertion order, preserving the
+  /// first-appearance order of distinct tagsets.
   template <typename DocIterator>
   static CooccurrenceSnapshot FromDocuments(DocIterator first,
                                             DocIterator last) {
-    std::vector<std::pair<TagSet, uint64_t>> weighted;
-    std::unordered_map<TagSet, size_t, TagSetHash> index;
+    FlatTagSetMap<uint64_t> counts;
     for (DocIterator it = first; it != last; ++it) {
-      const TagSet& tags = it->tags;
-      if (tags.empty()) continue;
-      auto [pos, inserted] = index.emplace(tags, weighted.size());
-      if (inserted) {
-        weighted.emplace_back(tags, 1);
-      } else {
-        ++weighted[pos->second].second;
-      }
+      if (it->tags.empty()) continue;
+      ++counts[it->tags];
     }
+    std::vector<std::pair<TagSet, uint64_t>> weighted;
+    weighted.reserve(counts.size());
+    for (auto& [tags, count] : counts) {
+      weighted.emplace_back(std::move(tags), count);
+    }
+    // The map already guarantees distinct tagsets, so skip
+    // FromWeightedTagsets' dedup sort and build directly.
     return CooccurrenceSnapshot(std::move(weighted));
   }
 
@@ -96,15 +100,22 @@ class CooccurrenceSnapshot {
   explicit CooccurrenceSnapshot(
       std::vector<std::pair<TagSet, uint64_t>> weighted);
 
+  static constexpr uint32_t kNoLocalIndex = static_cast<uint32_t>(-1);
+
   void BuildTagIndex();
   void ComputeTagsetLoads();
   void BuildComponents();
 
+  /// Index of `tag` in the ascending tags_ vector (binary search), or
+  /// kNoLocalIndex for tags absent from the snapshot. A snapshot is rebuilt
+  /// at every repartitioning round, so the index is a sorted vector rather
+  /// than a hash map: one allocation, cache-linear construction.
+  uint32_t LocalIndex(TagId tag) const;
+
   std::vector<TagsetStats> tagsets_;
   uint64_t num_docs_ = 0;
-  std::vector<TagId> tags_;
-  std::unordered_map<TagId, uint32_t> tag_local_;  // TagId -> index in tags_.
-  std::vector<uint64_t> tag_counts_;               // By local index.
+  std::vector<TagId> tags_;                         // Ascending; the index.
+  std::vector<uint64_t> tag_counts_;                // By local index.
   std::vector<std::vector<uint32_t>> tag_tagsets_;  // By local index.
   std::vector<ComponentStats> components_;
 

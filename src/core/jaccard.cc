@@ -8,12 +8,13 @@
 namespace corrtrack {
 
 void SubsetCounterTable::Observe(const TagSet& tags) {
-  tags.ForEachSubset([this](const TagSet& subset) { ++counters_[subset]; });
+  tags.ForEachSubsetKey(
+      [this](const PackedTagKey& key) { counters_.Increment(key); });
 }
 
 uint64_t SubsetCounterTable::Count(const TagSet& tags) const {
-  auto it = counters_.find(tags);
-  return it == counters_.end() ? 0 : it->second;
+  if (tags.empty() || tags.size() > PackedTagKey::kCapacity) return 0;
+  return counters_.Find(tags.PackKey());
 }
 
 std::optional<JaccardEstimate> SubsetCounterTable::Compute(
@@ -22,9 +23,9 @@ std::optional<JaccardEstimate> SubsetCounterTable::Compute(
   if (intersection == 0) return std::nullopt;
   // Eq. 2 (inclusion–exclusion): |∪ a_i| = Σ_{∅≠A⊆s} (−1)^{|A|+1} |∩ A|.
   int64_t union_count = 0;
-  tags.ForEachSubset([&](const TagSet& subset) {
-    const int64_t term = static_cast<int64_t>(Count(subset));
-    if (subset.size() % 2 == 1) {
+  tags.ForEachSubsetKey([&](const PackedTagKey& key) {
+    const int64_t term = static_cast<int64_t>(counters_.Find(key));
+    if (key.size % 2 == 1) {
       union_count += term;
     } else {
       union_count -= term;
@@ -43,12 +44,13 @@ std::optional<JaccardEstimate> SubsetCounterTable::Compute(
 std::vector<JaccardEstimate> SubsetCounterTable::ReportAll(
     uint64_t min_support) const {
   std::vector<JaccardEstimate> out;
-  for (const auto& [tags, count] : counters_) {
-    if (tags.size() < 2 || count <= min_support) continue;
-    std::optional<JaccardEstimate> estimate = Compute(tags);
+  counters_.ForEach([&](const PackedTagKey& key, uint64_t count) {
+    if (key.size < 2 || count <= min_support) return;
+    std::optional<JaccardEstimate> estimate =
+        Compute(TagSet::FromPackedKey(key));
     CORRTRACK_CHECK(estimate.has_value());
     out.push_back(*std::move(estimate));
-  }
+  });
   std::sort(out.begin(), out.end(),
             [](const JaccardEstimate& a, const JaccardEstimate& b) {
               return a.tags < b.tags;

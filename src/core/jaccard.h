@@ -3,9 +3,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "core/flat_counter_table.h"
 #include "core/tagset.h"
 
 namespace corrtrack {
@@ -31,6 +31,10 @@ struct JaccardEstimate {
 /// equals |∩_{t∈A} T_t| exactly, and Eq. 2 recovers |∪ T_t| from the
 /// counters, giving the exact Jaccard coefficient of Eq. 1 — no sketches
 /// (§2 argues Bloom/Count-Min false positives are counter-productive here).
+///
+/// Counters live in a FlatCounterTable keyed by PackedTagKey: Observe is a
+/// packed-key subset enumeration feeding a probe+increment loop — no TagSet
+/// construction, no node allocation per subset.
 class SubsetCounterTable {
  public:
   SubsetCounterTable() = default;
@@ -55,11 +59,13 @@ class SubsetCounterTable {
   /// Number of live counters (co-occurring tagsets incl. singletons).
   size_t num_counters() const { return counters_.size(); }
 
-  /// Deletes all counters (after each reporting period, §6.2).
-  void Reset() { counters_.clear(); }
+  /// Deletes all counters (after each reporting period, §6.2). Keeps the
+  /// table's capacity: in steady state a Calculator re-fills roughly the
+  /// same number of counters every period without reallocating.
+  void Reset() { counters_.Reset(); }
 
  private:
-  std::unordered_map<TagSet, uint64_t, TagSetHash> counters_;
+  FlatCounterTable counters_;
 };
 
 }  // namespace corrtrack

@@ -1,7 +1,9 @@
 #ifndef CORRTRACK_CORE_TAGSET_H_
 #define CORRTRACK_CORE_TAGSET_H_
 
+#include <bit>
 #include <cstddef>
+#include <cstring>
 #include <functional>
 #include <initializer_list>
 #include <string>
@@ -12,6 +14,50 @@
 #include "core/types.h"
 
 namespace corrtrack {
+
+/// Single-pass multiply-xor mix over a tag array — the one hash used by
+/// every flat table keyed on tags. Never returns 0: the open-addressing
+/// tables (FlatCounterTable, FlatTagSetMap) use 0 as the empty-slot
+/// marker, so that property is load-bearing.
+inline uint64_t HashTagSpan(const TagId* tags, size_t n) {
+  uint64_t h = 0x9E3779B97F4A7C15ull + n;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= tags[i];
+    h *= 0xFF51AFD7ED558CCDull;
+    h ^= h >> 29;
+  }
+  return h == 0 ? 1 : h;
+}
+
+/// Fixed-size, trivially copyable key for tagsets of up to
+/// kMaxTagsPerDocument tags: the tags in ascending order with unused slots
+/// padded to kInvalidTag, so equality is one flat memory compare (64 bytes
+/// of tags + the size word) and the hash a single-pass mix. This is the key
+/// of the subset-counting hot path (FlatCounterTable): enumerating a
+/// document's subsets yields packed keys directly, with no per-subset
+/// TagSet construction or heap traffic.
+struct PackedTagKey {
+  static constexpr size_t kCapacity = static_cast<size_t>(kMaxTagsPerDocument);
+
+  TagId tags[kCapacity];
+  uint32_t size = 0;
+
+  PackedTagKey() {
+    for (TagId& t : tags) t = kInvalidTag;
+  }
+
+  uint64_t Hash() const { return HashTagSpan(tags, size); }
+
+  friend bool operator==(const PackedTagKey& a, const PackedTagKey& b) {
+    // Padding is canonical (kInvalidTag), so comparing the full tag array
+    // subsumes the size compare; the latter is kept as a cheap early out.
+    return a.size == b.size &&
+           std::memcmp(a.tags, b.tags, sizeof(a.tags)) == 0;
+  }
+  friend bool operator!=(const PackedTagKey& a, const PackedTagKey& b) {
+    return !(a == b);
+  }
+};
 
 /// A canonical set of tags: sorted, duplicate-free, inline-stored for up to
 /// 8 tags (the paper observes < 10 tags per tweet, §3.1).
@@ -57,23 +103,87 @@ class TagSet {
   TagSet Intersect(const TagSet& other) const;
   TagSet Union(const TagSet& other) const;
 
-  /// Invokes `fn(const TagSet&)` for every non-empty subset of *this with at
-  /// least `min_size` tags. Requires size() <= kMaxTagsPerDocument (bitmask
-  /// enumeration). The subsets passed to `fn` are canonical.
+  /// The core subset enumerator, allocation-free: writes each non-empty
+  /// subset with at least `min_size` tags into the caller-provided
+  /// `scratch` buffer (capacity >= size()) and invokes
+  /// `fn(const TagId* subset, size_t subset_size)`. Subsets are ascending.
+  /// Requires size() <= kMaxTagsPerDocument (bitmask enumeration).
+  /// ForEachSubset and ForEachSubsetKey are thin adapters over this loop.
   template <typename Fn>
-  void ForEachSubset(Fn&& fn, size_t min_size = 1) const {
+  void ForEachSubsetSpan(TagId* scratch, Fn&& fn, size_t min_size = 1) const {
     const size_t n = tags_.size();
     CORRTRACK_CHECK_LE(n, static_cast<size_t>(kMaxTagsPerDocument));
     if (n == 0) return;
-    const uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1);
-    for (uint32_t mask = 1; mask <= full; ++mask) {
-      if (static_cast<size_t>(__builtin_popcount(mask)) < min_size) continue;
-      TagSet subset;
-      for (size_t i = 0; i < n; ++i) {
-        if (mask & (1u << i)) subset.tags_.push_back(tags_[i]);
+    const uint32_t full = SubsetMaskFull(n);
+    // `mask == full` is tested before the increment, so the loop terminates
+    // even when `full` is the all-ones mask (the n == 32 overflow hazard of
+    // a `mask <= full` condition).
+    for (uint32_t mask = 1;; ++mask) {
+      const size_t m = static_cast<size_t>(std::popcount(mask));
+      if (m >= min_size) {
+        size_t out = 0;
+        for (uint32_t bits = mask; bits != 0; bits &= bits - 1) {
+          scratch[out++] = tags_[std::countr_zero(bits)];
+        }
+        fn(static_cast<const TagId*>(scratch), m);
       }
-      fn(static_cast<const TagSet&>(subset));
+      if (mask == full) break;
     }
+  }
+
+  /// Invokes `fn(const TagSet&)` for every non-empty subset of *this with at
+  /// least `min_size` tags. The subsets passed to `fn` are canonical views
+  /// of one reused scratch set — copy to retain beyond the callback.
+  template <typename Fn>
+  void ForEachSubset(Fn&& fn, size_t min_size = 1) const {
+    TagId buf[kMaxTagsPerDocument];
+    TagSet scratch;
+    scratch.tags_.reserve(tags_.size());
+    ForEachSubsetSpan(
+        buf,
+        [&](const TagId* subset, size_t m) {
+          scratch.tags_.clear();
+          scratch.tags_.append(subset, subset + m);
+          fn(static_cast<const TagSet&>(scratch));
+        },
+        min_size);
+  }
+
+  /// Packed-key sibling of ForEachSubset: invokes `fn(const PackedTagKey&)`
+  /// for every non-empty subset with at least `min_size` tags. The key is a
+  /// reused scratch (padding kept canonical between iterations); copy it to
+  /// retain. This is the hot-path enumerator: the span loop writes straight
+  /// into a probe-ready packed key, no TagSet construction.
+  template <typename Fn>
+  void ForEachSubsetKey(Fn&& fn, size_t min_size = 1) const {
+    static_assert(PackedTagKey::kCapacity >=
+                  static_cast<size_t>(kMaxTagsPerDocument));
+    PackedTagKey key;
+    ForEachSubsetSpan(
+        key.tags,
+        [&](const TagId*, size_t m) {
+          for (uint32_t i = static_cast<uint32_t>(m); i < key.size; ++i) {
+            key.tags[i] = kInvalidTag;
+          }
+          key.size = static_cast<uint32_t>(m);
+          fn(static_cast<const PackedTagKey&>(key));
+        },
+        min_size);
+  }
+
+  /// Packs this set into a PackedTagKey. Requires
+  /// size() <= PackedTagKey::kCapacity.
+  PackedTagKey PackKey() const {
+    CORRTRACK_CHECK_LE(tags_.size(), PackedTagKey::kCapacity);
+    PackedTagKey key;
+    for (size_t i = 0; i < tags_.size(); ++i) key.tags[i] = tags_[i];
+    key.size = static_cast<uint32_t>(tags_.size());
+    return key;
+  }
+
+  /// Rebuilds the canonical TagSet a PackedTagKey was packed from.
+  static TagSet FromPackedKey(const PackedTagKey& key) {
+    return FromSorted(key.tags, key.tags + key.size);
   }
 
   /// FNV-1a over the tag ids; canonical form makes this a set hash.
@@ -93,6 +203,11 @@ class TagSet {
   }
 
  private:
+  /// All-ones mask over n subset positions, safe for n up to 32.
+  static uint32_t SubsetMaskFull(size_t n) {
+    return n >= 32 ? ~0u : ((1u << n) - 1);
+  }
+
   Storage tags_;
 };
 

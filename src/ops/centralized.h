@@ -2,8 +2,8 @@
 #define CORRTRACK_OPS_CENTRALIZED_H_
 
 #include <map>
-#include <unordered_map>
 
+#include "core/flat_counter_table.h"
 #include "core/jaccard.h"
 #include "core/tagset.h"
 #include "ops/messages.h"
@@ -19,8 +19,7 @@ namespace corrtrack::ops {
 /// (restricted, as in the paper, to tagsets seen more than sn = 3 times).
 class CentralizedBolt : public stream::Bolt<Message> {
  public:
-  using PeriodResults =
-      std::unordered_map<TagSet, JaccardEstimate, TagSetHash>;
+  using PeriodResults = FlatTagSetMap<JaccardEstimate>;
 
   explicit CentralizedBolt(const PipelineConfig& config) : config_(config) {}
 

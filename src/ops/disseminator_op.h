@@ -2,9 +2,9 @@
 #define CORRTRACK_OPS_DISSEMINATOR_OP_H_
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "core/flat_counter_table.h"
 #include "core/partition.h"
 #include "core/tagset.h"
 #include "ops/messages.h"
@@ -72,7 +72,7 @@ class DisseminatorBolt : public stream::Bolt<Message> {
 
   // §7.1 uncovered-tagset occurrence counts; value == -1 marks "addition
   // already requested, waiting for the verdict".
-  std::unordered_map<TagSet, int, TagSetHash> uncovered_counts_;
+  FlatTagSetMap<int> uncovered_counts_;
 
   std::vector<RoutedSubset> routed_scratch_;
 };

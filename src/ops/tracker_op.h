@@ -2,8 +2,8 @@
 #define CORRTRACK_OPS_TRACKER_OP_H_
 
 #include <map>
-#include <unordered_map>
 
+#include "core/flat_counter_table.h"
 #include "core/jaccard.h"
 #include "core/tagset.h"
 #include "ops/messages.h"
@@ -19,8 +19,7 @@ namespace corrtrack::ops {
 /// a correct Jaccard coefficient".
 class TrackerBolt : public stream::Bolt<Message> {
  public:
-  using PeriodResults =
-      std::unordered_map<TagSet, JaccardEstimate, TagSetHash>;
+  using PeriodResults = FlatTagSetMap<JaccardEstimate>;
 
   TrackerBolt() = default;
 

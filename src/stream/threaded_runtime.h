@@ -1,6 +1,7 @@
 #ifndef CORRTRACK_STREAM_THREADED_RUNTIME_H_
 #define CORRTRACK_STREAM_THREADED_RUNTIME_H_
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -20,6 +21,14 @@ namespace corrtrack::stream {
 /// Concurrent executor for a Topology: one worker thread per task, bounded
 /// blocking queues between them — the shape of a single-host Storm worker
 /// (§6.1's push-based communication).
+///
+/// Queue traffic is batched at both ends: producers stage envelopes in a
+/// per-destination delivery buffer and push up to kQueueBatch of them under
+/// one lock acquisition; consumers drain up to kQueueBatch per acquisition.
+/// Buffers are flushed whenever a worker is about to block on its input
+/// queue (and before poison/shutdown propagation), so no envelope is held
+/// back while the pipeline idles — batching only coalesces lock traffic
+/// that would otherwise happen back-to-back, cutting it ~kQueueBatch×.
 ///
 /// Semantics vs SimulationRuntime:
 ///  * Per-edge FIFO order is preserved (each producer pushes to each
@@ -73,11 +82,14 @@ class ThreadedRuntime {
     Message msg;
     Timestamp time = 0;
     Timestamp last_time = 0;
+    DeliveryBuffer spout_buffer(tasks_.size());
     while (spout->Next(&msg, &time)) {
       CORRTRACK_CHECK_GE(time, last_time);
       last_time = time;
-      RouteFrom(spout_component_, 0, msg, time, /*direct_instance=*/-1);
+      RouteFrom(spout_component_, 0, msg, time, /*direct_instance=*/-1,
+                &spout_buffer);
     }
+    FlushDeliveries(&spout_buffer);
     // Poison with the flush horizon so downstream ticks still fire.
     FloodPoison(spout_component_, last_time + flush_horizon);
     // Wait until every bolt task has drained its forward inputs, then stop
@@ -122,7 +134,10 @@ class ThreadedRuntime {
     Timestamp poison_horizon = 0;
   };
 
-  /// Bounded MPSC blocking queue.
+  /// Envelopes moved per lock acquisition on the edge queues.
+  static constexpr size_t kQueueBatch = 64;
+
+  /// Bounded MPSC blocking queue with batched enqueue/dequeue.
   class BoundedQueue {
    public:
     explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
@@ -134,13 +149,34 @@ class ThreadedRuntime {
       not_empty_.notify_one();
     }
 
-    Item Pop() {
+    /// Appends all of `*items` in order under one lock acquisition,
+    /// spilling in chunks when the queue fills. Clears `*items`.
+    void PushBatch(std::vector<Item>* items) {
+      size_t offset = 0;
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (offset < items->size()) {
+        not_full_.wait(lock, [this] { return items_.size() < capacity_; });
+        while (offset < items->size() && items_.size() < capacity_) {
+          items_.push_back(std::move((*items)[offset++]));
+        }
+        not_empty_.notify_one();
+      }
+      items->clear();
+    }
+
+    /// Blocks until at least one item is available, then moves up to
+    /// `max_items` into `*out` under one lock acquisition. Returns the
+    /// number of items delivered.
+    size_t PopBatch(std::vector<Item>* out, size_t max_items) {
       std::unique_lock<std::mutex> lock(mutex_);
       not_empty_.wait(lock, [this] { return !items_.empty(); });
-      Item item = std::move(items_.front());
-      items_.pop_front();
-      not_full_.notify_one();
-      return item;
+      const size_t n = std::min(max_items, items_.size());
+      for (size_t i = 0; i < n; ++i) {
+        out->push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+      not_full_.notify_all();  // Up to n slots freed; wake all producers.
+      return n;
     }
 
    private:
@@ -149,6 +185,20 @@ class ThreadedRuntime {
     std::condition_variable not_empty_;
     std::condition_variable not_full_;
     std::deque<Item> items_;
+  };
+
+  /// Per-producer staging area: envelopes headed to each destination task
+  /// accumulate here and are pushed kQueueBatch at a time. Owned by one
+  /// thread (a worker or the spout driver) — no synchronisation.
+  struct DeliveryBuffer {
+    explicit DeliveryBuffer(size_t num_tasks)
+        : per_task(num_tasks), staged(num_tasks, 0) {}
+
+    std::vector<std::vector<Item>> per_task;
+    std::vector<char> staged;  // 1 while the task id is in `dirty`: keeps
+                               // `dirty` bounded by the task count even
+                               // when a lane fills and flushes mid-run.
+    std::vector<int> dirty;    // Task ids touched since the last flush.
   };
 
   struct Task {
@@ -171,17 +221,18 @@ class ThreadedRuntime {
 
   class EmitterImpl : public Emitter<Message> {
    public:
-    EmitterImpl(ThreadedRuntime* runtime, TaskAddress source, Timestamp time)
-        : runtime_(runtime), source_(source), time_(time) {}
+    EmitterImpl(ThreadedRuntime* runtime, TaskAddress source, Timestamp time,
+                DeliveryBuffer* buffer)
+        : runtime_(runtime), source_(source), time_(time), buffer_(buffer) {}
 
     void Emit(Message msg) override {
       runtime_->RouteFrom(source_.component, source_.instance,
-                          std::move(msg), time_, -1);
+                          std::move(msg), time_, -1, buffer_);
     }
 
     void EmitDirect(int instance, Message msg) override {
       runtime_->RouteFrom(source_.component, source_.instance,
-                          std::move(msg), time_, instance);
+                          std::move(msg), time_, instance, buffer_);
     }
 
     Timestamp now() const override { return time_; }
@@ -190,6 +241,7 @@ class ThreadedRuntime {
     ThreadedRuntime* runtime_;
     TaskAddress source_;
     Timestamp time_;
+    DeliveryBuffer* buffer_;
   };
 
   void Build() {
@@ -260,7 +312,8 @@ class ThreadedRuntime {
   }
 
   void RouteFrom(int producer, int instance, const Message& msg,
-                 Timestamp time, int direct_instance) {
+                 Timestamp time, int direct_instance,
+                 DeliveryBuffer* buffer) {
     for (auto& edge : edges_[static_cast<size_t>(producer)]) {
       const bool is_direct_edge =
           edge->grouping.kind == GroupingKind::kDirect;
@@ -276,14 +329,14 @@ class ThreadedRuntime {
           Deliver(edge->consumer,
                   static_cast<int>(n % static_cast<uint64_t>(
                                            Parallelism(edge->consumer))),
-                  std::move(item));
+                  std::move(item), buffer);
           break;
         }
         case GroupingKind::kAll:
           for (int i = 0; i < Parallelism(edge->consumer); ++i) {
             Item copy;
             copy.envelope = item.envelope;
-            Deliver(edge->consumer, i, std::move(copy));
+            Deliver(edge->consumer, i, std::move(copy), buffer);
           }
           break;
         case GroupingKind::kFields: {
@@ -291,22 +344,49 @@ class ThreadedRuntime {
           Deliver(edge->consumer,
                   static_cast<int>(h % static_cast<size_t>(
                                            Parallelism(edge->consumer))),
-                  std::move(item));
+                  std::move(item), buffer);
           break;
         }
         case GroupingKind::kGlobal:
-          Deliver(edge->consumer, 0, std::move(item));
+          Deliver(edge->consumer, 0, std::move(item), buffer);
           break;
         case GroupingKind::kDirect:
-          Deliver(edge->consumer, direct_instance, std::move(item));
+          Deliver(edge->consumer, direct_instance, std::move(item), buffer);
           break;
       }
     }
   }
 
-  void Deliver(int component, int instance, Item item) {
-    tasks_[static_cast<size_t>(TaskId(component, instance))]->queue->Push(
-        std::move(item));
+  /// Stages `item` for the destination task in `buffer` (flushing that
+  /// destination's lane once it reaches kQueueBatch), or pushes directly
+  /// when no buffer is in play (poison/shutdown markers).
+  void Deliver(int component, int instance, Item item,
+               DeliveryBuffer* buffer = nullptr) {
+    const size_t task_id = static_cast<size_t>(TaskId(component, instance));
+    Task* task = tasks_[task_id].get();
+    if (buffer == nullptr) {
+      task->queue->Push(std::move(item));
+      return;
+    }
+    std::vector<Item>& lane = buffer->per_task[task_id];
+    if (!buffer->staged[task_id]) {
+      buffer->staged[task_id] = 1;
+      buffer->dirty.push_back(static_cast<int>(task_id));
+    }
+    lane.push_back(std::move(item));
+    if (lane.size() >= kQueueBatch) task->queue->PushBatch(&lane);
+  }
+
+  /// Pushes every staged envelope (per-destination FIFO order preserved).
+  void FlushDeliveries(DeliveryBuffer* buffer) {
+    for (int task_id : buffer->dirty) {
+      std::vector<Item>& lane = buffer->per_task[static_cast<size_t>(task_id)];
+      if (!lane.empty()) {
+        tasks_[static_cast<size_t>(task_id)]->queue->PushBatch(&lane);
+      }
+      buffer->staged[static_cast<size_t>(task_id)] = 0;
+    }
+    buffer->dirty.clear();
   }
 
   /// Sends one poison marker along every *forward* edge leaving `producer`
@@ -326,22 +406,37 @@ class ThreadedRuntime {
   void WorkerLoop(Task* task) {
     int poisons_pending = task->upstream_edges;
     Timestamp horizon = 0;
+    DeliveryBuffer buffer(tasks_.size());
+    std::vector<Item> batch;
+    batch.reserve(kQueueBatch);
+    size_t batch_pos = 0;
     while (poisons_pending > 0) {
-      Item item = task->queue->Pop();
+      if (batch_pos == batch.size()) {
+        batch.clear();
+        batch_pos = 0;
+        // About to (possibly) block on the input queue: release every
+        // staged outgoing envelope first so downstream never waits on
+        // traffic we are holding back.
+        FlushDeliveries(&buffer);
+        task->queue->PopBatch(&batch, kQueueBatch);
+      }
+      Item& item = batch[batch_pos++];
       if (item.shutdown) return;  // Defensive; not expected here.
       if (item.poison) {
         --poisons_pending;
         horizon = std::max(horizon, item.poison_horizon);
         continue;
       }
-      FireTicks(task, item.envelope.time);
+      FireTicks(task, item.envelope.time, &buffer);
       task->delivered.fetch_add(1, std::memory_order_relaxed);
-      EmitterImpl emitter(this, task->addr, item.envelope.time);
+      EmitterImpl emitter(this, task->addr, item.envelope.time, &buffer);
       task->bolt->Execute(item.envelope, emitter);
     }
-    FireTicks(task, horizon);
+    FireTicks(task, horizon, &buffer);
+    FlushDeliveries(&buffer);
     // All forward producers are done; tell downstream, report done, then
-    // discard residual feedback traffic until the global stop.
+    // discard residual feedback traffic (including any left in the current
+    // batch) until the global stop.
     FloodPoison(task->addr.component, horizon);
     {
       std::lock_guard<std::mutex> lock(done_mutex_);
@@ -349,15 +444,19 @@ class ThreadedRuntime {
     }
     all_done_.notify_one();
     while (true) {
-      Item item = task->queue->Pop();
-      if (item.shutdown) return;
+      for (; batch_pos < batch.size(); ++batch_pos) {
+        if (batch[batch_pos].shutdown) return;
+      }
+      batch.clear();
+      batch_pos = 0;
+      task->queue->PopBatch(&batch, kQueueBatch);
     }
   }
 
-  void FireTicks(Task* task, Timestamp now) {
+  void FireTicks(Task* task, Timestamp now, DeliveryBuffer* buffer) {
     if (task->tick_period <= 0) return;
     while (task->next_tick <= now) {
-      EmitterImpl emitter(this, task->addr, task->next_tick);
+      EmitterImpl emitter(this, task->addr, task->next_tick, buffer);
       task->bolt->OnTick(task->next_tick, emitter);
       task->next_tick += task->tick_period;
     }

@@ -114,6 +114,67 @@ TEST(TagSet, ForEachSubsetSingleton) {
   EXPECT_EQ(count, 1);
 }
 
+TEST(TagSet, ForEachSubsetSixteenTagBoundary) {
+  // Regression for the mask-overflow hazard: at n = kMaxTagsPerDocument the
+  // enumeration must terminate and yield exactly 2^16 - 1 subsets. (The old
+  // `mask <= full` loop form would never terminate once `full` is the
+  // all-ones mask; the boundary case pins the rewritten loop.)
+  ASSERT_EQ(kMaxTagsPerDocument, 16);
+  std::vector<TagId> tags;
+  for (int i = 0; i < 16; ++i) tags.push_back(static_cast<TagId>(i * 7));
+  const TagSet s(tags);
+  uint64_t count = 0;
+  uint64_t full_sets = 0;
+  s.ForEachSubset([&](const TagSet& sub) {
+    ++count;
+    if (sub.size() == 16) ++full_sets;
+  });
+  EXPECT_EQ(count, (uint64_t{1} << 16) - 1);
+  EXPECT_EQ(full_sets, 1u);
+
+  // The packed-key sibling walks the identical mask sequence.
+  uint64_t key_count = 0;
+  s.ForEachSubsetKey([&](const PackedTagKey&) { ++key_count; });
+  EXPECT_EQ(key_count, count);
+}
+
+TEST(TagSet, SubsetEnumeratorsAgree) {
+  // ForEachSubset, ForEachSubsetSpan, and ForEachSubsetKey must yield the
+  // same subsets in the same order.
+  const TagSet s({2, 3, 5, 7, 11});
+  std::vector<TagSet> from_set;
+  std::vector<TagSet> from_span;
+  std::vector<TagSet> from_key;
+  s.ForEachSubset([&](const TagSet& sub) { from_set.push_back(sub); });
+  TagId scratch[kMaxTagsPerDocument];
+  s.ForEachSubsetSpan(scratch, [&](const TagId* tags, size_t n) {
+    from_span.push_back(TagSet::FromSorted(tags, tags + n));
+  });
+  s.ForEachSubsetKey([&](const PackedTagKey& key) {
+    from_key.push_back(TagSet::FromPackedKey(key));
+  });
+  EXPECT_EQ(from_set, from_span);
+  EXPECT_EQ(from_set, from_key);
+
+  from_set.clear();
+  from_key.clear();
+  s.ForEachSubset([&](const TagSet& sub) { from_set.push_back(sub); },
+                  /*min_size=*/3);
+  s.ForEachSubsetKey([&](const PackedTagKey& key) {
+    from_key.push_back(TagSet::FromPackedKey(key));
+  }, /*min_size=*/3);
+  EXPECT_EQ(from_set, from_key);
+  for (const TagSet& sub : from_set) EXPECT_GE(sub.size(), 3u);
+}
+
+TEST(TagSet, PackKeyMatchesHashAndEquality) {
+  const TagSet a({4, 9, 1});
+  const TagSet b({1, 4, 9});
+  EXPECT_EQ(a.PackKey(), b.PackKey());
+  EXPECT_EQ(a.PackKey().Hash(), b.PackKey().Hash());
+  EXPECT_NE(a.PackKey(), TagSet({1, 4}).PackKey());
+}
+
 TEST(TagSet, ToString) {
   EXPECT_EQ(TagSet({2, 1}).ToString(), "{1,2}");
   EXPECT_EQ(TagSet().ToString(), "{}");

@@ -140,6 +140,70 @@ TEST(ThreadedRuntime, AllGroupingBroadcasts) {
   for (SummingBolt* b : bolts) EXPECT_EQ(b->count, n);
 }
 
+TEST(ThreadedRuntime, TinyQueueCapacityForcesBatchSpill) {
+  // Queue capacity far below the delivery batch size forces PushBatch to
+  // spill in chunks while consumers drain concurrently; every envelope must
+  // still arrive exactly once and in per-edge order (the sum would differ
+  // on loss or duplication).
+  const int n = 20000;
+  Topology<Msg> topology;
+  const int spout =
+      topology.AddSpout("src", std::make_unique<CountingSpout>(n));
+  std::vector<SummingBolt*> bolts(4, nullptr);
+  const int sink = topology.AddBolt(
+      "sink",
+      [&bolts](int instance) {
+        auto b = std::make_unique<SummingBolt>(false);
+        bolts[static_cast<size_t>(instance)] = b.get();
+        return b;
+      },
+      4);
+  topology.Subscribe(sink, spout, Grouping<Msg>::Shuffle());
+  ThreadedRuntime<Msg> runtime(&topology, /*queue_capacity=*/3);
+  runtime.Run();
+  long long total = 0;
+  long long count = 0;
+  for (SummingBolt* b : bolts) {
+    total += b->sum;
+    count += b->count;
+  }
+  EXPECT_EQ(count, n);
+  EXPECT_EQ(total, static_cast<long long>(n) * (n - 1) / 2);
+}
+
+TEST(ThreadedRuntime, ChainWithCapacityOne) {
+  // Capacity 1 drives every queue interaction through the blocking paths
+  // of PushBatch/PopBatch; the two-stage chain must drain and terminate.
+  const int n = 2000;
+  Topology<Msg> topology;
+  const int spout =
+      topology.AddSpout("src", std::make_unique<CountingSpout>(n));
+  std::vector<SummingBolt*> mids(2, nullptr);
+  const int mid = topology.AddBolt(
+      "mid",
+      [&mids](int instance) {
+        auto b = std::make_unique<SummingBolt>(true);
+        mids[static_cast<size_t>(instance)] = b.get();
+        return b;
+      },
+      2);
+  SummingBolt* last = nullptr;
+  const int sink = topology.AddBolt(
+      "sink",
+      [&last](int) {
+        auto b = std::make_unique<SummingBolt>(false);
+        last = b.get();
+        return b;
+      },
+      1);
+  topology.Subscribe(mid, spout, Grouping<Msg>::Shuffle());
+  topology.Subscribe(sink, mid, Grouping<Msg>::Global());
+  ThreadedRuntime<Msg> runtime(&topology, /*queue_capacity=*/1);
+  runtime.Run();
+  EXPECT_EQ(last->count, n);
+  EXPECT_EQ(last->sum, static_cast<long long>(n) * (n - 1) / 2);
+}
+
 TEST(ThreadedRuntime, TicksFireFromStreamTime) {
   const int n = 100;  // Times 0..99.
   Topology<Msg> topology;
@@ -185,7 +249,14 @@ TEST(ThreadedRuntime, FullCorrelationTopologyRuns) {
       &threaded_topology,
       std::make_unique<ops::GeneratorSpout>(workload, num_docs), pipeline,
       nullptr, /*with_centralized_baseline=*/true);
-  ThreadedRuntime<ops::Message> threaded(&threaded_topology);
+  // Bounded backlog: with the default 4096-slot queues the spout can race
+  // several virtual minutes ahead of the Partitioner -> Merger ->
+  // Disseminator control loop, and on unlucky schedules the partitions
+  // install only after the stream ends (no coefficients tracked at all).
+  // 256 caps the skew at a fraction of a window, making the end-to-end
+  // assertion scheduling-independent.
+  ThreadedRuntime<ops::Message> threaded(&threaded_topology,
+                                         /*queue_capacity=*/256);
   threaded.Run(pipeline.report_period);
 
   // Reference simulation run.
