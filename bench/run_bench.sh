@@ -1,23 +1,63 @@
 #!/usr/bin/env bash
 # Runs the micro benchmarks and records the results as BENCH_micro.json at
-# the repo root, so the performance trajectory is tracked across PRs.
+# the repo root, so the performance trajectory is tracked across PRs. The
+# file contains the pipeline micro benchmarks (bench_micro_pipeline)
+# followed by the serving-layer benchmarks (bench_serve_bench), merged into
+# one Google-Benchmark JSON document: ingest throughput and read QPS live
+# side by side.
 #
 # Usage: bench/run_bench.sh [build_dir]   (default: build)
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-${REPO_ROOT}/build}"
-BENCH_BIN="${BUILD_DIR}/bench_micro_pipeline"
+PIPELINE_BIN="${BUILD_DIR}/bench_micro_pipeline"
+SERVE_BIN="${BUILD_DIR}/bench_serve_bench"
 
-if [[ ! -x "${BENCH_BIN}" ]]; then
-  echo "error: ${BENCH_BIN} not found — build first:" >&2
-  echo "  cmake -B build -S . && cmake --build build -j" >&2
+for bin in "${PIPELINE_BIN}" "${SERVE_BIN}"; do
+  if [[ ! -x "${bin}" ]]; then
+    echo "error: ${bin} not found — build first:" >&2
+    echo "  cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+  fi
+done
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "${TMP_DIR}"' EXIT
+
+"${PIPELINE_BIN}" \
+  --benchmark_format=json \
+  --benchmark_out="${TMP_DIR}/pipeline.json" \
+  --benchmark_out_format=json
+
+"${SERVE_BIN}" \
+  --benchmark_format=json \
+  --benchmark_out="${TMP_DIR}/serve.json" \
+  --benchmark_out_format=json
+
+# Merging needs python3; bail out *before* touching BENCH_micro.json
+# rather than silently committing a pipeline-only (serve-less) document.
+if ! command -v python3 > /dev/null; then
+  echo "error: python3 is required to merge the benchmark JSON documents;" >&2
+  echo "BENCH_micro.json left untouched. Raw outputs:" >&2
+  echo "  ${TMP_DIR}/pipeline.json  ${TMP_DIR}/serve.json" >&2
+  trap - EXIT  # Keep the raw outputs around for manual merging.
   exit 1
 fi
 
-"${BENCH_BIN}" \
-  --benchmark_format=json \
-  --benchmark_out="${REPO_ROOT}/BENCH_micro.json" \
-  --benchmark_out_format=json
+python3 - "${TMP_DIR}/pipeline.json" "${TMP_DIR}/serve.json" \
+    "${REPO_ROOT}/BENCH_micro.json" <<'PY'
+import json
+import sys
 
-echo "wrote ${REPO_ROOT}/BENCH_micro.json"
+pipeline_path, serve_path, out_path = sys.argv[1:4]
+with open(pipeline_path) as f:
+    merged = json.load(f)
+with open(serve_path) as f:
+    serve = json.load(f)
+merged["benchmarks"].extend(serve["benchmarks"])
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+PY
+echo "wrote ${REPO_ROOT}/BENCH_micro.json (pipeline + serve)"

@@ -1,0 +1,246 @@
+// query_server: end-to-end serving demo — ingest -> track -> query.
+//
+// Replays the synthetic generator workload through the Fig. 2 topology on
+// the concurrent ThreadedRuntime with a serve::CorrelationIndex attached
+// to the Tracker (via serve::IndexSink), then answers queries against the
+// index: interactively when run on a terminal, or as a scripted demo
+// otherwise (so the binary is runnable in CI).
+//
+//   ./build/example_query_server [--docs=N] [--interactive | --demo]
+//
+// Interactive commands:
+//   top <tag> [k]        strongest sets containing <tag> ("#name" or id)
+//   lookup <t1> <t2> ..  exact coefficient of a tagset, with freshness
+//   scan <minJ> [limit]  all sets with coefficient >= minJ
+//   stats                index epoch / freshness / size
+//   quit
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gen/tweet_generator.h"
+#include "ops/messages.h"
+#include "ops/parser.h"
+#include "ops/pipeline_config.h"
+#include "ops/source.h"
+#include "ops/topology_builder.h"
+#include "serve/correlation_index.h"
+#include "serve/index_sink.h"
+#include "stream/threaded_runtime.h"
+
+namespace {
+
+using namespace corrtrack;
+
+std::string SetName(const TagSet& tags, const TagDictionary& dictionary) {
+  std::string out = "{";
+  for (size_t i = 0; i < tags.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "#";
+    out += dictionary.Name(tags[i]);
+  }
+  out += "}";
+  return out;
+}
+
+std::optional<TagId> ResolveTag(const std::string& token,
+                                const TagDictionary& dictionary) {
+  std::string name = token;
+  if (!name.empty() && name[0] == '#') name = name.substr(1);
+  if (const std::optional<TagId> id = dictionary.Find(name)) return id;
+  // Fall back to a numeric TagId.
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(token.c_str(), &end, 10);
+  if (end != token.c_str() && *end == '\0' && value < dictionary.size()) {
+    return static_cast<TagId>(value);
+  }
+  return std::nullopt;
+}
+
+void PrintTop(const serve::CorrelationIndex::Reader& reader, TagId tag,
+              size_t k, const TagDictionary& dictionary) {
+  std::vector<serve::ScoredSet> results;
+  const size_t n = reader.TopCorrelated(tag, k, &results);
+  std::printf("top %zu for #%.*s:\n", n,
+              static_cast<int>(dictionary.Name(tag).size()),
+              dictionary.Name(tag).data());
+  for (const serve::ScoredSet& scored : results) {
+    std::printf("  %-40s J=%.3f  period=%lldms\n",
+                SetName(scored.tags, dictionary).c_str(), scored.coefficient,
+                static_cast<long long>(scored.period_end));
+  }
+}
+
+void PrintLookup(const serve::CorrelationIndex::Reader& reader,
+                 const TagSet& tags, const TagDictionary& dictionary) {
+  const std::optional<serve::LookupResult> hit = reader.Lookup(tags);
+  if (!hit.has_value()) {
+    std::printf("%s: not tracked\n", SetName(tags, dictionary).c_str());
+    return;
+  }
+  std::printf("%s: J=%.3f inter=%llu union=%llu period=%lldms epoch=%llu\n",
+              SetName(tags, dictionary).c_str(), hit->coefficient,
+              static_cast<unsigned long long>(hit->intersection_count),
+              static_cast<unsigned long long>(hit->union_count),
+              static_cast<long long>(hit->period_end),
+              static_cast<unsigned long long>(hit->epoch));
+}
+
+void PrintStats(const serve::CorrelationIndex& index,
+                const serve::CorrelationIndex::Reader& reader) {
+  std::printf(
+      "index: %zu sets over %zu shards, epoch %llu, freshest period %lldms\n",
+      reader.TotalSets(), index.num_shards(),
+      static_cast<unsigned long long>(index.epoch()),
+      static_cast<long long>(index.latest_period()));
+}
+
+void RunDemo(const serve::CorrelationIndex& index,
+             const TagDictionary& dictionary) {
+  const serve::CorrelationIndex::Reader reader = index.NewReader();
+  PrintStats(index, reader);
+  std::vector<serve::ScoredSet> strongest;
+  reader.Snapshot(0.0, &strongest);
+  if (strongest.empty()) {
+    std::printf("nothing tracked — stream too short?\n");
+    return;
+  }
+  std::printf("\nscan (strongest 5 overall):\n");
+  for (size_t i = 0; i < strongest.size() && i < 5; ++i) {
+    std::printf("  %-40s J=%.3f\n",
+                SetName(strongest[i].tags, dictionary).c_str(),
+                strongest[i].coefficient);
+  }
+  std::printf("\n");
+  PrintTop(reader, strongest[0].tags[0], 5, dictionary);
+  std::printf("\n");
+  PrintLookup(reader, strongest[0].tags, dictionary);
+}
+
+void RunRepl(const serve::CorrelationIndex& index,
+             const TagDictionary& dictionary) {
+  const serve::CorrelationIndex::Reader reader = index.NewReader();
+  PrintStats(index, reader);
+  std::printf("commands: top <tag> [k] | lookup <t1> <t2> .. | "
+              "scan <minJ> [limit] | stats | quit\n");
+  std::string line;
+  while (std::printf("> ") > 0 && std::fflush(stdout) == 0 &&
+         std::getline(std::cin, line)) {
+    std::istringstream words(line);
+    std::string command;
+    if (!(words >> command)) continue;
+    if (command == "quit" || command == "exit") break;
+    if (command == "stats") {
+      PrintStats(index, reader);
+    } else if (command == "top") {
+      std::string token;
+      size_t k = 10;
+      if (!(words >> token)) {
+        std::printf("usage: top <tag> [k]\n");
+        continue;
+      }
+      words >> k;
+      const std::optional<TagId> tag = ResolveTag(token, dictionary);
+      if (!tag.has_value()) {
+        std::printf("unknown tag %s\n", token.c_str());
+        continue;
+      }
+      PrintTop(reader, *tag, k, dictionary);
+    } else if (command == "lookup") {
+      std::vector<TagId> tags;
+      std::string token;
+      bool ok = true;
+      while (words >> token) {
+        const std::optional<TagId> tag = ResolveTag(token, dictionary);
+        if (!tag.has_value()) {
+          std::printf("unknown tag %s\n", token.c_str());
+          ok = false;
+          break;
+        }
+        tags.push_back(*tag);
+      }
+      if (!ok || tags.empty()) continue;
+      PrintLookup(reader, TagSet(tags), dictionary);
+    } else if (command == "scan") {
+      double min_jaccard = 0.5;
+      size_t limit = 20;
+      words >> min_jaccard >> limit;
+      std::vector<serve::ScoredSet> results;
+      const size_t n = reader.Snapshot(min_jaccard, &results);
+      std::printf("%zu sets with J >= %.3f:\n", n, min_jaccard);
+      for (size_t i = 0; i < results.size() && i < limit; ++i) {
+        std::printf("  %-40s J=%.3f\n",
+                    SetName(results[i].tags, dictionary).c_str(),
+                    results[i].coefficient);
+      }
+    } else {
+      std::printf("unknown command %s\n", command.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t num_docs = 60000;
+  bool interactive = isatty(STDIN_FILENO) != 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--docs=", 7) == 0) {
+      num_docs = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--interactive") == 0) {
+      interactive = true;
+    } else if (std::strcmp(argv[i], "--demo") == 0) {
+      interactive = false;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  ops::PipelineConfig pipeline;
+  pipeline.algorithm = AlgorithmKind::kDS;
+  pipeline.num_calculators = 5;
+  pipeline.num_partitioners = 3;
+  pipeline.window_span = 2 * kMillisPerMinute;
+  pipeline.report_period = 2 * kMillisPerMinute;
+  pipeline.bootstrap_time = 2 * kMillisPerMinute;
+
+  gen::GeneratorConfig workload;
+  workload.seed = 2014;
+  workload.topics.num_topics = 60;
+
+  // The index ingests live from the Tracker task while the topology runs;
+  // queries are answered after the stream drains (and could equally be
+  // answered by concurrent readers mid-run — see bench/serve_bench.cc).
+  serve::CorrelationIndex index;
+  serve::IndexSink sink(&index);
+
+  stream::Topology<ops::Message> topology;
+  const ops::TopologyHandles handles = ops::BuildCorrelationTopology(
+      &topology, std::make_unique<ops::GeneratorSpout>(workload, num_docs),
+      pipeline, /*metrics=*/nullptr, /*with_centralized_baseline=*/false,
+      &sink);
+  stream::ThreadedRuntime<ops::Message> runtime(&topology,
+                                                /*queue_capacity=*/256);
+  std::printf("streaming %llu documents through the topology...\n",
+              static_cast<unsigned long long>(num_docs));
+  runtime.Run(/*flush_horizon=*/pipeline.report_period);
+
+  const auto* parser =
+      static_cast<ops::ParserBolt*>(runtime.bolt(handles.parser, 0));
+  if (interactive) {
+    RunRepl(index, parser->dictionary());
+  } else {
+    RunDemo(index, parser->dictionary());
+  }
+  return 0;
+}

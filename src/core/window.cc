@@ -27,7 +27,11 @@ void SlidingWindow::AdvanceTo(Timestamp now) {
 
 void SlidingWindow::EvictForTime(Timestamp now) {
   if (span_ <= 0) return;
-  while (!docs_.empty() && docs_.front().time <= now - span_) {
+  // Exclusive boundary: keep time > now - span, i.e. evict exactly when
+  // now - time >= span. Written as an age comparison so a clock near the
+  // Timestamp minimum cannot underflow a `now - span_` intermediate; ages
+  // are differences of in-window times and always fit.
+  while (!docs_.empty() && now - docs_.front().time >= span_) {
     docs_.pop_front();
   }
 }

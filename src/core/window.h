@@ -14,7 +14,14 @@ namespace corrtrack {
 /// Conceptually time-based (e.g. the last 5 minutes of tweets) or count-based
 /// (e.g. the last 10 000 tweets); both bounds can be active at once, in which
 /// case the stricter one wins. Documents must be added in non-decreasing
-/// timestamp order.
+/// timestamp order; equal timestamps are allowed and evicted together.
+///
+/// Boundary contract (pinned by window_test.cc): the time bound keeps
+/// exactly the documents with time > now - span — a document whose age
+/// reaches the span is evicted, *including* one sitting exactly at the
+/// boundary — and Add(doc) and AdvanceTo(doc.time) agree on that boundary,
+/// so advancing the clock to a timestamp evicts the same documents as
+/// adding a document there would.
 class SlidingWindow {
  public:
   /// `span` <= 0 disables the time bound; `max_count` == 0 disables the count

@@ -25,6 +25,12 @@ struct ExperimentConfig {
   uint64_t series_stride = 10000;
   bool with_centralized_baseline = true;
 
+  /// Attach a serve::CorrelationIndex to the Tracker and validate the
+  /// served answers against the Tracker's own period maps after the run
+  /// (ExperimentResult::serve_*). Off by default: the serving layer is not
+  /// part of the paper's figures.
+  bool with_serve_index = false;
+
   /// Applies the paper's tps parameter (raw tweets/second).
   void set_tps(double tps) { generator.tps = tps; }
 };

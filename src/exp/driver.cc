@@ -8,6 +8,8 @@
 #include "ops/source.h"
 #include "ops/topology_builder.h"
 #include "ops/tracker_op.h"
+#include "serve/correlation_index.h"
+#include "serve/index_sink.h"
 #include "stream/simulation.h"
 
 namespace corrtrack::exp {
@@ -65,6 +67,52 @@ void CompareAgainstBaseline(const ops::TrackerBolt& tracker,
                                static_cast<double>(baseline_tagsets.size());
 }
 
+/// Differential oracle for the serving layer: every answer the
+/// CorrelationIndex serves must be bit-identical to the Tracker's period
+/// maps — same coefficient, same counters, same period — and the newest
+/// period must be served completely (nothing newer can have overwritten
+/// it). Retention may legitimately have dropped *older* periods, so
+/// completeness is only asserted on the newest one.
+void ValidateServeIndex(const serve::CorrelationIndex& index,
+                        const ops::TrackerBolt& tracker,
+                        ExperimentResult* result) {
+  serve::CorrelationIndex::Reader reader = index.NewReader();
+  result->serve_sets = reader.TotalSets();
+
+  std::vector<serve::ScoredSet> served;
+  reader.Snapshot(0.0, &served);
+  for (const serve::ScoredSet& scored : served) {
+    ++result->serve_lookups_checked;
+    const std::optional<serve::LookupResult> lookup =
+        reader.Lookup(scored.tags);
+    const auto period_it = tracker.periods().find(scored.period_end);
+    if (!lookup.has_value() || period_it == tracker.periods().end()) {
+      ++result->serve_mismatches;
+      continue;
+    }
+    const auto entry_it = period_it->second.find(scored.tags);
+    if (entry_it == period_it->second.end() ||
+        entry_it->second.coefficient != lookup->coefficient ||
+        entry_it->second.intersection_count != lookup->intersection_count ||
+        entry_it->second.union_count != lookup->union_count) {
+      ++result->serve_mismatches;
+    }
+  }
+
+  if (tracker.periods().empty()) return;
+  const auto& [newest_period, newest_results] = *tracker.periods().rbegin();
+  for (const auto& [tags, estimate] : newest_results) {
+    ++result->serve_lookups_checked;
+    const std::optional<serve::LookupResult> lookup = reader.Lookup(tags);
+    if (!lookup.has_value() || lookup->period_end != newest_period ||
+        lookup->coefficient != estimate.coefficient ||
+        lookup->intersection_count != estimate.intersection_count ||
+        lookup->union_count != estimate.union_count) {
+      ++result->serve_mismatches;
+    }
+  }
+}
+
 }  // namespace
 
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
@@ -74,9 +122,15 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   stream::Topology<ops::Message> topology;
   auto spout = std::make_unique<ops::GeneratorSpout>(config.generator,
                                                      config.num_documents);
+  std::unique_ptr<serve::CorrelationIndex> serve_index;
+  std::unique_ptr<serve::IndexSink> serve_sink;
+  if (config.with_serve_index) {
+    serve_index = std::make_unique<serve::CorrelationIndex>();
+    serve_sink = std::make_unique<serve::IndexSink>(serve_index.get());
+  }
   const ops::TopologyHandles handles = ops::BuildCorrelationTopology(
       &topology, std::move(spout), config.pipeline, &metrics,
-      config.with_centralized_baseline);
+      config.with_centralized_baseline, serve_sink.get());
 
   stream::SimulationRuntime<ops::Message> runtime(&topology);
   runtime.Run(/*flush_horizon=*/config.pipeline.report_period);
@@ -110,6 +164,11 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
         ((install + period - 1) / period + 1) * period;
     CompareAgainstBaseline(*tracker, *baseline, first_full_period_end,
                            &result);
+  }
+  if (serve_index != nullptr) {
+    const auto* tracker = static_cast<ops::TrackerBolt*>(
+        runtime.bolt(handles.tracker, 0));
+    ValidateServeIndex(*serve_index, *tracker, &result);
   }
   return result;
 }

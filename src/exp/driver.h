@@ -38,6 +38,15 @@ struct ExperimentResult {
 
   uint64_t documents = 0;
 
+  // Serving-layer validation (ExperimentConfig::with_serve_index): the
+  // CorrelationIndex that ingested the Tracker's reports is checked
+  // against the Tracker's period maps — every tagset of the newest period
+  // must Lookup bit-identically, and every served entry must equal the
+  // Tracker's value for its reporting period.
+  uint64_t serve_sets = 0;             // Distinct sets servable at the end.
+  uint64_t serve_lookups_checked = 0;  // Oracle comparisons performed.
+  uint64_t serve_mismatches = 0;       // Disagreements (0 on a sound serve).
+
   // Figures 8/9 time series.
   std::vector<SeriesSample> series;
   std::vector<RepartitionEvent> repartition_events;

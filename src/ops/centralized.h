@@ -7,6 +7,7 @@
 #include "core/jaccard.h"
 #include "core/tagset.h"
 #include "ops/messages.h"
+#include "ops/period_sink.h"
 #include "ops/pipeline_config.h"
 #include "stream/topology.h"
 
@@ -21,7 +22,9 @@ class CentralizedBolt : public stream::Bolt<Message> {
  public:
   using PeriodResults = FlatTagSetMap<JaccardEstimate>;
 
-  explicit CentralizedBolt(const PipelineConfig& config) : config_(config) {}
+  explicit CentralizedBolt(const PipelineConfig& config,
+                           PeriodSink* sink = nullptr)
+      : config_(config), sink_(sink) {}
 
   void Execute(const stream::Envelope<Message>& in,
                stream::Emitter<Message>& out) override {
@@ -36,8 +39,10 @@ class CentralizedBolt : public stream::Bolt<Message> {
     PeriodResults& results = periods_[tick_time];
     // "Since a tagset is added when seen at least 3 times the centralised
     // approach considers only tagsets appearing more than 3 times."
-    for (JaccardEstimate& estimate : counters_.ReportAll(
-             static_cast<uint64_t>(config_.single_addition_threshold))) {
+    std::vector<JaccardEstimate> estimates = counters_.ReportAll(
+        static_cast<uint64_t>(config_.single_addition_threshold));
+    if (sink_ != nullptr) sink_->OnPeriodResults(tick_time, estimates);
+    for (JaccardEstimate& estimate : estimates) {
       results.emplace(estimate.tags, std::move(estimate));
     }
     counters_.Reset();
@@ -49,6 +54,7 @@ class CentralizedBolt : public stream::Bolt<Message> {
 
  private:
   PipelineConfig config_;
+  PeriodSink* sink_;
   SubsetCounterTable counters_;
   std::map<Timestamp, PeriodResults> periods_;
 };

@@ -1,0 +1,33 @@
+#ifndef CORRTRACK_OPS_PERIOD_SINK_H_
+#define CORRTRACK_OPS_PERIOD_SINK_H_
+
+#include <vector>
+
+#include "core/jaccard.h"
+#include "core/types.h"
+
+namespace corrtrack::ops {
+
+/// Observer through which the result-holding bolts (Tracker, the
+/// Centralized baseline) expose each reporting period's coefficients to an
+/// external consumer — the serving layer's ingest hook
+/// (serve::IndexSink) — mirroring how MetricsSink exposes run-time events
+/// to the experiment harness. Bolts run fine without one (nullptr).
+///
+/// Contract: OnPeriodResults may be invoked several times for the same
+/// `period_end` — the Tracker forwards every Calculator report as it
+/// arrives, before its own dedup settles — so consumers must merge
+/// duplicate tagsets with the Tracker's max-CN rule (keep the estimate
+/// with the strictly larger intersection count). Calls arrive on the
+/// owning bolt's execution thread: one bolt, one producer.
+class PeriodSink {
+ public:
+  virtual ~PeriodSink() = default;
+
+  virtual void OnPeriodResults(
+      Timestamp period_end, const std::vector<JaccardEstimate>& estimates) = 0;
+};
+
+}  // namespace corrtrack::ops
+
+#endif  // CORRTRACK_OPS_PERIOD_SINK_H_

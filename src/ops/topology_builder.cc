@@ -23,7 +23,8 @@ TopologyHandles BuildCorrelationTopology(
     stream::Topology<Message>* topology,
     std::unique_ptr<stream::Spout<Message>> spout,
     const PipelineConfig& config, MetricsSink* metrics,
-    bool with_centralized_baseline) {
+    bool with_centralized_baseline, PeriodSink* tracker_sink,
+    PeriodSink* baseline_sink) {
   TopologyHandles handles;
 
   handles.source = topology->AddSpout("source", std::move(spout));
@@ -64,7 +65,8 @@ TopologyHandles BuildCorrelationTopology(
       config.num_calculators, config.report_period);
 
   handles.tracker = topology->AddBolt(
-      "tracker", [](int) { return std::make_unique<TrackerBolt>(); },
+      "tracker",
+      [tracker_sink](int) { return std::make_unique<TrackerBolt>(tracker_sink); },
       /*parallelism=*/1);
 
   // Wiring per Fig. 2.
@@ -90,7 +92,9 @@ TopologyHandles BuildCorrelationTopology(
   if (with_centralized_baseline) {
     handles.centralized = topology->AddBolt(
         "centralized",
-        [config](int) { return std::make_unique<CentralizedBolt>(config); },
+        [config, baseline_sink](int) {
+          return std::make_unique<CentralizedBolt>(config, baseline_sink);
+        },
         /*parallelism=*/1, config.report_period);
     topology->Subscribe(handles.centralized, handles.parser,
                         Grouping<Message>::Global());

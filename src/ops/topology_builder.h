@@ -5,6 +5,7 @@
 
 #include "ops/messages.h"
 #include "ops/metrics_sink.h"
+#include "ops/period_sink.h"
 #include "ops/pipeline_config.h"
 #include "stream/topology.h"
 
@@ -37,11 +38,17 @@ struct TopologyHandles {
 /// `spout` becomes the source; `metrics` may be null. When
 /// `with_centralized_baseline` is false the baseline bolt is omitted
 /// (examples don't need it; the error experiments do).
+///
+/// `tracker_sink` / `baseline_sink` (both optional) attach PeriodSink
+/// observers to the Tracker and the Centralized baseline — the serving
+/// layer's ingest hooks (serve::IndexSink). Each sink is driven by exactly
+/// one bolt task, satisfying a CorrelationIndex's single-writer contract.
 TopologyHandles BuildCorrelationTopology(
     stream::Topology<Message>* topology,
     std::unique_ptr<stream::Spout<Message>> spout,
     const PipelineConfig& config, MetricsSink* metrics,
-    bool with_centralized_baseline);
+    bool with_centralized_baseline, PeriodSink* tracker_sink = nullptr,
+    PeriodSink* baseline_sink = nullptr);
 
 }  // namespace corrtrack::ops
 

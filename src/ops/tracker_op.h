@@ -7,6 +7,7 @@
 #include "core/jaccard.h"
 #include "core/tagset.h"
 #include "ops/messages.h"
+#include "ops/period_sink.h"
 #include "stream/topology.h"
 
 namespace corrtrack::ops {
@@ -17,11 +18,17 @@ namespace corrtrack::ops {
 /// maximum counter value CN(s_i) — which "guarantees that at least all
 /// tagsets assigned to the partitions during the creation of them will have
 /// a correct Jaccard coefficient".
+///
+/// With a PeriodSink attached, every incoming report is forwarded raw (the
+/// sink re-applies the max-CN rule, see PeriodSink's contract), so a
+/// serving index converges to the same period map without the Tracker
+/// having to know when a period is complete — no watermark exists under
+/// the threaded runtime's cross-producer interleaving.
 class TrackerBolt : public stream::Bolt<Message> {
  public:
   using PeriodResults = FlatTagSetMap<JaccardEstimate>;
 
-  TrackerBolt() = default;
+  explicit TrackerBolt(PeriodSink* sink = nullptr) : sink_(sink) {}
 
   void Execute(const stream::Envelope<Message>& in,
                stream::Emitter<Message>& out) override {
@@ -36,6 +43,9 @@ class TrackerBolt : public stream::Bolt<Message> {
         it->second = estimate;  // Max-CN wins.
       }
     }
+    if (sink_ != nullptr) {
+      sink_->OnPeriodResults(report->period_end, report->estimates);
+    }
   }
 
   /// Results per reporting period (keyed by the period-end timestamp).
@@ -44,6 +54,7 @@ class TrackerBolt : public stream::Bolt<Message> {
   }
 
  private:
+  PeriodSink* sink_;
   std::map<Timestamp, PeriodResults> periods_;
 };
 

@@ -1,0 +1,274 @@
+#include "serve/correlation_index.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/check.h"
+
+namespace corrtrack::serve {
+
+namespace {
+
+/// Within-tag posting order: strongest correlation first, fresher values
+/// before staler on ties, canonical tagset order as the final tie-break so
+/// snapshots are deterministic functions of the builder state.
+bool PostingLess(const ShardSnapshot::Entry& a, const ShardSnapshot::Entry& b) {
+  if (a.coefficient != b.coefficient) return a.coefficient > b.coefficient;
+  if (a.period_end != b.period_end) return a.period_end > b.period_end;
+  return a.tags < b.tags;
+}
+
+}  // namespace
+
+CorrelationIndex::CorrelationIndex(const ServeConfig& config)
+    : config_(config) {
+  CORRTRACK_CHECK_GT(config.num_shards, 0);
+  num_shards_ = std::bit_ceil(static_cast<size_t>(config.num_shards));
+  shard_mask_ = num_shards_ - 1;
+  shards_ = std::make_unique<Shard[]>(num_shards_);
+  // Publish an empty snapshot everywhere so readers never see null.
+  for (size_t s = 0; s < num_shards_; ++s) {
+    Publish(shards_[s], std::make_shared<const ShardSnapshot>());
+  }
+}
+
+void CorrelationIndex::Publish(Shard& shard,
+                               std::shared_ptr<const ShardSnapshot> snapshot) {
+  {
+    std::lock_guard<std::mutex> lock(shard.slot_mutex);
+    shard.slot = std::move(snapshot);
+  }
+  // The version bump is what readers poll; bumped after the swap so a
+  // reader seeing the new version finds (at least) that snapshot behind
+  // the mutex.
+  shard.version.fetch_add(1, std::memory_order_release);
+}
+
+void CorrelationIndex::ApplyPeriod(
+    Timestamp period_end, const std::vector<JaccardEstimate>& estimates) {
+  for (const JaccardEstimate& estimate : estimates) {
+    if (estimate.tags.size() < 2) continue;
+    // System-wide invariant (and the bound on owners[] below): nothing
+    // upstream reports sets beyond the subset-enumeration limit.
+    CORRTRACK_CHECK_LE(estimate.tags.size(),
+                       static_cast<size_t>(kMaxTagsPerDocument));
+    if (estimate.coefficient < config_.min_coefficient) continue;
+    // Every shard owning one of the set's tags gets the entry (deduped:
+    // several tags may hash to the same shard).
+    size_t owners[PackedTagKey::kCapacity];
+    size_t num_owners = 0;
+    for (const TagId tag : estimate.tags) {
+      const size_t s = ShardOf(tag);
+      bool seen = false;
+      for (size_t i = 0; i < num_owners; ++i) {
+        if (owners[i] == s) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) owners[num_owners++] = s;
+    }
+    for (size_t i = 0; i < num_owners; ++i) {
+      Shard& shard = shards_[owners[i]];
+      BuilderEntry& entry = shard.builder[estimate.tags];
+      // union_count == 0 marks a freshly defaulted entry (a real estimate
+      // always has union_count >= intersection_count >= 1). Newer periods
+      // win outright; within a period the Tracker's max-CN rule applies.
+      const bool fresh = entry.union_count == 0;
+      if (fresh || period_end > entry.period_end ||
+          (period_end == entry.period_end &&
+           estimate.intersection_count > entry.intersection_count)) {
+        entry.coefficient = estimate.coefficient;
+        entry.intersection_count = estimate.intersection_count;
+        entry.union_count = estimate.union_count;
+        entry.period_end = period_end;
+        shard.dirty = true;
+      }
+    }
+  }
+
+  EvictExpired(period_end);
+
+  bool published = false;
+  const uint64_t next_epoch = epoch_.load(std::memory_order_relaxed) + 1;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    Shard& shard = shards_[s];
+    if (!shard.dirty) continue;
+    Publish(shard, BuildSnapshot(s, next_epoch));
+    shard.dirty = false;
+    published = true;
+  }
+  if (published) epoch_.store(next_epoch, std::memory_order_release);
+  Timestamp latest = latest_period_.load(std::memory_order_relaxed);
+  if (period_end > latest) {
+    latest_period_.store(period_end, std::memory_order_release);
+  }
+}
+
+void CorrelationIndex::EvictExpired(Timestamp period_end) {
+  if (config_.retention_periods <= 0) return;
+  const auto it = std::lower_bound(recent_periods_.begin(),
+                                   recent_periods_.end(), period_end);
+  if (it == recent_periods_.end() || *it != period_end) {
+    recent_periods_.insert(it, period_end);
+  }
+  const size_t keep = static_cast<size_t>(config_.retention_periods);
+  if (recent_periods_.size() <= keep) return;
+  recent_periods_.erase(recent_periods_.begin(),
+                        recent_periods_.end() - static_cast<ptrdiff_t>(keep));
+  const Timestamp cutoff = recent_periods_.front();
+  std::vector<TagSet> expired;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    Shard& shard = shards_[s];
+    expired.clear();
+    for (const auto& [tags, entry] : shard.builder) {
+      if (entry.period_end < cutoff) expired.push_back(tags);
+    }
+    if (expired.empty()) continue;
+    for (const TagSet& tags : expired) shard.builder.erase(tags);
+    shard.dirty = true;
+  }
+}
+
+std::shared_ptr<const ShardSnapshot> CorrelationIndex::BuildSnapshot(
+    size_t s, uint64_t epoch) const {
+  const Shard& shard = shards_[s];
+  auto snapshot = std::make_shared<ShardSnapshot>();
+  snapshot->epoch_ = epoch;
+
+  snapshot->entries_.reserve(shard.builder.size());
+  for (const auto& [tags, entry] : shard.builder) {
+    ShardSnapshot::Entry e;
+    e.tags = tags;
+    e.coefficient = entry.coefficient;
+    e.intersection_count = entry.intersection_count;
+    e.union_count = entry.union_count;
+    e.period_end = entry.period_end;
+    snapshot->entries_.push_back(std::move(e));
+  }
+  std::sort(snapshot->entries_.begin(), snapshot->entries_.end(),
+            [](const ShardSnapshot::Entry& a, const ShardSnapshot::Entry& b) {
+              return a.tags < b.tags;
+            });
+  for (size_t i = 0; i < snapshot->entries_.size(); ++i) {
+    snapshot->by_set_.emplace(snapshot->entries_[i].tags,
+                              static_cast<uint32_t>(i));
+  }
+
+  // Per-tag postings, CSR layout: gather (tag, entry) pairs for the tags
+  // this shard owns, order by tag then posting rank, truncate each tag's
+  // run to the SpaceSaving-style capacity.
+  std::vector<std::pair<TagId, uint32_t>> pairs;
+  for (size_t i = 0; i < snapshot->entries_.size(); ++i) {
+    for (const TagId tag : snapshot->entries_[i].tags) {
+      if (ShardOf(tag) == s) pairs.emplace_back(tag, static_cast<uint32_t>(i));
+    }
+  }
+  const std::vector<ShardSnapshot::Entry>& entries = snapshot->entries_;
+  std::sort(pairs.begin(), pairs.end(),
+            [&entries](const std::pair<TagId, uint32_t>& a,
+                       const std::pair<TagId, uint32_t>& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return PostingLess(entries[a.second], entries[b.second]);
+            });
+  snapshot->postings_offsets_.push_back(0);
+  size_t i = 0;
+  while (i < pairs.size()) {
+    const TagId tag = pairs[i].first;
+    size_t run_end = i;
+    while (run_end < pairs.size() && pairs[run_end].first == tag) ++run_end;
+    const size_t take = std::min(run_end - i, config_.top_k_capacity);
+    snapshot->tag_keys_.push_back(tag);
+    for (size_t j = i; j < i + take; ++j) {
+      snapshot->postings_.push_back(pairs[j].second);
+    }
+    snapshot->postings_offsets_.push_back(snapshot->postings_.size());
+    i = run_end;
+  }
+  return snapshot;
+}
+
+CorrelationIndex::Reader::Reader(const CorrelationIndex* index)
+    : index_(index), slots_(index->num_shards_) {}
+
+const ShardSnapshot* CorrelationIndex::Reader::Acquire(size_t shard) const {
+  const Shard& s = index_->shards_[shard];
+  Slot& slot = slots_[shard];
+  const uint64_t version = s.version.load(std::memory_order_acquire);
+  if (version != slot.version || slot.snapshot == nullptr) {
+    // Snapshot moved (or first touch): pay the slot copy once; every query
+    // until the next publish reuses the cached pointer lock-free. The
+    // mutex may hand back a snapshot even newer than `version` says — the
+    // next poll then refreshes redundantly but harmlessly.
+    std::lock_guard<std::mutex> lock(s.slot_mutex);
+    slot.snapshot = s.slot;
+    slot.version = version;
+  }
+  return slot.snapshot.get();
+}
+
+size_t CorrelationIndex::Reader::TopCorrelated(
+    TagId tag, size_t k, std::vector<ScoredSet>* out) const {
+  out->clear();
+  const ShardSnapshot* snapshot = Acquire(index_->ShardOf(tag));
+  const auto [postings, available] = snapshot->TopForTag(tag);
+  const size_t n = std::min(k, available);
+  for (size_t i = 0; i < n; ++i) {
+    const ShardSnapshot::Entry& entry = snapshot->entries()[postings[i]];
+    out->push_back({entry.tags, entry.coefficient, entry.period_end});
+  }
+  return n;
+}
+
+std::optional<LookupResult> CorrelationIndex::Reader::Lookup(
+    const TagSet& tags) const {
+  if (tags.empty()) return std::nullopt;
+  // Home shard: the shard of the set's smallest tag (tags are canonical,
+  // so tags[0] is the minimum) — the one deterministic owner among the
+  // shards the entry is replicated to.
+  const ShardSnapshot* snapshot = Acquire(index_->ShardOf(tags[0]));
+  const ShardSnapshot::Entry* entry = snapshot->FindSet(tags);
+  if (entry == nullptr) return std::nullopt;
+  LookupResult result;
+  result.coefficient = entry->coefficient;
+  result.intersection_count = entry->intersection_count;
+  result.union_count = entry->union_count;
+  result.period_end = entry->period_end;
+  result.epoch = snapshot->epoch();
+  return result;
+}
+
+size_t CorrelationIndex::Reader::Snapshot(double min_jaccard,
+                                          std::vector<ScoredSet>* out) const {
+  out->clear();
+  for (size_t s = 0; s < index_->num_shards_; ++s) {
+    const ShardSnapshot* snapshot = Acquire(s);
+    for (const ShardSnapshot::Entry& entry : snapshot->entries()) {
+      if (entry.coefficient < min_jaccard) continue;
+      // Replicated entries are emitted by their home shard only.
+      if (index_->ShardOf(entry.tags[0]) != s) continue;
+      out->push_back({entry.tags, entry.coefficient, entry.period_end});
+    }
+  }
+  std::sort(out->begin(), out->end(),
+            [](const ScoredSet& a, const ScoredSet& b) {
+              if (a.coefficient != b.coefficient) {
+                return a.coefficient > b.coefficient;
+              }
+              return a.tags < b.tags;
+            });
+  return out->size();
+}
+
+size_t CorrelationIndex::Reader::TotalSets() const {
+  size_t total = 0;
+  for (size_t s = 0; s < index_->num_shards_; ++s) {
+    const ShardSnapshot* snapshot = Acquire(s);
+    for (const ShardSnapshot::Entry& entry : snapshot->entries()) {
+      if (index_->ShardOf(entry.tags[0]) == s) ++total;
+    }
+  }
+  return total;
+}
+
+}  // namespace corrtrack::serve

@@ -1,0 +1,244 @@
+#ifndef CORRTRACK_SERVE_CORRELATION_INDEX_H_
+#define CORRTRACK_SERVE_CORRELATION_INDEX_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/flat_counter_table.h"
+#include "core/jaccard.h"
+#include "core/tagset.h"
+#include "core/types.h"
+#include "serve/serve_config.h"
+
+namespace corrtrack::serve {
+
+/// One ranked answer of TopCorrelated / Snapshot: a tagset, its Jaccard
+/// coefficient, and the reporting period the value came from.
+struct ScoredSet {
+  TagSet tags;
+  double coefficient = 0.0;
+  Timestamp period_end = 0;
+};
+
+/// The answer to an exact Lookup, with provenance: which reporting period
+/// produced the value (freshness) and which published index epoch answered.
+struct LookupResult {
+  double coefficient = 0.0;
+  uint64_t intersection_count = 0;
+  uint64_t union_count = 0;
+  Timestamp period_end = 0;  ///< Freshness: the value's reporting period.
+  uint64_t epoch = 0;        ///< Publish epoch of the answering snapshot.
+};
+
+/// Immutable, epoch-versioned read view of one shard. Built off the read
+/// path by the single writer and published wholesale; readers never observe
+/// a partially built snapshot. Layout is read-optimised: a dense entry
+/// array, a FlatTagSetMap for exact lookups, and CSR-shaped per-tag
+/// postings (sorted tag keys + one flat index array) so TopCorrelated is a
+/// binary search plus a contiguous copy.
+class ShardSnapshot {
+ public:
+  struct Entry {
+    TagSet tags;
+    double coefficient = 0.0;
+    uint64_t intersection_count = 0;
+    uint64_t union_count = 0;
+    Timestamp period_end = 0;
+  };
+
+  ShardSnapshot() = default;
+
+  /// The entry for `tags`, or nullptr when the shard does not hold it.
+  const Entry* FindSet(const TagSet& tags) const {
+    const auto it = by_set_.find(tags);
+    if (it == by_set_.end()) return nullptr;
+    return &entries_[it->second];
+  }
+
+  /// The postings of `tag`: entry indices sorted by descending coefficient,
+  /// at most ServeConfig::top_k_capacity of them.
+  std::pair<const uint32_t*, size_t> TopForTag(TagId tag) const {
+    const auto it = std::lower_bound(tag_keys_.begin(), tag_keys_.end(), tag);
+    if (it == tag_keys_.end() || *it != tag) return {nullptr, 0};
+    const size_t i = static_cast<size_t>(it - tag_keys_.begin());
+    return {postings_.data() + postings_offsets_[i],
+            postings_offsets_[i + 1] - postings_offsets_[i]};
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  friend class CorrelationIndex;
+
+  std::vector<Entry> entries_;         // Sorted by tagset (canonical order).
+  FlatTagSetMap<uint32_t> by_set_;     // Tagset -> index into entries_.
+  std::vector<TagId> tag_keys_;        // Sorted tags owned by this shard.
+  std::vector<size_t> postings_offsets_;  // CSR offsets, size keys + 1.
+  std::vector<uint32_t> postings_;     // Entry indices, per-tag coef-desc.
+  uint64_t epoch_ = 0;
+};
+
+/// The serving layer: a sharded index over the Tracker's (or the
+/// centralised baseline's) period results that answers concurrent queries
+/// with zero locks on the read path.
+///
+/// Sharding: a tag lives in shard HashTagSpan(tag) & mask (power-of-two
+/// shard count, the FlatCounterTable hashing discipline). An entry (one
+/// tagset's latest coefficient) is replicated into every shard that owns
+/// one of its tags, so each shard can answer TopCorrelated for its tags
+/// locally; exact Lookups go to the *home* shard — the shard of the set's
+/// smallest tag.
+///
+/// Concurrency (RCU-style): each shard publishes an immutable
+/// ShardSnapshot. The single writer (ApplyPeriod) mutates private builder
+/// state, constructs fresh snapshots off-path, and swaps them in; old
+/// snapshots are reclaimed by shared_ptr once the last reader drops them.
+/// Readers go through per-thread Reader handles that cache the shared_ptr
+/// per shard and re-copy it only when the shard's atomic version counter
+/// changed, so a steady-state query performs no reference-count traffic
+/// and takes no lock at all — one atomic load, then reads of immutable
+/// memory.
+///
+/// The publication slot itself is a mutex-guarded shared_ptr rather than a
+/// std::atomic<std::shared_ptr>: libstdc++'s _Sp_atomic is internally a
+/// pointer-wide spinlock paid on *every* load — the version-counter fast
+/// path already removes that cost from the query path, so the atomic type
+/// would only add its unannotated lock-bit protocol, which ThreadSanitizer
+/// (the CI gate on exactly this code) flags as a race in GCC 12. The slot
+/// mutex is touched once per publish per shard by the writer and at most
+/// once per publish per shard by each reader.
+///
+/// Writer contract: ApplyPeriod calls must be externally serialised (one
+/// ingest thread — the Tracker task in the threaded runtime). Readers may
+/// run on any number of threads concurrently with the writer.
+class CorrelationIndex {
+ public:
+  explicit CorrelationIndex(const ServeConfig& config = ServeConfig());
+
+  CorrelationIndex(const CorrelationIndex&) = delete;
+  CorrelationIndex& operator=(const CorrelationIndex&) = delete;
+
+  /// Ingests one batch of period results (single writer). May be called
+  /// several times for the same `period_end` — duplicate tagsets within a
+  /// period merge with the Tracker's max-CN rule, so the final state is
+  /// bit-identical to the Tracker's period map regardless of report
+  /// interleaving. A newer period's value replaces an older one; reports
+  /// for periods older than the entry's are ignored. Estimates with fewer
+  /// than two tags or a coefficient below ServeConfig::min_coefficient are
+  /// screened out.
+  void ApplyPeriod(Timestamp period_end,
+                   const std::vector<JaccardEstimate>& estimates);
+
+  /// Read handle with per-shard snapshot caching; create one per reader
+  /// thread. The handle must not outlive the index. Queries on one handle
+  /// are not thread-safe with each other (the cache is mutated) — share
+  /// nothing, as with the topology's bolts.
+  class Reader {
+   public:
+    /// Top-`k` sets correlated with `tag`, highest coefficient first.
+    /// Returns the number of results written to `*out` (cleared first).
+    size_t TopCorrelated(TagId tag, size_t k,
+                         std::vector<ScoredSet>* out) const;
+
+    /// Exact coefficient of `tags` with provenance, or nullopt when the
+    /// index does not (or no longer) hold the set.
+    std::optional<LookupResult> Lookup(const TagSet& tags) const;
+
+    /// All sets with coefficient >= `min_jaccard`, highest first
+    /// (deterministic tie-break by tagset). Returns the count written to
+    /// `*out` (cleared first). Dashboard-style full scan: touches every
+    /// shard once.
+    size_t Snapshot(double min_jaccard, std::vector<ScoredSet>* out) const;
+
+    /// Number of distinct sets currently servable (home entries only).
+    size_t TotalSets() const;
+
+   private:
+    friend class CorrelationIndex;
+
+    explicit Reader(const CorrelationIndex* index);
+
+    /// Returns the shard's current snapshot, refreshing the cached
+    /// shared_ptr only when the shard's version counter moved.
+    const ShardSnapshot* Acquire(size_t shard) const;
+
+    struct Slot {
+      uint64_t version = 0;
+      std::shared_ptr<const ShardSnapshot> snapshot;
+    };
+
+    const CorrelationIndex* index_;
+    mutable std::vector<Slot> slots_;
+  };
+
+  Reader NewReader() const { return Reader(this); }
+
+  /// Monotone publish counter: bumped once per ApplyPeriod that changed
+  /// anything.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Newest period-end ever ingested (freshness horizon of the index).
+  Timestamp latest_period() const {
+    return latest_period_.load(std::memory_order_acquire);
+  }
+
+  size_t num_shards() const { return num_shards_; }
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  /// Writer-side per-entry state (latest value per tagset).
+  struct BuilderEntry {
+    double coefficient = 0.0;
+    uint64_t intersection_count = 0;
+    uint64_t union_count = 0;  // 0 marks a freshly defaulted entry.
+    Timestamp period_end = 0;
+  };
+
+  struct Shard {
+    /// Bumped after every snapshot swap; readers poll this (one acquire
+    /// load) instead of paying shared_ptr traffic per query.
+    std::atomic<uint64_t> version{0};
+    /// The published snapshot. Guarded by slot_mutex for the pointer swap
+    /// and copy only; the pointee is immutable.
+    mutable std::mutex slot_mutex;
+    std::shared_ptr<const ShardSnapshot> slot;
+    // Writer-only state below.
+    FlatTagSetMap<BuilderEntry> builder;
+    bool dirty = false;
+  };
+
+  /// Swaps in `snapshot` and bumps the shard's version (writer side).
+  static void Publish(Shard& shard,
+                      std::shared_ptr<const ShardSnapshot> snapshot);
+
+  size_t ShardOf(TagId tag) const {
+    return static_cast<size_t>(HashTagSpan(&tag, 1)) & shard_mask_;
+  }
+
+  /// Builds shard `s`'s next immutable snapshot from its builder state.
+  std::shared_ptr<const ShardSnapshot> BuildSnapshot(size_t s,
+                                                     uint64_t epoch) const;
+
+  /// Applies the retention policy after ingesting `period_end`; marks
+  /// shards it evicted from as dirty.
+  void EvictExpired(Timestamp period_end);
+
+  ServeConfig config_;
+  size_t num_shards_;
+  size_t shard_mask_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<Timestamp> latest_period_{0};
+  std::vector<Timestamp> recent_periods_;  // Writer-only, ascending.
+};
+
+}  // namespace corrtrack::serve
+
+#endif  // CORRTRACK_SERVE_CORRELATION_INDEX_H_

@@ -1,0 +1,40 @@
+#ifndef CORRTRACK_SERVE_SERVE_CONFIG_H_
+#define CORRTRACK_SERVE_SERVE_CONFIG_H_
+
+#include <cstddef>
+
+namespace corrtrack::serve {
+
+/// Knobs of the correlation query service (CorrelationIndex).
+///
+/// The serving layer keeps *bounded* per-tag state in the spirit of
+/// SpaceSaving-style sketch recovery (Cormode & Dark) and applies a
+/// screening threshold so only significant correlations occupy memory
+/// (Hero & Rajaratnam, *Large Scale Correlation Screening*): a tag's
+/// answer list never exceeds `top_k_capacity` entries, and coefficients
+/// below `min_coefficient` are dropped at ingest.
+struct ServeConfig {
+  /// Number of index shards; rounded up to the next power of two. A tag's
+  /// shard is HashTagSpan(tag) & (shards - 1) — the same hashing
+  /// discipline as FlatCounterTable.
+  int num_shards = 16;
+
+  /// Bound on the per-tag top-k answer list (SpaceSaving-style bounded
+  /// state): only the `top_k_capacity` highest-coefficient sets containing
+  /// a tag survive a snapshot rebuild.
+  size_t top_k_capacity = 64;
+
+  /// Screening threshold: estimates with a Jaccard coefficient below this
+  /// are not ingested at all. 0 keeps everything the Tracker reports.
+  double min_coefficient = 0.0;
+
+  /// How many distinct reporting periods an entry stays servable without a
+  /// fresh report. Entries whose last report is older than the
+  /// `retention_periods` newest period-ends are evicted at the next
+  /// publish. <= 0 disables retention (entries live forever).
+  int retention_periods = 8;
+};
+
+}  // namespace corrtrack::serve
+
+#endif  // CORRTRACK_SERVE_SERVE_CONFIG_H_

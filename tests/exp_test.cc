@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "exp/driver.h"
 #include "exp/metrics.h"
 #include "exp/report.h"
 #include "exp/sweep.h"
@@ -173,6 +174,27 @@ TEST(Sweep, MakeFigureTableExtractsMetric) {
 TEST(Sweep, DescribeBase) {
   const ExperimentConfig config = PaperBaseConfig();
   EXPECT_EQ(DescribeBase(config), "P=10 k=10 thr=0.5 tps=1300");
+}
+
+TEST(Driver, ServeIndexValidatesAgainstTracker) {
+  // The driver can stand up the serving layer next to the topology and
+  // prove the served answers match its own ExperimentResult baseline: the
+  // ingest adapter leaves zero mismatches against the Tracker's maps.
+  ExperimentConfig config;
+  config.label = "serve-validation";
+  config.pipeline.num_calculators = 4;
+  config.pipeline.num_partitioners = 3;
+  config.pipeline.window_span = kMillisPerMinute;
+  config.pipeline.report_period = kMillisPerMinute;
+  config.pipeline.bootstrap_time = kMillisPerMinute;
+  config.generator.seed = 11;
+  config.generator.topics.num_topics = 60;
+  config.num_documents = 12000;
+  config.with_serve_index = true;
+  const ExperimentResult result = RunExperiment(config);
+  EXPECT_GT(result.serve_sets, 0u);
+  EXPECT_GT(result.serve_lookups_checked, result.serve_sets);
+  EXPECT_EQ(result.serve_mismatches, 0u);
 }
 
 }  // namespace

@@ -250,6 +250,128 @@ TEST(MergerBolt, SingleAdditionPlacesAndConfirms) {
   EXPECT_EQ(merger.single_additions(), 1u);
 }
 
+TEST(MergerBolt, BroadcastsPartitionsInCompletionOrder) {
+  // Two repartition rounds with interleaved proposals: each round's
+  // FinalPartitions must broadcast exactly once, with epochs assigned in
+  // completion order (round 1 completes before round 2 here, despite round
+  // 2's first proposal arriving in between), and each broadcast must carry
+  // that round's own fragments.
+  PipelineConfig config = SmallConfig();
+  config.num_partitioners = 2;
+  MergerBolt merger(config, nullptr);
+  CapturingEmitter emitter;
+  merger.Execute(Env(Message(Proposal(1, 0, {{TagSet({1, 2}), 4}}))),
+                 emitter);
+  merger.Execute(Env(Message(Proposal(2, 0, {{TagSet({5, 6}), 4}}))),
+                 emitter);
+  EXPECT_TRUE(emitter.All<FinalPartitions>().empty());
+  merger.Execute(Env(Message(Proposal(1, 1, {{TagSet({3, 4}), 4}}))),
+                 emitter);
+  merger.Execute(Env(Message(Proposal(2, 1, {{TagSet({7, 8}), 4}}))),
+                 emitter);
+  const auto finals = emitter.All<FinalPartitions>();
+  ASSERT_EQ(finals.size(), 2u);
+  EXPECT_EQ(finals[0].epoch, 1u);
+  EXPECT_EQ(finals[1].epoch, 2u);
+  EXPECT_TRUE(
+      finals[0].partitions->CoveringPartition(TagSet({1, 2})).has_value());
+  EXPECT_FALSE(
+      finals[0].partitions->CoveringPartition(TagSet({5, 6})).has_value());
+  EXPECT_TRUE(
+      finals[1].partitions->CoveringPartition(TagSet({5, 6})).has_value());
+  // The merger's own master state tracks the *latest* broadcast.
+  EXPECT_EQ(merger.current_epoch(), 2u);
+  EXPECT_TRUE(merger.current_partitions()
+                  ->CoveringPartition(TagSet({7, 8}))
+                  .has_value());
+}
+
+TEST(MergerBolt, BroadcastPartitionsAreImmutableAcrossEpochs) {
+  // The broadcast shares the PartitionSet by shared_ptr with every
+  // Disseminator instance; a later epoch (or a Single Addition mutating
+  // the merger's master copy) must never alter an already-broadcast set.
+  PipelineConfig config = SmallConfig();
+  config.num_partitioners = 1;
+  MergerBolt merger(config, nullptr);
+  CapturingEmitter emitter;
+  merger.Execute(Env(Message(Proposal(1, 0, {{TagSet({1, 2}), 3}}))),
+                 emitter);
+  const auto first = emitter.All<FinalPartitions>();
+  ASSERT_EQ(first.size(), 1u);
+  const std::shared_ptr<const PartitionSet> epoch1 = first[0].partitions;
+
+  UncoveredTagset uncovered;
+  uncovered.tags = TagSet({2, 9});
+  uncovered.epoch = 1;
+  merger.Execute(Env(Message(uncovered)), emitter);
+  merger.Execute(Env(Message(Proposal(2, 0, {{TagSet({5, 6}), 3}}))),
+                 emitter);
+  const auto finals = emitter.All<FinalPartitions>();
+  ASSERT_EQ(finals.size(), 2u);
+  EXPECT_NE(finals[1].partitions.get(), epoch1.get());
+  // Epoch 1's broadcast still describes epoch 1: the Single Addition went
+  // into the merger's master copy, not the shared snapshot.
+  EXPECT_FALSE(epoch1->CoveringPartition(TagSet({2, 9})).has_value());
+  EXPECT_TRUE(epoch1->CoveringPartition(TagSet({1, 2})).has_value());
+}
+
+/// PeriodSink probe: records every forwarded batch.
+class RecordingPeriodSink : public PeriodSink {
+ public:
+  void OnPeriodResults(
+      Timestamp period_end,
+      const std::vector<JaccardEstimate>& estimates) override {
+    calls.emplace_back(period_end, estimates);
+  }
+
+  std::vector<std::pair<Timestamp, std::vector<JaccardEstimate>>> calls;
+};
+
+TEST(TrackerBolt, ForwardsEveryReportToPeriodSink) {
+  RecordingPeriodSink sink;
+  TrackerBolt tracker(&sink);
+  CapturingEmitter emitter;
+  JaccardReport report;
+  report.calculator = 0;
+  report.period_end = 500;
+  JaccardEstimate e;
+  e.tags = TagSet({1, 2});
+  e.coefficient = 0.5;
+  e.intersection_count = 4;
+  e.union_count = 8;
+  report.estimates.push_back(e);
+  tracker.Execute(Env(Message(report)), emitter);
+  report.calculator = 1;
+  report.period_end = 1000;
+  tracker.Execute(Env(Message(report)), emitter);
+
+  // Raw reports are forwarded as-is (the sink owns the max-CN merge).
+  ASSERT_EQ(sink.calls.size(), 2u);
+  EXPECT_EQ(sink.calls[0].first, 500);
+  EXPECT_EQ(sink.calls[1].first, 1000);
+  ASSERT_EQ(sink.calls[0].second.size(), 1u);
+  EXPECT_EQ(sink.calls[0].second[0].tags, TagSet({1, 2}));
+  EXPECT_EQ(sink.calls[0].second[0].intersection_count, 4u);
+}
+
+TEST(CentralizedBolt, ForwardsPeriodToSinkOnTick) {
+  RecordingPeriodSink sink;
+  PipelineConfig config = SmallConfig();  // sn = 3.
+  CentralizedBolt baseline(config, &sink);
+  CapturingEmitter emitter;
+  for (int i = 0; i < 5; ++i) {
+    baseline.Execute(Env(Message(MakeDoc(1, 10, {1, 2}))), emitter);
+  }
+  baseline.OnTick(1000, emitter);
+  ASSERT_EQ(sink.calls.size(), 1u);
+  EXPECT_EQ(sink.calls[0].first, 1000);
+  ASSERT_EQ(sink.calls[0].second.size(), 1u);
+  EXPECT_EQ(sink.calls[0].second[0].tags, TagSet({1, 2}));
+  EXPECT_EQ(sink.calls[0].second[0].intersection_count, 5u);
+  // The forwarded batch is exactly the period map the bolt keeps.
+  EXPECT_EQ(baseline.periods().at(1000).size(), 1u);
+}
+
 TEST(CalculatorBolt, CountsNotificationsAndReportsOnTick) {
   CalculatorBolt calculator(SmallConfig(), /*instance=*/4);
   CapturingEmitter emitter;

@@ -1,0 +1,404 @@
+#include "serve/correlation_index.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/jaccard.h"
+#include "gen/tweet_generator.h"
+#include "ops/centralized.h"
+#include "ops/source.h"
+#include "ops/topology_builder.h"
+#include "ops/tracker_op.h"
+#include "serve/index_sink.h"
+#include "stream/simulation.h"
+
+namespace corrtrack::serve {
+namespace {
+
+JaccardEstimate Estimate(std::vector<TagId> tags, double coefficient,
+                         uint64_t intersection, uint64_t unioned) {
+  JaccardEstimate e;
+  e.tags = TagSet(tags);
+  e.coefficient = coefficient;
+  e.intersection_count = intersection;
+  e.union_count = unioned;
+  return e;
+}
+
+TEST(CorrelationIndex, EmptyIndexAnswersEmpty) {
+  CorrelationIndex index;
+  CorrelationIndex::Reader reader = index.NewReader();
+  std::vector<ScoredSet> results;
+  EXPECT_EQ(reader.TopCorrelated(7, 10, &results), 0u);
+  EXPECT_FALSE(reader.Lookup(TagSet({1, 2})).has_value());
+  EXPECT_EQ(reader.Snapshot(0.0, &results), 0u);
+  EXPECT_EQ(reader.TotalSets(), 0u);
+  EXPECT_EQ(index.epoch(), 0u);
+}
+
+TEST(CorrelationIndex, ServesTopLookupAndScan) {
+  CorrelationIndex index;
+  index.ApplyPeriod(1000, {Estimate({1, 2}, 0.8, 8, 10),
+                           Estimate({1, 3}, 0.5, 5, 10),
+                           Estimate({1, 2, 3}, 0.2, 2, 10),
+                           Estimate({4, 5}, 0.9, 9, 10)});
+  CorrelationIndex::Reader reader = index.NewReader();
+
+  // TopCorrelated(1): every set containing tag 1, strongest first.
+  std::vector<ScoredSet> top;
+  ASSERT_EQ(reader.TopCorrelated(1, 10, &top), 3u);
+  EXPECT_EQ(top[0].tags, TagSet({1, 2}));
+  EXPECT_DOUBLE_EQ(top[0].coefficient, 0.8);
+  EXPECT_EQ(top[1].tags, TagSet({1, 3}));
+  EXPECT_EQ(top[2].tags, TagSet({1, 2, 3}));
+  EXPECT_EQ(top[0].period_end, 1000);
+  // k truncates.
+  EXPECT_EQ(reader.TopCorrelated(1, 2, &top), 2u);
+
+  // Exact lookup with provenance.
+  const std::optional<LookupResult> hit = reader.Lookup(TagSet({1, 3}));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->coefficient, 0.5);
+  EXPECT_EQ(hit->intersection_count, 5u);
+  EXPECT_EQ(hit->union_count, 10u);
+  EXPECT_EQ(hit->period_end, 1000);
+  EXPECT_EQ(hit->epoch, index.epoch());
+  EXPECT_FALSE(reader.Lookup(TagSet({2, 3})).has_value());
+
+  // Threshold scan, strongest first, no duplicates.
+  std::vector<ScoredSet> scan;
+  ASSERT_EQ(reader.Snapshot(0.5, &scan), 3u);
+  EXPECT_EQ(scan[0].tags, TagSet({4, 5}));
+  EXPECT_EQ(scan[1].tags, TagSet({1, 2}));
+  EXPECT_EQ(scan[2].tags, TagSet({1, 3}));
+  EXPECT_EQ(reader.Snapshot(0.0, &scan), 4u);
+  EXPECT_EQ(reader.TotalSets(), 4u);
+}
+
+TEST(CorrelationIndex, MaxCnMergeWithinPeriod) {
+  // Duplicate reports of one period merge with the Tracker's max-CN rule,
+  // independent of arrival order; ties keep the first (strict >).
+  CorrelationIndex index;
+  index.ApplyPeriod(500, {Estimate({1, 2}, 0.4, 4, 10)});
+  index.ApplyPeriod(500, {Estimate({1, 2}, 0.9, 9, 10)});
+  index.ApplyPeriod(500, {Estimate({1, 2}, 0.1, 2, 20)});
+  CorrelationIndex::Reader reader = index.NewReader();
+  const std::optional<LookupResult> hit = reader.Lookup(TagSet({1, 2}));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->intersection_count, 9u);
+  EXPECT_DOUBLE_EQ(hit->coefficient, 0.9);
+}
+
+TEST(CorrelationIndex, NewerPeriodReplacesOlderValue) {
+  CorrelationIndex index;
+  index.ApplyPeriod(1000, {Estimate({1, 2}, 0.9, 9, 10)});
+  index.ApplyPeriod(2000, {Estimate({1, 2}, 0.3, 3, 10)});
+  // A late report for an older period does not roll freshness back.
+  index.ApplyPeriod(1000, {Estimate({1, 2}, 0.9, 9, 10)});
+  CorrelationIndex::Reader reader = index.NewReader();
+  const std::optional<LookupResult> hit = reader.Lookup(TagSet({1, 2}));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->coefficient, 0.3);
+  EXPECT_EQ(hit->period_end, 2000);
+}
+
+TEST(CorrelationIndex, PerTagTopKIsBounded) {
+  ServeConfig config;
+  config.top_k_capacity = 4;
+  CorrelationIndex index(config);
+  std::vector<JaccardEstimate> estimates;
+  for (TagId other = 1; other <= 20; ++other) {
+    estimates.push_back(Estimate({0, other},
+                                 static_cast<double>(other) / 20.0, other,
+                                 20));
+  }
+  index.ApplyPeriod(1000, estimates);
+  CorrelationIndex::Reader reader = index.NewReader();
+  std::vector<ScoredSet> top;
+  // The answer list is truncated to capacity and keeps the strongest.
+  EXPECT_EQ(reader.TopCorrelated(0, 100, &top), 4u);
+  EXPECT_EQ(top[0].tags, TagSet({0, 20}));
+  EXPECT_EQ(top[3].tags, TagSet({0, 17}));
+  // Exact lookups still cover everything (the bound is per-tag answer
+  // state, not the entry store).
+  EXPECT_TRUE(reader.Lookup(TagSet({0, 1})).has_value());
+}
+
+TEST(CorrelationIndex, ScreeningThresholdDropsWeakCorrelations) {
+  ServeConfig config;
+  config.min_coefficient = 0.5;
+  CorrelationIndex index(config);
+  index.ApplyPeriod(1000, {Estimate({1, 2}, 0.8, 8, 10),
+                           Estimate({1, 3}, 0.49, 4, 10)});
+  CorrelationIndex::Reader reader = index.NewReader();
+  EXPECT_TRUE(reader.Lookup(TagSet({1, 2})).has_value());
+  EXPECT_FALSE(reader.Lookup(TagSet({1, 3})).has_value());
+  EXPECT_EQ(reader.TotalSets(), 1u);
+}
+
+TEST(CorrelationIndex, RetentionEvictsStalePeriods) {
+  ServeConfig config;
+  config.retention_periods = 2;
+  CorrelationIndex index(config);
+  index.ApplyPeriod(1000, {Estimate({1, 2}, 0.5, 5, 10)});
+  index.ApplyPeriod(2000, {Estimate({3, 4}, 0.5, 5, 10)});
+  index.ApplyPeriod(3000, {Estimate({5, 6}, 0.5, 5, 10)});
+  CorrelationIndex::Reader reader = index.NewReader();
+  // Period 1000 fell out of the retention horizon {2000, 3000}.
+  EXPECT_FALSE(reader.Lookup(TagSet({1, 2})).has_value());
+  EXPECT_TRUE(reader.Lookup(TagSet({3, 4})).has_value());
+  EXPECT_TRUE(reader.Lookup(TagSet({5, 6})).has_value());
+  EXPECT_EQ(reader.TotalSets(), 2u);
+  // A set re-reported in a fresh period survives evictions that drop its
+  // original period: {3,4} is refreshed at 4000 and outlives horizon
+  // {4000, 5000}, while {5,6} (last seen 3000) ages out.
+  index.ApplyPeriod(4000, {Estimate({3, 4}, 0.6, 6, 10)});
+  EXPECT_TRUE(reader.Lookup(TagSet({5, 6})).has_value());  // Still in {3000, 4000}.
+  index.ApplyPeriod(5000, {});
+  EXPECT_FALSE(reader.Lookup(TagSet({5, 6})).has_value());
+  EXPECT_TRUE(reader.Lookup(TagSet({3, 4})).has_value());
+  EXPECT_DOUBLE_EQ(reader.Lookup(TagSet({3, 4}))->coefficient, 0.6);
+}
+
+TEST(CorrelationIndex, ReaderCreatedBeforePublishesSeesUpdates) {
+  // The per-shard version counters must propagate new snapshots into a
+  // reader's cache, including on shards the reader has already touched.
+  CorrelationIndex index;
+  CorrelationIndex::Reader reader = index.NewReader();
+  std::vector<ScoredSet> results;
+  EXPECT_EQ(reader.Snapshot(0.0, &results), 0u);  // Caches empty snapshots.
+  index.ApplyPeriod(1000, {Estimate({1, 2}, 0.5, 5, 10)});
+  EXPECT_EQ(reader.Snapshot(0.0, &results), 1u);
+  index.ApplyPeriod(2000, {Estimate({1, 2}, 0.7, 7, 10)});
+  const std::optional<LookupResult> hit = reader.Lookup(TagSet({1, 2}));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->coefficient, 0.7);
+  EXPECT_EQ(hit->period_end, 2000);
+}
+
+TEST(CorrelationIndex, MultiShardSetsServedOnceAndEverywhere) {
+  // A set's tags usually land in different shards: TopCorrelated must find
+  // it from *every* member tag, while Snapshot emits it exactly once.
+  ServeConfig config;
+  config.num_shards = 8;
+  CorrelationIndex index(config);
+  std::vector<JaccardEstimate> estimates;
+  for (TagId t = 0; t < 64; t += 2) {
+    estimates.push_back(Estimate({t, t + 1}, 0.5, 5, 10));
+  }
+  index.ApplyPeriod(1000, estimates);
+  CorrelationIndex::Reader reader = index.NewReader();
+  std::vector<ScoredSet> results;
+  for (TagId t = 0; t < 64; ++t) {
+    ASSERT_EQ(reader.TopCorrelated(t, 10, &results), 1u) << "tag " << t;
+    EXPECT_TRUE(results[0].tags.Contains(t));
+  }
+  EXPECT_EQ(reader.Snapshot(0.0, &results), 32u);
+  EXPECT_EQ(reader.TotalSets(), 32u);
+}
+
+/// Differential oracle (flat_counter_table_test style): stream a workload
+/// through the Fig. 2 topology with IndexSinks attached to the Tracker and
+/// the Centralized baseline; everything the indexes serve must be
+/// bit-identical to the bolts' own period maps.
+template <typename BoltT>
+void ExpectIndexMatchesPeriods(const CorrelationIndex& index,
+                               const BoltT& bolt) {
+  CorrelationIndex::Reader reader = index.NewReader();
+  // Soundness: every served answer equals the bolt's value for that period.
+  std::vector<ScoredSet> served;
+  reader.Snapshot(0.0, &served);
+  EXPECT_GT(served.size(), 0u);
+  for (const ScoredSet& scored : served) {
+    const std::optional<LookupResult> hit = reader.Lookup(scored.tags);
+    ASSERT_TRUE(hit.has_value()) << scored.tags.ToString();
+    const auto period_it = bolt.periods().find(hit->period_end);
+    ASSERT_NE(period_it, bolt.periods().end()) << scored.tags.ToString();
+    const auto entry_it = period_it->second.find(scored.tags);
+    ASSERT_NE(entry_it, period_it->second.end()) << scored.tags.ToString();
+    EXPECT_EQ(entry_it->second.coefficient, hit->coefficient);
+    EXPECT_EQ(entry_it->second.intersection_count, hit->intersection_count);
+    EXPECT_EQ(entry_it->second.union_count, hit->union_count);
+  }
+  // Completeness: the newest period is served in full (older periods may
+  // have been overwritten per-set by fresher reports, which is the point).
+  ASSERT_FALSE(bolt.periods().empty());
+  const auto& [newest, results] = *bolt.periods().rbegin();
+  EXPECT_EQ(index.latest_period(), newest);
+  for (const auto& [tags, estimate] : results) {
+    const std::optional<LookupResult> hit = reader.Lookup(tags);
+    ASSERT_TRUE(hit.has_value()) << tags.ToString();
+    EXPECT_EQ(hit->period_end, newest) << tags.ToString();
+    EXPECT_EQ(hit->coefficient, estimate.coefficient);
+    EXPECT_EQ(hit->intersection_count, estimate.intersection_count);
+    EXPECT_EQ(hit->union_count, estimate.union_count);
+  }
+}
+
+TEST(IndexSink, IngestIsBitIdenticalToTrackerAndBaselinePeriods) {
+  ops::PipelineConfig pipeline;
+  pipeline.algorithm = AlgorithmKind::kDS;
+  pipeline.num_calculators = 4;
+  pipeline.num_partitioners = 3;
+  pipeline.window_span = kMillisPerMinute;
+  pipeline.report_period = kMillisPerMinute;
+  pipeline.bootstrap_time = kMillisPerMinute;
+
+  gen::GeneratorConfig workload;
+  workload.seed = 33;
+  workload.topics.num_topics = 60;
+
+  CorrelationIndex tracker_index;
+  IndexSink tracker_sink(&tracker_index);
+  CorrelationIndex baseline_index;
+  IndexSink baseline_sink(&baseline_index);
+
+  stream::Topology<ops::Message> topology;
+  const ops::TopologyHandles handles = ops::BuildCorrelationTopology(
+      &topology, std::make_unique<ops::GeneratorSpout>(workload, 12000),
+      pipeline, nullptr, /*with_centralized_baseline=*/true, &tracker_sink,
+      &baseline_sink);
+  stream::SimulationRuntime<ops::Message> runtime(&topology);
+  runtime.Run(pipeline.report_period);
+
+  const auto* tracker =
+      static_cast<ops::TrackerBolt*>(runtime.bolt(handles.tracker, 0));
+  const auto* baseline = static_cast<ops::CentralizedBolt*>(
+      runtime.bolt(handles.centralized, 0));
+  ExpectIndexMatchesPeriods(tracker_index, *tracker);
+  ExpectIndexMatchesPeriods(baseline_index, *baseline);
+}
+
+/// N readers + 1 writer race on a live index. Run under the TSan CI job,
+/// this is the gate on the RCU-style snapshot swap; the invariant checks
+/// catch torn or stale-beyond-one-publish reads on any build.
+TEST(CorrelationIndex, ConcurrentReadersSingleWriterStayCoherent) {
+  // Pre-generate realistic period batches off-thread.
+  gen::GeneratorConfig config;
+  config.seed = 55;
+  gen::TweetGenerator generator(config);
+  constexpr int kPeriods = 40;
+  std::vector<std::vector<JaccardEstimate>> periods;
+  for (int p = 0; p < kPeriods; ++p) {
+    SubsetCounterTable counters;
+    for (int d = 0; d < 1500; ++d) counters.Observe(generator.Next().tags);
+    periods.push_back(counters.ReportAll(2));
+  }
+  // Fixed probe set: present from the first period on (the generator's
+  // topic structure keeps hot pairs recurring, but presence is only
+  // guaranteed for period 0's own sets — probe those).
+  ASSERT_FALSE(periods[0].empty());
+  std::vector<TagSet> probes;
+  for (size_t i = 0; i < periods[0].size() && probes.size() < 32; i += 7) {
+    probes.push_back(periods[0][i].tags);
+  }
+
+  CorrelationIndex index;
+  index.ApplyPeriod(0, periods[0]);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> violations{0};
+  std::atomic<uint64_t> queries{0};
+
+  auto read_loop = [&](unsigned seed) {
+    CorrelationIndex::Reader reader = index.NewReader();
+    std::vector<ScoredSet> results;
+    std::vector<Timestamp> last_period(probes.size(), -1);
+    // Epochs are stamped per shard at rebuild time, so monotonicity is
+    // only guaranteed when re-reading the same shard — track per probe.
+    std::vector<uint64_t> last_epoch(probes.size(), 0);
+    uint64_t local_queries = 0;
+    uint64_t rng = seed * 0x9E3779B97F4A7C15ull + 1;
+    while (!done.load(std::memory_order_relaxed)) {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      const size_t which = static_cast<size_t>(rng) % probes.size();
+      const std::optional<LookupResult> hit = reader.Lookup(probes[which]);
+      ++local_queries;
+      if (hit.has_value()) {
+        // Values are never torn and freshness never goes backwards.
+        if (hit->coefficient < 0.0 || hit->coefficient > 1.0 ||
+            hit->intersection_count > hit->union_count ||
+            hit->period_end < last_period[which] ||
+            hit->epoch < last_epoch[which]) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+        last_period[which] = hit->period_end;
+        last_epoch[which] = hit->epoch;
+      }
+      const TagId tag = probes[which][0];
+      const size_t n = reader.TopCorrelated(tag, 8, &results);
+      ++local_queries;
+      for (size_t i = 1; i < n; ++i) {
+        if (results[i - 1].coefficient < results[i].coefficient) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if ((local_queries & 0xFF) == 0) {
+        queries.fetch_add(256, std::memory_order_relaxed);
+      }
+    }
+    queries.fetch_add(local_queries & 0xFF, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> readers;
+  for (unsigned r = 0; r < 4; ++r) readers.emplace_back(read_loop, r + 1);
+  for (int p = 1; p < kPeriods; ++p) {
+    index.ApplyPeriod(static_cast<Timestamp>(p) * 1000, periods[p]);
+  }
+  // On a loaded single-core box the writer can burn through every period
+  // before a reader thread is even scheduled. Keep the writer *publishing*
+  // until the readers have demonstrably raced it: each churn apply adds a
+  // fresh sentinel set in the newest period (same period_end, so retention
+  // is untouched), which dirties a shard and forces a real snapshot swap.
+  // Sentinels use a private tag range and are filtered out of the final
+  // bit-identical comparison below.
+  constexpr TagId kSentinelBase = 1u << 20;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  TagId sentinel = kSentinelBase;
+  while (queries.load(std::memory_order_relaxed) < 20000 &&
+         std::chrono::steady_clock::now() < deadline) {
+    index.ApplyPeriod(static_cast<Timestamp>(kPeriods - 1) * 1000,
+                      {Estimate({sentinel, sentinel + 1}, 0.5, 5, 10)});
+    sentinel += 2;
+    std::this_thread::yield();
+  }
+  done.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_GT(queries.load(), 0u);
+
+  // The raced index ends bit-identical to a sequential replay (modulo the
+  // churn sentinels, which live in their own tag range).
+  CorrelationIndex reference;
+  for (int p = 0; p < kPeriods; ++p) {
+    reference.ApplyPeriod(static_cast<Timestamp>(p) * 1000, periods[p]);
+  }
+  CorrelationIndex::Reader raced = index.NewReader();
+  CorrelationIndex::Reader expected = reference.NewReader();
+  std::vector<ScoredSet> raced_all;
+  std::vector<ScoredSet> expected_all;
+  raced.Snapshot(0.0, &raced_all);
+  expected.Snapshot(0.0, &expected_all);
+  std::erase_if(raced_all, [](const ScoredSet& scored) {
+    return scored.tags[0] >= kSentinelBase;
+  });
+  ASSERT_EQ(raced_all.size(), expected_all.size());
+  for (size_t i = 0; i < raced_all.size(); ++i) {
+    EXPECT_EQ(raced_all[i].tags, expected_all[i].tags);
+    EXPECT_EQ(raced_all[i].coefficient, expected_all[i].coefficient);
+    EXPECT_EQ(raced_all[i].period_end, expected_all[i].period_end);
+  }
+}
+
+}  // namespace
+}  // namespace corrtrack::serve

@@ -60,6 +60,58 @@ TEST(SlidingWindow, AdvanceToPastIsIgnored) {
   EXPECT_EQ(w.size(), 1u);
 }
 
+TEST(SlidingWindow, EqualTimestampsAtBoundaryEvictTogether) {
+  // Several documents share the exact boundary timestamp: all of them age
+  // out together, in one eviction, when the clock reaches time + span.
+  SlidingWindow w = SlidingWindow::TimeBased(100);
+  w.Add(Doc(1, 0));
+  w.Add(Doc(2, 0));
+  w.Add(Doc(3, 0));
+  w.Add(Doc(4, 99));  // One tick short of the boundary: nothing leaves.
+  EXPECT_EQ(w.size(), 4u);
+  w.Add(Doc(5, 100));  // 0 == 100 - 100: the whole t=0 run leaves at once.
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_EQ(w.begin()->id, 4u);
+}
+
+TEST(SlidingWindow, AddAndAdvanceToAgreeOnTheBoundary) {
+  // Pinned semantics: advancing the clock to T evicts exactly what adding
+  // a document at T would have evicted.
+  SlidingWindow added = SlidingWindow::TimeBased(50);
+  SlidingWindow advanced = SlidingWindow::TimeBased(50);
+  for (DocId id = 1; id <= 3; ++id) {
+    added.Add(Doc(id, static_cast<Timestamp>(id) * 10));
+    advanced.Add(Doc(id, static_cast<Timestamp>(id) * 10));
+  }
+  added.Add(Doc(9, 60));  // Doc at t=10 sits exactly at the boundary.
+  advanced.AdvanceTo(60);
+  EXPECT_EQ(added.size(), advanced.size() + 1);  // Modulo the added doc.
+  EXPECT_EQ(added.begin()->id, advanced.begin()->id);
+  EXPECT_EQ(advanced.begin()->id, 2u);
+}
+
+TEST(SlidingWindow, AdvanceToCurrentTimeIsIdempotent) {
+  SlidingWindow w = SlidingWindow::TimeBased(100);
+  w.Add(Doc(1, 0));
+  w.Add(Doc(2, 100));  // Evicts doc 1 at the boundary.
+  EXPECT_EQ(w.size(), 1u);
+  w.AdvanceTo(100);  // Equal to the last timestamp: allowed, no effect.
+  w.AdvanceTo(100);
+  EXPECT_EQ(w.size(), 1u);
+  w.Add(Doc(3, 100));  // Equal-timestamp Add after AdvanceTo is legal.
+  EXPECT_EQ(w.size(), 2u);
+}
+
+TEST(SlidingWindow, EqualTimestampRunLargerThanSpan) {
+  // A burst of same-timestamp documents never self-evicts (age 0 < span),
+  // no matter how long the run; only the count bound can trim it.
+  SlidingWindow w = SlidingWindow::TimeBased(1);
+  for (DocId id = 0; id < 20; ++id) w.Add(Doc(id, 500));
+  EXPECT_EQ(w.size(), 20u);
+  w.AdvanceTo(501);  // age 1 >= span 1: everything leaves.
+  EXPECT_TRUE(w.empty());
+}
+
 TEST(SlidingWindow, BothBoundsStricterWins) {
   SlidingWindow w(/*span=*/1000, /*max_count=*/3);
   for (int i = 0; i < 5; ++i) w.Add(Doc(static_cast<DocId>(i), i * 10));
