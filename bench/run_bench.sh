@@ -2,8 +2,10 @@
 # Runs the micro benchmarks and records the results as BENCH_micro.json at
 # the repo root, so the performance trajectory is tracked across PRs. The
 # file contains the pipeline micro benchmarks (bench_micro_pipeline)
-# followed by the serving-layer benchmarks (bench_serve_bench), merged into
-# one Google-Benchmark JSON document: ingest throughput and read QPS live
+# followed by the serving-layer benchmarks (bench_serve_bench) and the
+# execution-substrate comparison (bench_runtime_bench: simulation vs
+# threaded vs pool at 1/2/4/8 workers), merged into one Google-Benchmark
+# JSON document: ingest throughput, read QPS and substrate scaling live
 # side by side.
 #
 # Usage: bench/run_bench.sh [build_dir]   (default: build)
@@ -13,8 +15,9 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-${REPO_ROOT}/build}"
 PIPELINE_BIN="${BUILD_DIR}/bench_micro_pipeline"
 SERVE_BIN="${BUILD_DIR}/bench_serve_bench"
+RUNTIME_BIN="${BUILD_DIR}/bench_runtime_bench"
 
-for bin in "${PIPELINE_BIN}" "${SERVE_BIN}"; do
+for bin in "${PIPELINE_BIN}" "${SERVE_BIN}" "${RUNTIME_BIN}"; do
   if [[ ! -x "${bin}" ]]; then
     echo "error: ${bin} not found — build first:" >&2
     echo "  cmake -B build -S . && cmake --build build -j" >&2
@@ -35,29 +38,35 @@ trap 'rm -rf "${TMP_DIR}"' EXIT
   --benchmark_out="${TMP_DIR}/serve.json" \
   --benchmark_out_format=json
 
+"${RUNTIME_BIN}" \
+  --benchmark_format=json \
+  --benchmark_out="${TMP_DIR}/runtime.json" \
+  --benchmark_out_format=json
+
 # Merging needs python3; bail out *before* touching BENCH_micro.json
-# rather than silently committing a pipeline-only (serve-less) document.
+# rather than silently committing a partial document.
 if ! command -v python3 > /dev/null; then
   echo "error: python3 is required to merge the benchmark JSON documents;" >&2
   echo "BENCH_micro.json left untouched. Raw outputs:" >&2
-  echo "  ${TMP_DIR}/pipeline.json  ${TMP_DIR}/serve.json" >&2
+  echo "  ${TMP_DIR}/pipeline.json ${TMP_DIR}/serve.json" \
+       "${TMP_DIR}/runtime.json" >&2
   trap - EXIT  # Keep the raw outputs around for manual merging.
   exit 1
 fi
 
 python3 - "${TMP_DIR}/pipeline.json" "${TMP_DIR}/serve.json" \
-    "${REPO_ROOT}/BENCH_micro.json" <<'PY'
+    "${TMP_DIR}/runtime.json" "${REPO_ROOT}/BENCH_micro.json" <<'PY'
 import json
 import sys
 
-pipeline_path, serve_path, out_path = sys.argv[1:4]
+pipeline_path, serve_path, runtime_path, out_path = sys.argv[1:5]
 with open(pipeline_path) as f:
     merged = json.load(f)
-with open(serve_path) as f:
-    serve = json.load(f)
-merged["benchmarks"].extend(serve["benchmarks"])
+for path in (serve_path, runtime_path):
+    with open(path) as f:
+        merged["benchmarks"].extend(json.load(f)["benchmarks"])
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")
 PY
-echo "wrote ${REPO_ROOT}/BENCH_micro.json (pipeline + serve)"
+echo "wrote ${REPO_ROOT}/BENCH_micro.json (pipeline + serve + runtime)"

@@ -1,0 +1,210 @@
+// Pipeline-throughput comparison of the execution substrates: the
+// deterministic simulator, the one-thread-per-task ThreadedRuntime and the
+// work-stealing PoolRuntime at 1/2/4/8 workers.
+//
+// Two topologies:
+//  * Shuffle: spout -> 32 CPU-bound worker bolts -> global sink. 32 logical
+//    tasks is the tasks >> threads regime the pool exists for; per-envelope
+//    work (~500 splitmix64 rounds) dominates queue overhead so the numbers
+//    measure scheduling, not memcpy. Throughput = envelopes/s through the
+//    worker stage.
+//  * Correlation: the full Fig. 2 topology over a fixed 8000-document
+//    replayed stream (items/s = documents/s end to end).
+//
+// Thread-count scaling is only visible on multi-core hardware; on a
+// single-core container the pool points mainly quantify scheduling
+// overhead versus the threaded substrate at equal parallelism.
+
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "gen/tweet_generator.h"
+#include "ops/messages.h"
+#include "ops/source.h"
+#include "ops/topology_builder.h"
+#include "stream/runtime_factory.h"
+
+namespace {
+
+using namespace corrtrack;
+
+struct Value {
+  uint64_t v = 0;
+};
+using Msg = std::variant<Value>;
+
+constexpr int kShuffleDocs = 10000;
+constexpr int kShuffleTasks = 32;  // Logical tasks >> typical core counts.
+constexpr int kWorkRounds = 500;   // splitmix64 rounds per envelope.
+
+class CountingSpout : public stream::Spout<Msg> {
+ public:
+  explicit CountingSpout(int n) : n_(n) {}
+  bool Next(Msg* out, Timestamp* time) override {
+    if (i_ >= n_) return false;
+    *out = Value{static_cast<uint64_t>(i_)};
+    *time = static_cast<Timestamp>(i_);
+    ++i_;
+    return true;
+  }
+
+ private:
+  int n_;
+  int i_ = 0;
+};
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// CPU-bound stage: kWorkRounds hash rounds per envelope, result forwarded
+/// so the sink keeps the whole chain live.
+class HashingBolt : public stream::Bolt<Msg> {
+ public:
+  void Execute(const stream::Envelope<Msg>& in,
+               stream::Emitter<Msg>& out) override {
+    uint64_t h = std::get<Value>(in.payload).v;
+    for (int i = 0; i < kWorkRounds; ++i) h = SplitMix64(h);
+    out.Emit(Msg{Value{h}});
+  }
+};
+
+class SummingBolt : public stream::Bolt<Msg> {
+ public:
+  void Execute(const stream::Envelope<Msg>& in,
+               stream::Emitter<Msg>&) override {
+    sum += std::get<Value>(in.payload).v;
+  }
+  uint64_t sum = 0;
+};
+
+void RunShuffleOnce(stream::RuntimeKind kind, int threads,
+                    benchmark::State& state) {
+  stream::Topology<Msg> topology;
+  const int spout = topology.AddSpout(
+      "src", std::make_unique<CountingSpout>(kShuffleDocs));
+  const int workers = topology.AddBolt(
+      "work", [](int) { return std::make_unique<HashingBolt>(); },
+      kShuffleTasks);
+  SummingBolt* sink_bolt = nullptr;
+  const int sink = topology.AddBolt(
+      "sink",
+      [&sink_bolt](int) {
+        auto b = std::make_unique<SummingBolt>();
+        sink_bolt = b.get();
+        return b;
+      },
+      1);
+  topology.Subscribe(workers, spout, stream::Grouping<Msg>::Shuffle());
+  topology.Subscribe(sink, workers, stream::Grouping<Msg>::Global());
+  stream::RuntimeOptions options;
+  options.num_threads = threads;
+  auto runtime = stream::MakeRuntime<Msg>(kind, &topology, options);
+  runtime->Run();
+  if (sink_bolt->sum == 0) state.SkipWithError("hash sum vanished");
+  benchmark::DoNotOptimize(sink_bolt->sum);
+}
+
+void ShuffleBench(benchmark::State& state, stream::RuntimeKind kind,
+                  int threads) {
+  for (auto _ : state) RunShuffleOnce(kind, threads, state);
+  state.SetItemsProcessed(state.iterations() * kShuffleDocs);
+}
+
+void BM_ShuffleSimulation(benchmark::State& state) {
+  ShuffleBench(state, stream::RuntimeKind::kSimulation, 0);
+}
+
+void BM_ShuffleThreaded(benchmark::State& state) {
+  // 32 worker tasks -> 33 OS threads, however many cores exist.
+  ShuffleBench(state, stream::RuntimeKind::kThreaded, 0);
+}
+
+void BM_ShufflePool(benchmark::State& state) {
+  ShuffleBench(state, stream::RuntimeKind::kPool,
+               static_cast<int>(state.range(0)));
+}
+
+std::vector<Document> MakeDocs(int n) {
+  gen::GeneratorConfig config;
+  config.seed = 77;
+  gen::TweetGenerator generator(config);
+  std::vector<Document> docs;
+  docs.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) docs.push_back(generator.Next());
+  return docs;
+}
+
+void CorrelationBench(benchmark::State& state, stream::RuntimeKind kind,
+                      int threads) {
+  const auto docs = MakeDocs(8000);
+  ops::PipelineConfig pipeline;
+  pipeline.algorithm = AlgorithmKind::kDS;
+  pipeline.num_calculators = 4;
+  pipeline.num_partitioners = 3;
+  pipeline.window_span = kMillisPerMinute;
+  pipeline.report_period = kMillisPerMinute;
+  pipeline.bootstrap_time = kMillisPerMinute;
+  pipeline.runtime = kind;
+  pipeline.num_threads = threads;
+  pipeline.queue_capacity = 256;
+  for (auto _ : state) {
+    stream::Topology<ops::Message> topology;
+    ops::BuildCorrelationTopology(
+        &topology, std::make_unique<ops::ReplaySpout>(docs), pipeline,
+        nullptr, /*with_centralized_baseline=*/false);
+    auto runtime = ops::MakeConfiguredRuntime(&topology, pipeline);
+    runtime->Run(pipeline.report_period);
+    benchmark::DoNotOptimize(runtime->TuplesDelivered(1));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(docs.size()));
+}
+
+void BM_CorrelationSimulation(benchmark::State& state) {
+  CorrelationBench(state, stream::RuntimeKind::kSimulation, 0);
+}
+
+void BM_CorrelationThreaded(benchmark::State& state) {
+  CorrelationBench(state, stream::RuntimeKind::kThreaded, 0);
+}
+
+void BM_CorrelationPool(benchmark::State& state) {
+  CorrelationBench(state, stream::RuntimeKind::kPool,
+                   static_cast<int>(state.range(0)));
+}
+
+}  // namespace
+
+// UseRealTime: the workers run outside the main thread, so wall clock —
+// not main-thread CPU time — is the meaningful throughput denominator.
+BENCHMARK(BM_ShuffleSimulation)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ShuffleThreaded)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ShufflePool)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_CorrelationSimulation)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_CorrelationThreaded)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_CorrelationPool)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -1,12 +1,14 @@
 // query_server: end-to-end serving demo — ingest -> track -> query.
 //
 // Replays the synthetic generator workload through the Fig. 2 topology on
-// the concurrent ThreadedRuntime with a serve::CorrelationIndex attached
-// to the Tracker (via serve::IndexSink), then answers queries against the
-// index: interactively when run on a terminal, or as a scripted demo
-// otherwise (so the binary is runnable in CI).
+// a concurrent runtime (threaded by default, --runtime=pool for the
+// work-stealing pool) with a serve::CorrelationIndex attached to the
+// Tracker (via serve::IndexSink), then answers queries against the index:
+// interactively when run on a terminal, or as a scripted demo otherwise
+// (so the binary is runnable in CI).
 //
 //   ./build/example_query_server [--docs=N] [--interactive | --demo]
+//                                [--runtime=KIND] [--threads=N]
 //
 // Interactive commands:
 //   top <tag> [k]        strongest sets containing <tag> ("#name" or id)
@@ -35,7 +37,7 @@
 #include "ops/topology_builder.h"
 #include "serve/correlation_index.h"
 #include "serve/index_sink.h"
-#include "stream/threaded_runtime.h"
+#include "stream/runtime.h"
 
 namespace {
 
@@ -193,6 +195,8 @@ void RunRepl(const serve::CorrelationIndex& index,
 int main(int argc, char** argv) {
   uint64_t num_docs = 60000;
   bool interactive = isatty(STDIN_FILENO) != 0;
+  stream::RuntimeKind runtime_kind = stream::RuntimeKind::kThreaded;
+  int num_threads = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--docs=", 7) == 0) {
       num_docs = std::strtoull(argv[i] + 7, nullptr, 10);
@@ -200,6 +204,15 @@ int main(int argc, char** argv) {
       interactive = true;
     } else if (std::strcmp(argv[i], "--demo") == 0) {
       interactive = false;
+    } else if (std::strncmp(argv[i], "--runtime=", 10) == 0) {
+      if (!stream::ParseRuntimeKind(argv[i] + 10, &runtime_kind)) {
+        std::fprintf(stderr,
+                     "unknown --runtime '%s' (simulation|threaded|pool)\n",
+                     argv[i] + 10);
+        return 1;
+      }
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      num_threads = std::atoi(argv[i] + 10);
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 1;
@@ -213,6 +226,9 @@ int main(int argc, char** argv) {
   pipeline.window_span = 2 * kMillisPerMinute;
   pipeline.report_period = 2 * kMillisPerMinute;
   pipeline.bootstrap_time = 2 * kMillisPerMinute;
+  pipeline.runtime = runtime_kind;
+  pipeline.num_threads = num_threads;
+  pipeline.queue_capacity = 256;
 
   gen::GeneratorConfig workload;
   workload.seed = 2014;
@@ -229,14 +245,20 @@ int main(int argc, char** argv) {
       &topology, std::make_unique<ops::GeneratorSpout>(workload, num_docs),
       pipeline, /*metrics=*/nullptr, /*with_centralized_baseline=*/false,
       &sink);
-  stream::ThreadedRuntime<ops::Message> runtime(&topology,
-                                                /*queue_capacity=*/256);
-  std::printf("streaming %llu documents through the topology...\n",
-              static_cast<unsigned long long>(num_docs));
-  runtime.Run(/*flush_horizon=*/pipeline.report_period);
+  auto runtime = ops::MakeConfiguredRuntime(&topology, pipeline);
+  std::printf("streaming %llu documents through the topology "
+              "(runtime: %s)...\n",
+              static_cast<unsigned long long>(num_docs),
+              stream::RuntimeKindName(runtime->kind()));
+  runtime->Run(/*flush_horizon=*/pipeline.report_period);
+  const stream::RuntimeStats run_stats = runtime->stats();
+  std::printf("ran on %d thread%s, %llu envelopes moved, %llu steals\n",
+              run_stats.num_threads, run_stats.num_threads == 1 ? "" : "s",
+              static_cast<unsigned long long>(run_stats.envelopes_moved),
+              static_cast<unsigned long long>(run_stats.steals));
 
   const auto* parser =
-      static_cast<ops::ParserBolt*>(runtime.bolt(handles.parser, 0));
+      static_cast<ops::ParserBolt*>(runtime->bolt(handles.parser, 0));
   if (interactive) {
     RunRepl(index, parser->dictionary());
   } else {

@@ -88,6 +88,8 @@ int main() {
       /*with_centralized_baseline=*/false);
   stream::SimulationRuntime<ops::Message> runtime(&topology);
   runtime.Run(pipeline.report_period);
+  std::printf("runtime: %s (deterministic, 1 thread)\n",
+              stream::RuntimeKindName(runtime.kind()));
 
   const auto* tracker =
       static_cast<ops::TrackerBolt*>(runtime.bolt(handles.tracker, 0));

@@ -10,7 +10,7 @@
 #include "ops/tracker_op.h"
 #include "serve/correlation_index.h"
 #include "serve/index_sink.h"
-#include "stream/simulation.h"
+#include "stream/runtime.h"
 
 namespace corrtrack::exp {
 
@@ -132,12 +132,16 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
       &topology, std::move(spout), config.pipeline, &metrics,
       config.with_centralized_baseline, serve_sink.get());
 
-  stream::SimulationRuntime<ops::Message> runtime(&topology);
-  runtime.Run(/*flush_horizon=*/config.pipeline.report_period);
+  std::unique_ptr<stream::Runtime<ops::Message>> runtime =
+      ops::MakeConfiguredRuntime(&topology, config.pipeline);
+  runtime->Run(/*flush_horizon=*/config.pipeline.report_period);
+  metrics.OnRuntimeStats(runtime->stats());
   metrics.FinishSeries();
 
   ExperimentResult result;
   result.label = config.label;
+  result.runtime = runtime->kind();
+  result.runtime_stats = runtime->stats();
   result.documents = metrics.docs_routed();
   result.avg_communication = metrics.AvgCommunication();
   result.load_gini = metrics.LoadGini();
@@ -154,9 +158,9 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
 
   if (config.with_centralized_baseline && metrics.any_install()) {
     const auto* tracker = static_cast<ops::TrackerBolt*>(
-        runtime.bolt(handles.tracker, 0));
+        runtime->bolt(handles.tracker, 0));
     const auto* baseline = static_cast<ops::CentralizedBolt*>(
-        runtime.bolt(handles.centralized, 0));
+        runtime->bolt(handles.centralized, 0));
     // First period whose full span the distributed system observed.
     const Timestamp period = config.pipeline.report_period;
     const Timestamp install = metrics.first_install_time();
@@ -167,7 +171,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   }
   if (serve_index != nullptr) {
     const auto* tracker = static_cast<ops::TrackerBolt*>(
-        runtime.bolt(handles.tracker, 0));
+        runtime->bolt(handles.tracker, 0));
     ValidateServeIndex(*serve_index, *tracker, &result);
   }
   return result;

@@ -7,6 +7,7 @@
 
 #include "exp/config.h"
 #include "exp/metrics.h"
+#include "stream/runtime.h"
 
 namespace corrtrack::exp {
 
@@ -38,6 +39,12 @@ struct ExperimentResult {
 
   uint64_t documents = 0;
 
+  // Execution substrate of the run and its backpressure counters
+  // (MetricsSink::OnRuntimeStats): which runtime executed the topology,
+  // envelopes moved, steals, queue-full blocks, max queue depth.
+  stream::RuntimeKind runtime = stream::RuntimeKind::kSimulation;
+  stream::RuntimeStats runtime_stats;
+
   // Serving-layer validation (ExperimentConfig::with_serve_index): the
   // CorrelationIndex that ingested the Tracker's reports is checked
   // against the Tracker's period maps — every tagset of the newest period
@@ -53,8 +60,10 @@ struct ExperimentResult {
 };
 
 /// Builds the Fig. 2 topology for `config`, streams the synthetic workload
-/// through the deterministic runtime, and assembles the result (including
-/// the tracker-vs-centralised error comparison of §8.2.3).
+/// through the substrate the config selects (deterministic simulation by
+/// default; threaded or pool for concurrent runs), and assembles the
+/// result (including the tracker-vs-centralised error comparison of
+/// §8.2.3).
 ExperimentResult RunExperiment(const ExperimentConfig& config);
 
 }  // namespace corrtrack::exp

@@ -17,6 +17,7 @@ MetricsCollector::MetricsCollector(int num_calculators,
 }
 
 void MetricsCollector::OnRouted(int notified, Timestamp /*time*/) {
+  std::lock_guard<std::mutex> lock(mutex_);
   ++docs_routed_;
   ++segment_docs_;
   if (notified > 0) {
@@ -52,6 +53,7 @@ void MetricsCollector::FlushSegment() {
 }
 
 void MetricsCollector::OnNotification(int calculator) {
+  std::lock_guard<std::mutex> lock(mutex_);
   CORRTRACK_CHECK_GE(calculator, 0);
   CORRTRACK_CHECK_LT(static_cast<size_t>(calculator), per_calculator_.size());
   ++per_calculator_[static_cast<size_t>(calculator)];
@@ -59,6 +61,7 @@ void MetricsCollector::OnNotification(int calculator) {
 }
 
 void MetricsCollector::OnRepartitionRequested(uint8_t cause, Timestamp time) {
+  std::lock_guard<std::mutex> lock(mutex_);
   RepartitionEvent event;
   event.time = time;
   event.docs_processed = docs_routed_;
@@ -71,12 +74,19 @@ void MetricsCollector::OnPartitionsInstalled(Epoch /*epoch*/,
                                              double /*avg_com*/,
                                              double /*max_load*/,
                                              Timestamp time) {
+  std::lock_guard<std::mutex> lock(mutex_);
   ++installs_;
   if (first_install_time_ < 0) first_install_time_ = time;
 }
 
 void MetricsCollector::OnSingleAddition(Timestamp /*time*/) {
+  std::lock_guard<std::mutex> lock(mutex_);
   ++single_additions_;
+}
+
+void MetricsCollector::OnRuntimeStats(const stream::RuntimeStats& stats) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  runtime_stats_ = stats;
 }
 
 double MetricsCollector::AvgCommunication() const {
@@ -103,6 +113,7 @@ uint64_t MetricsCollector::CountRepartitions(
 }
 
 void MetricsCollector::FinishSeries() {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (segment_docs_ == 0) return;
   FlushSegment();
 }

@@ -2,11 +2,13 @@
 #define CORRTRACK_EXP_METRICS_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "core/types.h"
 #include "ops/messages.h"
 #include "ops/metrics_sink.h"
+#include "stream/runtime.h"
 
 namespace corrtrack::exp {
 
@@ -30,7 +32,10 @@ struct RepartitionEvent {
 };
 
 /// Collects everything the evaluation section reports, via the operators'
-/// MetricsSink hooks. Lives outside the topology; single-threaded use.
+/// MetricsSink hooks. Lives outside the topology. The hooks are
+/// mutex-guarded: under the threaded and pool runtimes the Disseminator
+/// and Merger tasks invoke them from different worker threads. Accessors
+/// are for after the run (single-threaded).
 class MetricsCollector : public ops::MetricsSink {
  public:
   MetricsCollector(int num_calculators, uint64_t series_stride);
@@ -42,6 +47,7 @@ class MetricsCollector : public ops::MetricsSink {
   void OnPartitionsInstalled(Epoch epoch, double avg_com, double max_load,
                              Timestamp time) override;
   void OnSingleAddition(Timestamp time) override;
+  void OnRuntimeStats(const stream::RuntimeStats& stats) override;
 
   /// §8.2.1: average notifications per notified document.
   double AvgCommunication() const;
@@ -68,6 +74,11 @@ class MetricsCollector : public ops::MetricsSink {
 
   const std::vector<SeriesSample>& series() const { return series_; }
 
+  /// Substrate counters of the run (OnRuntimeStats).
+  const stream::RuntimeStats& runtime_stats() const {
+    return runtime_stats_;
+  }
+
   /// Flushes a final partial series segment (call once, after the run).
   void FinishSeries();
 
@@ -75,6 +86,7 @@ class MetricsCollector : public ops::MetricsSink {
   void FlushSegment();
   void ResetSegment();
 
+  std::mutex mutex_;  // Guards the hooks; see class comment.
   uint64_t series_stride_;
   // Run totals.
   uint64_t docs_routed_ = 0;
@@ -92,6 +104,7 @@ class MetricsCollector : public ops::MetricsSink {
   std::vector<uint64_t> segment_per_calculator_;
   int segment_repartitions_ = 0;
   std::vector<SeriesSample> series_;
+  stream::RuntimeStats runtime_stats_;
 };
 
 }  // namespace corrtrack::exp

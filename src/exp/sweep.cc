@@ -58,6 +58,29 @@ std::vector<SweepPoint> PartitionSweep() {
   return points;
 }
 
+std::vector<SweepPoint> RuntimeSweep() {
+  std::vector<SweepPoint> points;
+  points.push_back({"rt=sim", [](ExperimentConfig* c) {
+                      c->set_runtime(stream::RuntimeKind::kSimulation);
+                    }});
+  points.push_back({"rt=threaded", [](ExperimentConfig* c) {
+                      c->set_runtime(stream::RuntimeKind::kThreaded);
+                      // Cap spout/control-loop skew, as the threaded
+                      // differential tests do, so partitions install
+                      // while the stream is still flowing.
+                      c->pipeline.queue_capacity = 256;
+                    }});
+  points.push_back({"rt=pool@1", [](ExperimentConfig* c) {
+                      c->set_runtime(stream::RuntimeKind::kPool, 1);
+                      c->pipeline.queue_capacity = 256;
+                    }});
+  points.push_back({"rt=pool", [](ExperimentConfig* c) {
+                      c->set_runtime(stream::RuntimeKind::kPool);
+                      c->pipeline.queue_capacity = 256;
+                    }});
+  return points;
+}
+
 std::vector<SweepPoint> RateSweep() {
   std::vector<SweepPoint> points;
   for (int tps : {1300, 2600}) {

@@ -31,6 +31,14 @@ std::vector<SweepPoint> PartitionerSweep();
 std::vector<SweepPoint> PartitionSweep();
 std::vector<SweepPoint> RateSweep();
 
+/// Execution-substrate sweep: the same workload on the deterministic
+/// simulator, the one-thread-per-task runtime and the work-stealing pool
+/// (1 and hardware-concurrency workers) — compares accuracy/communication
+/// metrics across substrates rather than pipeline knobs. Concurrent points
+/// are not bit-repeatable; their value is showing the figures are
+/// substrate-independent within noise.
+std::vector<SweepPoint> RuntimeSweep();
+
 /// results[algorithm][point], algorithms in paper order (DS, SCI, SCC,
 /// SCL). Runs every combination sequentially and deterministically.
 using SweepResults = std::vector<std::vector<ExperimentResult>>;

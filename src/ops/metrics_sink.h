@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "core/types.h"
+#include "stream/runtime.h"
 
 namespace corrtrack::ops {
 
@@ -52,6 +53,13 @@ class MetricsSink {
     (void)max_load;
     (void)ref_avg_com;
     (void)ref_max_load;
+  }
+
+  /// The runtime finished Run(): substrate-level counters (envelopes
+  /// moved, steals, queue-full blocks, max queue depth) so backpressure is
+  /// observable per experiment. Called once, by the driver, after the run.
+  virtual void OnRuntimeStats(const stream::RuntimeStats& stats) {
+    (void)stats;
   }
 };
 

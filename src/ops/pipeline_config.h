@@ -1,10 +1,12 @@
 #ifndef CORRTRACK_OPS_PIPELINE_CONFIG_H_
 #define CORRTRACK_OPS_PIPELINE_CONFIG_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "core/partitioning.h"
 #include "core/types.h"
+#include "stream/runtime.h"
 
 namespace corrtrack::ops {
 
@@ -70,6 +72,21 @@ struct PipelineConfig {
   /// §6.2 Parser enrichment: also interpret @mentions as tags ("the tagset
   /// can be enriched with named entities, location, or sentiment").
   bool parser_extract_mentions = false;
+
+  /// Execution substrate (stream/runtime.h): which runtime
+  /// MakeConfiguredRuntime instantiates for this pipeline. The simulator is
+  /// the deterministic default the experiments rely on; threaded and pool
+  /// run the identical topology on real concurrency.
+  stream::RuntimeKind runtime = stream::RuntimeKind::kSimulation;
+
+  /// Pool runtime worker threads; 0 = hardware concurrency. Ignored by the
+  /// simulation (always 1) and threaded (one per task) substrates.
+  int num_threads = 0;
+
+  /// Per-task input queue capacity for the concurrent runtimes (envelopes;
+  /// bounds producer/consumer skew — a full queue backpressures the
+  /// pusher). Ignored by the simulation runtime.
+  size_t queue_capacity = 4096;
 };
 
 }  // namespace corrtrack::ops

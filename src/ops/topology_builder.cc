@@ -7,6 +7,7 @@
 #include "ops/parser.h"
 #include "ops/partitioner_op.h"
 #include "ops/tracker_op.h"
+#include "stream/runtime_factory.h"
 
 namespace corrtrack::ops {
 
@@ -100,6 +101,14 @@ TopologyHandles BuildCorrelationTopology(
                         Grouping<Message>::Global());
   }
   return handles;
+}
+
+std::unique_ptr<stream::Runtime<Message>> MakeConfiguredRuntime(
+    stream::Topology<Message>* topology, const PipelineConfig& config) {
+  stream::RuntimeOptions options;
+  options.queue_capacity = config.queue_capacity;
+  options.num_threads = config.num_threads;
+  return stream::MakeRuntime<Message>(config.runtime, topology, options);
 }
 
 }  // namespace corrtrack::ops

@@ -7,6 +7,7 @@
 #include "ops/metrics_sink.h"
 #include "ops/period_sink.h"
 #include "ops/pipeline_config.h"
+#include "stream/runtime.h"
 #include "stream/topology.h"
 
 namespace corrtrack::ops {
@@ -49,6 +50,13 @@ TopologyHandles BuildCorrelationTopology(
     const PipelineConfig& config, MetricsSink* metrics,
     bool with_centralized_baseline, PeriodSink* tracker_sink = nullptr,
     PeriodSink* baseline_sink = nullptr);
+
+/// Instantiates the execution substrate the config selects (runtime,
+/// num_threads, queue_capacity) for a topology built above — the one place
+/// that maps PipelineConfig knobs onto stream::RuntimeOptions, so drivers,
+/// examples and tests pick a runtime the same way.
+std::unique_ptr<stream::Runtime<Message>> MakeConfiguredRuntime(
+    stream::Topology<Message>* topology, const PipelineConfig& config);
 
 }  // namespace corrtrack::ops
 

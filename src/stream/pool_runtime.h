@@ -1,0 +1,690 @@
+#ifndef CORRTRACK_STREAM_POOL_RUNTIME_H_
+#define CORRTRACK_STREAM_POOL_RUNTIME_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/check.h"
+#include "core/types.h"
+#include "stream/envelope.h"
+#include "stream/routing.h"
+#include "stream/runtime.h"
+#include "stream/topology.h"
+
+namespace corrtrack::stream {
+
+/// Work-stealing pool executor: multiplexes the topology's M tasks onto N
+/// worker threads. Each task owns a bounded MPSC mailbox; a task with mail
+/// is scheduled as a *slice* (a bounded drain of its mailbox) onto the
+/// scheduling worker's local run queue, and idle workers steal slices from
+/// their peers. This decouples logical parallelism from physical threads —
+/// 32 Partitioners × 32 Trackers run fine on 8 cores, which the
+/// one-thread-per-task ThreadedRuntime cannot express (§6's load
+/// experiments assume exactly this tasks >> cores regime).
+///
+/// Semantics (same engine contract as ThreadedRuntime):
+///  * A task executes on at most one thread at a time (its scheduling state
+///    acts as a mutex around the bolt), so bolt state stays
+///    thread-confined; the release/acquire transitions hand the state from
+///    slice to slice.
+///  * Per-edge FIFO is preserved: a producer task's emissions are staged in
+///    the executing thread's delivery buffer in order and every slice
+///    flushes its buffer before releasing the task, so migration between
+///    workers cannot reorder an edge.
+///  * Ticks fire on whichever worker runs the slice, from the timestamps
+///    the task observes (virtual-time watermarks), as in ThreadedRuntime.
+///  * Shutdown: forward-poison flood, feedback edges excluded from the
+///    accounting, residual feedback traffic discarded — the documented
+///    cyclic-topology contract of threaded_runtime.h.
+///
+/// Backpressure: mailboxes are bounded; a producer that finds a mailbox
+/// full first tries to *help* — claim the destination task and drain a
+/// slice of it inline on the producing thread — and only blocks when the
+/// destination is already executing elsewhere (its runner is draining the
+/// mailbox, so the wait is short). Helping is what makes tiny capacities
+/// safe under tasks >> threads: progress never requires a free worker.
+/// Inline helping nests (a helped task may itself hit a full queue); a
+/// destination already held somewhere in this thread's help chain is
+/// pushed over capacity instead of blocking, which bounds the chain by the
+/// task count and rules out same-thread deadlock. Cross-thread cycles of
+/// simultaneously full queues (two runners blocked pushing at each other,
+/// both unclaimable) — which deadlock ThreadedRuntime's strictly blocking
+/// queues — are broken by a bounded-stall overflow escape
+/// (kStallEscapeRounds): after ~64 ms without progress the pusher spills
+/// over capacity, so shutdown always terminates on cyclic topologies.
+template <typename Message>
+class PoolRuntime : public Runtime<Message> {
+ public:
+  explicit PoolRuntime(Topology<Message>* topology,
+                       const RuntimeOptions& options = {})
+      : topology_(topology),
+        queue_capacity_(options.queue_capacity),
+        num_threads_(options.num_threads > 0
+                         ? options.num_threads
+                         : static_cast<int>(std::max(
+                               1u, std::thread::hardware_concurrency()))) {
+    CORRTRACK_CHECK(topology != nullptr);
+    CORRTRACK_CHECK_GT(queue_capacity_, 0u);
+    Build();
+  }
+
+  PoolRuntime(const PoolRuntime&) = delete;
+  PoolRuntime& operator=(const PoolRuntime&) = delete;
+
+  void Run(Timestamp flush_horizon) override {
+    CORRTRACK_CHECK(!ran_);
+    ran_ = true;
+    workers_.resize(static_cast<size_t>(num_threads_));
+    for (auto& worker : workers_) worker = std::make_unique<Worker>();
+    for (int w = 0; w < num_threads_; ++w) {
+      workers_[static_cast<size_t>(w)]->thread =
+          std::thread([this, w] { WorkerLoop(w); });
+    }
+    // Drive the spout from this thread; it participates in helping like
+    // any producer, so a saturated pool backpressures the source.
+    DeliveryBuffer spout_buffer(tasks_.size());
+    buffer_ = &spout_buffer;
+    Spout<Message>* spout =
+        topology_->mutable_components()[static_cast<size_t>(
+            spout_component_)].spout.get();
+    Message msg;
+    Timestamp time = 0;
+    Timestamp last_time = 0;
+    while (spout->Next(&msg, &time)) {
+      CORRTRACK_CHECK_GE(time, last_time);
+      last_time = time;
+      RouteFrom(spout_component_, 0, msg, time, /*direct_instance=*/-1);
+    }
+    FlushDeliveries();
+    FloodPoison(spout_component_, last_time + flush_horizon);
+    FlushDeliveries();
+    buffer_ = nullptr;
+    // Wait until every bolt task has drained its forward inputs, then stop
+    // the workers; items still in flight on feedback edges are dropped.
+    {
+      std::unique_lock<std::mutex> lock(done_mutex_);
+      all_done_.wait(lock, [this] {
+        return done_tasks_ == tasks_.size() - 1;  // All but the spout task.
+      });
+    }
+    stop_.store(true, std::memory_order_seq_cst);
+    {
+      std::lock_guard<std::mutex> lock(work_mutex_);
+      work_cv_.notify_all();
+    }
+    for (auto& worker : workers_) {
+      if (worker->thread.joinable()) worker->thread.join();
+    }
+  }
+  using Runtime<Message>::Run;
+
+  Bolt<Message>* bolt(int component, int instance) override {
+    return tasks_[static_cast<size_t>(TaskId(component, instance))]
+        ->bolt.get();
+  }
+
+  uint64_t TuplesDelivered(int component) const override {
+    uint64_t total = 0;
+    for (const auto& task : tasks_) {
+      if (task->addr.component == component) {
+        total += task->delivered.load(std::memory_order_relaxed);
+      }
+    }
+    return total;
+  }
+
+  RuntimeKind kind() const override { return RuntimeKind::kPool; }
+
+  RuntimeStats stats() const override {
+    RuntimeStats stats;
+    stats.num_threads = num_threads_;
+    stats.queue_capacity = queue_capacity_;
+    stats.queue_full_blocks =
+        queue_full_blocks_.load(std::memory_order_relaxed);
+    for (const auto& task : tasks_) {
+      stats.envelopes_moved +=
+          task->delivered.load(std::memory_order_relaxed);
+      if (task->mailbox != nullptr) {
+        stats.max_queue_depth =
+            std::max(stats.max_queue_depth,
+                     static_cast<uint64_t>(task->mailbox->max_depth()));
+      }
+    }
+    for (const auto& worker : workers_) {
+      stats.steals += worker->steals;
+    }
+    return stats;
+  }
+
+ private:
+  struct Item {
+    Envelope<Message> envelope;
+    bool poison = false;
+    Timestamp poison_horizon = 0;
+  };
+
+  /// Mailbox items drained per scheduled slice: bounds how long one task
+  /// monopolises a worker when tasks outnumber threads.
+  static constexpr size_t kSliceBatch = 256;
+
+  /// Task scheduling states. kIdle -> kQueued (a hint was enqueued) ->
+  /// kRunning (a worker or helper claimed it) -> kIdle. Only
+  /// kIdle->kRunning and kQueued->kRunning claims may execute the task, so
+  /// the bolt is single-threaded; the store back to kIdle releases the
+  /// bolt's state to the next claimer's acquire.
+  enum : int { kIdle = 0, kQueued = 1, kRunning = 2 };
+
+  /// Bounded MPSC mailbox. Pops are non-blocking (a task only runs when
+  /// scheduled, never waits for input); pushes are non-blocking too — the
+  /// caller handles a full mailbox by helping or waiting on not_full.
+  class Mailbox {
+   public:
+    explicit Mailbox(size_t capacity) : capacity_(capacity) {}
+
+    /// Moves items[*offset..) into the mailbox while capacity allows,
+    /// advancing *offset. Returns true when everything fit.
+    bool TryPushBatch(std::vector<Item>* items, size_t* offset) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      while (*offset < items->size() && items_.size() < capacity_) {
+        items_.push_back(std::move((*items)[(*offset)++]));
+      }
+      max_depth_ = std::max(max_depth_, items_.size());
+      return *offset == items->size();
+    }
+
+    /// Appends the remainder ignoring capacity — only legal when the
+    /// pushing thread itself holds the destination task in its help chain
+    /// (blocking would self-deadlock; see class comment).
+    void PushBatchOverflow(std::vector<Item>* items, size_t offset) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (; offset < items->size(); ++offset) {
+        items_.push_back(std::move((*items)[offset]));
+      }
+      max_depth_ = std::max(max_depth_, items_.size());
+    }
+
+    /// Moves up to max_items into *out. Never blocks; returns the count.
+    size_t PopBatch(std::vector<Item>* out, size_t max_items) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const size_t n = std::min(max_items, items_.size());
+      for (size_t i = 0; i < n; ++i) {
+        out->push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+      if (n > 0) not_full_.notify_all();
+      return n;
+    }
+
+    bool Empty() const {
+      std::lock_guard<std::mutex> lock(mutex_);
+      return items_.empty();
+    }
+
+    /// Waits (bounded) for the destination's runner to make room. The wait
+    /// is deliberately short: when the runner releases the task instead of
+    /// draining further, the pusher must loop back and try to *claim* the
+    /// now-queued task rather than sleep on a mailbox nobody is draining.
+    void WaitNotFull() {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_full_.wait_for(lock, std::chrono::milliseconds(1),
+                         [this] { return items_.size() < capacity_; });
+    }
+
+    size_t max_depth() const {
+      std::lock_guard<std::mutex> lock(mutex_);
+      return max_depth_;
+    }
+
+   private:
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable not_full_;
+    std::deque<Item> items_;
+    size_t max_depth_ = 0;
+  };
+
+  using DeliveryBuffer = StagingBuffer<Item>;
+
+  struct Task {
+    TaskAddress addr;
+    bool is_spout = false;
+    std::unique_ptr<Bolt<Message>> bolt;
+    std::unique_ptr<Mailbox> mailbox;
+    std::atomic<int> state{kIdle};
+    int upstream_edges = 0;  // Poisons to await before finishing.
+    // Slice-confined state (only the current claimer touches these).
+    int poisons_pending = 0;
+    Timestamp horizon = 0;
+    Timestamp next_tick = 0;
+    Timestamp tick_period = 0;
+    bool done = false;
+    std::atomic<uint64_t> delivered{0};
+  };
+
+  struct Worker {
+    std::mutex mutex;
+    std::deque<int> run_queue;  // Task-id hints; owner pops back (LIFO,
+                                // cache-hot), thieves steal the front.
+    std::thread thread;
+    uint64_t steals = 0;  // Written by the owning worker only.
+  };
+
+  class EmitterImpl : public Emitter<Message> {
+   public:
+    EmitterImpl(PoolRuntime* runtime, TaskAddress source, Timestamp time)
+        : runtime_(runtime), source_(source), time_(time) {}
+
+    void Emit(Message msg) override {
+      runtime_->RouteFrom(source_.component, source_.instance,
+                         std::move(msg), time_, -1);
+    }
+
+    void EmitDirect(int instance, Message msg) override {
+      runtime_->RouteFrom(source_.component, source_.instance,
+                         std::move(msg), time_, instance);
+    }
+
+    Timestamp now() const override { return time_; }
+
+   private:
+    PoolRuntime* runtime_;
+    TaskAddress source_;
+    Timestamp time_;
+  };
+
+  void Build() {
+    const auto& components = topology_->components();
+    task_base_.resize(components.size());
+    edges_ = BuildEdgeLists<Message>(components);
+    for (size_t c = 0; c < components.size(); ++c) {
+      const auto& comp = components[c];
+      task_base_[c] = static_cast<int>(tasks_.size());
+      if (comp.is_spout) {
+        CORRTRACK_CHECK_EQ(spout_component_, -1);
+        spout_component_ = static_cast<int>(c);
+        auto task = std::make_unique<Task>();
+        task->addr = {static_cast<int>(c), 0};
+        task->is_spout = true;
+        tasks_.push_back(std::move(task));
+        continue;
+      }
+      for (int i = 0; i < comp.parallelism; ++i) {
+        auto task = std::make_unique<Task>();
+        task->addr = {static_cast<int>(c), i};
+        task->bolt = comp.bolt_factory(i);
+        task->bolt->Prepare(task->addr, comp.parallelism);
+        task->mailbox = std::make_unique<Mailbox>(queue_capacity_);
+        task->tick_period = comp.tick_period;
+        task->next_tick = comp.tick_period > 0 ? comp.tick_period : 0;
+        tasks_.push_back(std::move(task));
+      }
+    }
+    CORRTRACK_CHECK_NE(spout_component_, -1);
+    const std::vector<int> poisons =
+        ComputeUpstreamPoisonCounts(components, task_base_, tasks_.size());
+    for (size_t t = 0; t < tasks_.size(); ++t) {
+      if (tasks_[t]->is_spout) continue;
+      // Every bolt must be reachable through forward edges, or shutdown
+      // could not terminate it.
+      CORRTRACK_CHECK_GT(poisons[t], 0);
+      tasks_[t]->upstream_edges = poisons[t];
+      tasks_[t]->poisons_pending = poisons[t];
+    }
+  }
+
+  int TaskId(int component, int instance) const {
+    return task_base_[static_cast<size_t>(component)] + instance;
+  }
+
+  int Parallelism(int component) const {
+    return topology_->components()[static_cast<size_t>(component)]
+        .parallelism;
+  }
+
+  void RouteFrom(int producer, int instance, const Message& msg,
+                 Timestamp time, int direct_instance) {
+    RouteAlongEdges(
+        edges_[static_cast<size_t>(producer)], msg, direct_instance,
+        [this](int component) { return Parallelism(component); },
+        [&](int component, int target) {
+          Item item;
+          item.envelope.payload = msg;
+          item.envelope.source = {producer, instance};
+          item.envelope.time = time;
+          Deliver(component, target, std::move(item));
+        });
+  }
+
+  /// Stages `item` in the current thread's delivery buffer, moving the
+  /// destination's lane into its mailbox once it reaches kQueueBatch.
+  void Deliver(int component, int instance, Item item) {
+    const size_t task_id = static_cast<size_t>(TaskId(component, instance));
+    DeliveryBuffer* buffer = buffer_;
+    CORRTRACK_CHECK(buffer != nullptr);
+    std::vector<Item>& lane = buffer->per_task[task_id];
+    if (!buffer->staged[task_id]) {
+      buffer->staged[task_id] = 1;
+      buffer->dirty.push_back(static_cast<int>(task_id));
+    }
+    lane.push_back(std::move(item));
+    if (lane.size() >= kQueueBatch) {
+      PushToTask(tasks_[task_id].get(), &lane);
+    }
+  }
+
+  /// Pushes every staged envelope of the current thread's buffer
+  /// (per-destination FIFO order preserved). Every slice calls this before
+  /// releasing its task, so no envelope is held back by a descheduled
+  /// producer. Helping inside PushToTask can stage *new* envelopes into
+  /// this same buffer (nested slices share it), so loop until no lane is
+  /// dirty — each pass un-stages before pushing so nested deliveries
+  /// re-dirty their lane and are picked up by the next pass.
+  void FlushDeliveries() {
+    DeliveryBuffer* buffer = buffer_;
+    std::vector<int> dirty;
+    while (!buffer->dirty.empty()) {
+      dirty.clear();
+      dirty.swap(buffer->dirty);
+      for (int id : dirty) buffer->staged[static_cast<size_t>(id)] = 0;
+      for (int id : dirty) {
+        std::vector<Item>& lane = buffer->per_task[static_cast<size_t>(id)];
+        if (!lane.empty()) PushToTask(tasks_[static_cast<size_t>(id)].get(),
+                                      &lane);
+      }
+    }
+  }
+
+  /// Consecutive no-progress full-mailbox rounds (1 ms bounded waits)
+  /// before a pusher spills over capacity. Two tasks blocked pushing at
+  /// each other's full mailboxes — e.g. the Disseminator->Merger feedback
+  /// edge against the Merger->Disseminator install broadcasts, both
+  /// backed up — can neither be claimed for helping (both are kRunning),
+  /// so strict blocking would deadlock; the escape trades transient
+  /// over-capacity on one edge for deadlock freedom.
+  static constexpr int kStallEscapeRounds = 64;
+
+  /// Moves `*items` into the task's mailbox, helping or waiting when it is
+  /// full, then wakes the task. The lane is emptied *first* so nested
+  /// helping (which shares this thread's buffer) never observes a
+  /// half-pushed lane; anything a nested slice stages for the same
+  /// destination is strictly newer traffic on other edges and may
+  /// legitimately overtake nothing.
+  void PushToTask(Task* task, std::vector<Item>* items) {
+    std::vector<Item> local;
+    local.swap(*items);
+    size_t offset = 0;
+    if (InHelpChain(task)) {
+      // Blocking would deadlock (this thread is the task's runner);
+      // feedback traffic into a task we are currently executing spills
+      // over capacity instead.
+      task->mailbox->PushBatchOverflow(&local, offset);
+      ScheduleIfIdle(task);
+      return;
+    }
+    int stalled_rounds = 0;
+    size_t last_offset = 0;
+    while (!task->mailbox->TryPushBatch(&local, &offset)) {
+      // Whatever fit must become visible for draining before we stall.
+      ScheduleIfIdle(task);
+      queue_full_blocks_.fetch_add(1, std::memory_order_relaxed);
+      if (offset > last_offset) {
+        last_offset = offset;
+        stalled_rounds = 0;
+      }
+      if (HelpOrWait(task)) {
+        stalled_rounds = 0;  // Helped: the destination drained a slice.
+      } else if (++stalled_rounds >= kStallEscapeRounds) {
+        task->mailbox->PushBatchOverflow(&local, offset);
+        break;
+      }
+    }
+    ScheduleIfIdle(task);
+  }
+
+  /// The destination's mailbox is full: claim and drain a slice of it on
+  /// this thread when possible (returns true), otherwise wait — bounded —
+  /// for its current runner to make room (returns false).
+  bool HelpOrWait(Task* task) {
+    int expected = kIdle;
+    if (task->state.compare_exchange_strong(expected, kRunning,
+                                            std::memory_order_acq_rel)) {
+      RunSlice(task);
+      return true;
+    }
+    expected = kQueued;
+    if (task->state.compare_exchange_strong(expected, kRunning,
+                                            std::memory_order_acq_rel)) {
+      // Claimed a scheduled task; its run-queue hint goes stale and will
+      // be skipped by whoever pops it.
+      RunSlice(task);
+      return true;
+    }
+    task->mailbox->WaitNotFull();
+    return false;
+  }
+
+  bool InHelpChain(const Task* task) const {
+    for (const Task* held : help_chain_) {
+      if (held == task) return true;
+    }
+    return false;
+  }
+
+  /// If the task is idle, mark it queued and enqueue a hint for the
+  /// workers. A task already queued or running needs no new hint: its next
+  /// release re-checks the mailbox.
+  void ScheduleIfIdle(Task* task) {
+    int expected = kIdle;
+    if (!task->state.compare_exchange_strong(expected, kQueued,
+                                             std::memory_order_acq_rel)) {
+      return;
+    }
+    const int task_id = TaskId(task->addr.component, task->addr.instance);
+    const int w = worker_index_;
+    if (w >= 0) {
+      Worker* worker = workers_[static_cast<size_t>(w)].get();
+      std::lock_guard<std::mutex> lock(worker->mutex);
+      worker->run_queue.push_back(task_id);
+    } else {
+      std::lock_guard<std::mutex> lock(inject_mutex_);
+      injected_.push_back(task_id);
+    }
+    pending_hints_.fetch_add(1, std::memory_order_seq_cst);
+    {
+      std::lock_guard<std::mutex> lock(work_mutex_);
+      work_cv_.notify_one();
+    }
+  }
+
+  /// Sends one poison along every forward edge leaving `producer`, through
+  /// the regular staged-delivery path (so data already staged on an edge
+  /// is pushed before the poison).
+  void FloodPoison(int producer, Timestamp horizon) {
+    for (auto& edge : edges_[static_cast<size_t>(producer)]) {
+      if (edge->consumer <= producer) continue;  // Feedback edge.
+      for (int i = 0; i < Parallelism(edge->consumer); ++i) {
+        Item item;
+        item.poison = true;
+        item.poison_horizon = horizon;
+        Deliver(edge->consumer, i, std::move(item));
+      }
+    }
+  }
+
+  /// Executes one slice of `task`: drains up to kSliceBatch items, fires
+  /// ticks, runs the bolt, flushes this thread's staged emissions, then
+  /// releases the task (re-scheduling it when mail remains). The caller
+  /// must have claimed `task` (state == kRunning).
+  void RunSlice(Task* task) {
+    help_chain_.push_back(task);
+    std::vector<Item> batch;
+    batch.reserve(kSliceBatch);
+    task->mailbox->PopBatch(&batch, kSliceBatch);
+    for (Item& item : batch) {
+      if (task->done) continue;  // Residual feedback traffic: discard.
+      if (item.poison) {
+        --task->poisons_pending;
+        task->horizon = std::max(task->horizon, item.poison_horizon);
+        if (task->poisons_pending == 0) FinishTask(task);
+        continue;
+      }
+      FireTicks(task, item.envelope.time);
+      task->delivered.fetch_add(1, std::memory_order_relaxed);
+      EmitterImpl emitter(this, task->addr, item.envelope.time);
+      task->bolt->Execute(item.envelope, emitter);
+    }
+    FlushDeliveries();
+    help_chain_.pop_back();
+    task->state.store(kIdle, std::memory_order_release);
+    if (!task->mailbox->Empty()) ScheduleIfIdle(task);
+  }
+
+  /// All forward producers of `task` are done: fire the final ticks up to
+  /// the poison horizon, propagate the poison downstream and report done.
+  /// Later slices only discard residual feedback traffic.
+  void FinishTask(Task* task) {
+    FireTicks(task, task->horizon);
+    // Final emissions (ticks + in-slice data) must precede our poison on
+    // every edge; flushing here guarantees it.
+    FlushDeliveries();
+    FloodPoison(task->addr.component, task->horizon);
+    FlushDeliveries();
+    task->done = true;
+    {
+      std::lock_guard<std::mutex> lock(done_mutex_);
+      ++done_tasks_;
+    }
+    all_done_.notify_one();
+  }
+
+  void FireTicks(Task* task, Timestamp now) {
+    if (task->tick_period <= 0) return;
+    while (task->next_tick <= now) {
+      EmitterImpl emitter(this, task->addr, task->next_tick);
+      task->bolt->OnTick(task->next_tick, emitter);
+      task->next_tick += task->tick_period;
+    }
+  }
+
+  /// Claims the next runnable task: own queue (LIFO), then the spout
+  /// thread's inject queue, then steal from peers (FIFO end). Returns
+  /// nullptr when no hint yields a claim.
+  Task* FindWork(int worker_id) {
+    Worker* self = workers_[static_cast<size_t>(worker_id)].get();
+    while (true) {
+      int task_id = -1;
+      bool stolen = false;
+      {
+        std::lock_guard<std::mutex> lock(self->mutex);
+        if (!self->run_queue.empty()) {
+          task_id = self->run_queue.back();
+          self->run_queue.pop_back();
+        }
+      }
+      if (task_id < 0) {
+        std::lock_guard<std::mutex> lock(inject_mutex_);
+        if (!injected_.empty()) {
+          task_id = injected_.front();
+          injected_.pop_front();
+        }
+      }
+      if (task_id < 0) {
+        for (int i = 1; i < num_threads_ && task_id < 0; ++i) {
+          Worker* victim =
+              workers_[static_cast<size_t>((worker_id + i) % num_threads_)]
+                  .get();
+          std::lock_guard<std::mutex> lock(victim->mutex);
+          if (!victim->run_queue.empty()) {
+            task_id = victim->run_queue.front();
+            victim->run_queue.pop_front();
+            stolen = true;
+          }
+        }
+      }
+      if (task_id < 0) return nullptr;
+      pending_hints_.fetch_sub(1, std::memory_order_seq_cst);
+      Task* task = tasks_[static_cast<size_t>(task_id)].get();
+      int expected = kQueued;
+      if (task->state.compare_exchange_strong(expected, kRunning,
+                                              std::memory_order_acq_rel)) {
+        if (stolen) ++self->steals;
+        return task;
+      }
+      // Stale hint (a helper claimed the task); keep looking.
+    }
+  }
+
+  void WorkerLoop(int worker_id) {
+    worker_index_ = worker_id;
+    DeliveryBuffer buffer(tasks_.size());
+    buffer_ = &buffer;
+    while (true) {
+      Task* task = FindWork(worker_id);
+      if (task != nullptr) {
+        RunSlice(task);
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(work_mutex_);
+      work_cv_.wait(lock, [this] {
+        return stop_.load(std::memory_order_seq_cst) ||
+               pending_hints_.load(std::memory_order_seq_cst) > 0;
+      });
+      if (stop_.load(std::memory_order_seq_cst)) break;
+    }
+    buffer_ = nullptr;
+    worker_index_ = -1;
+  }
+
+  Topology<Message>* topology_;
+  const size_t queue_capacity_;
+  const int num_threads_;
+  int spout_component_ = -1;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<int> task_base_;
+  std::vector<EdgeList<Message>> edges_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  bool ran_ = false;
+
+  std::mutex inject_mutex_;
+  std::deque<int> injected_;  // Hints from the spout thread.
+  std::atomic<int> pending_hints_{0};
+  std::mutex work_mutex_;
+  std::condition_variable work_cv_;
+  std::atomic<bool> stop_{false};
+
+  std::mutex done_mutex_;
+  std::condition_variable all_done_;
+  size_t done_tasks_ = 0;
+
+  std::atomic<uint64_t> queue_full_blocks_{0};
+
+  // Thread-confined execution context. `help_chain_` is the stack of tasks
+  // this thread currently runs (nested helping); `buffer_` the thread's
+  // delivery buffer; `worker_index_` -1 outside worker threads. Static
+  // thread_local is safe across sequential PoolRuntime instances: the
+  // chain is push/pop balanced and the buffer/index are reset on exit.
+  static thread_local std::vector<Task*> help_chain_;
+  static thread_local DeliveryBuffer* buffer_;
+  static thread_local int worker_index_;
+};
+
+template <typename Message>
+thread_local std::vector<typename PoolRuntime<Message>::Task*>
+    PoolRuntime<Message>::help_chain_;
+template <typename Message>
+thread_local typename PoolRuntime<Message>::DeliveryBuffer*
+    PoolRuntime<Message>::buffer_ = nullptr;
+template <typename Message>
+thread_local int PoolRuntime<Message>::worker_index_ = -1;
+
+}  // namespace corrtrack::stream
+
+#endif  // CORRTRACK_STREAM_POOL_RUNTIME_H_

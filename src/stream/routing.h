@@ -1,0 +1,138 @@
+#ifndef CORRTRACK_STREAM_ROUTING_H_
+#define CORRTRACK_STREAM_ROUTING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/check.h"
+#include "stream/grouping.h"
+
+namespace corrtrack::stream {
+
+/// One inverted subscription edge (producer -> consumer) as the runtimes
+/// execute it. The shuffle round-robin cursor is shared by every producer
+/// instance of the edge; atomic so the concurrent runtimes can route from
+/// any thread (the simulator's single thread pays nothing for it).
+template <typename Message>
+struct RoutingEdge {
+  int consumer = -1;  // Component id.
+  Grouping<Message> grouping;
+  std::atomic<uint64_t> round_robin{0};
+};
+
+template <typename Message>
+using EdgeList = std::vector<std::unique_ptr<RoutingEdge<Message>>>;
+
+/// Envelopes staged per destination before a queue hand-off — the batched
+/// lock-coalescing convention both concurrent runtimes share.
+inline constexpr size_t kQueueBatch = 64;
+
+/// Per-producer-thread staging area shared by the concurrent runtimes:
+/// envelopes headed to each destination task accumulate in a lane and are
+/// moved to the task's queue kQueueBatch at a time. Owned by one thread —
+/// no synchronisation. `staged` is 1 while the task id is in `dirty`,
+/// keeping `dirty` bounded by the task count even when a lane fills and
+/// flushes mid-run.
+template <typename Item>
+struct StagingBuffer {
+  explicit StagingBuffer(size_t num_tasks)
+      : per_task(num_tasks), staged(num_tasks, 0) {}
+
+  std::vector<std::vector<Item>> per_task;
+  std::vector<char> staged;
+  std::vector<int> dirty;  // Task ids touched since the last flush.
+};
+
+/// Per-task poison counts for the forward-poison shutdown contract shared
+/// by the concurrent runtimes: every consumer instance awaits one poison
+/// per *task* (producer instance) of each forward edge (producer declared
+/// before consumer) — each producer instance floods its own poison when it
+/// drains. Feedback edges are excluded from the accounting, or the cycle
+/// could never drain. Returns counts indexed by task id
+/// (task_base[component] + instance); spout tasks stay 0.
+template <typename Components>
+std::vector<int> ComputeUpstreamPoisonCounts(const Components& components,
+                                             const std::vector<int>& task_base,
+                                             size_t num_tasks) {
+  std::vector<int> counts(num_tasks, 0);
+  for (size_t c = 0; c < components.size(); ++c) {
+    for (const auto& sub : components[c].subscriptions) {
+      if (sub.producer >= static_cast<int>(c)) continue;
+      const auto& producer = components[static_cast<size_t>(sub.producer)];
+      const int producer_tasks = producer.is_spout ? 1 : producer.parallelism;
+      for (int i = 0; i < components[c].parallelism; ++i) {
+        counts[static_cast<size_t>(task_base[c] + i)] += producer_tasks;
+      }
+    }
+  }
+  return counts;
+}
+
+/// Inverts a topology's subscriptions into per-producer edge lists
+/// (edges[producer] = every edge leaving it), the layout every runtime
+/// routes from.
+template <typename Message, typename Components>
+std::vector<EdgeList<Message>> BuildEdgeLists(const Components& components) {
+  std::vector<EdgeList<Message>> edges(components.size());
+  for (size_t c = 0; c < components.size(); ++c) {
+    for (const auto& sub : components[c].subscriptions) {
+      auto edge = std::make_unique<RoutingEdge<Message>>();
+      edge->consumer = static_cast<int>(c);
+      edge->grouping = sub.grouping;
+      edges[static_cast<size_t>(sub.producer)].push_back(std::move(edge));
+    }
+  }
+  return edges;
+}
+
+/// Dispatches one emission along a producer's edges — the single
+/// definition of the grouping semantics (§6.1) all runtimes share, so the
+/// substrates cannot drift apart. `direct_instance` >= 0 marks an
+/// EmitDirect (only kDirect edges see it; plain emissions skip them).
+/// `parallelism(component)` supplies the consumer's instance count and
+/// `deliver(component, instance)` enqueues one copy; the caller owns
+/// envelope construction and queueing.
+template <typename Message, typename ParallelismFn, typename DeliverFn>
+void RouteAlongEdges(EdgeList<Message>& edges, const Message& msg,
+                     int direct_instance, ParallelismFn&& parallelism,
+                     DeliverFn&& deliver) {
+  for (auto& edge : edges) {
+    const bool is_direct_edge = edge->grouping.kind == GroupingKind::kDirect;
+    if (is_direct_edge != (direct_instance >= 0)) continue;
+    switch (edge->grouping.kind) {
+      case GroupingKind::kShuffle: {
+        const uint64_t n =
+            edge->round_robin.fetch_add(1, std::memory_order_relaxed);
+        deliver(edge->consumer,
+                static_cast<int>(n % static_cast<uint64_t>(
+                                         parallelism(edge->consumer))));
+        break;
+      }
+      case GroupingKind::kAll:
+        for (int i = 0; i < parallelism(edge->consumer); ++i) {
+          deliver(edge->consumer, i);
+        }
+        break;
+      case GroupingKind::kFields: {
+        CORRTRACK_CHECK(edge->grouping.field_hash != nullptr);
+        const size_t h = edge->grouping.field_hash(msg);
+        deliver(edge->consumer,
+                static_cast<int>(h % static_cast<size_t>(
+                                         parallelism(edge->consumer))));
+        break;
+      }
+      case GroupingKind::kGlobal:
+        deliver(edge->consumer, 0);
+        break;
+      case GroupingKind::kDirect:
+        deliver(edge->consumer, direct_instance);
+        break;
+    }
+  }
+}
+
+}  // namespace corrtrack::stream
+
+#endif  // CORRTRACK_STREAM_ROUTING_H_

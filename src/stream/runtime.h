@@ -1,0 +1,134 @@
+#ifndef CORRTRACK_STREAM_RUNTIME_H_
+#define CORRTRACK_STREAM_RUNTIME_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "core/types.h"
+
+namespace corrtrack::stream {
+
+// The interface only names Bolt pointers; keeping the template layer out
+// of this header keeps it cheap for the config/metrics headers that every
+// ops/exp translation unit includes.
+template <typename Message>
+class Bolt;
+
+/// The execution substrates a Topology can run on. All three share the
+/// engine contract (per-edge FIFO, virtual-time ticks, forward-poison
+/// shutdown); they differ in determinism and physical parallelism — see
+/// each runtime's class comment and the README's "Execution runtimes"
+/// table.
+enum class RuntimeKind {
+  /// Deterministic discrete-event simulator (simulation.h). One thread,
+  /// global FIFO cascades; experiments use it for exact repeatability.
+  kSimulation,
+  /// One worker thread per task, bounded blocking queues
+  /// (threaded_runtime.h). Physical parallelism == task count.
+  kThreaded,
+  /// M tasks multiplexed onto N worker threads via per-task mailboxes and
+  /// work stealing (pool_runtime.h). Physical parallelism decoupled from
+  /// the topology's logical parallelism.
+  kPool,
+};
+
+inline const char* RuntimeKindName(RuntimeKind kind) {
+  switch (kind) {
+    case RuntimeKind::kSimulation:
+      return "simulation";
+    case RuntimeKind::kThreaded:
+      return "threaded";
+    case RuntimeKind::kPool:
+      return "pool";
+  }
+  return "unknown";
+}
+
+/// Parses a --runtime flag value ("simulation"/"sim", "threaded", "pool").
+/// Returns false (and leaves *out untouched) on an unknown name.
+inline bool ParseRuntimeKind(std::string_view name, RuntimeKind* out) {
+  if (name == "simulation" || name == "sim") {
+    *out = RuntimeKind::kSimulation;
+    return true;
+  }
+  if (name == "threaded" || name == "thread") {
+    *out = RuntimeKind::kThreaded;
+    return true;
+  }
+  if (name == "pool") {
+    *out = RuntimeKind::kPool;
+    return true;
+  }
+  return false;
+}
+
+/// Substrate knobs shared by the concurrent runtimes. The simulator
+/// ignores both (it has no queues and exactly one thread).
+struct RuntimeOptions {
+  /// Per-task input queue capacity (envelopes). Bounds the skew between
+  /// producers and consumers: a full queue blocks the pusher
+  /// (backpressure).
+  size_t queue_capacity = 4096;
+
+  /// Pool runtime: worker threads. 0 = std::thread::hardware_concurrency.
+  /// The threaded runtime ignores it (always one thread per task).
+  int num_threads = 0;
+};
+
+/// Counters a runtime exposes after Run(), so backpressure and scheduling
+/// behaviour are observable (ops::MetricsSink::OnRuntimeStats forwards them
+/// to the experiment harness).
+struct RuntimeStats {
+  /// Envelopes executed by bolt tasks (all components, all instances).
+  uint64_t envelopes_moved = 0;
+  /// Pool: task slices obtained from another worker's queue.
+  uint64_t steals = 0;
+  /// Times a producer found a destination queue full and had to block
+  /// (or, in the pool, help drain the destination inline).
+  uint64_t queue_full_blocks = 0;
+  /// High-water mark over every per-task queue (envelopes).
+  uint64_t max_queue_depth = 0;
+  /// Physical threads that executed bolts (simulation: 1).
+  int num_threads = 0;
+  /// The queue capacity the runtime actually ran with (simulation: 0).
+  size_t queue_capacity = 0;
+};
+
+/// Common contract of the execution substrates: build from a Topology,
+/// Run() the spout to exhaustion with a post-stream tick horizon, then
+/// expose the live bolts and counters. Concrete runtimes keep their
+/// class-specific constructors; this interface is what layers above
+/// (ops::MakeConfiguredRuntime, exp::RunExperiment, examples) program
+/// against so a single Topology runs unchanged on any substrate.
+///
+/// Shutdown contract (all runtimes): when the spout is exhausted, tick
+/// boundaries up to (last timestamp + flush_horizon) still fire; in the
+/// concurrent runtimes a poison watermark floods forward edges and
+/// messages still in flight on feedback edges at end-of-stream are
+/// dropped. Run() may be called once.
+template <typename Message>
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  /// Runs the spout to exhaustion, fires ticks up to (last timestamp +
+  /// flush_horizon) and — in concurrent runtimes — joins all workers.
+  virtual void Run(Timestamp flush_horizon) = 0;
+  void Run() { Run(0); }
+
+  /// The live bolt instance for (component, instance); callers downcast to
+  /// the operator type they installed.
+  virtual Bolt<Message>* bolt(int component, int instance) = 0;
+
+  /// Tuples delivered to (executed by) the component's bolts.
+  virtual uint64_t TuplesDelivered(int component) const = 0;
+
+  virtual RuntimeKind kind() const = 0;
+
+  /// Substrate counters; valid after Run() returned.
+  virtual RuntimeStats stats() const = 0;
+};
+
+}  // namespace corrtrack::stream
+
+#endif  // CORRTRACK_STREAM_RUNTIME_H_

@@ -10,6 +10,8 @@
 #include "core/check.h"
 #include "core/types.h"
 #include "stream/envelope.h"
+#include "stream/routing.h"
+#include "stream/runtime.h"
 #include "stream/topology.h"
 
 namespace corrtrack::stream {
@@ -34,7 +36,7 @@ namespace corrtrack::stream {
 /// The engine is single-threaded; see threaded_runtime.h for the concurrent
 /// executor with identical wiring.
 template <typename Message>
-class SimulationRuntime {
+class SimulationRuntime : public Runtime<Message> {
  public:
   explicit SimulationRuntime(Topology<Message>* topology)
       : topology_(topology) {
@@ -48,7 +50,7 @@ class SimulationRuntime {
   /// Runs the spout to exhaustion. After the last tuple, tick boundaries up
   /// to (last timestamp + flush_horizon) still fire, so periodic reporters
   /// can flush. Can only be called once.
-  void Run(Timestamp flush_horizon = 0) {
+  void Run(Timestamp flush_horizon) override {
     CORRTRACK_CHECK(!ran_);
     ran_ = true;
     Spout<Message>* spout = FindSpout();
@@ -65,9 +67,10 @@ class SimulationRuntime {
     }
     FireTicksUpTo(last_time + flush_horizon);
   }
+  using Runtime<Message>::Run;
 
   /// Number of tuples delivered to (executed by) the component's bolts.
-  uint64_t TuplesDelivered(int component) const {
+  uint64_t TuplesDelivered(int component) const override {
     CORRTRACK_CHECK_GE(component, 0);
     CORRTRACK_CHECK_LT(static_cast<size_t>(component), delivered_.size());
     return delivered_[static_cast<size_t>(component)];
@@ -75,20 +78,23 @@ class SimulationRuntime {
 
   /// The live bolt instance for (component, instance); callers downcast to
   /// the concrete operator type they installed.
-  Bolt<Message>* bolt(int component, int instance) {
+  Bolt<Message>* bolt(int component, int instance) override {
     const int task = TaskId(component, instance);
     return tasks_[static_cast<size_t>(task)].bolt.get();
+  }
+
+  RuntimeKind kind() const override { return RuntimeKind::kSimulation; }
+
+  RuntimeStats stats() const override {
+    RuntimeStats stats;
+    stats.num_threads = 1;
+    for (uint64_t delivered : delivered_) stats.envelopes_moved += delivered;
+    return stats;
   }
 
   Timestamp now() const { return now_; }
 
  private:
-  struct EdgeState {
-    int consumer;  // Component id.
-    Grouping<Message> grouping;
-    uint64_t round_robin = 0;
-  };
-
   struct Task {
     TaskAddress addr;
     std::unique_ptr<Bolt<Message>> bolt;  // Null for the spout's task.
@@ -123,7 +129,7 @@ class SimulationRuntime {
     const auto& components = topology_->components();
     task_base_.resize(components.size());
     delivered_.assign(components.size(), 0);
-    edges_.resize(components.size());
+    edges_ = BuildEdgeLists<Message>(components);
     for (size_t c = 0; c < components.size(); ++c) {
       const auto& comp = components[c];
       task_base_[c] = static_cast<int>(tasks_.size());
@@ -147,15 +153,6 @@ class SimulationRuntime {
       }
     }
     CORRTRACK_CHECK_NE(spout_component_, -1);
-    // Invert subscriptions into per-producer edge lists.
-    for (size_t c = 0; c < components.size(); ++c) {
-      for (const auto& sub : components[c].subscriptions) {
-        EdgeState edge;
-        edge.consumer = static_cast<int>(c);
-        edge.grouping = sub.grouping;
-        edges_[static_cast<size_t>(sub.producer)].push_back(std::move(edge));
-      }
-    }
   }
 
   Spout<Message>* FindSpout() {
@@ -181,46 +178,23 @@ class SimulationRuntime {
   /// Routes `msg` emitted by (producer, instance) along all non-direct
   /// subscription edges.
   void DeliverFrom(int producer, int instance, Message msg, Timestamp time) {
-    auto& edge_list = edges_[static_cast<size_t>(producer)];
     const TaskAddress source{producer, instance};
-    for (auto& edge : edge_list) {
-      switch (edge.grouping.kind) {
-        case GroupingKind::kShuffle: {
-          const int target = static_cast<int>(
-              edge.round_robin++ %
-              static_cast<uint64_t>(Parallelism(edge.consumer)));
-          Enqueue(edge.consumer, target, msg, source, time);
-          break;
-        }
-        case GroupingKind::kAll:
-          for (int i = 0; i < Parallelism(edge.consumer); ++i) {
-            Enqueue(edge.consumer, i, msg, source, time);
-          }
-          break;
-        case GroupingKind::kFields: {
-          CORRTRACK_CHECK(edge.grouping.field_hash != nullptr);
-          const size_t h = edge.grouping.field_hash(msg);
-          const int target = static_cast<int>(
-              h % static_cast<size_t>(Parallelism(edge.consumer)));
-          Enqueue(edge.consumer, target, msg, source, time);
-          break;
-        }
-        case GroupingKind::kGlobal:
-          Enqueue(edge.consumer, 0, msg, source, time);
-          break;
-        case GroupingKind::kDirect:
-          break;  // Direct subscribers only see EmitDirect.
-      }
-    }
+    RouteAlongEdges(
+        edges_[static_cast<size_t>(producer)], msg, /*direct_instance=*/-1,
+        [this](int component) { return Parallelism(component); },
+        [&](int component, int target) {
+          Enqueue(component, target, msg, source, time);
+        });
   }
 
   void DeliverDirect(int producer, int instance, Message msg, Timestamp time,
                      TaskAddress source) {
-    auto& edge_list = edges_[static_cast<size_t>(producer)];
-    for (auto& edge : edge_list) {
-      if (edge.grouping.kind != GroupingKind::kDirect) continue;
-      Enqueue(edge.consumer, instance, msg, source, time);
-    }
+    RouteAlongEdges(
+        edges_[static_cast<size_t>(producer)], msg, instance,
+        [this](int component) { return Parallelism(component); },
+        [&](int component, int target) {
+          Enqueue(component, target, msg, source, time);
+        });
   }
 
   void Enqueue(int component, int instance, const Message& msg,
@@ -276,7 +250,7 @@ class SimulationRuntime {
   int spout_component_ = -1;
   std::vector<Task> tasks_;
   std::vector<int> task_base_;
-  std::vector<std::vector<EdgeState>> edges_;
+  std::vector<EdgeList<Message>> edges_;
   std::deque<std::pair<int, Envelope<Message>>> pending_;
   std::vector<uint64_t> delivered_;
   Timestamp now_ = 0;

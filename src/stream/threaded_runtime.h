@@ -14,6 +14,8 @@
 #include "core/check.h"
 #include "core/types.h"
 #include "stream/envelope.h"
+#include "stream/routing.h"
+#include "stream/runtime.h"
 #include "stream/topology.h"
 
 namespace corrtrack::stream {
@@ -51,14 +53,20 @@ namespace corrtrack::stream {
 ///    flight on them at end-of-stream are dropped, as in a Storm topology
 ///    kill.
 template <typename Message>
-class ThreadedRuntime {
+class ThreadedRuntime : public Runtime<Message> {
  public:
   explicit ThreadedRuntime(Topology<Message>* topology,
                            size_t queue_capacity = 4096)
       : topology_(topology), queue_capacity_(queue_capacity) {
     CORRTRACK_CHECK(topology != nullptr);
+    CORRTRACK_CHECK_GT(queue_capacity, 0u);
     Build();
   }
+
+  /// RuntimeOptions constructor (num_threads is ignored: this substrate is
+  /// always one thread per task).
+  ThreadedRuntime(Topology<Message>* topology, const RuntimeOptions& options)
+      : ThreadedRuntime(topology, options.queue_capacity) {}
 
   ThreadedRuntime(const ThreadedRuntime&) = delete;
   ThreadedRuntime& operator=(const ThreadedRuntime&) = delete;
@@ -66,7 +74,7 @@ class ThreadedRuntime {
   /// Runs the spout to exhaustion, waits for every task to drain, fires
   /// final ticks up to (last timestamp + flush_horizon), and joins all
   /// workers. Call once.
-  void Run(Timestamp flush_horizon = 0) {
+  void Run(Timestamp flush_horizon) override {
     CORRTRACK_CHECK(!ran_);
     ran_ = true;
     // Start workers.
@@ -110,13 +118,14 @@ class ThreadedRuntime {
       if (task->thread.joinable()) task->thread.join();
     }
   }
+  using Runtime<Message>::Run;
 
-  Bolt<Message>* bolt(int component, int instance) {
+  Bolt<Message>* bolt(int component, int instance) override {
     return tasks_[static_cast<size_t>(TaskId(component, instance))]
         ->bolt.get();
   }
 
-  uint64_t TuplesDelivered(int component) const {
+  uint64_t TuplesDelivered(int component) const override {
     uint64_t total = 0;
     for (const auto& task : tasks_) {
       if (task->addr.component == component) {
@@ -124,6 +133,25 @@ class ThreadedRuntime {
       }
     }
     return total;
+  }
+
+  RuntimeKind kind() const override { return RuntimeKind::kThreaded; }
+
+  RuntimeStats stats() const override {
+    RuntimeStats stats;
+    stats.queue_capacity = queue_capacity_;
+    for (const auto& task : tasks_) {
+      stats.envelopes_moved +=
+          task->delivered.load(std::memory_order_relaxed);
+      if (task->queue != nullptr) {
+        ++stats.num_threads;  // One worker per bolt task.
+        stats.queue_full_blocks += task->queue->full_blocks();
+        stats.max_queue_depth = std::max(
+            stats.max_queue_depth,
+            static_cast<uint64_t>(task->queue->max_depth()));
+      }
+    }
+    return stats;
   }
 
  private:
@@ -134,9 +162,6 @@ class ThreadedRuntime {
     Timestamp poison_horizon = 0;
   };
 
-  /// Envelopes moved per lock acquisition on the edge queues.
-  static constexpr size_t kQueueBatch = 64;
-
   /// Bounded MPSC blocking queue with batched enqueue/dequeue.
   class BoundedQueue {
    public:
@@ -144,8 +169,12 @@ class ThreadedRuntime {
 
     void Push(Item item) {
       std::unique_lock<std::mutex> lock(mutex_);
-      not_full_.wait(lock, [this] { return items_.size() < capacity_; });
+      if (items_.size() >= capacity_) {
+        ++full_blocks_;
+        not_full_.wait(lock, [this] { return items_.size() < capacity_; });
+      }
       items_.push_back(std::move(item));
+      max_depth_ = std::max(max_depth_, items_.size());
       not_empty_.notify_one();
     }
 
@@ -155,10 +184,14 @@ class ThreadedRuntime {
       size_t offset = 0;
       std::unique_lock<std::mutex> lock(mutex_);
       while (offset < items->size()) {
-        not_full_.wait(lock, [this] { return items_.size() < capacity_; });
+        if (items_.size() >= capacity_) {
+          ++full_blocks_;
+          not_full_.wait(lock, [this] { return items_.size() < capacity_; });
+        }
         while (offset < items->size() && items_.size() < capacity_) {
           items_.push_back(std::move((*items)[offset++]));
         }
+        max_depth_ = std::max(max_depth_, items_.size());
         not_empty_.notify_one();
       }
       items->clear();
@@ -179,27 +212,27 @@ class ThreadedRuntime {
       return n;
     }
 
+    /// Backpressure counters; read after the workers joined.
+    uint64_t full_blocks() const {
+      std::lock_guard<std::mutex> lock(mutex_);
+      return full_blocks_;
+    }
+    size_t max_depth() const {
+      std::lock_guard<std::mutex> lock(mutex_);
+      return max_depth_;
+    }
+
    private:
     const size_t capacity_;
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable not_empty_;
     std::condition_variable not_full_;
     std::deque<Item> items_;
+    uint64_t full_blocks_ = 0;  // Producer waits on a full queue.
+    size_t max_depth_ = 0;      // High-water mark (envelopes).
   };
 
-  /// Per-producer staging area: envelopes headed to each destination task
-  /// accumulate here and are pushed kQueueBatch at a time. Owned by one
-  /// thread (a worker or the spout driver) — no synchronisation.
-  struct DeliveryBuffer {
-    explicit DeliveryBuffer(size_t num_tasks)
-        : per_task(num_tasks), staged(num_tasks, 0) {}
-
-    std::vector<std::vector<Item>> per_task;
-    std::vector<char> staged;  // 1 while the task id is in `dirty`: keeps
-                               // `dirty` bounded by the task count even
-                               // when a lane fills and flushes mid-run.
-    std::vector<int> dirty;    // Task ids touched since the last flush.
-  };
+  using DeliveryBuffer = StagingBuffer<Item>;
 
   struct Task {
     TaskAddress addr;
@@ -211,12 +244,6 @@ class ThreadedRuntime {
     Timestamp next_tick = 0;
     Timestamp tick_period = 0;
     std::atomic<uint64_t> delivered{0};
-  };
-
-  struct EdgeState {
-    int consumer;
-    Grouping<Message> grouping;
-    std::atomic<uint64_t> round_robin{0};
   };
 
   class EmitterImpl : public Emitter<Message> {
@@ -247,7 +274,7 @@ class ThreadedRuntime {
   void Build() {
     const auto& components = topology_->components();
     task_base_.resize(components.size());
-    edges_.resize(components.size());
+    edges_ = BuildEdgeLists<Message>(components);
     for (size_t c = 0; c < components.size(); ++c) {
       const auto& comp = components[c];
       task_base_[c] = static_cast<int>(tasks_.size());
@@ -272,33 +299,13 @@ class ThreadedRuntime {
       }
     }
     CORRTRACK_CHECK_NE(spout_component_, -1);
-    for (size_t c = 0; c < components.size(); ++c) {
-      for (const auto& sub : components[c].subscriptions) {
-        auto edge = std::make_unique<EdgeState>();
-        edge->consumer = static_cast<int>(c);
-        edge->grouping = sub.grouping;
-        edges_[static_cast<size_t>(sub.producer)].push_back(std::move(edge));
-        // Shutdown accounting covers forward edges only (see class
-        // comment): every consumer instance awaits one poison per *task*
-        // (producer instance) of each forward producer edge — each
-        // producer instance floods its own poison when it drains.
-        if (sub.producer < static_cast<int>(c)) {
-          const int producer_tasks =
-              components[static_cast<size_t>(sub.producer)].is_spout
-                  ? 1
-                  : components[static_cast<size_t>(sub.producer)]
-                        .parallelism;
-          for (int i = 0; i < components[c].parallelism; ++i) {
-            tasks_[static_cast<size_t>(TaskId(static_cast<int>(c), i))]
-                ->upstream_edges += producer_tasks;
-          }
-        }
-      }
-    }
-    for (const auto& task : tasks_) {
+    const std::vector<int> poisons =
+        ComputeUpstreamPoisonCounts(components, task_base_, tasks_.size());
+    for (size_t t = 0; t < tasks_.size(); ++t) {
+      tasks_[t]->upstream_edges = poisons[t];
       // Every bolt must be reachable through forward edges, or shutdown
       // could not terminate it.
-      if (!task->is_spout) CORRTRACK_CHECK_GT(task->upstream_edges, 0);
+      if (!tasks_[t]->is_spout) CORRTRACK_CHECK_GT(poisons[t], 0);
     }
   }
 
@@ -314,47 +321,16 @@ class ThreadedRuntime {
   void RouteFrom(int producer, int instance, const Message& msg,
                  Timestamp time, int direct_instance,
                  DeliveryBuffer* buffer) {
-    for (auto& edge : edges_[static_cast<size_t>(producer)]) {
-      const bool is_direct_edge =
-          edge->grouping.kind == GroupingKind::kDirect;
-      if (is_direct_edge != (direct_instance >= 0)) continue;
-      Item item;
-      item.envelope.payload = msg;
-      item.envelope.source = {producer, instance};
-      item.envelope.time = time;
-      switch (edge->grouping.kind) {
-        case GroupingKind::kShuffle: {
-          const uint64_t n = edge->round_robin.fetch_add(
-              1, std::memory_order_relaxed);
-          Deliver(edge->consumer,
-                  static_cast<int>(n % static_cast<uint64_t>(
-                                           Parallelism(edge->consumer))),
-                  std::move(item), buffer);
-          break;
-        }
-        case GroupingKind::kAll:
-          for (int i = 0; i < Parallelism(edge->consumer); ++i) {
-            Item copy;
-            copy.envelope = item.envelope;
-            Deliver(edge->consumer, i, std::move(copy), buffer);
-          }
-          break;
-        case GroupingKind::kFields: {
-          const size_t h = edge->grouping.field_hash(msg);
-          Deliver(edge->consumer,
-                  static_cast<int>(h % static_cast<size_t>(
-                                           Parallelism(edge->consumer))),
-                  std::move(item), buffer);
-          break;
-        }
-        case GroupingKind::kGlobal:
-          Deliver(edge->consumer, 0, std::move(item), buffer);
-          break;
-        case GroupingKind::kDirect:
-          Deliver(edge->consumer, direct_instance, std::move(item), buffer);
-          break;
-      }
-    }
+    RouteAlongEdges(
+        edges_[static_cast<size_t>(producer)], msg, direct_instance,
+        [this](int component) { return Parallelism(component); },
+        [&](int component, int target) {
+          Item item;
+          item.envelope.payload = msg;
+          item.envelope.source = {producer, instance};
+          item.envelope.time = time;
+          Deliver(component, target, std::move(item), buffer);
+        });
   }
 
   /// Stages `item` for the destination task in `buffer` (flushing that
@@ -467,7 +443,7 @@ class ThreadedRuntime {
   int spout_component_ = -1;
   std::vector<std::unique_ptr<Task>> tasks_;
   std::vector<int> task_base_;
-  std::vector<std::vector<std::unique_ptr<EdgeState>>> edges_;
+  std::vector<EdgeList<Message>> edges_;
   bool ran_ = false;
   std::mutex done_mutex_;
   std::condition_variable all_done_;

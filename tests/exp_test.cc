@@ -134,6 +134,46 @@ TEST(Sweep, PaperBaseConfigMatchesSection82) {
   EXPECT_DOUBLE_EQ(config.generator.tps, 1300.0);
 }
 
+TEST(Sweep, RuntimeSweepCoversSubstrates) {
+  const auto points = RuntimeSweep();
+  ASSERT_EQ(points.size(), 4u);
+  ExperimentConfig config = PaperBaseConfig();
+  EXPECT_EQ(config.pipeline.runtime, stream::RuntimeKind::kSimulation);
+  points[1].apply(&config);
+  EXPECT_EQ(config.pipeline.runtime, stream::RuntimeKind::kThreaded);
+  points[2].apply(&config);
+  EXPECT_EQ(config.pipeline.runtime, stream::RuntimeKind::kPool);
+  EXPECT_EQ(config.pipeline.num_threads, 1);
+  points[3].apply(&config);
+  EXPECT_EQ(config.pipeline.runtime, stream::RuntimeKind::kPool);
+  EXPECT_EQ(config.pipeline.num_threads, 0);  // Hardware concurrency.
+}
+
+TEST(Driver, RunExperimentOnPoolRuntime) {
+  // The experiment harness must run on the concurrent substrates too: the
+  // collector's hooks are called from several worker threads, and the
+  // result carries the substrate's identity and counters.
+  ExperimentConfig config;
+  config.label = "pool-smoke";
+  config.pipeline.num_calculators = 4;
+  config.pipeline.num_partitioners = 3;
+  config.pipeline.window_span = kMillisPerMinute;
+  config.pipeline.report_period = kMillisPerMinute;
+  config.pipeline.bootstrap_time = kMillisPerMinute;
+  config.pipeline.queue_capacity = 256;
+  config.set_runtime(stream::RuntimeKind::kPool, 2);
+  // Several virtual minutes past the 1-minute bootstrap, so documents are
+  // routed long after the first partitions install.
+  config.num_documents = 24000;
+  const ExperimentResult result = RunExperiment(config);
+  EXPECT_EQ(result.runtime, stream::RuntimeKind::kPool);
+  EXPECT_EQ(result.runtime_stats.num_threads, 2);
+  EXPECT_GT(result.partitions_installed, 0u);
+  EXPECT_GT(result.documents, 0u);
+  EXPECT_GT(result.runtime_stats.envelopes_moved, result.documents);
+  EXPECT_GT(result.coverage, 0.0);  // The pool tracked real coefficients.
+}
+
 TEST(Sweep, SweepPointsMatchPaperGrid) {
   EXPECT_EQ(ThresholdSweep().size(), 2u);
   EXPECT_EQ(PartitionerSweep().size(), 3u);

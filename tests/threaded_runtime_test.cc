@@ -204,6 +204,39 @@ TEST(ThreadedRuntime, ChainWithCapacityOne) {
   EXPECT_EQ(last->sum, static_cast<long long>(n) * (n - 1) / 2);
 }
 
+TEST(ThreadedRuntime, StatsExposeBackpressure) {
+  // Capacity 1 through the RuntimeOptions constructor (the PipelineConfig
+  // plumbing path): every envelope forces the full/blocked paths, which
+  // the stats must surface.
+  const int n = 2000;
+  Topology<Msg> topology;
+  const int spout =
+      topology.AddSpout("src", std::make_unique<CountingSpout>(n));
+  SummingBolt* last = nullptr;
+  const int sink = topology.AddBolt(
+      "sink",
+      [&last](int) {
+        auto b = std::make_unique<SummingBolt>(false);
+        last = b.get();
+        return b;
+      },
+      1);
+  topology.Subscribe(sink, spout, Grouping<Msg>::Shuffle());
+  RuntimeOptions options;
+  options.queue_capacity = 1;
+  ThreadedRuntime<Msg> runtime(&topology, options);
+  runtime.Run();
+  EXPECT_EQ(last->count, n);
+  const RuntimeStats stats = runtime.stats();
+  EXPECT_EQ(runtime.kind(), RuntimeKind::kThreaded);
+  EXPECT_EQ(stats.envelopes_moved, static_cast<uint64_t>(n));
+  EXPECT_EQ(stats.queue_capacity, 1u);
+  EXPECT_EQ(stats.num_threads, 1);  // One worker for the one bolt task.
+  EXPECT_EQ(stats.max_queue_depth, 1u);
+  EXPECT_GT(stats.queue_full_blocks, 0u);
+  EXPECT_EQ(stats.steals, 0u);  // No work stealing on this substrate.
+}
+
 TEST(ThreadedRuntime, TicksFireFromStreamTime) {
   const int n = 100;  // Times 0..99.
   Topology<Msg> topology;
