@@ -57,16 +57,37 @@ fi
 python3 - "${TMP_DIR}/pipeline.json" "${TMP_DIR}/serve.json" \
     "${TMP_DIR}/runtime.json" "${REPO_ROOT}/BENCH_micro.json" <<'PY'
 import json
+import os
+import re
 import sys
 
 pipeline_path, serve_path, runtime_path, out_path = sys.argv[1:5]
 with open(pipeline_path) as f:
     merged = json.load(f)
+worker_counts = set()
 for path in (serve_path, runtime_path):
     with open(path) as f:
-        merged["benchmarks"].extend(json.load(f)["benchmarks"])
+        benchmarks = json.load(f)["benchmarks"]
+    merged["benchmarks"].extend(benchmarks)
+    for bench in benchmarks:
+        m = re.search(r"/threads:(\d+)", bench.get("name", ""))
+        if m:
+            worker_counts.add(int(m.group(1)))
+# Label the host so thread-scaling rows are interpretable: worker-count
+# sweeps from a single-core container measure scheduling overhead, not
+# scaling, and must be read as such.
+host_cpus = os.cpu_count() or 1
+context = merged.setdefault("context", {})
+context["host_num_cpus"] = host_cpus
+context["runtime_bench_worker_counts"] = sorted(worker_counts)
+context["single_core_host"] = host_cpus == 1
+if worker_counts and host_cpus < max(worker_counts):
+    context["worker_scaling_note"] = (
+        "worker counts exceed host cores (%d); treat multi-worker rows as "
+        "overhead, not scaling" % host_cpus)
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")
 PY
-echo "wrote ${REPO_ROOT}/BENCH_micro.json (pipeline + serve + runtime)"
+echo "wrote ${REPO_ROOT}/BENCH_micro.json (pipeline + serve + runtime;" \
+     "host cores recorded in context)"

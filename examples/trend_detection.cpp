@@ -9,14 +9,21 @@
 // then differenced period-over-period; the emerging pairs surface at the
 // top of the shift ranking.
 
+// Pass --elastic to let the Merger resize the Calculator set at run time
+// (§7.3 elastic repartitioning): the burst raises the window load, the
+// cost-model target-k policy grows k to match, and the resize trail is
+// printed alongside the trend ranking.
+
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <vector>
 
 #include "gen/tweet_generator.h"
 #include "ops/messages.h"
+#include "ops/metrics_sink.h"
 #include "ops/source.h"
 #include "ops/topology_builder.h"
 #include "ops/tracker_op.h"
@@ -25,6 +32,19 @@
 namespace {
 
 using namespace corrtrack;
+
+/// Prints the elastic install protocol's resize decisions as they happen.
+class ResizePrinter : public ops::MetricsSink {
+ public:
+  void OnTopologyResize(Epoch epoch, int old_k, int new_k,
+                        Timestamp time) override {
+    std::printf("resize: epoch %u, k %d -> %d (t=%lld min)\n",
+                static_cast<unsigned>(epoch), old_k, new_k,
+                static_cast<long long>(time / kMillisPerMinute));
+    ++resizes;
+  }
+  int resizes = 0;
+};
 
 /// A spout that plays a base stream and injects a bursting tag pair in the
 /// second half — the "emergent topic" a trend detector must find.
@@ -65,7 +85,12 @@ class BurstSpout : public stream::Spout<ops::Message> {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool elastic = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--elastic") == 0) elastic = true;
+  }
+
   ops::PipelineConfig pipeline;
   pipeline.algorithm = AlgorithmKind::kDS;
   pipeline.num_calculators = 5;
@@ -73,6 +98,12 @@ int main() {
   pipeline.window_span = 2 * kMillisPerMinute;
   pipeline.report_period = 2 * kMillisPerMinute;
   pipeline.bootstrap_time = 2 * kMillisPerMinute;
+  if (elastic) {
+    pipeline.num_calculators = 2;  // Start small; let k track the load.
+    pipeline.max_calculators = 16;
+    pipeline.elastic.enabled = true;
+    pipeline.elastic.partition_overhead_load = 2000;
+  }
 
   gen::GeneratorConfig workload;
   workload.seed = 99;
@@ -83,13 +114,20 @@ int main() {
   const uint64_t num_docs =
       static_cast<uint64_t>(24 * 60 * workload.tagged_tps());
   auto spout = std::make_unique<BurstSpout>(workload, num_docs);
+  ResizePrinter resizes;
   const ops::TopologyHandles handles = ops::BuildCorrelationTopology(
-      &topology, std::move(spout), pipeline, nullptr,
+      &topology, std::move(spout), pipeline, elastic ? &resizes : nullptr,
       /*with_centralized_baseline=*/false);
   stream::SimulationRuntime<ops::Message> runtime(&topology);
   runtime.Run(pipeline.report_period);
   std::printf("runtime: %s (deterministic, 1 thread)\n",
               stream::RuntimeKindName(runtime.kind()));
+  if (elastic) {
+    std::printf("elastic: %d resizes, %d of max %d calculators live\n",
+                resizes.resizes,
+                runtime.ActiveParallelism(handles.calculator),
+                runtime.MaxParallelism(handles.calculator));
+  }
 
   const auto* tracker =
       static_cast<ops::TrackerBolt*>(runtime.bolt(handles.tracker, 0));

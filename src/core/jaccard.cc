@@ -12,6 +12,24 @@ void SubsetCounterTable::Observe(const TagSet& tags) {
       [this](const PackedTagKey& key) { counters_.Increment(key); });
 }
 
+void SubsetCounterTable::Add(const TagSet& tags, uint64_t count) {
+  if (count == 0 || tags.empty()) return;
+  CORRTRACK_CHECK_LE(tags.size(), PackedTagKey::kCapacity);
+  counters_.Increment(tags.PackKey(), count);
+}
+
+std::vector<std::pair<TagSet, uint64_t>> SubsetCounterTable::ExportCounters()
+    const {
+  std::vector<std::pair<TagSet, uint64_t>> out;
+  out.reserve(counters_.size());
+  counters_.ForEach([&](const PackedTagKey& key, uint64_t count) {
+    out.emplace_back(TagSet::FromPackedKey(key), count);
+  });
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
 uint64_t SubsetCounterTable::Count(const TagSet& tags) const {
   if (tags.empty() || tags.size() > PackedTagKey::kCapacity) return 0;
   return counters_.Find(tags.PackKey());

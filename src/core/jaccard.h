@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/flat_counter_table.h"
@@ -21,6 +22,46 @@ struct JaccardEstimate {
   /// Documents containing *any* tag of the set (inclusion–exclusion, Eq. 2).
   uint64_t union_count = 0;
 };
+
+/// How duplicate estimates of one tagset within one reporting period merge.
+/// The Tracker and the serving index share the rule, so served state stays
+/// bit-identical to the Tracker's period map under either policy.
+enum class EstimateMerge {
+  /// §6.2: keep the estimate with the larger counter CN. Correct under tag
+  /// replication (SCC/SCL/SCI, or DS degraded by Single Additions), where
+  /// several Calculators observe *overlapping* document sets for the same
+  /// tagset — summing would double-count.
+  kMaxCN,
+  /// Sum intersection/union counts and recompute the coefficient. Exact
+  /// for disjoint partitionings (DS without replication): each document is
+  /// then observed by at most one Calculator per tagset, so the partial
+  /// reports that an elastic resize splits across owners (old owner's
+  /// residual counters, the install protocol's quiesce flush, the new
+  /// owner's tail) are over *disjoint* document sets and add up to the
+  /// centralised oracle's counts bit for bit.
+  kAdditive,
+};
+
+/// Applies `policy` to merge `incoming` into `*entry` (same tagset, same
+/// reporting period).
+inline void MergeEstimate(JaccardEstimate* entry,
+                          const JaccardEstimate& incoming,
+                          EstimateMerge policy) {
+  if (policy == EstimateMerge::kMaxCN) {
+    if (incoming.intersection_count > entry->intersection_count) {
+      *entry = incoming;
+    }
+    return;
+  }
+  entry->intersection_count += incoming.intersection_count;
+  entry->union_count += incoming.union_count;
+  // Same expression as SubsetCounterTable::Compute, so a sum of disjoint
+  // partials reproduces the oracle's coefficient exactly.
+  entry->coefficient = entry->union_count > 0
+                           ? static_cast<double>(entry->intersection_count) /
+                                 static_cast<double>(entry->union_count)
+                           : 0.0;
+}
 
 /// The Calculator's counting state (§3.1): one exact counter per observed
 /// co-occurring tagset.
@@ -42,6 +83,17 @@ class SubsetCounterTable {
   /// Counts one document/notification. All non-empty subsets of `tags` get
   /// +1. Requires tags.size() <= kMaxTagsPerDocument.
   void Observe(const TagSet& tags);
+
+  /// Adds `count` to exactly the counter of `tags` — no subset
+  /// enumeration. The state-migration primitive of the elastic install
+  /// protocol: counter tables are linear (entry-wise sums), so injecting
+  /// another table's exported counters reproduces the table that would
+  /// have counted both observation sets directly.
+  void Add(const TagSet& tags, uint64_t count);
+
+  /// Exports every live counter as (tags, count), sorted by tagset — the
+  /// handoff fragments a quiesced Calculator ships to the new owners.
+  std::vector<std::pair<TagSet, uint64_t>> ExportCounters() const;
 
   /// Counter value for `tags` (0 when never observed together).
   uint64_t Count(const TagSet& tags) const;

@@ -1,5 +1,9 @@
 #include "core/partitioning.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 #include "core/check.h"
 #include "core/ds_algorithm.h"
 #include "core/scc_algorithm.h"
@@ -45,6 +49,43 @@ int PartitioningAlgorithm::ChooseSingleAdditionTarget(
   // §7.1: DS, SCC and SCI minimise the increase in communication; SCL keeps
   // load balanced. SCL overrides this method.
   return internal::PickPartitionByOverlapThenLoad(ps, tags);
+}
+
+double ElasticPartitionCost(uint64_t window_load, int k,
+                            const ElasticPolicy& policy) {
+  CORRTRACK_CHECK_GT(k, 0);
+  return static_cast<double>(window_load) / static_cast<double>(k) +
+         static_cast<double>(policy.partition_overhead_load) *
+             static_cast<double>(k);
+}
+
+int ChooseTargetK(uint64_t window_load, int current_k,
+                  const ElasticPolicy& policy) {
+  const int lo = std::max(1, policy.min_partitions);
+  const int hi = policy.max_partitions > 0
+                     ? std::max(lo, policy.max_partitions)
+                     : std::numeric_limits<int>::max();
+  // Continuous optimum k* = sqrt(L / overhead); the integer minimiser of a
+  // convex cost is one of its two neighbours.
+  const double overhead =
+      static_cast<double>(std::max<uint64_t>(1, policy.partition_overhead_load));
+  const double k_star = std::sqrt(static_cast<double>(window_load) / overhead);
+  int best = std::clamp(static_cast<int>(k_star), lo, hi);
+  for (int candidate = best - 1; candidate <= best + 2; ++candidate) {
+    if (candidate < lo || candidate > hi) continue;
+    if (ElasticPartitionCost(window_load, candidate, policy) <
+        ElasticPartitionCost(window_load, best, policy)) {
+      best = candidate;
+    }
+  }
+  if (current_k > 0) {
+    const double band = policy.resize_hysteresis *
+                        static_cast<double>(current_k);
+    if (std::abs(best - current_k) <= band) {
+      return std::clamp(current_k, lo, hi);
+    }
+  }
+  return best;
 }
 
 std::unique_ptr<PartitioningAlgorithm> MakeAlgorithm(AlgorithmKind kind) {

@@ -63,6 +63,50 @@ class PartitioningAlgorithm {
                                          const TagSet& tags) const;
 };
 
+/// §7.3 elastic repartitioning: the cost model and target-k policy through
+/// which the Merger *chooses* each round's partition count instead of
+/// recutting into the build-time k. The model prices a candidate k as
+///
+///   Cost(k) = L / k  +  overhead · k
+///
+/// — the ideal-balance per-partition processing share of the window load L
+/// plus a fixed per-partition cost (one live Calculator's mailbox,
+/// broadcast and reporting overhead, expressed in the same load units) —
+/// which is minimised at k* = sqrt(L / overhead). Splitting past k* buys
+/// less balance than it costs in per-task overhead; merging below it
+/// overloads the heaviest partition. A hysteresis band keeps k sticky
+/// under load jitter so the topology doesn't thrash through resizes
+/// (adaptive-scale correlation trackers, AMIC; sketch-based resizing,
+/// Cormode & Dark).
+struct ElasticPolicy {
+  /// Master switch: off = the static build-time k (paper behaviour).
+  bool enabled = false;
+
+  /// Fixed cost of one live partition/Calculator in window-load units
+  /// (documents per window).
+  uint64_t partition_overhead_load = 500;
+
+  int min_partitions = 1;
+  /// Policy cap; 0 = none (the runtime's provisioned maximum still
+  /// applies).
+  int max_partitions = 0;
+
+  /// Keep the current k while the optimum is within this fraction of it.
+  double resize_hysteresis = 0.25;
+};
+
+/// The cost model above, exposed for tests and tuning. Requires k > 0.
+double ElasticPartitionCost(uint64_t window_load, int k,
+                            const ElasticPolicy& policy);
+
+/// Picks the target partition count for an observed window load: the
+/// integer minimiser of ElasticPartitionCost, clamped to the policy
+/// bounds — except that `current_k` wins while the optimum lies inside
+/// the hysteresis band. `current_k` <= 0 disables hysteresis (initial
+/// creation).
+int ChooseTargetK(uint64_t window_load, int current_k,
+                  const ElasticPolicy& policy);
+
 /// Factory for the paper's algorithms.
 std::unique_ptr<PartitioningAlgorithm> MakeAlgorithm(AlgorithmKind kind);
 

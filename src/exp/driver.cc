@@ -116,8 +116,9 @@ void ValidateServeIndex(const serve::CorrelationIndex& index,
 }  // namespace
 
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
-  MetricsCollector metrics(config.pipeline.num_calculators,
-                           config.series_stride);
+  MetricsCollector metrics(config.pipeline.EffectiveMaxCalculators(),
+                           config.series_stride,
+                           config.pipeline.num_calculators);
 
   stream::Topology<ops::Message> topology;
   auto spout = std::make_unique<ops::GeneratorSpout>(config.generator,
@@ -125,7 +126,12 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   std::unique_ptr<serve::CorrelationIndex> serve_index;
   std::unique_ptr<serve::IndexSink> serve_sink;
   if (config.with_serve_index) {
-    serve_index = std::make_unique<serve::CorrelationIndex>();
+    // The index must merge duplicates the way the Tracker feeding it does,
+    // or the bit-identical-oracle validation below would flag policy skew
+    // as mismatches.
+    serve::ServeConfig serve_config;
+    serve_config.merge = config.pipeline.tracker_merge;
+    serve_index = std::make_unique<serve::CorrelationIndex>(serve_config);
     serve_sink = std::make_unique<serve::IndexSink>(serve_index.get());
   }
   const ops::TopologyHandles handles = ops::BuildCorrelationTopology(
@@ -153,6 +159,12 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
       ops::kCauseCommunication | ops::kCauseLoad);
   result.single_additions = metrics.single_additions();
   result.partitions_installed = metrics.installs();
+  result.resize_events = metrics.resize_events();
+  result.topology_resizes = metrics.resize_events().size();
+  result.epochs_installed = metrics.max_epoch();
+  result.initial_calculators = config.pipeline.num_calculators;
+  result.final_calculators = metrics.current_calculators();
+  result.peak_calculators = metrics.peak_calculators();
   result.series = metrics.series();
   result.repartition_events = metrics.repartitions();
 

@@ -37,6 +37,17 @@ struct ExperimentResult {
   uint64_t single_additions = 0;
   uint64_t partitions_installed = 0;
 
+  // Elastic repartitioning (§7.3 tentpole): every resize of the live
+  // Calculator set, the epoch trail, and where k ended up — enough to
+  // plot k tracking load (SeriesSample::active_calculators has the
+  // per-segment series).
+  std::vector<TopologyResizeEvent> resize_events;
+  uint64_t topology_resizes = 0;
+  uint64_t epochs_installed = 0;  // Newest epoch (== installs on one run).
+  int initial_calculators = 0;
+  int final_calculators = 0;
+  int peak_calculators = 0;
+
   uint64_t documents = 0;
 
   // Execution substrate of the run and its backpressure counters

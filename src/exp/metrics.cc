@@ -8,9 +8,13 @@
 namespace corrtrack::exp {
 
 MetricsCollector::MetricsCollector(int num_calculators,
-                                   uint64_t series_stride)
+                                   uint64_t series_stride,
+                                   int initial_calculators)
     : series_stride_(series_stride),
       per_calculator_(static_cast<size_t>(num_calculators), 0),
+      current_calculators_(initial_calculators > 0 ? initial_calculators
+                                                   : num_calculators),
+      peak_calculators_(current_calculators_),
       segment_per_calculator_(static_cast<size_t>(num_calculators), 0) {
   CORRTRACK_CHECK_GT(num_calculators, 0);
   CORRTRACK_CHECK_GT(series_stride, 0u);
@@ -48,6 +52,7 @@ void MetricsCollector::FlushSegment() {
   std::sort(sample.sorted_loads.begin(), sample.sorted_loads.end(),
             std::greater<>());
   sample.repartitions = segment_repartitions_;
+  sample.active_calculators = current_calculators_;
   series_.push_back(std::move(sample));
   ResetSegment();
 }
@@ -55,6 +60,9 @@ void MetricsCollector::FlushSegment() {
 void MetricsCollector::OnNotification(int calculator) {
   std::lock_guard<std::mutex> lock(mutex_);
   CORRTRACK_CHECK_GE(calculator, 0);
+  // The collector is sized to the provisioned maximum (the driver passes
+  // EffectiveMaxCalculators), which also bounds every elastic resize — an
+  // id past it is a routing bug, not a bigger topology.
   CORRTRACK_CHECK_LT(static_cast<size_t>(calculator), per_calculator_.size());
   ++per_calculator_[static_cast<size_t>(calculator)];
   ++segment_per_calculator_[static_cast<size_t>(calculator)];
@@ -70,13 +78,27 @@ void MetricsCollector::OnRepartitionRequested(uint8_t cause, Timestamp time) {
   ++segment_repartitions_;
 }
 
-void MetricsCollector::OnPartitionsInstalled(Epoch /*epoch*/,
-                                             double /*avg_com*/,
+void MetricsCollector::OnPartitionsInstalled(Epoch epoch, double /*avg_com*/,
                                              double /*max_load*/,
                                              Timestamp time) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++installs_;
+  if (epoch > max_epoch_) max_epoch_ = epoch;
   if (first_install_time_ < 0) first_install_time_ = time;
+}
+
+void MetricsCollector::OnTopologyResize(Epoch epoch, int old_k, int new_k,
+                                        Timestamp time) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TopologyResizeEvent event;
+  event.epoch = epoch;
+  event.old_k = old_k;
+  event.new_k = new_k;
+  event.time = time;
+  event.docs_processed = docs_routed_;
+  resizes_.push_back(event);
+  current_calculators_ = new_k;
+  peak_calculators_ = std::max(peak_calculators_, new_k);
 }
 
 void MetricsCollector::OnSingleAddition(Timestamp /*time*/) {

@@ -22,6 +22,9 @@ struct SeriesSample {
   std::vector<double> sorted_loads;
   /// Repartitions that completed inside the segment.
   int repartitions = 0;
+  /// Live Calculator instances at the end of the segment (elastic
+  /// repartitioning: lets an experiment plot k tracking load).
+  int active_calculators = 0;
 };
 
 /// A repartition event (Figure 6 splits these by cause).
@@ -31,6 +34,18 @@ struct RepartitionEvent {
   uint8_t cause = 0;  // ops::kCauseCommunication | ops::kCauseLoad.
 };
 
+/// An elastic resize of the live Calculator set
+/// (MetricsSink::OnTopologyResize): grows come from the Merger before the
+/// install broadcast, shrinks from the Disseminator after the route-table
+/// swap.
+struct TopologyResizeEvent {
+  Epoch epoch = 0;
+  int old_k = 0;
+  int new_k = 0;
+  Timestamp time = 0;
+  uint64_t docs_processed = 0;
+};
+
 /// Collects everything the evaluation section reports, via the operators'
 /// MetricsSink hooks. Lives outside the topology. The hooks are
 /// mutex-guarded: under the threaded and pool runtimes the Disseminator
@@ -38,7 +53,12 @@ struct RepartitionEvent {
 /// are for after the run (single-threaded).
 class MetricsCollector : public ops::MetricsSink {
  public:
-  MetricsCollector(int num_calculators, uint64_t series_stride);
+  /// `num_calculators` sizes the per-calculator accounting — pass the
+  /// provisioned maximum for elastic runs (ids past it fail fast);
+  /// `initial_calculators` is the live k before any resize
+  /// (0 = num_calculators).
+  MetricsCollector(int num_calculators, uint64_t series_stride,
+                   int initial_calculators = 0);
 
   // MetricsSink:
   void OnRouted(int notified, Timestamp time) override;
@@ -47,6 +67,8 @@ class MetricsCollector : public ops::MetricsSink {
   void OnPartitionsInstalled(Epoch epoch, double avg_com, double max_load,
                              Timestamp time) override;
   void OnSingleAddition(Timestamp time) override;
+  void OnTopologyResize(Epoch epoch, int old_k, int new_k,
+                        Timestamp time) override;
   void OnRuntimeStats(const stream::RuntimeStats& stats) override;
 
   /// §8.2.1: average notifications per notified document.
@@ -71,6 +93,16 @@ class MetricsCollector : public ops::MetricsSink {
   Timestamp first_install_time() const { return first_install_time_; }
   bool any_install() const { return installs_ > 0; }
   uint64_t installs() const { return installs_; }
+  Epoch max_epoch() const { return max_epoch_; }
+
+  /// Elastic resize trail: every OnTopologyResize, in arrival order.
+  const std::vector<TopologyResizeEvent>& resize_events() const {
+    return resizes_;
+  }
+  /// Live Calculator count after the last resize (the initial k until one
+  /// happens).
+  int current_calculators() const { return current_calculators_; }
+  int peak_calculators() const { return peak_calculators_; }
 
   const std::vector<SeriesSample>& series() const { return series_; }
 
@@ -94,8 +126,12 @@ class MetricsCollector : public ops::MetricsSink {
   uint64_t total_notifications_ = 0;
   std::vector<uint64_t> per_calculator_;
   std::vector<RepartitionEvent> repartitions_;
+  std::vector<TopologyResizeEvent> resizes_;
   uint64_t single_additions_ = 0;
   uint64_t installs_ = 0;
+  Epoch max_epoch_ = 0;
+  int current_calculators_ = 0;  // Initial k until the first resize.
+  int peak_calculators_ = 0;
   Timestamp first_install_time_ = -1;
   // Current series segment.
   uint64_t segment_docs_ = 0;

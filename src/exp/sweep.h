@@ -31,6 +31,13 @@ std::vector<SweepPoint> PartitionerSweep();
 std::vector<SweepPoint> PartitionSweep();
 std::vector<SweepPoint> RateSweep();
 
+/// Elastic-repartitioning sweep (§7.3 tentpole): the static build-time
+/// k=10 topology against the elastic mode (cost-model target-k, resize up
+/// to 32 Calculators) on the same workload — compares communication/load
+/// *and* the resize trail (ExperimentResult::resize_events,
+/// SeriesSample::active_calculators plots k tracking load).
+std::vector<SweepPoint> ElasticSweep();
+
 /// Execution-substrate sweep: the same workload on the deterministic
 /// simulator, the one-thread-per-task runtime and the work-stealing pool
 /// (1 and hardware-concurrency workers) — compares accuracy/communication

@@ -13,6 +13,16 @@ namespace corrtrack::ops {
 /// exact counter per subset, and every reporting period emits the Jaccard
 /// coefficient of every tracked tagset (with the counter value CN for the
 /// Tracker's dedup) and deletes the counters.
+///
+/// Elastic install protocol: a CalculatorQuiesce marker (sent direct by
+/// the Disseminator when an epoch installs) makes the bolt hand off its
+/// entire unreported counter table as CounterHandoff fragments — the
+/// Disseminator re-routes them to the tagsets' current owners — and
+/// reset. The notification edge's FIFO puts the marker after the last
+/// notification routed under the old table, so the handoff covers exactly
+/// the pre-install observations. Migrated fragments arrive back as
+/// CounterInject and merge into the live table (counter tables are
+/// linear, so the merge is exact).
 class CalculatorBolt : public stream::Bolt<Message> {
  public:
   explicit CalculatorBolt(const PipelineConfig& config, int instance)
@@ -20,15 +30,35 @@ class CalculatorBolt : public stream::Bolt<Message> {
 
   void Execute(const stream::Envelope<Message>& in,
                stream::Emitter<Message>& out) override {
-    (void)out;
-    const auto* notification = std::get_if<Notification>(&in.payload);
-    if (notification == nullptr) return;
-    counters_.Observe(notification->tags);
+    if (const auto* notification = std::get_if<Notification>(&in.payload)) {
+      if (notification->epoch > epoch_) epoch_ = notification->epoch;
+      counters_.Observe(notification->tags);
+      return;
+    }
+    if (const auto* quiesce = std::get_if<CalculatorQuiesce>(&in.payload)) {
+      if (quiesce->epoch > epoch_) epoch_ = quiesce->epoch;
+      ++quiesces_;
+      if (counters_.num_counters() == 0) return;
+      CounterHandoff handoff;
+      handoff.from_calculator = instance_;
+      handoff.epoch = epoch_;
+      handoff.entries = counters_.ExportCounters();
+      counters_.Reset();
+      out.Emit(Message(std::move(handoff)));
+      return;
+    }
+    if (const auto* inject = std::get_if<CounterInject>(&in.payload)) {
+      if (inject->epoch > epoch_) epoch_ = inject->epoch;
+      for (const auto& [tags, count] : inject->entries) {
+        counters_.Add(tags, count);
+      }
+    }
   }
 
   void OnTick(Timestamp tick_time, stream::Emitter<Message>& out) override {
     JaccardReport report;
     report.calculator = instance_;
+    report.epoch = epoch_;
     report.period_end = tick_time;
     report.estimates = counters_.ReportAll();
     counters_.Reset();
@@ -37,11 +67,14 @@ class CalculatorBolt : public stream::Bolt<Message> {
   }
 
   const SubsetCounterTable& counters() const { return counters_; }
+  uint64_t quiesces() const { return quiesces_; }
 
  private:
   PipelineConfig config_;
   int instance_;
   SubsetCounterTable counters_;
+  Epoch epoch_ = 0;
+  uint64_t quiesces_ = 0;
 };
 
 }  // namespace corrtrack::ops

@@ -1,6 +1,9 @@
 #include "ops/disseminator_op.h"
 
 #include <algorithm>
+#include <map>
+#include <optional>
+#include <utility>
 
 #include "core/check.h"
 
@@ -10,7 +13,8 @@ DisseminatorBolt::DisseminatorBolt(const PipelineConfig& config,
                                    MetricsSink* metrics)
     : config_(config),
       metrics_(metrics != nullptr ? metrics : NullMetricsSink()),
-      batch_per_calculator_(static_cast<size_t>(config.num_calculators), 0) {}
+      batch_per_calculator_(
+          static_cast<size_t>(config.EffectiveMaxCalculators()), 0) {}
 
 void DisseminatorBolt::Prepare(stream::TaskAddress /*self*/,
                                int parallelism) {
@@ -24,7 +28,10 @@ void DisseminatorBolt::Execute(const stream::Envelope<Message>& in,
   if (const auto* parsed = std::get_if<ParsedDoc>(&in.payload)) {
     HandleDoc(*parsed, out);
   } else if (const auto* final = std::get_if<FinalPartitions>(&in.payload)) {
-    HandleFinalPartitions(*final);
+    HandleFinalPartitions(*final, out);
+  } else if (const auto* handoff =
+                 std::get_if<CounterHandoff>(&in.payload)) {
+    HandleCounterHandoff(*handoff, out);
   } else if (const auto* decision =
                  std::get_if<SingleAdditionDecision>(&in.payload)) {
     HandleAdditionDecision(*decision);
@@ -33,6 +40,20 @@ void DisseminatorBolt::Execute(const stream::Envelope<Message>& in,
 
 void DisseminatorBolt::HandleDoc(const ParsedDoc& parsed,
                                  stream::Emitter<Message>& out) {
+  ++docs_seen_;
+  // Forced resize schedules (config.forced_repartition_docs): request a
+  // repartition round at the scheduled document counts, independent of the
+  // quality monitor. Only meaningful once an initial install exists.
+  if (next_forced_ < config_.forced_repartition_docs.size() &&
+      docs_seen_ >= config_.forced_repartition_docs[next_forced_] &&
+      partitions_ != nullptr) {
+    ++next_forced_;
+    ++repartitions_requested_;
+    RepartitionRequest request;
+    request.token = next_token_++;
+    request.cause = 0;  // Forced, not a quality violation.
+    out.Emit(Message(request));
+  }
   if (partitions_ == nullptr) {
     // Bootstrap: ask for the initial partitions once the Partitioners have
     // a filled window.
@@ -130,9 +151,12 @@ void DisseminatorBolt::ResetBatch() {
   std::fill(batch_per_calculator_.begin(), batch_per_calculator_.end(), 0);
 }
 
-void DisseminatorBolt::HandleFinalPartitions(const FinalPartitions& final) {
+void DisseminatorBolt::HandleFinalPartitions(const FinalPartitions& final,
+                                             stream::Emitter<Message>& out) {
   if (final.epoch <= epoch_ && partitions_ != nullptr) return;  // Stale.
   CORRTRACK_CHECK(final.partitions != nullptr);
+  const int old_k =
+      partitions_ != nullptr ? partitions_->num_partitions() : 0;
   partitions_ = std::make_unique<PartitionSet>(*final.partitions);
   epoch_ = final.epoch;
   ref_avg_com_ = final.avg_com;
@@ -140,7 +164,63 @@ void DisseminatorBolt::HandleFinalPartitions(const FinalPartitions& final) {
   repartition_pending_ = false;
   uncovered_counts_.clear();
   cooldown_remaining_ = config_.repartition_latency_docs;
+  const int new_k = partitions_->num_partitions();
+  if (static_cast<size_t>(new_k) > batch_per_calculator_.size()) {
+    batch_per_calculator_.resize(static_cast<size_t>(new_k), 0);
+  }
+  // Install protocol, quiesce step — additive mode only: the route table
+  // above no longer sends old-epoch notifications, so a direct quiesce
+  // marker is FIFO-ordered after each instance's last pre-install
+  // notification — a clean epoch cut — and every previously-live
+  // instance hands its counters to the new owners (ownership moves must
+  // carry their state along, or period-split partials lose their union
+  // contributions). Under max-CN nothing is migrated: summing a
+  // retiree's counters into a survivor that observed overlapping
+  // documents would double-count (the very overlap max-CN exists for),
+  // so retirees simply keep their partial counters and report them at
+  // their next tick (shutdown at the latest) for the max-CN dedup —
+  // the paper's install semantics, unchanged.
+  if (config_.tracker_merge == EstimateMerge::kAdditive) {
+    for (int j = 0; j < old_k; ++j) {
+      CalculatorQuiesce quiesce;
+      quiesce.epoch = epoch_;
+      out.EmitDirect(j, Message(quiesce));
+    }
+  }
+  // Shrink step: instances the new k no longer uses leave the routing
+  // mask. (Growth happened on the Merger side, before this install was
+  // broadcast.)
+  if (new_k < old_k && control_ != nullptr && calculator_component_ >= 0) {
+    control_->ResizeComponent(calculator_component_, new_k);
+    ++shrinks_;
+    metrics_->OnTopologyResize(epoch_, old_k, new_k, out.now());
+  }
   ResetBatch();
+}
+
+void DisseminatorBolt::HandleCounterHandoff(const CounterHandoff& handoff,
+                                            stream::Emitter<Message>& out) {
+  if (partitions_ == nullptr) return;
+  ++handoffs_routed_;
+  // Re-route every fragment to its tagset's current owner, batched per
+  // destination (ordered map: the simulator's bit-repeatability must not
+  // depend on hash iteration order). Entries covered by no current
+  // partition are dropped (exactness holds for covering, disjoint
+  // partitionings — DS).
+  std::map<int, CounterInject> per_owner;
+  for (const auto& [tags, count] : handoff.entries) {
+    const std::optional<int> owner = partitions_->CoveringPartition(tags);
+    if (!owner.has_value()) {
+      ++handoff_entries_dropped_;
+      continue;
+    }
+    CounterInject& inject = per_owner[*owner];
+    inject.epoch = epoch_;
+    inject.entries.emplace_back(tags, count);
+  }
+  for (auto& [owner, inject] : per_owner) {
+    out.EmitDirect(owner, Message(std::move(inject)));
+  }
 }
 
 void DisseminatorBolt::HandleAdditionDecision(

@@ -29,11 +29,39 @@ namespace corrtrack::ops {
 ///
 /// The evaluated configurations use exactly one Disseminator (§8.2), which
 /// this implementation requires: monitoring state is per-instance.
+///
+/// Elastic install protocol, install/shrink side: after swapping in an
+/// epoch's route table the Disseminator quiesces Calculators with direct
+/// CalculatorQuiesce markers — FIFO behind each instance's last
+/// old-epoch notification, a clean epoch cut — and retires instances the
+/// new k no longer uses through stream::TopologyControl. Quiesced
+/// Calculators answer with CounterHandoff fragments (their unreported
+/// counter tables), which the Disseminator re-routes to each tagset's
+/// *current* covering Calculator as CounterInject batches; fragments no
+/// partition covers any more are dropped (counted). The protocol runs in
+/// the additive-tracker mode only, where per-owner counts cover disjoint
+/// document sets and migration is exact: every previously-live instance
+/// is quiesced on every install, so ownership moves carry their state
+/// along — no observation is dropped or double-counted across a resize.
+/// Under the default max-CN merge nothing migrates (summing overlapping
+/// observation sets would double-count): retirees keep their partial
+/// counters and report them at their next tick — shutdown at the latest
+/// — for the max-CN dedup, the paper's repartition semantics.
 class DisseminatorBolt : public stream::Bolt<Message> {
  public:
   DisseminatorBolt(const PipelineConfig& config, MetricsSink* metrics);
 
   void Prepare(stream::TaskAddress self, int parallelism) override;
+
+  void AttachControl(stream::TopologyControl* control) override {
+    control_ = control;
+  }
+
+  /// Component id of the Calculator bolt, for TopologyControl retires
+  /// (wired by BuildCorrelationTopology).
+  void set_calculator_component(int component) {
+    calculator_component_ = component;
+  }
 
   void Execute(const stream::Envelope<Message>& in,
                stream::Emitter<Message>& out) override;
@@ -42,10 +70,18 @@ class DisseminatorBolt : public stream::Bolt<Message> {
   bool has_partitions() const { return partitions_ != nullptr; }
   const PartitionSet* partitions() const { return partitions_.get(); }
   uint64_t repartitions_requested() const { return repartitions_requested_; }
+  uint64_t shrinks() const { return shrinks_; }
+  uint64_t handoffs_routed() const { return handoffs_routed_; }
+  uint64_t handoff_entries_dropped() const {
+    return handoff_entries_dropped_;
+  }
 
  private:
   void HandleDoc(const ParsedDoc& parsed, stream::Emitter<Message>& out);
-  void HandleFinalPartitions(const FinalPartitions& final);
+  void HandleFinalPartitions(const FinalPartitions& final,
+                             stream::Emitter<Message>& out);
+  void HandleCounterHandoff(const CounterHandoff& handoff,
+                            stream::Emitter<Message>& out);
   void HandleAdditionDecision(const SingleAdditionDecision& decision);
   void UpdateQualityStats(int notified, const std::vector<RoutedSubset>& routed,
                           stream::Emitter<Message>& out);
@@ -53,6 +89,8 @@ class DisseminatorBolt : public stream::Bolt<Message> {
 
   PipelineConfig config_;
   MetricsSink* metrics_;
+  stream::TopologyControl* control_ = nullptr;
+  int calculator_component_ = -1;
 
   std::unique_ptr<PartitionSet> partitions_;  // Mutable: single additions.
   Epoch epoch_ = 0;
@@ -63,7 +101,14 @@ class DisseminatorBolt : public stream::Bolt<Message> {
   bool repartition_pending_ = false;
   uint32_t next_token_ = 1;
   uint64_t repartitions_requested_ = 0;
+  uint64_t shrinks_ = 0;
+  uint64_t handoffs_routed_ = 0;
+  uint64_t handoff_entries_dropped_ = 0;
   int cooldown_remaining_ = 0;  // Simulated creation latency (see config).
+
+  // Forced repartition schedule (config.forced_repartition_docs).
+  uint64_t docs_seen_ = 0;
+  size_t next_forced_ = 0;
 
   // §7.2 quality batch (z notified tagsets).
   uint64_t batch_count_ = 0;

@@ -37,6 +37,36 @@ void MergerBolt::HandleProposal(const PartitionProposal& proposal,
   FinishRound(proposal.token, std::move(done), out);
 }
 
+int MergerBolt::ChooseRoundK(uint64_t window_load) const {
+  const bool can_resize = control_ != nullptr && calculator_component_ >= 0;
+  const int provisioned_max =
+      can_resize ? control_->MaxParallelism(calculator_component_)
+                 : config_.EffectiveMaxCalculators();
+  const int active =
+      can_resize ? control_->ActiveParallelism(calculator_component_)
+                 : config_.num_calculators;
+  int k = config_.num_calculators;
+  if (config_.elastic.enabled) {
+    // Elastic target-k: cost-model optimum over the observed window load,
+    // sticky around the currently live count.
+    k = ChooseTargetK(window_load, active, config_.elastic);
+  } else if (config_.target_docs_per_calculator > 0) {
+    // Legacy §7.3 scaling: adapt within the static build-time count.
+    const uint64_t needed =
+        (window_load + config_.target_docs_per_calculator - 1) /
+        config_.target_docs_per_calculator;
+    k = static_cast<int>(std::clamp<uint64_t>(
+        needed, 1, static_cast<uint64_t>(config_.num_calculators)));
+  }
+  // Forced schedules (tests, resize experiments) override the policy for
+  // the epochs they cover.
+  const size_t next_epoch = static_cast<size_t>(epoch_) + 1;
+  if (next_epoch <= config_.forced_k_schedule.size()) {
+    k = config_.forced_k_schedule[next_epoch - 1];
+  }
+  return std::clamp(k, 1, provisioned_max);
+}
+
 void MergerBolt::FinishRound(uint32_t token, PendingRound round,
                              stream::Emitter<Message>& out) {
   // "The Merger can be viewed as another Partitioner. It receives tagsets
@@ -51,18 +81,18 @@ void MergerBolt::FinishRound(uint32_t token, PendingRound round,
   const CooccurrenceSnapshot fragment_snapshot =
       CooccurrenceSnapshot::FromWeightedTagsets(std::move(weighted));
   const uint64_t seed = config_.seed ^ 0xa5a5a5a5ull ^ token;
-  // §7.3 topology scaling: num_calculators is the pre-deployed maximum;
-  // with a per-calculator load target the round's partition count adapts
-  // to the observed window load. Unassigned calculators are never indexed
-  // by the Disseminator and stay idle.
-  int k = config_.num_calculators;
-  if (config_.target_docs_per_calculator > 0) {
-    const uint64_t needed =
-        (fragment_snapshot.num_docs() + config_.target_docs_per_calculator -
-         1) /
-        config_.target_docs_per_calculator;
-    k = static_cast<int>(std::clamp<uint64_t>(
-        needed, 1, static_cast<uint64_t>(config_.num_calculators)));
+  const int k = ChooseRoundK(fragment_snapshot.num_docs());
+  // Install protocol, grow side: spawn the Calculator tasks *before* the
+  // FinalPartitions broadcast leaves this bolt, so by the time any
+  // Disseminator routes against the wider PartitionSet the instances exist
+  // and are schedulable.
+  if (control_ != nullptr && calculator_component_ >= 0) {
+    const int active = control_->ActiveParallelism(calculator_component_);
+    if (k > active) {
+      control_->ResizeComponent(calculator_component_, k);
+      ++grows_;
+      metrics_->OnTopologyResize(epoch_ + 1, active, k, out.now());
+    }
   }
   PartitionSet final_partitions =
       algorithm_->CreatePartitions(fragment_snapshot, k, seed);

@@ -91,11 +91,52 @@ struct RepartitionRequest {
 inline constexpr uint8_t kCauseCommunication = 1;
 inline constexpr uint8_t kCauseLoad = 2;
 
+/// Disseminator -> Calculator (direct): the elastic install protocol's
+/// quiesce marker. Because the notification edge is per-edge FIFO, the
+/// marker arrives *after* the last notification the old route table sent
+/// this instance — a clean epoch cut. The Calculator answers by handing
+/// off its entire unreported counter table (CounterHandoff) and resetting,
+/// so across an install no observation is dropped (everything migrates)
+/// and none is double-counted (the table is empty afterwards; retired
+/// instances leave the routing mask, surviving ones resume from zero under
+/// the new ownership).
+struct CalculatorQuiesce {
+  Epoch epoch = 0;  ///< The installing epoch.
+};
+
+/// Calculator -> Disseminator (global, feedback): the quiesced instance's
+/// exported SubsetCounterTable — every live counter as (tags, count). The
+/// Disseminator re-routes each fragment to the tagset's *current* covering
+/// Calculator (CounterInject). Counter tables are linear, so the entry-
+/// wise migration reproduces at the new owner exactly the table that
+/// would have counted both observation sets — which is what keeps the
+/// additive Tracker bit-identical to the centralised oracle across
+/// resizes. Like all feedback traffic, a handoff still in flight at
+/// end-of-stream is dropped (engine contract); installs are in-stream
+/// events, periods behind them by construction.
+struct CounterHandoff {
+  int from_calculator = -1;
+  Epoch epoch = 0;
+  std::vector<std::pair<TagSet, uint64_t>> entries;
+};
+
+/// Disseminator -> Calculator (direct): migrated counter fragments for
+/// tagsets this instance now owns; merged into the live table with
+/// SubsetCounterTable::Add.
+struct CounterInject {
+  Epoch epoch = 0;
+  std::vector<std::pair<TagSet, uint64_t>> entries;
+};
+
 /// Calculator -> Tracker (global): the coefficients of one reporting
 /// period, each carrying its counter CN(s_i) for the Tracker's
-/// max-CN dedup heuristic (§6.2).
+/// max-CN dedup heuristic (§6.2). `epoch` stamps the newest partition
+/// epoch the Calculator had seen when it reported — quiesce flushes from a
+/// resizing topology arrive epoch-stamped so downstream consumers (Tracker
+/// stats, serve ingest) can attribute them.
 struct JaccardReport {
   int calculator = -1;
+  Epoch epoch = 0;
   Timestamp period_end = 0;
   std::vector<JaccardEstimate> estimates;
 };
@@ -103,7 +144,8 @@ struct JaccardReport {
 using Message =
     std::variant<RawTweet, ParsedDoc, PartitionProposal, FinalPartitions,
                  Notification, UncoveredTagset, SingleAdditionDecision,
-                 RepartitionRequest, JaccardReport>;
+                 RepartitionRequest, CalculatorQuiesce, CounterHandoff,
+                 CounterInject, JaccardReport>;
 
 /// Fields-grouping hash for Parser -> Partitioner: the whole tagset s_i, so
 /// identical tagsets always reach the same Partitioner instance (§6.2).

@@ -45,6 +45,19 @@ class MetricsSink {
   /// A Single Addition was performed (§7.1).
   virtual void OnSingleAddition(Timestamp time) { (void)time; }
 
+  /// The elastic install protocol resized the live Calculator set for
+  /// `epoch`: `old_k` -> `new_k` instances. Growth is reported by the
+  /// Merger before the install broadcast (tasks must exist before routing
+  /// reaches them); shrink by the Disseminator after the route-table swap
+  /// and quiesce markers.
+  virtual void OnTopologyResize(Epoch epoch, int old_k, int new_k,
+                                Timestamp time) {
+    (void)epoch;
+    (void)old_k;
+    (void)new_k;
+    (void)time;
+  }
+
   /// The Disseminator finished a z-batch of quality statistics (§7.2):
   /// measured avgCom' / maxLoad' against the installed reference values.
   virtual void OnQualityBatch(double avg_com, double max_load,

@@ -3,7 +3,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
+#include "core/jaccard.h"
 #include "core/partitioning.h"
 #include "core/types.h"
 #include "stream/runtime.h"
@@ -67,7 +69,46 @@ struct PipelineConfig {
   /// partition count to ceil(window load / target), capped at
   /// num_calculators. Calculators without a partition are not indexed by
   /// the Disseminator, receive no documents and compute nothing.
+  /// (Superseded by `elastic`, which actually grows/retires Calculator
+  /// tasks past the build-time count; kept for the static-topology mode.)
   uint64_t target_docs_per_calculator = 0;
+
+  /// Elastic repartitioning (this reproduction's extension of §7.3): when
+  /// `elastic.enabled`, the Merger chooses every round's partition count
+  /// from the cost-model target-k policy (core/partitioning.h) and resizes
+  /// the live Calculator set through stream::TopologyControl — spawning
+  /// tasks up to `max_calculators` and retiring them (with a quiesce
+  /// state-flush) when k shrinks. `num_calculators` stays the initial k.
+  ElasticPolicy elastic;
+
+  /// Provisioned Calculator ceiling for elastic resize; 0 or values below
+  /// `num_calculators` mean num_calculators (static topology).
+  int max_calculators = 0;
+
+  int EffectiveMaxCalculators() const {
+    return max_calculators > num_calculators ? max_calculators
+                                             : num_calculators;
+  }
+
+  /// Experiment/test hook: routed-document counts at which the
+  /// Disseminator requests a repartition unconditionally (ascending;
+  /// rounds fire after the initial bootstrap install exists). Drives
+  /// deterministic resize schedules — e.g. the k: 4->8->3 differential
+  /// test — without waiting for a quality violation.
+  std::vector<uint64_t> forced_repartition_docs;
+
+  /// Experiment/test hook: epoch e (1-based) installs
+  /// forced_k_schedule[e-1] partitions (clamped to the provisioned
+  /// maximum) instead of the policy's choice. Epochs beyond the schedule
+  /// fall back to the configured policy.
+  std::vector<int> forced_k_schedule;
+
+  /// Duplicate-estimate merge rule applied by the Tracker (and mirrored by
+  /// the serving index): the paper's max-CN heuristic by default, or the
+  /// additive merge that is exact for disjoint partitionings (DS) and
+  /// makes resize-split partial reports sum to the centralised oracle's
+  /// counts — see core/jaccard.h's EstimateMerge.
+  EstimateMerge tracker_merge = EstimateMerge::kMaxCN;
 
   /// §6.2 Parser enrichment: also interpret @mentions as tags ("the tagset
   /// can be enriched with named entities, location, or sentiment").
@@ -85,7 +126,10 @@ struct PipelineConfig {
 
   /// Per-task input queue capacity for the concurrent runtimes (envelopes;
   /// bounds producer/consumer skew — a full queue backpressures the
-  /// pusher). Ignored by the simulation runtime.
+  /// pusher). Ignored by the simulation runtime. 0 = auto-size:
+  /// ops::MakeConfiguredRuntime starts from a documented floor and, when
+  /// handed a previous run's RuntimeStats, doubles while backpressure
+  /// (queue_full_blocks) was observed — see ops::AutoSizeQueueCapacity.
   size_t queue_capacity = 4096;
 };
 

@@ -1,5 +1,7 @@
 #include "ops/topology_builder.h"
 
+#include <algorithm>
+
 #include "ops/calculator_op.h"
 #include "ops/centralized.h"
 #include "ops/disseminator_op.h"
@@ -27,6 +29,12 @@ TopologyHandles BuildCorrelationTopology(
     bool with_centralized_baseline, PeriodSink* tracker_sink,
     PeriodSink* baseline_sink) {
   TopologyHandles handles;
+  // The elastic install protocol's participants need the Calculator's
+  // component id, which is only known after the components below are
+  // added; bolt factories run later (at runtime Build), so capturing this
+  // shared copy — populated before this function returns — closes the
+  // loop.
+  auto wired = std::make_shared<TopologyHandles>();
 
   handles.source = topology->AddSpout("source", std::move(spout));
 
@@ -46,15 +54,19 @@ TopologyHandles BuildCorrelationTopology(
 
   handles.merger = topology->AddBolt(
       "merger",
-      [config, metrics](int) {
-        return std::make_unique<MergerBolt>(config, metrics);
+      [config, metrics, wired](int) {
+        auto bolt = std::make_unique<MergerBolt>(config, metrics);
+        bolt->set_calculator_component(wired->calculator);
+        return bolt;
       },
       /*parallelism=*/1);
 
   handles.disseminator = topology->AddBolt(
       "disseminator",
-      [config, metrics](int) {
-        return std::make_unique<DisseminatorBolt>(config, metrics);
+      [config, metrics, wired](int) {
+        auto bolt = std::make_unique<DisseminatorBolt>(config, metrics);
+        bolt->set_calculator_component(wired->calculator);
+        return bolt;
       },
       /*parallelism=*/1);
 
@@ -64,10 +76,17 @@ TopologyHandles BuildCorrelationTopology(
         return std::make_unique<CalculatorBolt>(config, instance);
       },
       config.num_calculators, config.report_period);
+  if (config.EffectiveMaxCalculators() > config.num_calculators) {
+    topology->SetMaxParallelism(handles.calculator,
+                                config.EffectiveMaxCalculators());
+  }
 
   handles.tracker = topology->AddBolt(
       "tracker",
-      [tracker_sink](int) { return std::make_unique<TrackerBolt>(tracker_sink); },
+      [tracker_sink, config](int) {
+        return std::make_unique<TrackerBolt>(tracker_sink,
+                                             config.tracker_merge);
+      },
       /*parallelism=*/1);
 
   // Wiring per Fig. 2.
@@ -87,8 +106,19 @@ TopologyHandles BuildCorrelationTopology(
                       Grouping<Message>::All());
   topology->Subscribe(handles.merger, handles.disseminator,
                       Grouping<Message>::Global());
+  // Elastic install protocol: quiesced Calculators hand their counter
+  // tables back to the Disseminator for re-routing to the new owners
+  // (feedback edge, like the repartition/uncovered loops). Both edges
+  // leaving the Calculator are per-stream (filtered): handoffs never get
+  // copied to the Tracker, per-period reports never to the Disseminator.
+  topology->Subscribe(handles.disseminator, handles.calculator,
+                      Grouping<Message>::GlobalWhere([](const Message& msg) {
+                        return std::holds_alternative<CounterHandoff>(msg);
+                      }));
   topology->Subscribe(handles.tracker, handles.calculator,
-                      Grouping<Message>::Global());
+                      Grouping<Message>::GlobalWhere([](const Message& msg) {
+                        return std::holds_alternative<JaccardReport>(msg);
+                      }));
 
   if (with_centralized_baseline) {
     handles.centralized = topology->AddBolt(
@@ -100,13 +130,36 @@ TopologyHandles BuildCorrelationTopology(
     topology->Subscribe(handles.centralized, handles.parser,
                         Grouping<Message>::Global());
   }
+  *wired = handles;
   return handles;
 }
 
+size_t AutoSizeQueueCapacity(const stream::RuntimeStats* observed) {
+  if (observed == nullptr || observed->queue_capacity == 0) {
+    return kAutoQueueCapacityFloor;
+  }
+  size_t capacity = observed->queue_capacity;
+  const bool saturated =
+      observed->queue_full_blocks > 0 ||
+      observed->max_queue_depth >= static_cast<uint64_t>(capacity);
+  if (!saturated) return capacity;  // No backpressure: keep.
+  capacity *= 2;
+  // A high-water mark past the doubled capacity (stall-escape spill) means
+  // one doubling is provably not enough; keep doubling past it.
+  while (capacity <= observed->max_queue_depth &&
+         capacity < kAutoQueueCapacityCeiling) {
+    capacity *= 2;
+  }
+  return std::min(capacity, kAutoQueueCapacityCeiling);
+}
+
 std::unique_ptr<stream::Runtime<Message>> MakeConfiguredRuntime(
-    stream::Topology<Message>* topology, const PipelineConfig& config) {
+    stream::Topology<Message>* topology, const PipelineConfig& config,
+    const stream::RuntimeStats* observed) {
   stream::RuntimeOptions options;
-  options.queue_capacity = config.queue_capacity;
+  options.queue_capacity = config.queue_capacity != 0
+                               ? config.queue_capacity
+                               : AutoSizeQueueCapacity(observed);
   options.num_threads = config.num_threads;
   return stream::MakeRuntime<Message>(config.runtime, topology, options);
 }

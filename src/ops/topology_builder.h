@@ -31,10 +31,17 @@ struct TopologyHandles {
 ///                        --global--> centralized(1)       [baseline]
 ///   partitioner --global--> merger(1)
 ///   merger --all--> disseminator                          [partitions]
-///   disseminator --direct--> calculator(k)                [notifications]
+///   disseminator --direct--> calculator(k)                [notifications,
+///                                                 quiesce, counter inject]
 ///   disseminator --all--> partitioner                     [repartition]
 ///   disseminator --global--> merger                       [uncovered]
+///   calculator --global--> disseminator                   [counter handoff]
 ///   calculator --global--> tracker(1)
+///
+/// calculator's parallelism is elastic: k live instances out of
+/// max_calculators provisioned (stream::TopologyControl; the Merger grows
+/// the set before an install broadcast, the Disseminator quiesces and
+/// retires after the route-table swap).
 ///
 /// `spout` becomes the source; `metrics` may be null. When
 /// `with_centralized_baseline` is false the baseline bolt is omitted
@@ -51,12 +58,25 @@ TopologyHandles BuildCorrelationTopology(
     bool with_centralized_baseline, PeriodSink* tracker_sink = nullptr,
     PeriodSink* baseline_sink = nullptr);
 
+/// Queue-capacity auto-sizing for `PipelineConfig::queue_capacity == 0`:
+/// starting floor when no prior observation exists, and the doubling
+/// policy applied to a previous run's RuntimeStats — capacity doubles
+/// while the run saw backpressure (queue_full_blocks > 0, or a high-water
+/// mark at capacity), capped at kAutoQueueCapacityCeiling; a run without
+/// backpressure keeps its capacity.
+inline constexpr size_t kAutoQueueCapacityFloor = 1024;
+inline constexpr size_t kAutoQueueCapacityCeiling = size_t{1} << 20;
+size_t AutoSizeQueueCapacity(const stream::RuntimeStats* observed);
+
 /// Instantiates the execution substrate the config selects (runtime,
 /// num_threads, queue_capacity) for a topology built above — the one place
 /// that maps PipelineConfig knobs onto stream::RuntimeOptions, so drivers,
-/// examples and tests pick a runtime the same way.
+/// examples and tests pick a runtime the same way. `queue_capacity == 0`
+/// auto-sizes: the floor above, or the doubling policy over `observed`
+/// (a previous run's stats) when provided.
 std::unique_ptr<stream::Runtime<Message>> MakeConfiguredRuntime(
-    stream::Topology<Message>* topology, const PipelineConfig& config);
+    stream::Topology<Message>* topology, const PipelineConfig& config,
+    const stream::RuntimeStats* observed = nullptr);
 
 }  // namespace corrtrack::ops
 

@@ -28,20 +28,25 @@ class TrackerBolt : public stream::Bolt<Message> {
  public:
   using PeriodResults = FlatTagSetMap<JaccardEstimate>;
 
-  explicit TrackerBolt(PeriodSink* sink = nullptr) : sink_(sink) {}
+  /// `merge` selects the duplicate rule: the paper's max-CN (default), or
+  /// the additive merge that is exact for disjoint partitionings and sums
+  /// the partial reports an elastic resize splits across Calculator owners
+  /// (see EstimateMerge in core/jaccard.h).
+  explicit TrackerBolt(PeriodSink* sink = nullptr,
+                       EstimateMerge merge = EstimateMerge::kMaxCN)
+      : sink_(sink), merge_(merge) {}
 
   void Execute(const stream::Envelope<Message>& in,
                stream::Emitter<Message>& out) override {
     (void)out;
     const auto* report = std::get_if<JaccardReport>(&in.payload);
     if (report == nullptr) return;
+    ++reports_received_;
+    if (report->epoch > latest_epoch_) latest_epoch_ = report->epoch;
     PeriodResults& results = periods_[report->period_end];
     for (const JaccardEstimate& estimate : report->estimates) {
       auto [it, inserted] = results.emplace(estimate.tags, estimate);
-      if (!inserted &&
-          estimate.intersection_count > it->second.intersection_count) {
-        it->second = estimate;  // Max-CN wins.
-      }
+      if (!inserted) MergeEstimate(&it->second, estimate, merge_);
     }
     if (sink_ != nullptr) {
       sink_->OnPeriodResults(report->period_end, report->estimates);
@@ -53,9 +58,17 @@ class TrackerBolt : public stream::Bolt<Message> {
     return periods_;
   }
 
+  EstimateMerge merge_policy() const { return merge_; }
+  uint64_t reports_received() const { return reports_received_; }
+  /// Newest partition epoch any report carried (resize observability).
+  Epoch latest_epoch() const { return latest_epoch_; }
+
  private:
   PeriodSink* sink_;
+  EstimateMerge merge_;
   std::map<Timestamp, PeriodResults> periods_;
+  uint64_t reports_received_ = 0;
+  Epoch latest_epoch_ = 0;
 };
 
 }  // namespace corrtrack::ops

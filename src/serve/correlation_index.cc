@@ -73,16 +73,33 @@ void CorrelationIndex::ApplyPeriod(
       BuilderEntry& entry = shard.builder[estimate.tags];
       // union_count == 0 marks a freshly defaulted entry (a real estimate
       // always has union_count >= intersection_count >= 1). Newer periods
-      // win outright; within a period the Tracker's max-CN rule applies.
+      // win outright; within a period the configured merge rule applies —
+      // the Tracker's max-CN, or the additive sum that mirrors an
+      // additive Tracker's period map (see ServeConfig::merge). Reports
+      // for periods older than the entry's are ignored either way.
       const bool fresh = entry.union_count == 0;
-      if (fresh || period_end > entry.period_end ||
-          (period_end == entry.period_end &&
-           estimate.intersection_count > entry.intersection_count)) {
+      if (fresh || period_end > entry.period_end) {
         entry.coefficient = estimate.coefficient;
         entry.intersection_count = estimate.intersection_count;
         entry.union_count = estimate.union_count;
         entry.period_end = period_end;
         shard.dirty = true;
+      } else if (period_end == entry.period_end) {
+        if (config_.merge == EstimateMerge::kAdditive) {
+          entry.intersection_count += estimate.intersection_count;
+          entry.union_count += estimate.union_count;
+          // Same expression as SubsetCounterTable::Compute — the summed
+          // partials reproduce the oracle coefficient bit for bit.
+          entry.coefficient =
+              static_cast<double>(entry.intersection_count) /
+              static_cast<double>(entry.union_count);
+          shard.dirty = true;
+        } else if (estimate.intersection_count > entry.intersection_count) {
+          entry.coefficient = estimate.coefficient;
+          entry.intersection_count = estimate.intersection_count;
+          entry.union_count = estimate.union_count;
+          shard.dirty = true;
+        }
       }
     }
   }

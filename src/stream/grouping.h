@@ -26,11 +26,17 @@ enum class GroupingKind {
 };
 
 /// A subscription edge: consumer subscribes to producer with a grouping.
-/// `field_hash` is required for kFields and ignored otherwise.
+/// `field_hash` is required for kFields and ignored otherwise. An optional
+/// `filter` makes the subscription per-stream, as Storm's declared streams
+/// are: tuples it rejects are never copied onto the edge (a producer with
+/// several consumers interested in disjoint message types — e.g. the
+/// Calculator's reports vs its counter handoffs — pays no fan-out for the
+/// uninterested ones).
 template <typename Message>
 struct Grouping {
   GroupingKind kind = GroupingKind::kShuffle;
   std::function<size_t(const Message&)> field_hash;
+  std::function<bool(const Message&)> filter;
 
   static Grouping Shuffle() { return {GroupingKind::kShuffle, nullptr}; }
   static Grouping All() { return {GroupingKind::kAll, nullptr}; }
@@ -38,6 +44,10 @@ struct Grouping {
   static Grouping Direct() { return {GroupingKind::kDirect, nullptr}; }
   static Grouping Fields(std::function<size_t(const Message&)> hash) {
     return {GroupingKind::kFields, std::move(hash)};
+  }
+  /// Global grouping restricted to tuples `accept` admits.
+  static Grouping GlobalWhere(std::function<bool(const Message&)> accept) {
+    return {GroupingKind::kGlobal, nullptr, std::move(accept)};
   }
 };
 

@@ -149,6 +149,9 @@ class PoolRuntime : public Runtime<Message> {
     stats.queue_capacity = queue_capacity_;
     stats.queue_full_blocks =
         queue_full_blocks_.load(std::memory_order_relaxed);
+    stats.stall_escapes = stall_escapes_.load(std::memory_order_relaxed);
+    stats.tasks_spawned = tasks_spawned_.load(std::memory_order_relaxed);
+    stats.tasks_retired = tasks_retired_.load(std::memory_order_relaxed);
     for (const auto& task : tasks_) {
       stats.envelopes_moved +=
           task->delivered.load(std::memory_order_relaxed);
@@ -162,6 +165,52 @@ class PoolRuntime : public Runtime<Message> {
       stats.steals += worker->steals;
     }
     return stats;
+  }
+
+  // TopologyControl: growing *spawns* real tasks — a slot's bolt is
+  // constructed on first activation (the pool's dynamic-task semantics,
+  // see runtime.h); its mailbox and scheduling state are reserved at Build
+  // so producers can race deliveries against the activation safely.
+  int ActiveParallelism(int component) const override {
+    return active_[static_cast<size_t>(component)].load(
+        std::memory_order_acquire);
+  }
+
+  int MaxParallelism(int component) const override {
+    return topology_->components()[static_cast<size_t>(component)]
+        .max_instances();
+  }
+
+  int ResizeComponent(int component, int target_parallelism) override {
+    const int max = MaxParallelism(component);
+    const int next = std::clamp(target_parallelism, 1, max);
+    std::atomic<int>& active = active_[static_cast<size_t>(component)];
+    int prev = active.load(std::memory_order_acquire);
+    if (next > prev) {
+      // Spawn the newly activated instances before publishing the count:
+      // the caller is upstream of the component's traffic, so the bolt
+      // exists before any message that routes to it (the construction is
+      // further published to other workers by the mailbox mutex of the
+      // first delivery).
+      const auto& comp =
+          topology_->components()[static_cast<size_t>(component)];
+      for (int i = prev; i < next; ++i) {
+        Task* task = tasks_[static_cast<size_t>(TaskId(component, i))].get();
+        if (task->bolt == nullptr) {
+          task->bolt = comp.bolt_factory(i);
+          CORRTRACK_CHECK(task->bolt != nullptr);
+          task->bolt->Prepare(task->addr, comp.parallelism);
+          task->bolt->AttachControl(this);
+        }
+      }
+      tasks_spawned_.fetch_add(static_cast<uint64_t>(next - prev),
+                               std::memory_order_relaxed);
+    } else if (prev > next) {
+      tasks_retired_.fetch_add(static_cast<uint64_t>(prev - next),
+                               std::memory_order_relaxed);
+    }
+    active.store(next, std::memory_order_release);
+    return next;
   }
 
  private:
@@ -303,10 +352,12 @@ class PoolRuntime : public Runtime<Message> {
   void Build() {
     const auto& components = topology_->components();
     task_base_.resize(components.size());
+    active_ = std::make_unique<std::atomic<int>[]>(components.size());
     edges_ = BuildEdgeLists<Message>(components);
     for (size_t c = 0; c < components.size(); ++c) {
       const auto& comp = components[c];
       task_base_[c] = static_cast<int>(tasks_.size());
+      active_[c].store(comp.parallelism, std::memory_order_relaxed);
       if (comp.is_spout) {
         CORRTRACK_CHECK_EQ(spout_component_, -1);
         spout_component_ = static_cast<int>(c);
@@ -316,11 +367,18 @@ class PoolRuntime : public Runtime<Message> {
         tasks_.push_back(std::move(task));
         continue;
       }
-      for (int i = 0; i < comp.parallelism; ++i) {
+      // One slot per *provisioned* instance; the bolt of a spare slot
+      // (instance >= parallelism) is spawned on activation
+      // (ResizeComponent). Mailbox and scheduling state exist up front so
+      // deliveries, poisons and claims never race slot construction.
+      for (int i = 0; i < comp.max_instances(); ++i) {
         auto task = std::make_unique<Task>();
         task->addr = {static_cast<int>(c), i};
-        task->bolt = comp.bolt_factory(i);
-        task->bolt->Prepare(task->addr, comp.parallelism);
+        if (i < comp.parallelism) {
+          task->bolt = comp.bolt_factory(i);
+          task->bolt->Prepare(task->addr, comp.parallelism);
+          task->bolt->AttachControl(this);
+        }
         task->mailbox = std::make_unique<Mailbox>(queue_capacity_);
         task->tick_period = comp.tick_period;
         task->next_tick = comp.tick_period > 0 ? comp.tick_period : 0;
@@ -344,9 +402,10 @@ class PoolRuntime : public Runtime<Message> {
     return task_base_[static_cast<size_t>(component)] + instance;
   }
 
+  /// Routing fan-out: the *active* instance count (elastic mask).
   int Parallelism(int component) const {
-    return topology_->components()[static_cast<size_t>(component)]
-        .parallelism;
+    return active_[static_cast<size_t>(component)].load(
+        std::memory_order_acquire);
   }
 
   void RouteFrom(int producer, int instance, const Message& msg,
@@ -402,14 +461,13 @@ class PoolRuntime : public Runtime<Message> {
     }
   }
 
-  /// Consecutive no-progress full-mailbox rounds (1 ms bounded waits)
-  /// before a pusher spills over capacity. Two tasks blocked pushing at
-  /// each other's full mailboxes — e.g. the Disseminator->Merger feedback
-  /// edge against the Merger->Disseminator install broadcasts, both
-  /// backed up — can neither be claimed for helping (both are kRunning),
-  /// so strict blocking would deadlock; the escape trades transient
-  /// over-capacity on one edge for deadlock freedom.
-  static constexpr int kStallEscapeRounds = 64;
+  // The bounded-stall escape window is routing.h's kStallEscapeRounds,
+  // shared with ThreadedRuntime: two tasks blocked pushing at each other's
+  // full mailboxes — e.g. the Disseminator->Merger feedback edge against
+  // the Merger->Disseminator install broadcasts, both backed up — can
+  // neither be claimed for helping (both are kRunning), so strict blocking
+  // would deadlock; the escape trades transient over-capacity on one edge
+  // for deadlock freedom.
 
   /// Moves `*items` into the task's mailbox, helping or waiting when it is
   /// full, then wakes the task. The lane is emptied *first* so nested
@@ -442,6 +500,7 @@ class PoolRuntime : public Runtime<Message> {
       if (HelpOrWait(task)) {
         stalled_rounds = 0;  // Helped: the destination drained a slice.
       } else if (++stalled_rounds >= kStallEscapeRounds) {
+        stall_escapes_.fetch_add(1, std::memory_order_relaxed);
         task->mailbox->PushBatchOverflow(&local, offset);
         break;
       }
@@ -506,11 +565,12 @@ class PoolRuntime : public Runtime<Message> {
 
   /// Sends one poison along every forward edge leaving `producer`, through
   /// the regular staged-delivery path (so data already staged on an edge
-  /// is pushed before the poison).
+  /// is pushed before the poison). Poisons go to every *provisioned*
+  /// consumer instance: inactive elastic slots must terminate too.
   void FloodPoison(int producer, Timestamp horizon) {
     for (auto& edge : edges_[static_cast<size_t>(producer)]) {
       if (edge->consumer <= producer) continue;  // Feedback edge.
-      for (int i = 0; i < Parallelism(edge->consumer); ++i) {
+      for (int i = 0; i < MaxParallelism(edge->consumer); ++i) {
         Item item;
         item.poison = true;
         item.poison_horizon = horizon;
@@ -536,6 +596,9 @@ class PoolRuntime : public Runtime<Message> {
         if (task->poisons_pending == 0) FinishTask(task);
         continue;
       }
+      // A spare elastic slot that was never spawned has no bolt; only
+      // poisons are expected here, anything else is droppable residue.
+      if (task->bolt == nullptr) continue;
       FireTicks(task, item.envelope.time);
       task->delivered.fetch_add(1, std::memory_order_relaxed);
       EmitterImpl emitter(this, task->addr, item.envelope.time);
@@ -566,7 +629,7 @@ class PoolRuntime : public Runtime<Message> {
   }
 
   void FireTicks(Task* task, Timestamp now) {
-    if (task->tick_period <= 0) return;
+    if (task->tick_period <= 0 || task->bolt == nullptr) return;
     while (task->next_tick <= now) {
       EmitterImpl emitter(this, task->addr, task->next_tick);
       task->bolt->OnTick(task->next_tick, emitter);
@@ -665,6 +728,11 @@ class PoolRuntime : public Runtime<Message> {
   size_t done_tasks_ = 0;
 
   std::atomic<uint64_t> queue_full_blocks_{0};
+  std::atomic<uint64_t> stall_escapes_{0};
+  std::atomic<uint64_t> tasks_spawned_{0};
+  std::atomic<uint64_t> tasks_retired_{0};
+  /// Live instances per component (routing mask; elastic resize).
+  std::unique_ptr<std::atomic<int>[]> active_;
 
   // Thread-confined execution context. `help_chain_` is the stack of tasks
   // this thread currently runs (nested helping); `buffer_` the thread's

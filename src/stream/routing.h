@@ -29,6 +29,16 @@ using EdgeList = std::vector<std::unique_ptr<RoutingEdge<Message>>>;
 /// lock-coalescing convention both concurrent runtimes share.
 inline constexpr size_t kQueueBatch = 64;
 
+/// Consecutive no-progress full-queue rounds (1 ms bounded waits) before a
+/// pusher spills over capacity — the bounded-stall overflow escape both
+/// concurrent runtimes share. Two tasks blocked pushing at each other's
+/// full queues — e.g. the Disseminator->Merger feedback edge against the
+/// Merger->Disseminator install broadcasts, both backed up — can make no
+/// progress under strict blocking; after ~64 ms without progress the
+/// pusher spills, trading transient over-capacity on one edge for
+/// deadlock freedom. Escapes are counted in RuntimeStats::stall_escapes.
+inline constexpr int kStallEscapeRounds = 64;
+
 /// Per-producer-thread staging area shared by the concurrent runtimes:
 /// envelopes headed to each destination task accumulate in a lane and are
 /// moved to the task's queue kQueueBatch at a time. Owned by one thread —
@@ -50,7 +60,10 @@ struct StagingBuffer {
 /// per *task* (producer instance) of each forward edge (producer declared
 /// before consumer) — each producer instance floods its own poison when it
 /// drains. Feedback edges are excluded from the accounting, or the cycle
-/// could never drain. Returns counts indexed by task id
+/// could never drain. Counts cover every *provisioned* instance
+/// (Component::max_instances) — elastic components flood and await poisons
+/// for inactive instances too, so shutdown is independent of the resize
+/// history. Returns counts indexed by task id
 /// (task_base[component] + instance); spout tasks stay 0.
 template <typename Components>
 std::vector<int> ComputeUpstreamPoisonCounts(const Components& components,
@@ -61,8 +74,9 @@ std::vector<int> ComputeUpstreamPoisonCounts(const Components& components,
     for (const auto& sub : components[c].subscriptions) {
       if (sub.producer >= static_cast<int>(c)) continue;
       const auto& producer = components[static_cast<size_t>(sub.producer)];
-      const int producer_tasks = producer.is_spout ? 1 : producer.parallelism;
-      for (int i = 0; i < components[c].parallelism; ++i) {
+      const int producer_tasks =
+          producer.is_spout ? 1 : producer.max_instances();
+      for (int i = 0; i < components[c].max_instances(); ++i) {
         counts[static_cast<size_t>(task_base[c] + i)] += producer_tasks;
       }
     }
@@ -101,6 +115,11 @@ void RouteAlongEdges(EdgeList<Message>& edges, const Message& msg,
   for (auto& edge : edges) {
     const bool is_direct_edge = edge->grouping.kind == GroupingKind::kDirect;
     if (is_direct_edge != (direct_instance >= 0)) continue;
+    // Per-stream subscription: a filtered edge never sees (or copies)
+    // tuples it rejects. Poison/shutdown markers bypass this path.
+    if (edge->grouping.filter != nullptr && !edge->grouping.filter(msg)) {
+      continue;
+    }
     switch (edge->grouping.kind) {
       case GroupingKind::kShuffle: {
         const uint64_t n =

@@ -62,6 +62,45 @@ inline bool ParseRuntimeKind(std::string_view name, RuntimeKind* out) {
   return false;
 }
 
+/// Dynamic-topology control surface every Runtime implements — the elastic
+/// repartitioning hook (§7.3): the Merger grows the Calculator set before
+/// broadcasting a wider PartitionSet, the Disseminator shrinks it after the
+/// route-table swap and quiesce. Semantics per substrate:
+///
+///  * PoolRuntime: growing *spawns* a real task — the instance's bolt is
+///    constructed on first activation and scheduled like any other task.
+///  * SimulationRuntime / ThreadedRuntime: every instance up to the
+///    component's provisioned maximum (Topology::SetMaxParallelism) is
+///    built up front and the live count is an activation mask over them,
+///    so the deterministic differential tests stay exact.
+///
+/// On every substrate the active count only gates *routing* (shuffle /
+/// all / fields fan-out): retired instances keep draining their queues —
+/// direct sends (the install protocol's quiesce markers) and shutdown
+/// poisons still reach them.
+///
+/// Thread-safety: ResizeComponent may be called from a bolt mid-run. The
+/// caller must be upstream of the resized component's traffic (as the
+/// Merger and Disseminator are of the Calculators), so the activation is
+/// published to consumers through the message that triggers routing to the
+/// new instances.
+class TopologyControl {
+ public:
+  virtual ~TopologyControl() = default;
+
+  /// Instances of `component` that routed (non-direct) traffic fans out
+  /// over.
+  virtual int ActiveParallelism(int component) const = 0;
+
+  /// Provisioned instance ceiling of `component`
+  /// (Topology::SetMaxParallelism; defaults to the build parallelism).
+  virtual int MaxParallelism(int component) const = 0;
+
+  /// Sets the live instance count of `component`, clamped to
+  /// [1, MaxParallelism]. Returns the resulting active parallelism.
+  virtual int ResizeComponent(int component, int target_parallelism) = 0;
+};
+
 /// Substrate knobs shared by the concurrent runtimes. The simulator
 /// ignores both (it has no queues and exactly one thread).
 struct RuntimeOptions {
@@ -88,6 +127,16 @@ struct RuntimeStats {
   uint64_t queue_full_blocks = 0;
   /// High-water mark over every per-task queue (envelopes).
   uint64_t max_queue_depth = 0;
+  /// Bounded-stall overflow escapes: a pusher made no progress against a
+  /// full destination queue for the escape window (a cross-thread cycle of
+  /// simultaneously full queues) and spilled over capacity to break it.
+  /// Nonzero values mean queue_capacity is too small for the topology's
+  /// feedback traffic.
+  uint64_t stall_escapes = 0;
+  /// Elastic repartitioning: instances activated (pool: spawned) and
+  /// retired by TopologyControl::ResizeComponent during the run.
+  uint64_t tasks_spawned = 0;
+  uint64_t tasks_retired = 0;
   /// Physical threads that executed bolts (simulation: 1).
   int num_threads = 0;
   /// The queue capacity the runtime actually ran with (simulation: 0).
@@ -99,7 +148,9 @@ struct RuntimeStats {
 /// expose the live bolts and counters. Concrete runtimes keep their
 /// class-specific constructors; this interface is what layers above
 /// (ops::MakeConfiguredRuntime, exp::RunExperiment, examples) program
-/// against so a single Topology runs unchanged on any substrate.
+/// against so a single Topology runs unchanged on any substrate. Every
+/// runtime is also a TopologyControl, so bolts handed the control surface
+/// (Bolt::AttachControl) can resize components mid-run.
 ///
 /// Shutdown contract (all runtimes): when the spout is exhausted, tick
 /// boundaries up to (last timestamp + flush_horizon) still fire; in the
@@ -107,9 +158,9 @@ struct RuntimeStats {
 /// messages still in flight on feedback edges at end-of-stream are
 /// dropped. Run() may be called once.
 template <typename Message>
-class Runtime {
+class Runtime : public TopologyControl {
  public:
-  virtual ~Runtime() = default;
+  ~Runtime() override = default;
 
   /// Runs the spout to exhaustion, fires ticks up to (last timestamp +
   /// flush_horizon) and — in concurrent runtimes — joins all workers.

@@ -1,6 +1,7 @@
 #ifndef CORRTRACK_STREAM_SIMULATION_H_
 #define CORRTRACK_STREAM_SIMULATION_H_
 
+#include <algorithm>
 #include <deque>
 #include <limits>
 #include <memory>
@@ -89,7 +90,33 @@ class SimulationRuntime : public Runtime<Message> {
     RuntimeStats stats;
     stats.num_threads = 1;
     for (uint64_t delivered : delivered_) stats.envelopes_moved += delivered;
+    stats.tasks_spawned = tasks_spawned_;
+    stats.tasks_retired = tasks_retired_;
     return stats;
+  }
+
+  // TopologyControl: the pre-provisioned max-k instances exist from Build;
+  // the active count is a routing mask over them (see runtime.h).
+  int ActiveParallelism(int component) const override {
+    return active_[static_cast<size_t>(component)];
+  }
+
+  int MaxParallelism(int component) const override {
+    return topology_->components()[static_cast<size_t>(component)]
+        .max_instances();
+  }
+
+  int ResizeComponent(int component, int target_parallelism) override {
+    const int max = MaxParallelism(component);
+    const int next = std::clamp(target_parallelism, 1, max);
+    int& active = active_[static_cast<size_t>(component)];
+    if (next > active) {
+      tasks_spawned_ += static_cast<uint64_t>(next - active);
+    } else {
+      tasks_retired_ += static_cast<uint64_t>(active - next);
+    }
+    active = next;
+    return next;
   }
 
   Timestamp now() const { return now_; }
@@ -129,10 +156,12 @@ class SimulationRuntime : public Runtime<Message> {
     const auto& components = topology_->components();
     task_base_.resize(components.size());
     delivered_.assign(components.size(), 0);
+    active_.resize(components.size());
     edges_ = BuildEdgeLists<Message>(components);
     for (size_t c = 0; c < components.size(); ++c) {
       const auto& comp = components[c];
       task_base_[c] = static_cast<int>(tasks_.size());
+      active_[c] = comp.parallelism;
       if (comp.is_spout) {
         CORRTRACK_CHECK_EQ(comp.parallelism, 1);
         CORRTRACK_CHECK_EQ(spout_component_, -1);
@@ -142,12 +171,17 @@ class SimulationRuntime : public Runtime<Message> {
         tasks_.push_back(std::move(task));
         continue;
       }
-      for (int i = 0; i < comp.parallelism; ++i) {
+      // Every provisioned instance is built up front (activation-mask
+      // elasticity, see TopologyControl in runtime.h): the simulator stays
+      // bit-repeatable because construction order never depends on the
+      // resize history.
+      for (int i = 0; i < comp.max_instances(); ++i) {
         Task task;
         task.addr = {static_cast<int>(c), i};
         task.bolt = comp.bolt_factory(i);
         CORRTRACK_CHECK(task.bolt != nullptr);
         task.bolt->Prepare(task.addr, comp.parallelism);
+        task.bolt->AttachControl(this);
         task.next_tick = comp.tick_period > 0 ? comp.tick_period : 0;
         tasks_.push_back(std::move(task));
       }
@@ -166,13 +200,13 @@ class SimulationRuntime : public Runtime<Message> {
     const auto& comp =
         topology_->components()[static_cast<size_t>(component)];
     CORRTRACK_CHECK_GE(instance, 0);
-    CORRTRACK_CHECK_LT(instance, comp.parallelism);
+    CORRTRACK_CHECK_LT(instance, comp.max_instances());
     return task_base_[static_cast<size_t>(component)] + instance;
   }
 
+  /// Routing fan-out: the *active* instance count (elastic mask).
   int Parallelism(int component) const {
-    return topology_->components()[static_cast<size_t>(component)]
-        .parallelism;
+    return active_[static_cast<size_t>(component)];
   }
 
   /// Routes `msg` emitted by (producer, instance) along all non-direct
@@ -250,11 +284,14 @@ class SimulationRuntime : public Runtime<Message> {
   int spout_component_ = -1;
   std::vector<Task> tasks_;
   std::vector<int> task_base_;
+  std::vector<int> active_;  // Live instances per component (routing mask).
   std::vector<EdgeList<Message>> edges_;
   std::deque<std::pair<int, Envelope<Message>>> pending_;
   std::vector<uint64_t> delivered_;
   Timestamp now_ = 0;
   bool ran_ = false;
+  uint64_t tasks_spawned_ = 0;
+  uint64_t tasks_retired_ = 0;
 };
 
 }  // namespace corrtrack::stream

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -52,6 +53,14 @@ namespace corrtrack::stream {
 ///    must point to earlier-declared components, and messages still in
 ///    flight on them at end-of-stream are dropped, as in a Storm topology
 ///    kill.
+///  * Backpressure: a full queue blocks the pusher — but not forever.
+///    Cross-thread cycles of simultaneously full queues (two tasks pushing
+///    at each other's full queues, the pattern the pool breaks by inline
+///    helping) are broken by the same bounded-stall overflow escape the
+///    pool uses (routing.h's kStallEscapeRounds): after ~64 ms without
+///    progress the pusher spills over capacity, so shutdown always
+///    terminates on cyclic topologies. Escapes are counted in
+///    RuntimeStats::stall_escapes.
 template <typename Message>
 class ThreadedRuntime : public Runtime<Message> {
  public:
@@ -146,12 +155,43 @@ class ThreadedRuntime : public Runtime<Message> {
       if (task->queue != nullptr) {
         ++stats.num_threads;  // One worker per bolt task.
         stats.queue_full_blocks += task->queue->full_blocks();
+        stats.stall_escapes += task->queue->stall_escapes();
         stats.max_queue_depth = std::max(
             stats.max_queue_depth,
             static_cast<uint64_t>(task->queue->max_depth()));
       }
     }
+    stats.tasks_spawned = tasks_spawned_.load(std::memory_order_relaxed);
+    stats.tasks_retired = tasks_retired_.load(std::memory_order_relaxed);
     return stats;
+  }
+
+  // TopologyControl: pre-provisioned max-k instances (each with its own
+  // thread and queue); the active count is a routing mask read by the
+  // shuffle/all/fields fan-out (see runtime.h).
+  int ActiveParallelism(int component) const override {
+    return active_[static_cast<size_t>(component)].load(
+        std::memory_order_acquire);
+  }
+
+  int MaxParallelism(int component) const override {
+    return topology_->components()[static_cast<size_t>(component)]
+        .max_instances();
+  }
+
+  int ResizeComponent(int component, int target_parallelism) override {
+    const int max = MaxParallelism(component);
+    const int next = std::clamp(target_parallelism, 1, max);
+    const int prev = active_[static_cast<size_t>(component)].exchange(
+        next, std::memory_order_acq_rel);
+    if (next > prev) {
+      tasks_spawned_.fetch_add(static_cast<uint64_t>(next - prev),
+                               std::memory_order_relaxed);
+    } else if (prev > next) {
+      tasks_retired_.fetch_add(static_cast<uint64_t>(prev - next),
+                               std::memory_order_relaxed);
+    }
+    return next;
   }
 
  private:
@@ -162,7 +202,10 @@ class ThreadedRuntime : public Runtime<Message> {
     Timestamp poison_horizon = 0;
   };
 
-  /// Bounded MPSC blocking queue with batched enqueue/dequeue.
+  /// Bounded MPSC blocking queue with batched enqueue/dequeue. Waits on a
+  /// full queue are bounded: after kStallEscapeRounds 1 ms rounds without
+  /// progress the pusher spills over capacity (the shared bounded-stall
+  /// overflow escape — see the class comment and routing.h).
   class BoundedQueue {
    public:
     explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
@@ -170,8 +213,18 @@ class ThreadedRuntime : public Runtime<Message> {
     void Push(Item item) {
       std::unique_lock<std::mutex> lock(mutex_);
       if (items_.size() >= capacity_) {
-        ++full_blocks_;
-        not_full_.wait(lock, [this] { return items_.size() < capacity_; });
+        ++full_blocks_;  // Once per blocking episode, not per wait round.
+        int stalled_rounds = 0;
+        while (items_.size() >= capacity_) {
+          const bool room =
+              not_full_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+                return items_.size() < capacity_;
+              });
+          if (!room && ++stalled_rounds >= kStallEscapeRounds) {
+            ++stall_escapes_;
+            break;  // Spill over capacity to break a cyclic-full stall.
+          }
+        }
       }
       items_.push_back(std::move(item));
       max_depth_ = std::max(max_depth_, items_.size());
@@ -183,13 +236,39 @@ class ThreadedRuntime : public Runtime<Message> {
     void PushBatch(std::vector<Item>* items) {
       size_t offset = 0;
       std::unique_lock<std::mutex> lock(mutex_);
+      int stalled_rounds = 0;
+      bool blocking = false;  // In a full-queue episode (counted once).
       while (offset < items->size()) {
         if (items_.size() >= capacity_) {
-          ++full_blocks_;
-          not_full_.wait(lock, [this] { return items_.size() < capacity_; });
+          if (!blocking) {
+            blocking = true;
+            ++full_blocks_;  // Once per episode, not per 1 ms wait round.
+          }
+          const bool room =
+              not_full_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+                return items_.size() < capacity_;
+              });
+          if (!room && ++stalled_rounds >= kStallEscapeRounds) {
+            // No progress for the whole escape window: spill the remainder
+            // over capacity so a cross-thread cycle of full queues cannot
+            // deadlock the run.
+            ++stall_escapes_;
+            while (offset < items->size()) {
+              items_.push_back(std::move((*items)[offset++]));
+            }
+            max_depth_ = std::max(max_depth_, items_.size());
+            not_empty_.notify_one();
+            break;
+          }
+          if (!room) continue;
         }
+        const size_t before = offset;
         while (offset < items->size() && items_.size() < capacity_) {
           items_.push_back(std::move((*items)[offset++]));
+        }
+        if (offset > before) {
+          stalled_rounds = 0;  // Progress: reset the escape window.
+          blocking = false;
         }
         max_depth_ = std::max(max_depth_, items_.size());
         not_empty_.notify_one();
@@ -221,6 +300,10 @@ class ThreadedRuntime : public Runtime<Message> {
       std::lock_guard<std::mutex> lock(mutex_);
       return max_depth_;
     }
+    uint64_t stall_escapes() const {
+      std::lock_guard<std::mutex> lock(mutex_);
+      return stall_escapes_;
+    }
 
    private:
     const size_t capacity_;
@@ -228,8 +311,9 @@ class ThreadedRuntime : public Runtime<Message> {
     std::condition_variable not_empty_;
     std::condition_variable not_full_;
     std::deque<Item> items_;
-    uint64_t full_blocks_ = 0;  // Producer waits on a full queue.
-    size_t max_depth_ = 0;      // High-water mark (envelopes).
+    uint64_t full_blocks_ = 0;    // Producer waits on a full queue.
+    uint64_t stall_escapes_ = 0;  // Bounded-stall overflow escapes.
+    size_t max_depth_ = 0;        // High-water mark (envelopes).
   };
 
   using DeliveryBuffer = StagingBuffer<Item>;
@@ -274,10 +358,12 @@ class ThreadedRuntime : public Runtime<Message> {
   void Build() {
     const auto& components = topology_->components();
     task_base_.resize(components.size());
+    active_ = std::make_unique<std::atomic<int>[]>(components.size());
     edges_ = BuildEdgeLists<Message>(components);
     for (size_t c = 0; c < components.size(); ++c) {
       const auto& comp = components[c];
       task_base_[c] = static_cast<int>(tasks_.size());
+      active_[c].store(comp.parallelism, std::memory_order_relaxed);
       if (comp.is_spout) {
         CORRTRACK_CHECK_EQ(spout_component_, -1);
         spout_component_ = static_cast<int>(c);
@@ -287,11 +373,15 @@ class ThreadedRuntime : public Runtime<Message> {
         tasks_.push_back(std::move(task));
         continue;
       }
-      for (int i = 0; i < comp.parallelism; ++i) {
+      // Provisioned ceiling up front (activation-mask elasticity): spare
+      // instances get a thread and a queue too — they idle on PopBatch
+      // until activated or poisoned.
+      for (int i = 0; i < comp.max_instances(); ++i) {
         auto task = std::make_unique<Task>();
         task->addr = {static_cast<int>(c), i};
         task->bolt = comp.bolt_factory(i);
         task->bolt->Prepare(task->addr, comp.parallelism);
+        task->bolt->AttachControl(this);
         task->queue = std::make_unique<BoundedQueue>(queue_capacity_);
         task->tick_period = comp.tick_period;
         task->next_tick = comp.tick_period > 0 ? comp.tick_period : 0;
@@ -313,9 +403,10 @@ class ThreadedRuntime : public Runtime<Message> {
     return task_base_[static_cast<size_t>(component)] + instance;
   }
 
+  /// Routing fan-out: the *active* instance count (elastic mask).
   int Parallelism(int component) const {
-    return topology_->components()[static_cast<size_t>(component)]
-        .parallelism;
+    return active_[static_cast<size_t>(component)].load(
+        std::memory_order_acquire);
   }
 
   void RouteFrom(int producer, int instance, const Message& msg,
@@ -366,11 +457,12 @@ class ThreadedRuntime : public Runtime<Message> {
   }
 
   /// Sends one poison marker along every *forward* edge leaving `producer`
-  /// (to every consumer instance).
+  /// (to every *provisioned* consumer instance — inactive elastic
+  /// instances must terminate too).
   void FloodPoison(int producer, Timestamp horizon) {
     for (auto& edge : edges_[static_cast<size_t>(producer)]) {
       if (edge->consumer <= producer) continue;  // Feedback edge.
-      for (int i = 0; i < Parallelism(edge->consumer); ++i) {
+      for (int i = 0; i < MaxParallelism(edge->consumer); ++i) {
         Item item;
         item.poison = true;
         item.poison_horizon = horizon;
@@ -443,11 +535,15 @@ class ThreadedRuntime : public Runtime<Message> {
   int spout_component_ = -1;
   std::vector<std::unique_ptr<Task>> tasks_;
   std::vector<int> task_base_;
+  /// Live instances per component (routing mask; elastic resize).
+  std::unique_ptr<std::atomic<int>[]> active_;
   std::vector<EdgeList<Message>> edges_;
   bool ran_ = false;
   std::mutex done_mutex_;
   std::condition_variable all_done_;
   size_t done_tasks_ = 0;
+  std::atomic<uint64_t> tasks_spawned_{0};
+  std::atomic<uint64_t> tasks_retired_{0};
 };
 
 }  // namespace corrtrack::stream

@@ -14,6 +14,8 @@
 
 namespace corrtrack::stream {
 
+class TopologyControl;  // runtime.h: dynamic-topology control surface.
+
 /// Sink through which a bolt/spout emits tuples. Provided by the runtime;
 /// `now()` is the current virtual time.
 template <typename Message>
@@ -46,6 +48,12 @@ class Bolt {
     (void)self;
     (void)parallelism;
   }
+
+  /// Called once (after Prepare, before any tuple) with the runtime's
+  /// dynamic-topology control surface. Most bolts ignore it; the elastic
+  /// install protocol's participants (Merger, Disseminator) keep it to
+  /// resize the Calculator set at run time.
+  virtual void AttachControl(TopologyControl* control) { (void)control; }
 
   /// Called for every incoming tuple.
   virtual void Execute(const Envelope<Message>& in, Emitter<Message>& out) = 0;
@@ -89,8 +97,16 @@ class Topology {
     std::unique_ptr<Spout<Message>> spout;  // When is_spout.
     BoltFactory bolt_factory;               // When !is_spout.
     int parallelism = 1;
+    /// Provisioned instance ceiling for elastic resize
+    /// (TopologyControl::ResizeComponent); 0 = parallelism (static).
+    int max_parallelism = 0;
     Timestamp tick_period = 0;  // 0 = no ticks.
     std::vector<Subscription> subscriptions;
+
+    /// Instances a runtime provisions for this component (>= parallelism).
+    int max_instances() const {
+      return max_parallelism > parallelism ? max_parallelism : parallelism;
+    }
   };
 
   /// Adds the stream source. Returns its component id.
@@ -118,6 +134,19 @@ class Topology {
     c.tick_period = tick_period;
     components_.push_back(std::move(c));
     return static_cast<int>(components_.size()) - 1;
+  }
+
+  /// Raises the provisioned instance ceiling of a bolt component: runtimes
+  /// build (or, in the pool, reserve task slots for) `max_parallelism`
+  /// instances, of which `parallelism` start active; the rest can be
+  /// activated at run time through TopologyControl::ResizeComponent.
+  void SetMaxParallelism(int component, int max_parallelism) {
+    CORRTRACK_CHECK_GE(component, 0);
+    CORRTRACK_CHECK_LT(static_cast<size_t>(component), components_.size());
+    Component& c = components_[static_cast<size_t>(component)];
+    CORRTRACK_CHECK(!c.is_spout);
+    CORRTRACK_CHECK_GE(max_parallelism, c.parallelism);
+    c.max_parallelism = max_parallelism;
   }
 
   /// Subscribes `consumer` (a bolt) to tuples of `producer`.

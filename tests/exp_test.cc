@@ -149,6 +149,18 @@ TEST(Sweep, RuntimeSweepCoversSubstrates) {
   EXPECT_EQ(config.pipeline.num_threads, 0);  // Hardware concurrency.
 }
 
+TEST(Sweep, ElasticSweepTogglesElasticMode) {
+  const auto points = ElasticSweep();
+  ASSERT_EQ(points.size(), 2u);
+  ExperimentConfig config = PaperBaseConfig();
+  points[0].apply(&config);
+  EXPECT_FALSE(config.pipeline.elastic.enabled);
+  points[1].apply(&config);
+  EXPECT_TRUE(config.pipeline.elastic.enabled);
+  EXPECT_EQ(config.pipeline.max_calculators, 32);
+  EXPECT_EQ(config.pipeline.EffectiveMaxCalculators(), 32);
+}
+
 TEST(Driver, RunExperimentOnPoolRuntime) {
   // The experiment harness must run on the concurrent substrates too: the
   // collector's hooks are called from several worker threads, and the

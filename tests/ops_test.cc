@@ -1,15 +1,19 @@
+#include <map>
 #include <memory>
 #include <set>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "gen/tweet_generator.h"
 #include "ops/calculator_op.h"
 #include "ops/centralized.h"
 #include "ops/disseminator_op.h"
 #include "ops/merger_op.h"
 #include "ops/parser.h"
 #include "ops/partitioner_op.h"
+#include "ops/source.h"
+#include "ops/topology_builder.h"
 #include "ops/tracker_op.h"
 #include "stream/simulation.h"
 
@@ -645,6 +649,223 @@ TEST(DisseminatorBolt, CooldownSuppressesQualityAccounting) {
   // The 8th document completes the batch -> violation.
   disseminator.Execute(Env(Message(MakeDoc(99, 10, {1}))), emitter);
   EXPECT_EQ(emitter.All<RepartitionRequest>().size(), 1u);
+}
+
+TEST(TrackerBolt, AdditiveMergeSumsDisjointPartials) {
+  // Elastic resizes split one tagset's period across owners; the additive
+  // policy must sum the disjoint partials and recompute the coefficient
+  // the way the oracle computes it (CN / U), not keep the max.
+  TrackerBolt tracker(nullptr, EstimateMerge::kAdditive);
+  CapturingEmitter emitter;
+  JaccardReport report;
+  report.calculator = 0;
+  report.epoch = 2;
+  report.period_end = 500;
+  JaccardEstimate e;
+  e.tags = TagSet({1, 2});
+  e.intersection_count = 4;
+  e.union_count = 8;
+  e.coefficient = 0.5;
+  report.estimates.push_back(e);
+  tracker.Execute(Env(Message(report)), emitter);
+
+  report.calculator = 5;  // The retiring owner's quiesce flush.
+  report.epoch = 3;
+  report.estimates[0].intersection_count = 2;
+  report.estimates[0].union_count = 4;
+  report.estimates[0].coefficient = 0.5;
+  tracker.Execute(Env(Message(report)), emitter);
+
+  const auto& results = tracker.periods().at(500);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results.at(TagSet({1, 2})).intersection_count, 6u);
+  EXPECT_EQ(results.at(TagSet({1, 2})).union_count, 12u);
+  EXPECT_DOUBLE_EQ(results.at(TagSet({1, 2})).coefficient, 0.5);
+  EXPECT_EQ(tracker.reports_received(), 2u);
+  EXPECT_EQ(tracker.latest_epoch(), 3u);
+}
+
+TEST(CalculatorBolt, QuiesceHandsOffCountersAndResets) {
+  // The install protocol's quiesce marker: the Calculator must export its
+  // entire unreported counter table as a CounterHandoff (for the
+  // Disseminator to re-route to the new owners) and reset.
+  CalculatorBolt calculator(SmallConfig(), /*instance=*/1);
+  CapturingEmitter emitter;
+  Notification n;
+  n.tags = TagSet({1, 2});
+  n.epoch = 1;
+  calculator.Execute(Env(Message(n), /*time=*/1100), emitter);
+  calculator.Execute(Env(Message(n), /*time=*/1200), emitter);
+
+  CalculatorQuiesce quiesce;
+  quiesce.epoch = 2;
+  calculator.Execute(Env(Message(quiesce), /*time=*/1300), emitter);
+
+  const auto handoffs = emitter.All<CounterHandoff>();
+  ASSERT_EQ(handoffs.size(), 1u);
+  EXPECT_EQ(handoffs[0].from_calculator, 1);
+  EXPECT_EQ(handoffs[0].epoch, 2u);
+  // Every live counter travels: {1}, {1,2}, {2}, each with count 2.
+  ASSERT_EQ(handoffs[0].entries.size(), 3u);
+  bool pair_seen = false;
+  for (const auto& [tags, count] : handoffs[0].entries) {
+    EXPECT_EQ(count, 2u) << tags.ToString();
+    if (tags == TagSet({1, 2})) pair_seen = true;
+  }
+  EXPECT_TRUE(pair_seen);
+  EXPECT_EQ(calculator.quiesces(), 1u);
+  EXPECT_EQ(calculator.counters().num_counters(), 0u);
+
+  // A quiesce on an empty table hands off nothing.
+  calculator.Execute(Env(Message(quiesce), /*time=*/1400), emitter);
+  EXPECT_EQ(emitter.All<CounterHandoff>().size(), 1u);
+}
+
+TEST(CalculatorBolt, InjectMergesLinearly) {
+  // Migrated fragments merge entry-wise: injecting an exported table into
+  // another owner reproduces the table that would have counted both
+  // observation sets directly — intersection AND union counts.
+  const PipelineConfig config = SmallConfig();
+  CalculatorBolt donor(config, 0);
+  CalculatorBolt receiver(config, 1);
+  CalculatorBolt oracle(config, 2);
+  CapturingEmitter emitter;
+
+  Notification n;
+  n.tags = TagSet({1, 2});
+  donor.Execute(Env(Message(n), 100), emitter);
+  oracle.Execute(Env(Message(n), 100), emitter);
+  n.tags = TagSet({1});  // Union contribution without the pair.
+  donor.Execute(Env(Message(n), 110), emitter);
+  oracle.Execute(Env(Message(n), 110), emitter);
+  n.tags = TagSet({1, 2});
+  receiver.Execute(Env(Message(n), 120), emitter);
+  oracle.Execute(Env(Message(n), 120), emitter);
+
+  CalculatorQuiesce quiesce;
+  quiesce.epoch = 2;
+  CapturingEmitter donor_out;
+  donor.Execute(Env(Message(quiesce), 130), donor_out);
+  const auto handoffs = donor_out.All<CounterHandoff>();
+  ASSERT_EQ(handoffs.size(), 1u);
+
+  CounterInject inject;
+  inject.epoch = 2;
+  inject.entries = handoffs[0].entries;
+  receiver.Execute(Env(Message(inject), 140), emitter);
+
+  CapturingEmitter merged_out;
+  CapturingEmitter oracle_out;
+  receiver.OnTick(1000, merged_out);
+  oracle.OnTick(1000, oracle_out);
+  const auto merged = merged_out.All<JaccardReport>();
+  const auto expected = oracle_out.All<JaccardReport>();
+  ASSERT_EQ(merged.size(), 1u);
+  ASSERT_EQ(expected.size(), 1u);
+  ASSERT_EQ(merged[0].estimates.size(), expected[0].estimates.size());
+  for (size_t i = 0; i < merged[0].estimates.size(); ++i) {
+    EXPECT_EQ(merged[0].estimates[i].intersection_count,
+              expected[0].estimates[i].intersection_count);
+    EXPECT_EQ(merged[0].estimates[i].union_count,
+              expected[0].estimates[i].union_count);
+    EXPECT_EQ(merged[0].estimates[i].coefficient,
+              expected[0].estimates[i].coefficient);
+  }
+}
+
+TEST(DisseminatorBolt, ReRoutesHandoffFragmentsToCoveringOwners) {
+  PipelineConfig config = SmallConfig();
+  config.tracker_merge = EstimateMerge::kAdditive;
+  DisseminatorBolt disseminator(config, nullptr);
+  disseminator.Prepare({0, 0}, 1);
+  CapturingEmitter emitter;
+
+  // Install partitions: {1,2} -> calculator 0, {3,4} -> calculator 1.
+  auto partitions = std::make_shared<PartitionSet>(2);
+  partitions->AddTags(0, TagSet({1, 2}));
+  partitions->AddTags(1, TagSet({3, 4}));
+  FinalPartitions install;
+  install.epoch = 1;
+  install.partitions = partitions;
+  disseminator.Execute(Env(Message(install)), emitter);
+
+  CounterHandoff handoff;
+  handoff.from_calculator = 3;
+  handoff.epoch = 1;
+  handoff.entries.emplace_back(TagSet({1, 2}), 5);
+  handoff.entries.emplace_back(TagSet({3}), 2);
+  handoff.entries.emplace_back(TagSet({1, 9}), 7);  // 9 uncovered: dropped.
+  disseminator.Execute(Env(Message(handoff)), emitter);
+
+  EXPECT_EQ(disseminator.handoffs_routed(), 1u);
+  EXPECT_EQ(disseminator.handoff_entries_dropped(), 1u);
+  std::map<int, CounterInject> injects;
+  for (const auto& [instance, msg] : emitter.direct) {
+    if (const auto* inject = std::get_if<CounterInject>(&msg)) {
+      injects[instance] = *inject;
+    }
+  }
+  ASSERT_EQ(injects.size(), 2u);
+  ASSERT_EQ(injects[0].entries.size(), 1u);
+  EXPECT_EQ(injects[0].entries[0].first, TagSet({1, 2}));
+  EXPECT_EQ(injects[0].entries[0].second, 5u);
+  ASSERT_EQ(injects[1].entries.size(), 1u);
+  EXPECT_EQ(injects[1].entries[0].first, TagSet({3}));
+  EXPECT_EQ(injects[1].entries[0].second, 2u);
+}
+
+TEST(AutoSizeQueueCapacity, FloorWithoutObservation) {
+  EXPECT_EQ(AutoSizeQueueCapacity(nullptr), kAutoQueueCapacityFloor);
+  stream::RuntimeStats simulated;  // queue_capacity 0: no queues existed.
+  EXPECT_EQ(AutoSizeQueueCapacity(&simulated), kAutoQueueCapacityFloor);
+}
+
+TEST(AutoSizeQueueCapacity, DoublesUnderBackpressureOnly) {
+  stream::RuntimeStats calm;
+  calm.queue_capacity = 2048;
+  calm.queue_full_blocks = 0;
+  calm.max_queue_depth = 300;
+  EXPECT_EQ(AutoSizeQueueCapacity(&calm), 2048u);  // No pressure: keep.
+
+  stream::RuntimeStats pressured = calm;
+  pressured.queue_full_blocks = 17;
+  EXPECT_EQ(AutoSizeQueueCapacity(&pressured), 4096u);
+
+  // A stall-escape spill can leave the high-water mark far past capacity;
+  // one doubling is provably short, so the policy doubles past the mark.
+  stream::RuntimeStats spilled = calm;
+  spilled.queue_full_blocks = 1;
+  spilled.max_queue_depth = 9000;
+  EXPECT_EQ(AutoSizeQueueCapacity(&spilled), 16384u);
+
+  // The ceiling bounds runaway growth.
+  stream::RuntimeStats huge;
+  huge.queue_capacity = kAutoQueueCapacityCeiling;
+  huge.queue_full_blocks = 1;
+  EXPECT_EQ(AutoSizeQueueCapacity(&huge), kAutoQueueCapacityCeiling);
+}
+
+TEST(MakeConfiguredRuntime, ZeroQueueCapacityAutoSizes) {
+  PipelineConfig config = SmallConfig();
+  config.runtime = stream::RuntimeKind::kThreaded;
+  config.queue_capacity = 0;  // Auto.
+  stream::Topology<Message> topology;
+  gen::GeneratorConfig workload;
+  BuildCorrelationTopology(
+      &topology, std::make_unique<GeneratorSpout>(workload, 10), config,
+      nullptr, /*with_centralized_baseline=*/false);
+  auto runtime = MakeConfiguredRuntime(&topology, config);
+  EXPECT_EQ(runtime->stats().queue_capacity, kAutoQueueCapacityFloor);
+
+  stream::RuntimeStats observed;
+  observed.queue_capacity = kAutoQueueCapacityFloor;
+  observed.queue_full_blocks = 3;
+  stream::Topology<Message> topology2;
+  BuildCorrelationTopology(
+      &topology2, std::make_unique<GeneratorSpout>(workload, 10), config,
+      nullptr, /*with_centralized_baseline=*/false);
+  auto tuned = MakeConfiguredRuntime(&topology2, config, &observed);
+  EXPECT_EQ(tuned->stats().queue_capacity, 2 * kAutoQueueCapacityFloor);
 }
 
 }  // namespace

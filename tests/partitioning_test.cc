@@ -365,5 +365,53 @@ TEST(DsSplitAlgorithm, NoSplitWhenBalanced) {
   }
 }
 
+TEST(ElasticTargetK, CostIsConvexWithMinimumAtSqrt) {
+  ElasticPolicy policy;
+  policy.partition_overhead_load = 100;
+  // L = 10000, overhead = 100 -> k* = sqrt(100) = 10 exactly.
+  const uint64_t load = 10000;
+  const double at_optimum = ElasticPartitionCost(load, 10, policy);
+  for (int k : {1, 2, 5, 9, 11, 20, 50}) {
+    EXPECT_GT(ElasticPartitionCost(load, k, policy), at_optimum) << k;
+  }
+  EXPECT_EQ(ChooseTargetK(load, /*current_k=*/0, policy), 10);
+}
+
+TEST(ElasticTargetK, PicksIntegerNeighbourOfContinuousOptimum) {
+  ElasticPolicy policy;
+  policy.partition_overhead_load = 100;
+  // L = 12000 -> k* = sqrt(120) ~ 10.95; cost(11) < cost(10).
+  const int k = ChooseTargetK(12000, 0, policy);
+  EXPECT_EQ(k, 11);
+  EXPECT_LT(ElasticPartitionCost(12000, 11, policy),
+            ElasticPartitionCost(12000, 10, policy));
+}
+
+TEST(ElasticTargetK, HysteresisKeepsCurrentK) {
+  ElasticPolicy policy;
+  policy.partition_overhead_load = 100;
+  policy.resize_hysteresis = 0.25;
+  // Optimum 10 vs current 9: |10-9| = 1 <= 0.25*9 -> sticky.
+  EXPECT_EQ(ChooseTargetK(10000, 9, policy), 9);
+  // Current 4: |10-4| = 6 > 1 -> resize to the optimum.
+  EXPECT_EQ(ChooseTargetK(10000, 4, policy), 10);
+  // Zero hysteresis always chases the optimum.
+  policy.resize_hysteresis = 0.0;
+  EXPECT_EQ(ChooseTargetK(10000, 9, policy), 10);
+}
+
+TEST(ElasticTargetK, ClampsToPolicyBounds) {
+  ElasticPolicy policy;
+  policy.partition_overhead_load = 1;  // Optimum would be huge.
+  policy.max_partitions = 6;
+  EXPECT_EQ(ChooseTargetK(1000000, 0, policy), 6);
+  policy.max_partitions = 0;
+  policy.min_partitions = 3;
+  EXPECT_EQ(ChooseTargetK(0, 0, policy), 3);  // Empty window -> floor.
+  // A current k outside the band still clamps into the bounds.
+  policy.max_partitions = 4;
+  EXPECT_EQ(ChooseTargetK(1000000, 100, policy), 4);
+}
+
 }  // namespace
 }  // namespace corrtrack

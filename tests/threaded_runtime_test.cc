@@ -328,5 +328,97 @@ TEST(ThreadedRuntime, FullCorrelationTopologyRuns) {
   EXPECT_GT(tracked, 100u);
 }
 
+/// Feedback-cycle bolt: forwards tuples from the spout side, only counts
+/// tuples arriving on the feedback edge (or the loop would never damp).
+class EchoOnceBolt : public Bolt<Msg> {
+ public:
+  explicit EchoOnceBolt(int forward_source) : forward_source_(forward_source) {}
+  void Execute(const Envelope<Msg>& in, Emitter<Msg>& out) override {
+    if (in.source.component == forward_source_) {
+      ++forwarded;
+      out.Emit(in.payload);
+    } else {
+      ++feedback_seen;
+    }
+  }
+  long long forwarded = 0;
+  long long feedback_seen = 0;
+
+ private:
+  int forward_source_;
+};
+
+TEST(ThreadedRuntime, CyclicFullQueuesEscapeDeadlock) {
+  // Regression for the cross-thread cyclic-full deadlock the pool already
+  // survives: spout -> B -> C with a C -> B feedback edge, capacity-1
+  // queues. B's worker blocks pushing at C's full queue while C blocks
+  // pushing feedback at B's full queue — under the old strictly blocking
+  // queues this wedged forever (the ctest timeout turns a regression into
+  // a fast failure); the ported bounded-stall escape must spill and keep
+  // the run live, and surface the escapes in RuntimeStats.
+  const int n = 5000;
+  Topology<Msg> topology;
+  const int spout =
+      topology.AddSpout("src", std::make_unique<CountingSpout>(n));
+  std::vector<EchoOnceBolt*> bs(2, nullptr);
+  const int b_comp = topology.AddBolt(
+      "B",
+      [&bs, spout](int instance) {
+        auto b = std::make_unique<EchoOnceBolt>(spout);
+        bs[static_cast<size_t>(instance)] = b.get();
+        return b;
+      },
+      2);
+  SummingBolt* c_bolt = nullptr;
+  const int c_comp = topology.AddBolt(
+      "C",
+      [&c_bolt](int) {
+        auto b = std::make_unique<SummingBolt>(true);  // Echo into the loop.
+        c_bolt = b.get();
+        return b;
+      },
+      1);
+  topology.Subscribe(b_comp, spout, Grouping<Msg>::Shuffle());
+  topology.Subscribe(c_comp, b_comp, Grouping<Msg>::Global());
+  topology.Subscribe(b_comp, c_comp, Grouping<Msg>::Shuffle());  // Feedback.
+  ThreadedRuntime<Msg> runtime(&topology, /*queue_capacity=*/1);
+  runtime.Run();
+  // Everything the spout emitted flowed B -> C exactly once; feedback
+  // tuples are best-effort at end-of-stream.
+  EXPECT_EQ(bs[0]->forwarded + bs[1]->forwarded, n);
+  EXPECT_EQ(c_bolt->count, n);
+  EXPECT_EQ(c_bolt->sum, static_cast<long long>(n) * (n - 1) / 2);
+  EXPECT_LE(bs[0]->feedback_seen + bs[1]->feedback_seen, n);
+  EXPECT_GT(runtime.stats().queue_full_blocks, 0u);
+}
+
+TEST(ThreadedRuntime, FullTopologyTinyQueuesTerminates) {
+  // The Fig. 2 cyclic topology with 8-slot queues: the Disseminator ->
+  // Merger feedback edge against the Merger -> Disseminator broadcasts,
+  // both backed up, is exactly the cyclic-full pattern; the stall escape
+  // must let the run terminate (parity with the pool's regression test).
+  ops::PipelineConfig pipeline;
+  pipeline.algorithm = AlgorithmKind::kDS;
+  pipeline.num_calculators = 4;
+  pipeline.num_partitioners = 3;
+  pipeline.window_span = kMillisPerMinute;
+  pipeline.report_period = kMillisPerMinute;
+  pipeline.bootstrap_time = kMillisPerMinute;
+
+  gen::GeneratorConfig workload;
+  workload.seed = 5;
+  workload.topics.num_topics = 60;
+  const uint64_t num_docs = 8000;
+
+  Topology<ops::Message> topology;
+  const auto handles = ops::BuildCorrelationTopology(
+      &topology, std::make_unique<ops::GeneratorSpout>(workload, num_docs),
+      pipeline, nullptr, /*with_centralized_baseline=*/true);
+  ThreadedRuntime<ops::Message> runtime(&topology, /*queue_capacity=*/8);
+  runtime.Run(pipeline.report_period);
+  EXPECT_EQ(runtime.TuplesDelivered(handles.parser), num_docs);
+  EXPECT_GT(runtime.stats().queue_full_blocks, 0u);
+}
+
 }  // namespace
 }  // namespace corrtrack::stream
