@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "core/cooccurrence.h"
 #include "core/partitioning.h"
 #include "core/scc_algorithm.h"
@@ -118,4 +120,4 @@ BENCHMARK(BM_SclLazyHeap)
     ->Args({8000, 1})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+CORRTRACK_BENCHMARK_MAIN();

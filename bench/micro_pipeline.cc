@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "core/cooccurrence.h"
 #include "core/jaccard.h"
 #include "core/partition.h"
@@ -121,4 +123,4 @@ BENCHMARK(BM_ParserExtract);
 BENCHMARK(BM_EvaluatePartitionQuality)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GeneratorNext);
 
-BENCHMARK_MAIN();
+CORRTRACK_BENCHMARK_MAIN();

@@ -20,10 +20,28 @@ RUNTIME_BIN="${BUILD_DIR}/bench_runtime_bench"
 for bin in "${PIPELINE_BIN}" "${SERVE_BIN}" "${RUNTIME_BIN}"; do
   if [[ ! -x "${bin}" ]]; then
     echo "error: ${bin} not found — build first:" >&2
-    echo "  cmake -B build -S . && cmake --build build -j" >&2
+    echo "  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j" >&2
     exit 1
   fi
 done
+
+# Benchmarks from a non-Release build undersell every optimization (the
+# pre-PR-5 BENCH_micro.json was committed from a debug build and did
+# exactly that). Refuse up front when the build tree isn't Release; the
+# merge step below double-checks what the binaries themselves report
+# (library_build_type) in case the cache lies.
+CACHE="${BUILD_DIR}/CMakeCache.txt"
+if [[ -f "${CACHE}" ]]; then
+  BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "${CACHE}")"
+  if [[ "${BUILD_TYPE}" != "Release" ]]; then
+    echo "error: ${BUILD_DIR} is configured as '${BUILD_TYPE:-<empty>}'," >&2
+    echo "not Release; BENCH_micro.json numbers must come from a Release" >&2
+    echo "build. Reconfigure:" >&2
+    echo "  cmake -B ${BUILD_DIR} -S . -DCMAKE_BUILD_TYPE=Release" >&2
+    echo "  cmake --build ${BUILD_DIR} -j" >&2
+    exit 1
+  fi
+fi
 
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "${TMP_DIR}"' EXIT
@@ -62,6 +80,29 @@ import re
 import sys
 
 pipeline_path, serve_path, runtime_path, out_path = sys.argv[1:5]
+# Refuse to merge non-Release numbers into the committed document. Two
+# signals, strongest wins:
+#  * context.corrtrack_build_type — our own attestation (bench_main.h,
+#    stamped from CMAKE_BUILD_TYPE): what optimization the MEASURED code
+#    had. Must be "release". Binaries without it predate the guard and are
+#    rejected outright (the old committed numbers came from exactly such
+#    unattested debug-quality runs).
+#  * context.library_build_type — how the Google-Benchmark *library* was
+#    compiled. A debug harness library (common for distro packages) only
+#    slows the measurement scaffolding, so with a Release attestation it
+#    is annotated, not fatal; without one, "debug" here is fatal.
+for path in (pipeline_path, serve_path, runtime_path):
+    with open(path) as f:
+        ctx = json.load(f).get("context", {})
+    corrtrack_build = ctx.get("corrtrack_build_type", "")
+    library_build = ctx.get("library_build_type", "unknown")
+    if corrtrack_build.lower() != "release":
+        sys.stderr.write(
+            "error: %s attests corrtrack_build_type '%s' (want 'Release'"
+            "; library_build_type: %s). BENCH_micro.json left untouched — "
+            "rebuild with -DCMAKE_BUILD_TYPE=Release\n"
+            % (path, corrtrack_build or "<missing>", library_build))
+        sys.exit(1)
 with open(pipeline_path) as f:
     merged = json.load(f)
 worker_counts = set()
@@ -78,6 +119,12 @@ for path in (serve_path, runtime_path):
 # scaling, and must be read as such.
 host_cpus = os.cpu_count() or 1
 context = merged.setdefault("context", {})
+if context.get("library_build_type") != "release":
+    context["benchmark_library_note"] = (
+        "system Google-Benchmark library reports '%s'; the measured "
+        "corrtrack code is attested Release (corrtrack_build_type) — a "
+        "debug harness library only slows the measurement scaffolding"
+        % context.get("library_build_type", "unknown"))
 context["host_num_cpus"] = host_cpus
 context["runtime_bench_worker_counts"] = sorted(worker_counts)
 context["single_core_host"] = host_cpus == 1

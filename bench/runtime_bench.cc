@@ -21,6 +21,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "gen/tweet_generator.h"
 #include "ops/messages.h"
 #include "ops/source.h"
@@ -34,7 +36,12 @@ using namespace corrtrack;
 struct Value {
   uint64_t v = 0;
 };
-using Msg = std::variant<Value>;
+/// Broadcast-bench payload: big enough (4 KiB) that a per-destination deep
+/// copy dominates routing cost — the cost shared-payload envelopes delete.
+struct Blob {
+  std::vector<uint64_t> data;
+};
+using Msg = std::variant<Value, Blob>;
 
 constexpr int kShuffleDocs = 10000;
 constexpr int kShuffleTasks = 32;  // Logical tasks >> typical core counts.
@@ -69,7 +76,7 @@ class HashingBolt : public stream::Bolt<Msg> {
  public:
   void Execute(const stream::Envelope<Msg>& in,
                stream::Emitter<Msg>& out) override {
-    uint64_t h = std::get<Value>(in.payload).v;
+    uint64_t h = std::get<Value>(in.payload()).v;
     for (int i = 0; i < kWorkRounds; ++i) h = SplitMix64(h);
     out.Emit(Msg{Value{h}});
   }
@@ -79,7 +86,7 @@ class SummingBolt : public stream::Bolt<Msg> {
  public:
   void Execute(const stream::Envelope<Msg>& in,
                stream::Emitter<Msg>&) override {
-    sum += std::get<Value>(in.payload).v;
+    sum += std::get<Value>(in.payload()).v;
   }
   uint64_t sum = 0;
 };
@@ -129,6 +136,163 @@ void BM_ShuffleThreaded(benchmark::State& state) {
 void BM_ShufflePool(benchmark::State& state) {
   ShuffleBench(state, stream::RuntimeKind::kPool,
                static_cast<int>(state.range(0)));
+}
+
+// --------------------------------------------------------------------------
+// BM_BroadcastFanout: one emission fanned out to k consumers. The engine
+// shares a single refcounted payload block across the fan-out (zero-copy);
+// BM_BroadcastFanoutCopy is the deep-copy reference — the producer sends
+// each consumer its own copy of the same blob, which is exactly what
+// RouteAlongEdges itself did per destination before shared-payload
+// envelopes. Items processed = deliveries (docs x k), so the two report
+// per-delivery cost side by side in BENCH_micro.json.
+// --------------------------------------------------------------------------
+
+constexpr int kFanoutDocs = 5000;
+constexpr size_t kBlobWords = 512;  // 4 KiB payload.
+
+class BlobSpout : public stream::Spout<Msg> {
+ public:
+  explicit BlobSpout(int n) : n_(n) {
+    blob_.data.assign(kBlobWords, 0x5eedULL);
+  }
+  bool Next(Msg* out, Timestamp* time) override {
+    if (i_ >= n_) return false;
+    blob_.data[0] = static_cast<uint64_t>(i_);
+    *out = blob_;
+    *time = static_cast<Timestamp>(i_);
+    ++i_;
+    return true;
+  }
+
+ private:
+  int n_;
+  int i_ = 0;
+  Blob blob_;
+};
+
+/// Shared fan-out: emit once, the kAll edge shares the payload k ways.
+class BroadcastBolt : public stream::Bolt<Msg> {
+ public:
+  void Execute(const stream::Envelope<Msg>& in,
+               stream::Emitter<Msg>& out) override {
+    out.Emit(in.payload());
+  }
+};
+
+/// Deep-copy reference: hand every consumer instance its own copy — the
+/// per-destination cost model the engine had before shared payloads.
+class CopyFanBolt : public stream::Bolt<Msg> {
+ public:
+  explicit CopyFanBolt(int k) : k_(k) {}
+  void Execute(const stream::Envelope<Msg>& in,
+               stream::Emitter<Msg>& out) override {
+    for (int i = 0; i < k_; ++i) out.EmitDirect(i, in.payload());
+  }
+
+ private:
+  int k_;
+};
+
+class BlobSinkBolt : public stream::Bolt<Msg> {
+ public:
+  void Execute(const stream::Envelope<Msg>& in,
+               stream::Emitter<Msg>&) override {
+    sum += std::get<Blob>(in.payload()).data[0];
+  }
+  uint64_t sum = 0;
+};
+
+void BroadcastBench(benchmark::State& state, bool deep_copy) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    stream::Topology<Msg> topology;
+    const int spout =
+        topology.AddSpout("src", std::make_unique<BlobSpout>(kFanoutDocs));
+    const int fan = topology.AddBolt(
+        "fan",
+        [&](int) -> std::unique_ptr<stream::Bolt<Msg>> {
+          if (deep_copy) return std::make_unique<CopyFanBolt>(k);
+          return std::make_unique<BroadcastBolt>();
+        },
+        1);
+    BlobSinkBolt* first_sink = nullptr;
+    const int sinks = topology.AddBolt(
+        "sink",
+        [&first_sink](int) {
+          auto b = std::make_unique<BlobSinkBolt>();
+          if (first_sink == nullptr) first_sink = b.get();
+          return b;
+        },
+        k);
+    topology.Subscribe(fan, spout, stream::Grouping<Msg>::Shuffle());
+    topology.Subscribe(sinks, fan,
+                       deep_copy ? stream::Grouping<Msg>::Direct()
+                                 : stream::Grouping<Msg>::All());
+    stream::SimulationRuntime<Msg> runtime(&topology);
+    runtime.Run();
+    if (first_sink->sum == 0) state.SkipWithError("blob sum vanished");
+    benchmark::DoNotOptimize(first_sink->sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kFanoutDocs * k);
+}
+
+void BM_BroadcastFanout(benchmark::State& state) {
+  BroadcastBench(state, /*deep_copy=*/false);
+}
+
+void BM_BroadcastFanoutCopy(benchmark::State& state) {
+  BroadcastBench(state, /*deep_copy=*/true);
+}
+
+// --------------------------------------------------------------------------
+// BM_EnvelopeAlloc: per-envelope engine overhead on a minimal pass-through
+// chain (spout -> forward -> sink, trivial payloads). In steady state every
+// payload block is served from the task arenas' free lists
+// (RuntimeStats::arena_reuses ~ envelopes), so this measures the recycled
+// hot path: no `new`/`delete` per tuple.
+// --------------------------------------------------------------------------
+
+constexpr int kAllocDocs = 20000;
+
+class ForwardBolt : public stream::Bolt<Msg> {
+ public:
+  void Execute(const stream::Envelope<Msg>& in,
+               stream::Emitter<Msg>& out) override {
+    out.Emit(in.payload());
+  }
+};
+
+void BM_EnvelopeAlloc(benchmark::State& state) {
+  uint64_t reuses = 0;
+  uint64_t moved = 0;
+  for (auto _ : state) {
+    stream::Topology<Msg> topology;
+    const int spout = topology.AddSpout(
+        "src", std::make_unique<CountingSpout>(kAllocDocs));
+    const int forward = topology.AddBolt(
+        "fwd", [](int) { return std::make_unique<ForwardBolt>(); }, 1);
+    SummingBolt* sink_bolt = nullptr;
+    const int sink = topology.AddBolt(
+        "sink",
+        [&sink_bolt](int) {
+          auto b = std::make_unique<SummingBolt>();
+          sink_bolt = b.get();
+          return b;
+        },
+        1);
+    topology.Subscribe(forward, spout, stream::Grouping<Msg>::Shuffle());
+    topology.Subscribe(sink, forward, stream::Grouping<Msg>::Global());
+    stream::SimulationRuntime<Msg> runtime(&topology);
+    runtime.Run();
+    benchmark::DoNotOptimize(sink_bolt->sum);
+    reuses += runtime.stats().arena_reuses;
+    moved += runtime.stats().envelopes_moved;
+  }
+  state.SetItemsProcessed(state.iterations() * kAllocDocs);
+  state.counters["arena_reuse_ratio"] = benchmark::Counter(
+      moved > 0 ? static_cast<double>(reuses) / static_cast<double>(moved)
+                : 0.0);
 }
 
 std::vector<Document> MakeDocs(int n) {
@@ -194,6 +358,21 @@ BENCHMARK(BM_ShufflePool)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+BENCHMARK(BM_BroadcastFanout)
+    ->ArgName("k")
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BroadcastFanoutCopy)
+    ->ArgName("k")
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EnvelopeAlloc)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CorrelationSimulation)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
@@ -207,4 +386,4 @@ BENCHMARK(BM_CorrelationPool)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
-BENCHMARK_MAIN();
+CORRTRACK_BENCHMARK_MAIN();

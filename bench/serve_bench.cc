@@ -16,6 +16,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "core/jaccard.h"
 #include "gen/tweet_generator.h"
 #include "serve/correlation_index.h"
@@ -234,4 +236,4 @@ BENCHMARK(BM_ServeSnapshotScan)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+CORRTRACK_BENCHMARK_MAIN();

@@ -9,6 +9,7 @@
 //
 //   ./build/example_query_server [--docs=N] [--interactive | --demo]
 //                                [--runtime=KIND] [--threads=N]
+//                                [--affinity=none|compact|scatter]
 //
 // Interactive commands:
 //   top <tag> [k]        strongest sets containing <tag> ("#name" or id)
@@ -196,6 +197,7 @@ int main(int argc, char** argv) {
   uint64_t num_docs = 60000;
   bool interactive = isatty(STDIN_FILENO) != 0;
   stream::RuntimeKind runtime_kind = stream::RuntimeKind::kThreaded;
+  stream::AffinityPolicy affinity = stream::AffinityPolicy::kNone;
   int num_threads = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--docs=", 7) == 0) {
@@ -213,6 +215,13 @@ int main(int argc, char** argv) {
       }
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       num_threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--affinity=", 11) == 0) {
+      if (!stream::ParseAffinityPolicy(argv[i] + 11, &affinity)) {
+        std::fprintf(stderr,
+                     "unknown --affinity '%s' (none|compact|scatter)\n",
+                     argv[i] + 11);
+        return 1;
+      }
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 1;
@@ -228,6 +237,7 @@ int main(int argc, char** argv) {
   pipeline.bootstrap_time = 2 * kMillisPerMinute;
   pipeline.runtime = runtime_kind;
   pipeline.num_threads = num_threads;
+  pipeline.affinity = affinity;
   pipeline.queue_capacity = 256;
 
   gen::GeneratorConfig workload;

@@ -30,12 +30,12 @@ class CalculatorBolt : public stream::Bolt<Message> {
 
   void Execute(const stream::Envelope<Message>& in,
                stream::Emitter<Message>& out) override {
-    if (const auto* notification = std::get_if<Notification>(&in.payload)) {
+    if (const auto* notification = std::get_if<Notification>(&in.payload())) {
       if (notification->epoch > epoch_) epoch_ = notification->epoch;
       counters_.Observe(notification->tags);
       return;
     }
-    if (const auto* quiesce = std::get_if<CalculatorQuiesce>(&in.payload)) {
+    if (const auto* quiesce = std::get_if<CalculatorQuiesce>(&in.payload())) {
       if (quiesce->epoch > epoch_) epoch_ = quiesce->epoch;
       ++quiesces_;
       if (counters_.num_counters() == 0) return;
@@ -47,7 +47,7 @@ class CalculatorBolt : public stream::Bolt<Message> {
       out.Emit(Message(std::move(handoff)));
       return;
     }
-    if (const auto* inject = std::get_if<CounterInject>(&in.payload)) {
+    if (const auto* inject = std::get_if<CounterInject>(&in.payload())) {
       if (inject->epoch > epoch_) epoch_ = inject->epoch;
       for (const auto& [tags, count] : inject->entries) {
         counters_.Add(tags, count);

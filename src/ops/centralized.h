@@ -29,7 +29,7 @@ class CentralizedBolt : public stream::Bolt<Message> {
   void Execute(const stream::Envelope<Message>& in,
                stream::Emitter<Message>& out) override {
     (void)out;
-    const auto* parsed = std::get_if<ParsedDoc>(&in.payload);
+    const auto* parsed = std::get_if<ParsedDoc>(&in.payload());
     if (parsed == nullptr) return;
     counters_.Observe(parsed->doc.tags);
   }

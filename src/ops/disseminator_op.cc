@@ -23,17 +23,28 @@ void DisseminatorBolt::Prepare(stream::TaskAddress /*self*/,
   CORRTRACK_CHECK_EQ(parallelism, 1);
 }
 
+PartitionSet* DisseminatorBolt::MutablePartitions() {
+  // Copy-on-write: the installed set is shared with the Merger's
+  // broadcast; the first mutation of an epoch pays the one deep copy.
+  if (owned_partitions_ == nullptr) {
+    CORRTRACK_CHECK(installed_partitions_ != nullptr);
+    owned_partitions_ =
+        std::make_unique<PartitionSet>(*installed_partitions_);
+  }
+  return owned_partitions_.get();
+}
+
 void DisseminatorBolt::Execute(const stream::Envelope<Message>& in,
                                stream::Emitter<Message>& out) {
-  if (const auto* parsed = std::get_if<ParsedDoc>(&in.payload)) {
+  if (const auto* parsed = std::get_if<ParsedDoc>(&in.payload())) {
     HandleDoc(*parsed, out);
-  } else if (const auto* final = std::get_if<FinalPartitions>(&in.payload)) {
+  } else if (const auto* final = std::get_if<FinalPartitions>(&in.payload())) {
     HandleFinalPartitions(*final, out);
   } else if (const auto* handoff =
-                 std::get_if<CounterHandoff>(&in.payload)) {
+                 std::get_if<CounterHandoff>(&in.payload())) {
     HandleCounterHandoff(*handoff, out);
   } else if (const auto* decision =
-                 std::get_if<SingleAdditionDecision>(&in.payload)) {
+                 std::get_if<SingleAdditionDecision>(&in.payload())) {
     HandleAdditionDecision(*decision);
   }
 }
@@ -46,7 +57,7 @@ void DisseminatorBolt::HandleDoc(const ParsedDoc& parsed,
   // quality monitor. Only meaningful once an initial install exists.
   if (next_forced_ < config_.forced_repartition_docs.size() &&
       docs_seen_ >= config_.forced_repartition_docs[next_forced_] &&
-      partitions_ != nullptr) {
+      has_partitions()) {
     ++next_forced_;
     ++repartitions_requested_;
     RepartitionRequest request;
@@ -54,7 +65,7 @@ void DisseminatorBolt::HandleDoc(const ParsedDoc& parsed,
     request.cause = 0;  // Forced, not a quality violation.
     out.Emit(Message(request));
   }
-  if (partitions_ == nullptr) {
+  if (!has_partitions()) {
     // Bootstrap: ask for the initial partitions once the Partitioners have
     // a filled window.
     if (!bootstrap_requested_ && parsed.doc.time >= config_.bootstrap_time) {
@@ -68,7 +79,7 @@ void DisseminatorBolt::HandleDoc(const ParsedDoc& parsed,
   }
 
   const TagSet& tags = parsed.doc.tags;
-  const int notified = partitions_->Route(tags, &routed_scratch_);
+  const int notified = partitions()->Route(tags, &routed_scratch_);
   for (const RoutedSubset& routed : routed_scratch_) {
     Notification notification;
     notification.tags = routed.tags;
@@ -80,7 +91,7 @@ void DisseminatorBolt::HandleDoc(const ParsedDoc& parsed,
 
   // §7.1: tagsets found in no Calculator accumulate towards a Single
   // Addition after sn sightings.
-  if (!partitions_->CoveringPartition(tags).has_value()) {
+  if (!partitions()->CoveringPartition(tags).has_value()) {
     int& count = uncovered_counts_[tags];
     if (count >= 0) {
       ++count;
@@ -153,18 +164,21 @@ void DisseminatorBolt::ResetBatch() {
 
 void DisseminatorBolt::HandleFinalPartitions(const FinalPartitions& final,
                                              stream::Emitter<Message>& out) {
-  if (final.epoch <= epoch_ && partitions_ != nullptr) return;  // Stale.
+  if (final.epoch <= epoch_ && has_partitions()) return;  // Stale.
   CORRTRACK_CHECK(final.partitions != nullptr);
-  const int old_k =
-      partitions_ != nullptr ? partitions_->num_partitions() : 0;
-  partitions_ = std::make_unique<PartitionSet>(*final.partitions);
+  const int old_k = has_partitions() ? partitions()->num_partitions() : 0;
+  // Zero-copy install: adopt the broadcast's PartitionSet by reference.
+  // Single Additions copy-on-write later (MutablePartitions); until then
+  // every Disseminator and the Merger share one immutable instance.
+  installed_partitions_ = final.partitions;
+  owned_partitions_.reset();
   epoch_ = final.epoch;
   ref_avg_com_ = final.avg_com;
   ref_max_load_ = final.max_load;
   repartition_pending_ = false;
   uncovered_counts_.clear();
   cooldown_remaining_ = config_.repartition_latency_docs;
-  const int new_k = partitions_->num_partitions();
+  const int new_k = partitions()->num_partitions();
   if (static_cast<size_t>(new_k) > batch_per_calculator_.size()) {
     batch_per_calculator_.resize(static_cast<size_t>(new_k), 0);
   }
@@ -200,7 +214,7 @@ void DisseminatorBolt::HandleFinalPartitions(const FinalPartitions& final,
 
 void DisseminatorBolt::HandleCounterHandoff(const CounterHandoff& handoff,
                                             stream::Emitter<Message>& out) {
-  if (partitions_ == nullptr) return;
+  if (!has_partitions()) return;
   ++handoffs_routed_;
   // Re-route every fragment to its tagset's current owner, batched per
   // destination (ordered map: the simulator's bit-repeatability must not
@@ -209,7 +223,7 @@ void DisseminatorBolt::HandleCounterHandoff(const CounterHandoff& handoff,
   // partitionings — DS).
   std::map<int, CounterInject> per_owner;
   for (const auto& [tags, count] : handoff.entries) {
-    const std::optional<int> owner = partitions_->CoveringPartition(tags);
+    const std::optional<int> owner = partitions()->CoveringPartition(tags);
     if (!owner.has_value()) {
       ++handoff_entries_dropped_;
       continue;
@@ -225,8 +239,8 @@ void DisseminatorBolt::HandleCounterHandoff(const CounterHandoff& handoff,
 
 void DisseminatorBolt::HandleAdditionDecision(
     const SingleAdditionDecision& decision) {
-  if (partitions_ == nullptr || decision.epoch != epoch_) return;
-  partitions_->AddTags(decision.calculator, decision.tags);
+  if (!has_partitions() || decision.epoch != epoch_) return;
+  MutablePartitions()->AddTags(decision.calculator, decision.tags);
   uncovered_counts_.erase(decision.tags);
 }
 

@@ -67,8 +67,11 @@ class DisseminatorBolt : public stream::Bolt<Message> {
                stream::Emitter<Message>& out) override;
 
   Epoch current_epoch() const { return epoch_; }
-  bool has_partitions() const { return partitions_ != nullptr; }
-  const PartitionSet* partitions() const { return partitions_.get(); }
+  bool has_partitions() const { return partitions() != nullptr; }
+  const PartitionSet* partitions() const {
+    return owned_partitions_ != nullptr ? owned_partitions_.get()
+                                        : installed_partitions_.get();
+  }
   uint64_t repartitions_requested() const { return repartitions_requested_; }
   uint64_t shrinks() const { return shrinks_; }
   uint64_t handoffs_routed() const { return handoffs_routed_; }
@@ -87,12 +90,20 @@ class DisseminatorBolt : public stream::Bolt<Message> {
                           stream::Emitter<Message>& out);
   void ResetBatch();
 
+  /// The live route table, copy-on-write: an install adopts the Merger's
+  /// broadcast PartitionSet by reference (zero-copy — with shared-payload
+  /// envelopes the broadcast itself copied nothing either); the first
+  /// Single Addition of the epoch takes the private deep copy that
+  /// mutation needs. Route/CoveringPartition go through partitions().
+  PartitionSet* MutablePartitions();
+
   PipelineConfig config_;
   MetricsSink* metrics_;
   stream::TopologyControl* control_ = nullptr;
   int calculator_component_ = -1;
 
-  std::unique_ptr<PartitionSet> partitions_;  // Mutable: single additions.
+  std::shared_ptr<const PartitionSet> installed_partitions_;
+  std::unique_ptr<PartitionSet> owned_partitions_;  // COW copy once mutated.
   Epoch epoch_ = 0;
   double ref_avg_com_ = 0.0;
   double ref_max_load_ = 0.0;

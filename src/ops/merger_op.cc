@@ -14,10 +14,10 @@ MergerBolt::MergerBolt(const PipelineConfig& config, MetricsSink* metrics)
 
 void MergerBolt::Execute(const stream::Envelope<Message>& in,
                          stream::Emitter<Message>& out) {
-  if (const auto* proposal = std::get_if<PartitionProposal>(&in.payload)) {
+  if (const auto* proposal = std::get_if<PartitionProposal>(&in.payload())) {
     HandleProposal(*proposal, out);
   } else if (const auto* uncovered =
-                 std::get_if<UncoveredTagset>(&in.payload)) {
+                 std::get_if<UncoveredTagset>(&in.payload())) {
     HandleUncovered(*uncovered, out);
   }
 }

@@ -21,6 +21,17 @@ namespace corrtrack::ops {
 /// one std::variant message type; bolts ignore alternatives that are not
 /// addressed to them (the engine's subscriptions are per-producer, like
 /// Storm streams).
+///
+/// Payload memory model: an emitted Message is adopted into one refcounted
+/// immutable block (stream/payload.h) and every destination of the fan-out
+/// shares it — a Merger install broadcast or a multi-owner document
+/// notification costs one allocation total, not one deep copy per
+/// consumer. Messages are therefore treated as immutable after Emit; the
+/// single consumer per type that mutates (the Tracker stealing report
+/// estimates, the Disseminator's Single Additions against the installed
+/// PartitionSet) goes through a copy-on-write door
+/// (Envelope::MutablePayload, DisseminatorBolt::MutablePartitions) that
+/// copies only while the value is still shared.
 
 /// Source -> Parser (shuffle): a raw tweet. `text` carries the hashtags
 /// inline ("... #tag ..."), exactly what the paper's Parser extracts.

@@ -28,7 +28,7 @@ class ParserBolt : public stream::Bolt<Message> {
 
   void Execute(const stream::Envelope<Message>& in,
                stream::Emitter<Message>& out) override {
-    const auto* raw = std::get_if<RawTweet>(&in.payload);
+    const auto* raw = std::get_if<RawTweet>(&in.payload());
     if (raw == nullptr) return;
     const std::vector<TagId> tags = ExtractTags(raw->text);
     if (tags.empty()) return;  // Untagged tweets add nothing (§1.1).

@@ -24,10 +24,10 @@ PartitionerBolt::PartitionerBolt(const PipelineConfig& config, int instance)
 
 void PartitionerBolt::Execute(const stream::Envelope<Message>& in,
                               stream::Emitter<Message>& out) {
-  if (const auto* parsed = std::get_if<ParsedDoc>(&in.payload)) {
+  if (const auto* parsed = std::get_if<ParsedDoc>(&in.payload())) {
     HandleDoc(*parsed);
   } else if (const auto* request =
-                 std::get_if<RepartitionRequest>(&in.payload)) {
+                 std::get_if<RepartitionRequest>(&in.payload())) {
     HandleRequest(*request, out);
   }
 }

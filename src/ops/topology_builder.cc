@@ -89,7 +89,16 @@ TopologyHandles BuildCorrelationTopology(
       },
       /*parallelism=*/1);
 
-  // Wiring per Fig. 2.
+  // Wiring per Fig. 2. `feedback_credits` is the queue budget of the
+  // Disseminator<->Merger control cycle (and the other feedback loops):
+  // raising those consumers' queues past a tiny global capacity keeps the
+  // cycle stall-free (stall_escapes == 0). Granularity caveat: each task
+  // has ONE input mailbox, so the floor raises the whole consumer's queue
+  // — a Disseminator with feedback credits also buffers that much
+  // document traffic. Consumers fed only by data edges (Calculator,
+  // Tracker, the sinks) keep the global capacity, which is where the
+  // envelope volume lives.
+  const size_t feedback_credits = config.feedback_queue_capacity;
   topology->Subscribe(handles.parser, handles.source,
                       Grouping<Message>::Shuffle());
   topology->Subscribe(handles.partitioner, handles.parser,
@@ -99,13 +108,13 @@ TopologyHandles BuildCorrelationTopology(
   topology->Subscribe(handles.merger, handles.partitioner,
                       Grouping<Message>::Global());
   topology->Subscribe(handles.disseminator, handles.merger,
-                      Grouping<Message>::All());
+                      Grouping<Message>::All(), feedback_credits);
   topology->Subscribe(handles.calculator, handles.disseminator,
                       Grouping<Message>::Direct());
   topology->Subscribe(handles.partitioner, handles.disseminator,
-                      Grouping<Message>::All());
+                      Grouping<Message>::All(), feedback_credits);
   topology->Subscribe(handles.merger, handles.disseminator,
-                      Grouping<Message>::Global());
+                      Grouping<Message>::Global(), feedback_credits);
   // Elastic install protocol: quiesced Calculators hand their counter
   // tables back to the Disseminator for re-routing to the new owners
   // (feedback edge, like the repartition/uncovered loops). Both edges
@@ -114,7 +123,8 @@ TopologyHandles BuildCorrelationTopology(
   topology->Subscribe(handles.disseminator, handles.calculator,
                       Grouping<Message>::GlobalWhere([](const Message& msg) {
                         return std::holds_alternative<CounterHandoff>(msg);
-                      }));
+                      }),
+                      feedback_credits);
   topology->Subscribe(handles.tracker, handles.calculator,
                       Grouping<Message>::GlobalWhere([](const Message& msg) {
                         return std::holds_alternative<JaccardReport>(msg);
@@ -161,6 +171,7 @@ std::unique_ptr<stream::Runtime<Message>> MakeConfiguredRuntime(
                                ? config.queue_capacity
                                : AutoSizeQueueCapacity(observed);
   options.num_threads = config.num_threads;
+  options.affinity = config.affinity;
   return stream::MakeRuntime<Message>(config.runtime, topology, options);
 }
 

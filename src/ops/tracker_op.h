@@ -39,17 +39,27 @@ class TrackerBolt : public stream::Bolt<Message> {
   void Execute(const stream::Envelope<Message>& in,
                stream::Emitter<Message>& out) override {
     (void)out;
-    const auto* report = std::get_if<JaccardReport>(&in.payload);
-    if (report == nullptr) return;
+    if (std::get_if<JaccardReport>(&in.payload()) == nullptr) return;
+    // Copy-on-write payload steal: the report edge is a filtered global
+    // subscription, so when this envelope executes the Tracker is
+    // normally the payload's last holder — MutablePayload() then mutates
+    // in place (no copy) and each estimate's TagSet storage *moves* into
+    // the period map instead of duplicating. A payload still shared with
+    // another consumer is deep-copied first (a counted payload_copy), so
+    // the other holders keep observing the original bytes.
+    JaccardReport& report = std::get<JaccardReport>(in.MutablePayload());
     ++reports_received_;
-    if (report->epoch > latest_epoch_) latest_epoch_ = report->epoch;
-    PeriodResults& results = periods_[report->period_end];
-    for (const JaccardEstimate& estimate : report->estimates) {
-      auto [it, inserted] = results.emplace(estimate.tags, estimate);
-      if (!inserted) MergeEstimate(&it->second, estimate, merge_);
-    }
+    if (report.epoch > latest_epoch_) latest_epoch_ = report.epoch;
     if (sink_ != nullptr) {
-      sink_->OnPeriodResults(report->period_end, report->estimates);
+      sink_->OnPeriodResults(report.period_end, report.estimates);
+    }
+    PeriodResults& results = periods_[report.period_end];
+    for (JaccardEstimate& estimate : report.estimates) {
+      // emplace only consumes the value on insert (see FlatTagSetMap), so
+      // the merge path still sees the untouched estimate.
+      auto [it, inserted] =
+          results.emplace(estimate.tags, std::move(estimate));
+      if (!inserted) MergeEstimate(&it->second, estimate, merge_);
     }
   }
 

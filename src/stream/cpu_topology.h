@@ -1,0 +1,228 @@
+#ifndef CORRTRACK_STREAM_CPU_TOPOLOGY_H_
+#define CORRTRACK_STREAM_CPU_TOPOLOGY_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "stream/runtime.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace corrtrack::stream {
+
+/// Where one logical CPU sits in the machine: its package (NUMA-ish
+/// domain — on the vast majority of hosts one package == one NUMA node)
+/// and its physical core (SMT siblings share a core id within a package).
+struct CpuLocation {
+  int cpu = 0;
+  int package = 0;
+  int core = 0;
+};
+
+/// The host's CPU layout as read from
+/// /sys/devices/system/cpu/cpu*/topology/{physical_package_id,core_id}.
+/// `from_sysfs` is false when sysfs was unreadable (non-Linux, sandboxes,
+/// containers without /sys) — the fallback is a flat single-package layout
+/// over hardware_concurrency CPUs, which degrades every affinity policy to
+/// a plain sequential pinning and the distance-sharded steal order to the
+/// existing ring order. Nothing fails; placement just loses topology
+/// information.
+struct CpuTopologyInfo {
+  std::vector<CpuLocation> cpus;
+  bool from_sysfs = false;
+
+  int num_packages() const {
+    int max_package = -1;
+    for (const CpuLocation& c : cpus) {
+      max_package = std::max(max_package, c.package);
+    }
+    return max_package + 1;
+  }
+};
+
+namespace cpu_topology_internal {
+
+inline bool ReadIntFile(const char* path, int* out) {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return false;
+  int value = 0;
+  const bool ok = std::fscanf(f, "%d", &value) == 1;
+  std::fclose(f);
+  if (ok) *out = value;
+  return ok;
+}
+
+/// Parses a sysfs CPU list ("0-7", "0-2,4-7", "0") into ids. CPU ids can
+/// be sparse (offline CPUs leave holes), so enumerating 0..N-1 from
+/// hardware_concurrency would silently skip online CPUs with high ids.
+inline std::vector<int> ParseCpuList(const char* path) {
+  std::vector<int> cpus;
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return cpus;
+  int lo = 0;
+  while (std::fscanf(f, "%d", &lo) == 1) {
+    int hi = lo;
+    int c = std::fgetc(f);
+    if (c == '-') {
+      if (std::fscanf(f, "%d", &hi) != 1) break;
+      c = std::fgetc(f);
+    }
+    for (int cpu = lo; cpu <= hi && cpu - lo < 4096; ++cpu) {
+      cpus.push_back(cpu);
+    }
+    if (c != ',') break;
+  }
+  std::fclose(f);
+  return cpus;
+}
+
+}  // namespace cpu_topology_internal
+
+/// Queries the CPU layout, sysfs first, graceful flat fallback (see
+/// CpuTopologyInfo). Only *online* CPUs with a readable topology entry are
+/// returned.
+inline CpuTopologyInfo QueryCpuTopology() {
+  CpuTopologyInfo info;
+  const int n = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+#if defined(__linux__)
+  // The authoritative id list: /sys's online set (ids can be sparse when
+  // CPUs are offline, so a dense 0..N-1 scan would miss high ids).
+  std::vector<int> candidates =
+      cpu_topology_internal::ParseCpuList("/sys/devices/system/cpu/online");
+  if (candidates.empty()) {
+    for (int cpu = 0; cpu < n; ++cpu) candidates.push_back(cpu);
+  }
+  for (int cpu : candidates) {
+    char path[128];
+    CpuLocation loc;
+    loc.cpu = cpu;
+    std::snprintf(path, sizeof(path),
+                  "/sys/devices/system/cpu/cpu%d/topology/physical_package_id",
+                  cpu);
+    if (!cpu_topology_internal::ReadIntFile(path, &loc.package)) continue;
+    std::snprintf(path, sizeof(path),
+                  "/sys/devices/system/cpu/cpu%d/topology/core_id", cpu);
+    if (!cpu_topology_internal::ReadIntFile(path, &loc.core)) continue;
+    if (loc.package < 0) loc.package = 0;  // Some ARM firmwares report -1.
+    info.cpus.push_back(loc);
+  }
+  if (!info.cpus.empty()) {
+    info.from_sysfs = true;
+    // Normalise package ids to a dense [0, P) range so callers can use
+    // them as shard indices.
+    std::vector<int> packages;
+    for (const CpuLocation& c : info.cpus) packages.push_back(c.package);
+    std::sort(packages.begin(), packages.end());
+    packages.erase(std::unique(packages.begin(), packages.end()),
+                   packages.end());
+    for (CpuLocation& c : info.cpus) {
+      c.package = static_cast<int>(
+          std::lower_bound(packages.begin(), packages.end(), c.package) -
+          packages.begin());
+    }
+    return info;
+  }
+#endif
+  for (int cpu = 0; cpu < n; ++cpu) {
+    info.cpus.push_back({cpu, 0, cpu});
+  }
+  return info;
+}
+
+/// Maps `num_workers` pool workers onto CPUs under `policy`:
+///  * kCompact — fill one package (and its cores) before the next:
+///    neighbouring workers share caches, best for heavy producer->consumer
+///    traffic that fits one domain.
+///  * kScatter — round-robin across packages: spreads memory bandwidth and
+///    cache footprint, best when tasks are independent.
+/// Workers beyond the CPU count wrap around (oversubscription pins two
+/// workers to one CPU rather than leaving them floating). kNone returns an
+/// empty plan — nothing is pinned.
+inline std::vector<CpuLocation> PlanWorkerPlacement(
+    const CpuTopologyInfo& info, int num_workers, AffinityPolicy policy) {
+  std::vector<CpuLocation> plan;
+  if (policy == AffinityPolicy::kNone || info.cpus.empty() ||
+      num_workers <= 0) {
+    return plan;
+  }
+  std::vector<CpuLocation> order = info.cpus;
+  std::sort(order.begin(), order.end(),
+            [](const CpuLocation& a, const CpuLocation& b) {
+              if (a.package != b.package) return a.package < b.package;
+              if (a.core != b.core) return a.core < b.core;
+              return a.cpu < b.cpu;
+            });
+  if (policy == AffinityPolicy::kScatter) {
+    // Interleave the compact order across packages: package round-robin,
+    // preserving the per-package core order.
+    std::vector<std::vector<CpuLocation>> by_package(
+        static_cast<size_t>(info.num_packages()));
+    for (const CpuLocation& c : order) {
+      by_package[static_cast<size_t>(c.package)].push_back(c);
+    }
+    std::vector<CpuLocation> interleaved;
+    for (size_t round = 0; interleaved.size() < order.size(); ++round) {
+      for (const auto& package : by_package) {
+        if (round < package.size()) interleaved.push_back(package[round]);
+      }
+    }
+    order = std::move(interleaved);
+  }
+  plan.reserve(static_cast<size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w) {
+    plan.push_back(order[static_cast<size_t>(w) % order.size()]);
+  }
+  return plan;
+}
+
+/// Steal order for each worker, nearest victims first: same physical core
+/// (SMT sibling), then same package, then remote packages — so steals stay
+/// cache- and NUMA-local whenever local work exists. Ties keep the ring
+/// order (worker_id + i) the unsharded pool used, which also guarantees
+/// every worker appears exactly once per victim list. With an empty plan
+/// (affinity none) callers should keep the plain ring.
+inline std::vector<std::vector<int>> PlanStealOrder(
+    const std::vector<CpuLocation>& plan) {
+  const int n = static_cast<int>(plan.size());
+  std::vector<std::vector<int>> order(static_cast<size_t>(n));
+  for (int w = 0; w < n; ++w) {
+    std::vector<int>& victims = order[static_cast<size_t>(w)];
+    victims.reserve(static_cast<size_t>(n - 1));
+    for (int i = 1; i < n; ++i) victims.push_back((w + i) % n);
+    const CpuLocation self = plan[static_cast<size_t>(w)];
+    auto distance = [&](int v) {
+      const CpuLocation& loc = plan[static_cast<size_t>(v)];
+      if (loc.package != self.package) return 2;
+      if (loc.core != self.core) return 1;
+      return 0;
+    };
+    std::stable_sort(victims.begin(), victims.end(),
+                     [&](int a, int b) { return distance(a) < distance(b); });
+  }
+  return order;
+}
+
+/// Pins the calling thread to one CPU. Returns false when the platform has
+/// no affinity API or the syscall is refused (restricted sandboxes) — the
+/// caller proceeds unpinned.
+inline bool PinCurrentThreadToCpu(int cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace corrtrack::stream
+
+#endif  // CORRTRACK_STREAM_CPU_TOPOLOGY_H_

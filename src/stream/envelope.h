@@ -2,8 +2,10 @@
 #define CORRTRACK_STREAM_ENVELOPE_H_
 
 #include <cstdint>
+#include <utility>
 
 #include "core/types.h"
+#include "stream/payload.h"
 
 namespace corrtrack::stream {
 
@@ -18,13 +20,48 @@ struct TaskAddress {
   }
 };
 
-/// A tuple in flight: the payload plus the metadata Storm attaches (source
-/// task and, in our virtual-time engine, the emission timestamp).
+/// A tuple in flight: a shared reference to the (immutable) payload plus
+/// the metadata Storm attaches — source task and, in our virtual-time
+/// engine, the emission timestamp.
+///
+/// The payload is NOT owned per envelope: one emission fanned out to k
+/// destinations produces k envelopes sharing a single refcounted payload
+/// block (see payload.h), so broadcasts are O(1) in payload size. Bolts
+/// read through payload(); the one consumer per message type that needs to
+/// mutate (or steal) the value goes through MutablePayload(), which is
+/// copy-on-write — sole owners mutate in place, shared payloads get a
+/// private deep copy and every other envelope keeps the original.
 template <typename Message>
-struct Envelope {
-  Message payload;
+class Envelope {
+ public:
   TaskAddress source;
   Timestamp time = 0;
+
+  Envelope() = default;
+  explicit Envelope(PayloadRef<Message> payload)
+      : payload_(std::move(payload)) {}
+
+  const Message& payload() const { return *payload_; }
+  bool has_payload() const { return static_cast<bool>(payload_); }
+
+  /// Copy-on-write access (see class comment). Const because COW never
+  /// alters what other holders of the same block observe; only this
+  /// envelope's view can change (it may reseat onto a private copy).
+  Message& MutablePayload() const { return payload_.MutableCopy(); }
+
+  /// Shares the payload block (refcount bump; the runtimes' fan-out path).
+  void set_payload_ref(PayloadRef<Message> payload) {
+    payload_ = std::move(payload);
+  }
+  const PayloadRef<Message>& payload_ref() const { return payload_; }
+
+  /// Wraps `msg` in a fresh heap block (tests, hand-built envelopes).
+  void set_payload(Message msg) {
+    payload_ = PayloadRef<Message>::Make(std::move(msg));
+  }
+
+ private:
+  mutable PayloadRef<Message> payload_;
 };
 
 }  // namespace corrtrack::stream

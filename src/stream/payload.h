@@ -1,0 +1,255 @@
+#ifndef CORRTRACK_STREAM_PAYLOAD_H_
+#define CORRTRACK_STREAM_PAYLOAD_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/check.h"
+
+namespace corrtrack::stream {
+
+template <typename T>
+class PayloadArena;
+
+namespace payload_internal {
+
+/// One refcounted immutable payload block. Envelopes across a fan-out all
+/// point at the same block (refs = number of holders); the value is
+/// immutable while shared and only mutable through PayloadRef::MutableCopy
+/// (copy-on-write). Blocks born from a PayloadArena return to its free
+/// list on the last release; heap blocks (arena == nullptr) are deleted.
+template <typename T>
+struct PayloadBlock {
+  std::atomic<uint32_t> refs{1};
+  PayloadArena<T>* arena = nullptr;
+  PayloadBlock* next = nullptr;  // Arena free-list link (refs == 0 only).
+  T value{};
+};
+
+}  // namespace payload_internal
+
+/// Shared-ownership handle to an immutable payload block — the zero-copy
+/// fan-out primitive: RouteAlongEdges callers allocate ONE block per
+/// emission and every destination's envelope shares it (refcount bump, no
+/// deep copy), so a broadcast to k consumers is O(1) in payload size.
+///
+/// Thread-safety: the refcount is atomic; concurrent holders on different
+/// threads may copy/release their own PayloadRefs freely. The pointed-to
+/// value is immutable through this handle (const access only), so sharing
+/// needs no further synchronisation. MutableCopy is the single mutation
+/// door: it reseats *this* handle onto a private copy when the block is
+/// shared (other holders keep the original — copy-on-write), and returns
+/// the block's value directly when this handle is the sole owner.
+template <typename T>
+class PayloadRef {
+ public:
+  PayloadRef() = default;
+  ~PayloadRef() { Release(); }
+
+  PayloadRef(const PayloadRef& other) : block_(other.block_) {
+    if (block_ != nullptr) {
+      block_->refs.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  PayloadRef(PayloadRef&& other) noexcept : block_(other.block_) {
+    other.block_ = nullptr;
+  }
+  PayloadRef& operator=(const PayloadRef& other) {
+    if (this != &other) {
+      if (other.block_ != nullptr) {
+        other.block_->refs.fetch_add(1, std::memory_order_relaxed);
+      }
+      Release();
+      block_ = other.block_;
+    }
+    return *this;
+  }
+  PayloadRef& operator=(PayloadRef&& other) noexcept {
+    if (this != &other) {
+      Release();
+      block_ = other.block_;
+      other.block_ = nullptr;
+    }
+    return *this;
+  }
+
+  /// A fresh heap-backed block (no arena). For payloads born outside a
+  /// runtime's emission path: tests, hand-built envelopes.
+  static PayloadRef Make(T value) {
+    auto* block = new payload_internal::PayloadBlock<T>();
+    block->value = std::move(value);
+    return PayloadRef(block);
+  }
+
+  const T& operator*() const { return block_->value; }
+  const T* operator->() const { return &block_->value; }
+  const T* get() const { return block_ == nullptr ? nullptr : &block_->value; }
+  explicit operator bool() const { return block_ != nullptr; }
+
+  /// Current holder count (approximate under concurrency, exact when the
+  /// caller knows no other thread is copying/releasing).
+  uint32_t use_count() const {
+    return block_ == nullptr ? 0 : block_->refs.load(std::memory_order_acquire);
+  }
+
+  void reset() {
+    Release();
+    block_ = nullptr;
+  }
+
+  /// Copy-on-write: returns a value this handle exclusively owns. Sole
+  /// owners mutate in place (free); shared blocks are deep-copied onto a
+  /// fresh heap block first and only this handle is reseated — the other
+  /// holders keep observing the original, byte-for-byte. Deep copies are
+  /// counted on the origin arena (RuntimeStats::payload_copies).
+  T& MutableCopy() {
+    CORRTRACK_CHECK(block_ != nullptr);
+    if (block_->refs.load(std::memory_order_acquire) == 1) {
+      return block_->value;
+    }
+    auto* copy = new payload_internal::PayloadBlock<T>();
+    copy->value = block_->value;
+    if (block_->arena != nullptr) block_->arena->CountCopy();
+    Release();
+    block_ = copy;
+    return copy->value;
+  }
+
+ private:
+  friend class PayloadArena<T>;
+  explicit PayloadRef(payload_internal::PayloadBlock<T>* block)
+      : block_(block) {}
+
+  void Release() {
+    if (block_ == nullptr) return;
+    // acq_rel: the release half publishes this holder's reads; the acquire
+    // half (on the last decrement) sees every other holder's. An RMW
+    // instead of a fence keeps ThreadSanitizer able to follow the chain.
+    if (block_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      if (block_->arena != nullptr) {
+        block_->arena->Recycle(block_);
+      } else {
+        delete block_;
+      }
+    }
+  }
+
+  payload_internal::PayloadBlock<T>* block_ = nullptr;
+};
+
+/// Slab-backed recycler of payload blocks — one per emitting task, so the
+/// per-tuple `new`/`delete` of the envelope hot path disappears in steady
+/// state: a block freed by whichever consumer releases the last reference
+/// is pushed onto a lock-free return stack and handed back to the owner at
+/// its next allocation, *keeping the payload's heap capacity* (a recycled
+/// Notification re-uses its TagSet/vector storage).
+///
+/// Threading contract (matches the runtimes' task model):
+///  * Adopt() — the allocation side — is called only while the owning task
+///    executes, which every runtime serialises (one thread at a time); the
+///    local free list and slab cursor are therefore single-threaded state,
+///    handed between workers by the task-claim release/acquire.
+///  * Recycle() — the release side — may run on ANY thread (consumers drop
+///    envelopes in their own drain cycles); it is a Treiber push onto
+///    `remote_free_`. The owner reclaims the whole chain with one
+///    exchange(nullptr) — pop-all, so the classic ABA problem cannot
+///    arise.
+///  * The arena must outlive every PayloadRef into it: runtimes declare
+///    their arenas before their task arrays, so mailboxes still holding
+///    residual feedback envelopes at shutdown release into a live arena.
+template <typename T>
+class PayloadArena {
+ public:
+  PayloadArena() = default;
+  PayloadArena(const PayloadArena&) = delete;
+  PayloadArena& operator=(const PayloadArena&) = delete;
+
+  /// Wraps `value` in a refcounted block: recycled when the free lists
+  /// have one, otherwise carved from the current slab.
+  PayloadRef<T> Adopt(T&& value) {
+    payload_internal::PayloadBlock<T>* block = Pop();
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
+    if (block != nullptr) {
+      ++reuses_;
+      block->refs.store(1, std::memory_order_relaxed);
+      block->value = std::move(value);  // Re-uses the old heap capacity.
+      return PayloadRef<T>(block);
+    }
+    block = CarveFromSlab();
+    block->arena = this;
+    block->value = std::move(value);
+    return PayloadRef<T>(block);
+  }
+
+  /// Returns a dead block (refs == 0) to the free list. Any thread.
+  void Recycle(payload_internal::PayloadBlock<T>* block) {
+    outstanding_.fetch_sub(1, std::memory_order_relaxed);
+    payload_internal::PayloadBlock<T>* head =
+        remote_free_.load(std::memory_order_relaxed);
+    do {
+      block->next = head;
+    } while (!remote_free_.compare_exchange_weak(head, block,
+                                                 std::memory_order_release,
+                                                 std::memory_order_relaxed));
+  }
+
+  void CountCopy() { copies_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Blocks currently referenced by live PayloadRefs. 0 after a clean
+  /// drain — the payload-lifecycle tests assert exactly this.
+  uint64_t outstanding() const {
+    return static_cast<uint64_t>(
+        outstanding_.load(std::memory_order_acquire));
+  }
+  /// Allocations served from a free list (RuntimeStats::arena_reuses).
+  uint64_t reuses() const { return reuses_; }
+  /// Copy-on-write deep copies charged to this arena's blocks.
+  uint64_t copies() const { return copies_.load(std::memory_order_relaxed); }
+
+ private:
+  static constexpr size_t kSlabBlocks = 64;
+
+  payload_internal::PayloadBlock<T>* Pop() {
+    if (local_free_ != nullptr) {
+      auto* block = local_free_;
+      local_free_ = block->next;
+      return block;
+    }
+    // Reclaim everything consumers returned since the last look (pop-all:
+    // no ABA). The acquire pairs with Recycle's release so the consumers'
+    // last reads of the payload happen-before our overwrite.
+    local_free_ = remote_free_.exchange(nullptr, std::memory_order_acquire);
+    if (local_free_ == nullptr) return nullptr;
+    auto* block = local_free_;
+    local_free_ = block->next;
+    return block;
+  }
+
+  payload_internal::PayloadBlock<T>* CarveFromSlab() {
+    if (slab_next_ == kSlabBlocks) {
+      slabs_.push_back(
+          std::make_unique<payload_internal::PayloadBlock<T>[]>(kSlabBlocks));
+      slab_next_ = 0;
+    }
+    return &slabs_.back()[slab_next_++];
+  }
+
+  // Owner-task state (serialised by the task's execution).
+  payload_internal::PayloadBlock<T>* local_free_ = nullptr;
+  size_t slab_next_ = kSlabBlocks;  // Forces a slab on first allocation.
+  std::vector<std::unique_ptr<payload_internal::PayloadBlock<T>[]>> slabs_;
+  uint64_t reuses_ = 0;
+
+  // Consumer-facing return stack (any thread).
+  std::atomic<payload_internal::PayloadBlock<T>*> remote_free_{nullptr};
+  std::atomic<int64_t> outstanding_{0};
+  std::atomic<uint64_t> copies_{0};
+};
+
+}  // namespace corrtrack::stream
+
+#endif  // CORRTRACK_STREAM_PAYLOAD_H_

@@ -14,7 +14,9 @@
 
 #include "core/check.h"
 #include "core/types.h"
+#include "stream/cpu_topology.h"
 #include "stream/envelope.h"
+#include "stream/payload.h"
 #include "stream/routing.h"
 #include "stream/runtime.h"
 #include "stream/topology.h"
@@ -70,7 +72,8 @@ class PoolRuntime : public Runtime<Message> {
         num_threads_(options.num_threads > 0
                          ? options.num_threads
                          : static_cast<int>(std::max(
-                               1u, std::thread::hardware_concurrency()))) {
+                               1u, std::thread::hardware_concurrency()))),
+        affinity_(options.affinity) {
     CORRTRACK_CHECK(topology != nullptr);
     CORRTRACK_CHECK_GT(queue_capacity_, 0u);
     Build();
@@ -82,6 +85,29 @@ class PoolRuntime : public Runtime<Message> {
   void Run(Timestamp flush_horizon) override {
     CORRTRACK_CHECK(!ran_);
     ran_ = true;
+    // Affinity plan: where each worker pins and whom it prefers to steal
+    // from / which injector shard it drains first. Under kNone the /sys
+    // scan is skipped outright and the empty placement keeps the
+    // unsharded single-queue behaviour.
+    if (affinity_ != AffinityPolicy::kNone) {
+      placement_ = PlanWorkerPlacement(QueryCpuTopology(), num_threads_,
+                                       affinity_);
+    }
+    steal_order_ = PlanStealOrder(placement_);
+    worker_shard_.assign(static_cast<size_t>(num_threads_), 0);
+    int num_shards = 1;
+    for (int w = 0; w < num_threads_; ++w) {
+      if (!placement_.empty()) {
+        worker_shard_[static_cast<size_t>(w)] =
+            placement_[static_cast<size_t>(w)].package;
+      }
+      num_shards = std::max(num_shards,
+                            worker_shard_[static_cast<size_t>(w)] + 1);
+    }
+    inject_shards_.resize(static_cast<size_t>(num_shards));
+    for (auto& shard : inject_shards_) {
+      shard = std::make_unique<InjectShard>();
+    }
     workers_.resize(static_cast<size_t>(num_threads_));
     for (auto& worker : workers_) worker = std::make_unique<Worker>();
     for (int w = 0; w < num_threads_; ++w) {
@@ -91,7 +117,7 @@ class PoolRuntime : public Runtime<Message> {
     // Drive the spout from this thread; it participates in helping like
     // any producer, so a saturated pool backpressures the source.
     DeliveryBuffer spout_buffer(tasks_.size());
-    buffer_ = &spout_buffer;
+    ThreadBuffer() = &spout_buffer;
     Spout<Message>* spout =
         topology_->mutable_components()[static_cast<size_t>(
             spout_component_)].spout.get();
@@ -101,12 +127,13 @@ class PoolRuntime : public Runtime<Message> {
     while (spout->Next(&msg, &time)) {
       CORRTRACK_CHECK_GE(time, last_time);
       last_time = time;
-      RouteFrom(spout_component_, 0, msg, time, /*direct_instance=*/-1);
+      RouteFrom(spout_component_, 0, std::move(msg), time,
+                /*direct_instance=*/-1);
     }
     FlushDeliveries();
     FloodPoison(spout_component_, last_time + flush_horizon);
     FlushDeliveries();
-    buffer_ = nullptr;
+    ThreadBuffer() = nullptr;
     // Wait until every bolt task has drained its forward inputs, then stop
     // the workers; items still in flight on feedback edges are dropped.
     {
@@ -152,6 +179,12 @@ class PoolRuntime : public Runtime<Message> {
     stats.stall_escapes = stall_escapes_.load(std::memory_order_relaxed);
     stats.tasks_spawned = tasks_spawned_.load(std::memory_order_relaxed);
     stats.tasks_retired = tasks_retired_.load(std::memory_order_relaxed);
+    stats.payload_shares = payload_shares_.load(std::memory_order_relaxed);
+    stats.workers_pinned = workers_pinned_.load(std::memory_order_relaxed);
+    for (const auto& arena : arenas_) {
+      stats.payload_copies += arena->copies();
+      stats.arena_reuses += arena->reuses();
+    }
     for (const auto& task : tasks_) {
       stats.envelopes_moved +=
           task->delivered.load(std::memory_order_relaxed);
@@ -365,8 +398,15 @@ class PoolRuntime : public Runtime<Message> {
         task->addr = {static_cast<int>(c), 0};
         task->is_spout = true;
         tasks_.push_back(std::move(task));
+        arenas_.push_back(std::make_unique<PayloadArena<Message>>());
         continue;
       }
+      // Per-edge credits: a subscription's min_queue_capacity raises this
+      // component's mailbox budget past the global capacity (feedback
+      // edges carry more so tiny global capacities cannot stall the
+      // cycle).
+      const size_t capacity = topology_->QueueCapacityFor(
+          static_cast<int>(c), queue_capacity_);
       // One slot per *provisioned* instance; the bolt of a spare slot
       // (instance >= parallelism) is spawned on activation
       // (ResizeComponent). Mailbox and scheduling state exist up front so
@@ -379,10 +419,11 @@ class PoolRuntime : public Runtime<Message> {
           task->bolt->Prepare(task->addr, comp.parallelism);
           task->bolt->AttachControl(this);
         }
-        task->mailbox = std::make_unique<Mailbox>(queue_capacity_);
+        task->mailbox = std::make_unique<Mailbox>(capacity);
         task->tick_period = comp.tick_period;
         task->next_tick = comp.tick_period > 0 ? comp.tick_period : 0;
         tasks_.push_back(std::move(task));
+        arenas_.push_back(std::make_unique<PayloadArena<Message>>());
       }
     }
     CORRTRACK_CHECK_NE(spout_component_, -1);
@@ -408,25 +449,37 @@ class PoolRuntime : public Runtime<Message> {
         std::memory_order_acquire);
   }
 
-  void RouteFrom(int producer, int instance, const Message& msg,
-                 Timestamp time, int direct_instance) {
-    RouteAlongEdges(
-        edges_[static_cast<size_t>(producer)], msg, direct_instance,
+  /// Adopts the emitted message into the producer task's payload arena
+  /// once; every destination's envelope shares the block (zero-copy
+  /// fan-out — before this, each destination deep-copied the Message).
+  /// The arena is safe to touch here because a task emits only while
+  /// claimed (one thread at a time), and the claim handoff
+  /// release/acquires the arena's owner-side state.
+  void RouteFrom(int producer, int instance, Message msg, Timestamp time,
+                 int direct_instance) {
+    PayloadArena<Message>& arena =
+        *arenas_[static_cast<size_t>(TaskId(producer, instance))];
+    const uint64_t shares = RouteSharedPayload(
+        edges_[static_cast<size_t>(producer)], arena, std::move(msg),
+        direct_instance,
         [this](int component) { return Parallelism(component); },
-        [&](int component, int target) {
+        [&](int component, int target, const PayloadRef<Message>& ref) {
           Item item;
-          item.envelope.payload = msg;
+          item.envelope.set_payload_ref(ref);
           item.envelope.source = {producer, instance};
           item.envelope.time = time;
           Deliver(component, target, std::move(item));
         });
+    if (shares > 0) {
+      payload_shares_.fetch_add(shares, std::memory_order_relaxed);
+    }
   }
 
   /// Stages `item` in the current thread's delivery buffer, moving the
   /// destination's lane into its mailbox once it reaches kQueueBatch.
   void Deliver(int component, int instance, Item item) {
     const size_t task_id = static_cast<size_t>(TaskId(component, instance));
-    DeliveryBuffer* buffer = buffer_;
+    DeliveryBuffer* buffer = ThreadBuffer();
     CORRTRACK_CHECK(buffer != nullptr);
     std::vector<Item>& lane = buffer->per_task[task_id];
     if (!buffer->staged[task_id]) {
@@ -447,7 +500,7 @@ class PoolRuntime : public Runtime<Message> {
   /// dirty — each pass un-stages before pushing so nested deliveries
   /// re-dirty their lane and are picked up by the next pass.
   void FlushDeliveries() {
-    DeliveryBuffer* buffer = buffer_;
+    DeliveryBuffer* buffer = ThreadBuffer();
     std::vector<int> dirty;
     while (!buffer->dirty.empty()) {
       dirty.clear();
@@ -531,7 +584,7 @@ class PoolRuntime : public Runtime<Message> {
   }
 
   bool InHelpChain(const Task* task) const {
-    for (const Task* held : help_chain_) {
+    for (const Task* held : HelpChain()) {
       if (held == task) return true;
     }
     return false;
@@ -547,14 +600,19 @@ class PoolRuntime : public Runtime<Message> {
       return;
     }
     const int task_id = TaskId(task->addr.component, task->addr.instance);
-    const int w = worker_index_;
+    const int w = WorkerIndex();
     if (w >= 0) {
       Worker* worker = workers_[static_cast<size_t>(w)].get();
       std::lock_guard<std::mutex> lock(worker->mutex);
       worker->run_queue.push_back(task_id);
     } else {
-      std::lock_guard<std::mutex> lock(inject_mutex_);
-      injected_.push_back(task_id);
+      // Spout thread: spread hints round-robin over the injector shards
+      // (one per package under an affinity policy, a single shard
+      // otherwise), so every domain keeps a local feed of source work.
+      InjectShard* shard =
+          inject_shards_[spout_inject_rr_++ % inject_shards_.size()].get();
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->queue.push_back(task_id);
     }
     pending_hints_.fetch_add(1, std::memory_order_seq_cst);
     {
@@ -584,7 +642,7 @@ class PoolRuntime : public Runtime<Message> {
   /// releases the task (re-scheduling it when mail remains). The caller
   /// must have claimed `task` (state == kRunning).
   void RunSlice(Task* task) {
-    help_chain_.push_back(task);
+    HelpChain().push_back(task);
     std::vector<Item> batch;
     batch.reserve(kSliceBatch);
     task->mailbox->PopBatch(&batch, kSliceBatch);
@@ -605,7 +663,7 @@ class PoolRuntime : public Runtime<Message> {
       task->bolt->Execute(item.envelope, emitter);
     }
     FlushDeliveries();
-    help_chain_.pop_back();
+    HelpChain().pop_back();
     task->state.store(kIdle, std::memory_order_release);
     if (!task->mailbox->Empty()) ScheduleIfIdle(task);
   }
@@ -637,11 +695,26 @@ class PoolRuntime : public Runtime<Message> {
     }
   }
 
-  /// Claims the next runnable task: own queue (LIFO), then the spout
-  /// thread's inject queue, then steal from peers (FIFO end). Returns
-  /// nullptr when no hint yields a claim.
+  int PopInjectShard(size_t shard_index) {
+    InjectShard* shard = inject_shards_[shard_index].get();
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    if (shard->queue.empty()) return -1;
+    const int task_id = shard->queue.front();
+    shard->queue.pop_front();
+    return task_id;
+  }
+
+  /// Claims the next runnable task, nearest work first: own queue (LIFO),
+  /// the own domain's spout injector shard, steals from peers in topology
+  /// distance order (same core, same package, remote — PlanStealOrder;
+  /// the plain ring when no affinity policy is set), then the remote
+  /// injector shards. Returns nullptr when no hint yields a claim.
   Task* FindWork(int worker_id) {
     Worker* self = workers_[static_cast<size_t>(worker_id)].get();
+    const int own_shard = worker_shard_[static_cast<size_t>(worker_id)];
+    const std::vector<int>* steal_order =
+        steal_order_.empty() ? nullptr
+                             : &steal_order_[static_cast<size_t>(worker_id)];
     while (true) {
       int task_id = -1;
       bool stolen = false;
@@ -653,23 +726,27 @@ class PoolRuntime : public Runtime<Message> {
         }
       }
       if (task_id < 0) {
-        std::lock_guard<std::mutex> lock(inject_mutex_);
-        if (!injected_.empty()) {
-          task_id = injected_.front();
-          injected_.pop_front();
-        }
+        task_id = PopInjectShard(static_cast<size_t>(own_shard));
       }
       if (task_id < 0) {
         for (int i = 1; i < num_threads_ && task_id < 0; ++i) {
-          Worker* victim =
-              workers_[static_cast<size_t>((worker_id + i) % num_threads_)]
-                  .get();
+          const int victim_id =
+              steal_order != nullptr
+                  ? (*steal_order)[static_cast<size_t>(i - 1)]
+                  : (worker_id + i) % num_threads_;
+          Worker* victim = workers_[static_cast<size_t>(victim_id)].get();
           std::lock_guard<std::mutex> lock(victim->mutex);
           if (!victim->run_queue.empty()) {
             task_id = victim->run_queue.front();
             victim->run_queue.pop_front();
             stolen = true;
           }
+        }
+      }
+      if (task_id < 0) {
+        for (size_t s = 1; s < inject_shards_.size() && task_id < 0; ++s) {
+          task_id = PopInjectShard(
+              (static_cast<size_t>(own_shard) + s) % inject_shards_.size());
         }
       }
       if (task_id < 0) return nullptr;
@@ -686,9 +763,14 @@ class PoolRuntime : public Runtime<Message> {
   }
 
   void WorkerLoop(int worker_id) {
-    worker_index_ = worker_id;
+    WorkerIndex() = worker_id;
+    if (!placement_.empty() &&
+        PinCurrentThreadToCpu(
+            placement_[static_cast<size_t>(worker_id)].cpu)) {
+      workers_pinned_.fetch_add(1, std::memory_order_relaxed);
+    }
     DeliveryBuffer buffer(tasks_.size());
-    buffer_ = &buffer;
+    ThreadBuffer() = &buffer;
     while (true) {
       Task* task = FindWork(worker_id);
       if (task != nullptr) {
@@ -702,22 +784,39 @@ class PoolRuntime : public Runtime<Message> {
       });
       if (stop_.load(std::memory_order_seq_cst)) break;
     }
-    buffer_ = nullptr;
-    worker_index_ = -1;
+    ThreadBuffer() = nullptr;
+    WorkerIndex() = -1;
   }
+
+  /// One spout-injector shard per affinity domain (package); a single
+  /// shard when workers are unpinned.
+  struct InjectShard {
+    std::mutex mutex;
+    std::deque<int> queue;  // Task-id hints from the spout thread.
+  };
 
   Topology<Message>* topology_;
   const size_t queue_capacity_;
   const int num_threads_;
+  const AffinityPolicy affinity_;
   int spout_component_ = -1;
+  /// Per-task payload arenas (indexed by task id). Declared before the
+  /// tasks so they outlive the mailboxes: residual feedback envelopes
+  /// destroyed with a mailbox release their blocks into a live arena.
+  std::vector<std::unique_ptr<PayloadArena<Message>>> arenas_;
   std::vector<std::unique_ptr<Task>> tasks_;
   std::vector<int> task_base_;
   std::vector<EdgeList<Message>> edges_;
   std::vector<std::unique_ptr<Worker>> workers_;
   bool ran_ = false;
 
-  std::mutex inject_mutex_;
-  std::deque<int> injected_;  // Hints from the spout thread.
+  // Affinity plan (filled by Run; empty placement = policy none).
+  std::vector<CpuLocation> placement_;
+  std::vector<std::vector<int>> steal_order_;
+  std::vector<int> worker_shard_;
+
+  std::vector<std::unique_ptr<InjectShard>> inject_shards_;
+  size_t spout_inject_rr_ = 0;  // Spout thread only.
   std::atomic<int> pending_hints_{0};
   std::mutex work_mutex_;
   std::condition_variable work_cv_;
@@ -731,27 +830,32 @@ class PoolRuntime : public Runtime<Message> {
   std::atomic<uint64_t> stall_escapes_{0};
   std::atomic<uint64_t> tasks_spawned_{0};
   std::atomic<uint64_t> tasks_retired_{0};
+  std::atomic<uint64_t> payload_shares_{0};
+  std::atomic<int> workers_pinned_{0};
   /// Live instances per component (routing mask; elastic resize).
   std::unique_ptr<std::atomic<int>[]> active_;
 
-  // Thread-confined execution context. `help_chain_` is the stack of tasks
-  // this thread currently runs (nested helping); `buffer_` the thread's
-  // delivery buffer; `worker_index_` -1 outside worker threads. Static
-  // thread_local is safe across sequential PoolRuntime instances: the
-  // chain is push/pop balanced and the buffer/index are reset on exit.
-  static thread_local std::vector<Task*> help_chain_;
-  static thread_local DeliveryBuffer* buffer_;
-  static thread_local int worker_index_;
+  // Thread-confined execution context, exposed as function-local
+  // thread_locals (out-of-class thread_local static members of a class
+  // template trip GCC's __tls_guard emission once a TU instantiates three
+  // Message types). HelpChain() is the stack of tasks this thread
+  // currently runs (nested helping); ThreadBuffer() the thread's delivery
+  // buffer; WorkerIndex() -1 outside worker threads. The state is safe
+  // across sequential PoolRuntime instances: the chain is push/pop
+  // balanced and the buffer/index are reset on exit.
+  static std::vector<Task*>& HelpChain() {
+    static thread_local std::vector<Task*> chain;
+    return chain;
+  }
+  static DeliveryBuffer*& ThreadBuffer() {
+    static thread_local DeliveryBuffer* buffer = nullptr;
+    return buffer;
+  }
+  static int& WorkerIndex() {
+    static thread_local int index = -1;
+    return index;
+  }
 };
-
-template <typename Message>
-thread_local std::vector<typename PoolRuntime<Message>::Task*>
-    PoolRuntime<Message>::help_chain_;
-template <typename Message>
-thread_local typename PoolRuntime<Message>::DeliveryBuffer*
-    PoolRuntime<Message>::buffer_ = nullptr;
-template <typename Message>
-thread_local int PoolRuntime<Message>::worker_index_ = -1;
 
 }  // namespace corrtrack::stream
 

@@ -4,10 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/check.h"
 #include "stream/grouping.h"
+#include "stream/payload.h"
 
 namespace corrtrack::stream {
 
@@ -150,6 +152,29 @@ void RouteAlongEdges(EdgeList<Message>& edges, const Message& msg,
         break;
     }
   }
+}
+
+/// Zero-copy fan-out on top of RouteAlongEdges — the single definition of
+/// the shared-payload invariant all runtimes use: the emitted message is
+/// adopted into `arena` ONCE and every destination receives the same
+/// refcounted block through `deliver(component, instance, ref)`. Returns
+/// the number of deliveries that *shared* an already-allocated block
+/// (deliveries - 1; each is a deep copy the engine no longer makes) for
+/// the caller's RuntimeStats::payload_shares accounting.
+template <typename Message, typename ParallelismFn, typename DeliverFn>
+uint64_t RouteSharedPayload(EdgeList<Message>& edges,
+                            PayloadArena<Message>& arena, Message msg,
+                            int direct_instance, ParallelismFn&& parallelism,
+                            DeliverFn&& deliver) {
+  const PayloadRef<Message> ref = arena.Adopt(std::move(msg));
+  uint64_t deliveries = 0;
+  RouteAlongEdges(edges, *ref, direct_instance,
+                  std::forward<ParallelismFn>(parallelism),
+                  [&](int component, int instance) {
+                    deliver(component, instance, ref);
+                    ++deliveries;
+                  });
+  return deliveries > 1 ? deliveries - 1 : 0;
 }
 
 }  // namespace corrtrack::stream

@@ -101,17 +101,67 @@ class TopologyControl {
   virtual int ResizeComponent(int component, int target_parallelism) = 0;
 };
 
+/// Worker-to-core pinning policy for the pool runtime (cpu_topology.h
+/// plans the placement from /sys CPU topology, with a flat fallback):
+///  * kNone — workers float, the OS scheduler decides (default).
+///  * kCompact — fill one package/NUMA domain before the next; workers
+///    that exchange envelopes share caches.
+///  * kScatter — round-robin workers across packages; spreads memory
+///    bandwidth for independent tasks.
+/// Pinning also shards the steal order and the spout injector queues by
+/// topology distance, so work stays NUMA-local when local work exists.
+enum class AffinityPolicy {
+  kNone,
+  kCompact,
+  kScatter,
+};
+
+inline const char* AffinityPolicyName(AffinityPolicy policy) {
+  switch (policy) {
+    case AffinityPolicy::kNone:
+      return "none";
+    case AffinityPolicy::kCompact:
+      return "compact";
+    case AffinityPolicy::kScatter:
+      return "scatter";
+  }
+  return "unknown";
+}
+
+/// Parses an --affinity flag value ("none", "compact", "scatter"). Returns
+/// false (and leaves *out untouched) on an unknown name.
+inline bool ParseAffinityPolicy(std::string_view name, AffinityPolicy* out) {
+  if (name == "none") {
+    *out = AffinityPolicy::kNone;
+    return true;
+  }
+  if (name == "compact") {
+    *out = AffinityPolicy::kCompact;
+    return true;
+  }
+  if (name == "scatter") {
+    *out = AffinityPolicy::kScatter;
+    return true;
+  }
+  return false;
+}
+
 /// Substrate knobs shared by the concurrent runtimes. The simulator
-/// ignores both (it has no queues and exactly one thread).
+/// ignores all of them (it has no queues and exactly one thread).
 struct RuntimeOptions {
   /// Per-task input queue capacity (envelopes). Bounds the skew between
   /// producers and consumers: a full queue blocks the pusher
-  /// (backpressure).
+  /// (backpressure). Individual edges can raise their consumer's budget
+  /// past this via Topology::Subscribe's min_queue_capacity.
   size_t queue_capacity = 4096;
 
   /// Pool runtime: worker threads. 0 = std::thread::hardware_concurrency.
   /// The threaded runtime ignores it (always one thread per task).
   int num_threads = 0;
+
+  /// Pool runtime: worker-to-core pinning (see AffinityPolicy). The
+  /// threaded and simulation substrates ignore it.
+  AffinityPolicy affinity = AffinityPolicy::kNone;
 };
 
 /// Counters a runtime exposes after Run(), so backpressure and scheduling
@@ -137,6 +187,22 @@ struct RuntimeStats {
   /// retired by TopologyControl::ResizeComponent during the run.
   uint64_t tasks_spawned = 0;
   uint64_t tasks_retired = 0;
+  /// Zero-copy fan-out: envelopes that SHARED an already-allocated payload
+  /// block instead of deep-copying it (every delivery beyond an emission's
+  /// first). Before shared payloads each of these was a full Message copy.
+  uint64_t payload_shares = 0;
+  /// Copy-on-write deep copies: a consumer called
+  /// Envelope::MutablePayload() while the payload was still shared. In
+  /// steady state this stays near zero — the mutating consumer is usually
+  /// the last holder.
+  uint64_t payload_copies = 0;
+  /// Envelope-arena recycling: payload blocks served from a task arena's
+  /// free list instead of fresh slab/heap space. High values mean the
+  /// steady-state hot path allocates nothing.
+  uint64_t arena_reuses = 0;
+  /// Pool: workers successfully pinned to a core
+  /// (RuntimeOptions::affinity; 0 under kNone or when pinning is refused).
+  int workers_pinned = 0;
   /// Physical threads that executed bolts (simulation: 1).
   int num_threads = 0;
   /// The queue capacity the runtime actually ran with (simulation: 0).

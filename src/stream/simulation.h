@@ -11,6 +11,7 @@
 #include "core/check.h"
 #include "core/types.h"
 #include "stream/envelope.h"
+#include "stream/payload.h"
 #include "stream/routing.h"
 #include "stream/runtime.h"
 #include "stream/topology.h"
@@ -92,6 +93,9 @@ class SimulationRuntime : public Runtime<Message> {
     for (uint64_t delivered : delivered_) stats.envelopes_moved += delivered;
     stats.tasks_spawned = tasks_spawned_;
     stats.tasks_retired = tasks_retired_;
+    stats.payload_shares = payload_shares_;
+    stats.payload_copies = arena_.copies();
+    stats.arena_reuses = arena_.reuses();
     return stats;
   }
 
@@ -210,31 +214,34 @@ class SimulationRuntime : public Runtime<Message> {
   }
 
   /// Routes `msg` emitted by (producer, instance) along all non-direct
-  /// subscription edges.
+  /// subscription edges. The message is adopted into the payload arena
+  /// once; every destination's envelope shares the block (zero-copy
+  /// fan-out).
   void DeliverFrom(int producer, int instance, Message msg, Timestamp time) {
     const TaskAddress source{producer, instance};
-    RouteAlongEdges(
-        edges_[static_cast<size_t>(producer)], msg, /*direct_instance=*/-1,
+    payload_shares_ += RouteSharedPayload(
+        edges_[static_cast<size_t>(producer)], arena_, std::move(msg),
+        /*direct_instance=*/-1,
         [this](int component) { return Parallelism(component); },
-        [&](int component, int target) {
-          Enqueue(component, target, msg, source, time);
+        [&](int component, int target, const PayloadRef<Message>& ref) {
+          Enqueue(component, target, ref, source, time);
         });
   }
 
   void DeliverDirect(int producer, int instance, Message msg, Timestamp time,
                      TaskAddress source) {
-    RouteAlongEdges(
-        edges_[static_cast<size_t>(producer)], msg, instance,
+    payload_shares_ += RouteSharedPayload(
+        edges_[static_cast<size_t>(producer)], arena_, std::move(msg),
+        instance,
         [this](int component) { return Parallelism(component); },
-        [&](int component, int target) {
-          Enqueue(component, target, msg, source, time);
+        [&](int component, int target, const PayloadRef<Message>& ref) {
+          Enqueue(component, target, ref, source, time);
         });
   }
 
-  void Enqueue(int component, int instance, const Message& msg,
+  void Enqueue(int component, int instance, const PayloadRef<Message>& ref,
                TaskAddress source, Timestamp time) {
-    Envelope<Message> env;
-    env.payload = msg;
+    Envelope<Message> env(ref);
     env.source = source;
     env.time = time;
     pending_.emplace_back(TaskId(component, instance), std::move(env));
@@ -282,6 +289,10 @@ class SimulationRuntime : public Runtime<Message> {
 
   Topology<Message>* topology_;
   int spout_component_ = -1;
+  /// Payload-block recycler. Declared before the task/queue state so it
+  /// outlives every envelope still holding a block at destruction.
+  PayloadArena<Message> arena_;
+  uint64_t payload_shares_ = 0;
   std::vector<Task> tasks_;
   std::vector<int> task_base_;
   std::vector<int> active_;  // Live instances per component (routing mask).

@@ -15,6 +15,7 @@
 #include "core/check.h"
 #include "core/types.h"
 #include "stream/envelope.h"
+#include "stream/payload.h"
 #include "stream/routing.h"
 #include "stream/runtime.h"
 #include "stream/topology.h"
@@ -103,8 +104,8 @@ class ThreadedRuntime : public Runtime<Message> {
     while (spout->Next(&msg, &time)) {
       CORRTRACK_CHECK_GE(time, last_time);
       last_time = time;
-      RouteFrom(spout_component_, 0, msg, time, /*direct_instance=*/-1,
-                &spout_buffer);
+      RouteFrom(spout_component_, 0, std::move(msg), time,
+                /*direct_instance=*/-1, &spout_buffer);
     }
     FlushDeliveries(&spout_buffer);
     // Poison with the flush horizon so downstream ticks still fire.
@@ -163,6 +164,11 @@ class ThreadedRuntime : public Runtime<Message> {
     }
     stats.tasks_spawned = tasks_spawned_.load(std::memory_order_relaxed);
     stats.tasks_retired = tasks_retired_.load(std::memory_order_relaxed);
+    stats.payload_shares = payload_shares_.load(std::memory_order_relaxed);
+    for (const auto& arena : arenas_) {
+      stats.payload_copies += arena->copies();
+      stats.arena_reuses += arena->reuses();
+    }
     return stats;
   }
 
@@ -371,8 +377,14 @@ class ThreadedRuntime : public Runtime<Message> {
         task->addr = {static_cast<int>(c), 0};
         task->is_spout = true;
         tasks_.push_back(std::move(task));
+        arenas_.push_back(std::make_unique<PayloadArena<Message>>());
         continue;
       }
+      // Per-edge credits: a subscription's min_queue_capacity raises this
+      // component's input budget past the global capacity (feedback edges
+      // carry more so tiny global capacities cannot stall the cycle).
+      const size_t capacity = topology_->QueueCapacityFor(
+          static_cast<int>(c), queue_capacity_);
       // Provisioned ceiling up front (activation-mask elasticity): spare
       // instances get a thread and a queue too — they idle on PopBatch
       // until activated or poisoned.
@@ -382,10 +394,11 @@ class ThreadedRuntime : public Runtime<Message> {
         task->bolt = comp.bolt_factory(i);
         task->bolt->Prepare(task->addr, comp.parallelism);
         task->bolt->AttachControl(this);
-        task->queue = std::make_unique<BoundedQueue>(queue_capacity_);
+        task->queue = std::make_unique<BoundedQueue>(capacity);
         task->tick_period = comp.tick_period;
         task->next_tick = comp.tick_period > 0 ? comp.tick_period : 0;
         tasks_.push_back(std::move(task));
+        arenas_.push_back(std::make_unique<PayloadArena<Message>>());
       }
     }
     CORRTRACK_CHECK_NE(spout_component_, -1);
@@ -409,19 +422,27 @@ class ThreadedRuntime : public Runtime<Message> {
         std::memory_order_acquire);
   }
 
-  void RouteFrom(int producer, int instance, const Message& msg,
-                 Timestamp time, int direct_instance,
-                 DeliveryBuffer* buffer) {
-    RouteAlongEdges(
-        edges_[static_cast<size_t>(producer)], msg, direct_instance,
+  /// Adopts the emitted message into the producer task's payload arena
+  /// once; every destination's envelope shares the block (zero-copy
+  /// fan-out — before this, each destination deep-copied the Message).
+  void RouteFrom(int producer, int instance, Message msg, Timestamp time,
+                 int direct_instance, DeliveryBuffer* buffer) {
+    PayloadArena<Message>& arena =
+        *arenas_[static_cast<size_t>(TaskId(producer, instance))];
+    const uint64_t shares = RouteSharedPayload(
+        edges_[static_cast<size_t>(producer)], arena, std::move(msg),
+        direct_instance,
         [this](int component) { return Parallelism(component); },
-        [&](int component, int target) {
+        [&](int component, int target, const PayloadRef<Message>& ref) {
           Item item;
-          item.envelope.payload = msg;
+          item.envelope.set_payload_ref(ref);
           item.envelope.source = {producer, instance};
           item.envelope.time = time;
           Deliver(component, target, std::move(item), buffer);
         });
+    if (shares > 0) {
+      payload_shares_.fetch_add(shares, std::memory_order_relaxed);
+    }
   }
 
   /// Stages `item` for the destination task in `buffer` (flushing that
@@ -533,6 +554,12 @@ class ThreadedRuntime : public Runtime<Message> {
   Topology<Message>* topology_;
   size_t queue_capacity_;
   int spout_component_ = -1;
+  /// Per-task payload arenas (indexed by task id). Declared before the
+  /// tasks so they outlive the queues: residual feedback envelopes
+  /// destroyed with a task's BoundedQueue release their blocks into a
+  /// still-live arena.
+  std::vector<std::unique_ptr<PayloadArena<Message>>> arenas_;
+  std::atomic<uint64_t> payload_shares_{0};
   std::vector<std::unique_ptr<Task>> tasks_;
   std::vector<int> task_base_;
   /// Live instances per component (routing mask; elastic resize).

@@ -1,0 +1,198 @@
+// NUMA-aware pool pinning: the placement planner (compact vs scatter over
+// a synthetic two-package topology), the distance-sharded steal order, the
+// /sys query's graceful fallback, and end-to-end pool runs under each
+// policy (which must stay correct whether or not the sandbox lets
+// pthread_setaffinity_np succeed).
+
+#include <memory>
+#include <variant>
+
+#include <gtest/gtest.h>
+
+#include "stream/cpu_topology.h"
+#include "stream/pool_runtime.h"
+#include "stream/runtime.h"
+#include "stream/topology.h"
+
+namespace corrtrack {
+namespace {
+
+using stream::AffinityPolicy;
+using stream::CpuLocation;
+using stream::CpuTopologyInfo;
+using stream::PlanStealOrder;
+using stream::PlanWorkerPlacement;
+
+/// Two packages x two cores x two SMT threads: cpus 0-3 on package 0
+/// (cores 0,0,1,1), cpus 4-7 on package 1.
+CpuTopologyInfo TwoPackageBox() {
+  CpuTopologyInfo info;
+  info.from_sysfs = true;
+  for (int cpu = 0; cpu < 8; ++cpu) {
+    info.cpus.push_back({cpu, cpu / 4, (cpu % 4) / 2});
+  }
+  return info;
+}
+
+TEST(CpuTopology, ParseAffinityPolicy) {
+  AffinityPolicy policy = AffinityPolicy::kNone;
+  EXPECT_TRUE(stream::ParseAffinityPolicy("compact", &policy));
+  EXPECT_EQ(policy, AffinityPolicy::kCompact);
+  EXPECT_TRUE(stream::ParseAffinityPolicy("scatter", &policy));
+  EXPECT_EQ(policy, AffinityPolicy::kScatter);
+  EXPECT_TRUE(stream::ParseAffinityPolicy("none", &policy));
+  EXPECT_EQ(policy, AffinityPolicy::kNone);
+  EXPECT_FALSE(stream::ParseAffinityPolicy("bogus", &policy));
+  EXPECT_STREQ(stream::AffinityPolicyName(AffinityPolicy::kScatter),
+               "scatter");
+}
+
+TEST(CpuTopology, QueryFallsBackGracefully) {
+  // Whatever the host (bare metal, container without /sys, non-Linux),
+  // the query must return a usable layout with dense package ids.
+  const CpuTopologyInfo info = stream::QueryCpuTopology();
+  ASSERT_FALSE(info.cpus.empty());
+  EXPECT_GE(info.num_packages(), 1);
+  for (const CpuLocation& c : info.cpus) {
+    EXPECT_GE(c.package, 0);
+    EXPECT_LT(c.package, info.num_packages());
+  }
+}
+
+TEST(CpuTopology, NonePolicyPlansNothing) {
+  EXPECT_TRUE(
+      PlanWorkerPlacement(TwoPackageBox(), 4, AffinityPolicy::kNone).empty());
+}
+
+TEST(CpuTopology, CompactFillsOnePackageFirst) {
+  const auto plan =
+      PlanWorkerPlacement(TwoPackageBox(), 4, AffinityPolicy::kCompact);
+  ASSERT_EQ(plan.size(), 4u);
+  for (const CpuLocation& c : plan) EXPECT_EQ(c.package, 0);
+}
+
+TEST(CpuTopology, ScatterRoundRobinsPackages) {
+  const auto plan =
+      PlanWorkerPlacement(TwoPackageBox(), 4, AffinityPolicy::kScatter);
+  ASSERT_EQ(plan.size(), 4u);
+  EXPECT_EQ(plan[0].package, 0);
+  EXPECT_EQ(plan[1].package, 1);
+  EXPECT_EQ(plan[2].package, 0);
+  EXPECT_EQ(plan[3].package, 1);
+}
+
+TEST(CpuTopology, OversubscriptionWrapsAround) {
+  const auto plan =
+      PlanWorkerPlacement(TwoPackageBox(), 10, AffinityPolicy::kCompact);
+  ASSERT_EQ(plan.size(), 10u);
+  EXPECT_EQ(plan[8].cpu, plan[0].cpu);  // Worker 8 shares worker 0's CPU.
+  EXPECT_EQ(plan[9].cpu, plan[1].cpu);
+}
+
+TEST(CpuTopology, StealOrderPrefersNearestVictims) {
+  // Compact placement of 8 workers over the two-package box: worker 0
+  // lands on package 0 / core 0 with its SMT sibling as worker 1.
+  const auto plan =
+      PlanWorkerPlacement(TwoPackageBox(), 8, AffinityPolicy::kCompact);
+  const auto order = PlanStealOrder(plan);
+  ASSERT_EQ(order.size(), 8u);
+  for (const auto& victims : order) EXPECT_EQ(victims.size(), 7u);
+  // Worker 0: SMT sibling first, then package-0 cores, remote package last.
+  EXPECT_EQ(plan[order[0][0]].core, plan[0].core);
+  EXPECT_EQ(plan[order[0][0]].package, plan[0].package);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(plan[order[0][i]].package, plan[0].package) << i;
+  }
+  for (int i = 3; i < 7; ++i) {
+    EXPECT_NE(plan[order[0][i]].package, plan[0].package) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the pool stays correct under every policy.
+// ---------------------------------------------------------------------------
+
+struct Value {
+  uint64_t v = 0;
+};
+using Msg = std::variant<Value>;
+
+class CountingSpout : public stream::Spout<Msg> {
+ public:
+  explicit CountingSpout(int n) : n_(n) {}
+  bool Next(Msg* out, Timestamp* time) override {
+    if (i_ >= n_) return false;
+    *out = Value{static_cast<uint64_t>(i_)};
+    *time = static_cast<Timestamp>(i_);
+    ++i_;
+    return true;
+  }
+
+ private:
+  int n_;
+  int i_ = 0;
+};
+
+class SummingBolt : public stream::Bolt<Msg> {
+ public:
+  void Execute(const stream::Envelope<Msg>& in,
+               stream::Emitter<Msg>& out) override {
+    sum += std::get<Value>(in.payload()).v;
+    out.Emit(in.payload());
+  }
+  uint64_t sum = 0;
+};
+
+class SinkBolt : public stream::Bolt<Msg> {
+ public:
+  void Execute(const stream::Envelope<Msg>& in,
+               stream::Emitter<Msg>&) override {
+    sum += std::get<Value>(in.payload()).v;
+  }
+  uint64_t sum = 0;
+};
+
+TEST(PoolAffinity, EveryPolicyDeliversEverythingOnce) {
+  const int n = 20000;
+  const uint64_t expected = static_cast<uint64_t>(n) * (n - 1) / 2;
+  for (const AffinityPolicy policy :
+       {AffinityPolicy::kNone, AffinityPolicy::kCompact,
+        AffinityPolicy::kScatter}) {
+    stream::Topology<Msg> topology;
+    const int spout =
+        topology.AddSpout("src", std::make_unique<CountingSpout>(n));
+    const int workers = topology.AddBolt(
+        "work", [](int) { return std::make_unique<SummingBolt>(); }, 8);
+    SinkBolt* sink_bolt = nullptr;
+    const int sink = topology.AddBolt(
+        "sink",
+        [&sink_bolt](int) {
+          auto b = std::make_unique<SinkBolt>();
+          sink_bolt = b.get();
+          return b;
+        },
+        1);
+    topology.Subscribe(workers, spout, stream::Grouping<Msg>::Shuffle());
+    topology.Subscribe(sink, workers, stream::Grouping<Msg>::Global());
+    stream::RuntimeOptions options;
+    options.num_threads = 4;
+    options.queue_capacity = 64;
+    options.affinity = policy;
+    stream::PoolRuntime<Msg> runtime(&topology, options);
+    runtime.Run();
+    EXPECT_EQ(sink_bolt->sum, expected)
+        << stream::AffinityPolicyName(policy);
+    EXPECT_EQ(runtime.TuplesDelivered(workers), static_cast<uint64_t>(n));
+    const stream::RuntimeStats stats = runtime.stats();
+    // Pinning is best-effort (sandboxes may refuse sched_setaffinity);
+    // whatever happened must be within bounds and reported.
+    EXPECT_GE(stats.workers_pinned, 0);
+    EXPECT_LE(stats.workers_pinned, 4);
+    if (policy == AffinityPolicy::kNone) {
+      EXPECT_EQ(stats.workers_pinned, 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace corrtrack

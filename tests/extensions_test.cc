@@ -229,7 +229,7 @@ TEST(CountBasedWindow, PartitionerBoundsItsShare) {
     parsed.doc.id = static_cast<DocId>(i);
     parsed.doc.time = i;
     parsed.doc.tags = TagSet({static_cast<TagId>(i % 7)});
-    env.payload = ops::Message(parsed);
+    env.set_payload(ops::Message(parsed));
     class NullEmitter : public stream::Emitter<ops::Message> {
      public:
       void Emit(ops::Message) override {}

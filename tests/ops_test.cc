@@ -48,7 +48,7 @@ class CapturingEmitter : public Emitter<Message> {
 
 Envelope<Message> Env(Message msg, Timestamp time = 0) {
   Envelope<Message> env;
-  env.payload = std::move(msg);
+  env.set_payload(std::move(msg));
   env.time = time;
   return env;
 }

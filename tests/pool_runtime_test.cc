@@ -43,10 +43,10 @@ class SummingBolt : public Bolt<Msg> {
  public:
   explicit SummingBolt(bool forward) : forward_(forward) {}
   void Execute(const Envelope<Msg>& in, Emitter<Msg>& out) override {
-    const auto& value = std::get<Value>(in.payload);
+    const auto& value = std::get<Value>(in.payload());
     sum += value.v;
     ++count;
-    if (forward_) out.Emit(in.payload);
+    if (forward_) out.Emit(in.payload());
   }
   void OnTick(Timestamp tick_time, Emitter<Msg>&) override {
     ticks.push_back(tick_time);
@@ -68,7 +68,7 @@ class EchoOnceBolt : public Bolt<Msg> {
   void Execute(const Envelope<Msg>& in, Emitter<Msg>& out) override {
     if (in.source.component == forward_source_) {
       ++forwarded;
-      out.Emit(in.payload);
+      out.Emit(in.payload());
     } else {
       ++feedback_seen;
     }

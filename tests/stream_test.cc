@@ -48,11 +48,11 @@ class RecordingBolt : public Bolt<Msg> {
   }
 
   void Execute(const Envelope<Msg>& in, Emitter<Msg>& out) override {
-    if (const auto* value = std::get_if<Value>(&in.payload)) {
+    if (const auto* value = std::get_if<Value>(&in.payload())) {
       values.push_back(value->v);
       times.push_back(in.time);
       sources.push_back(in.source);
-      if (forward_) out.Emit(in.payload);
+      if (forward_) out.Emit(in.payload());
     }
   }
 
@@ -177,7 +177,7 @@ TEST(Simulation, TickBeforeTupleAtBoundary) {
   // A tuple at t=30 must see the t=25 tick delivered first.
   struct Probe : Bolt<Msg> {
     void Execute(const Envelope<Msg>& in, Emitter<Msg>&) override {
-      if (std::get_if<Value>(&in.payload)) order.push_back('v');
+      if (std::get_if<Value>(&in.payload())) order.push_back('v');
     }
     void OnTick(Timestamp, Emitter<Msg>&) override { order.push_back('t'); }
     std::string order;
@@ -235,10 +235,10 @@ TEST(Simulation, ChainedBoltsCascade) {
 TEST(Simulation, DirectGroupingDeliversToNamedInstance) {
   struct Router : Bolt<Msg> {
     void Execute(const Envelope<Msg>& in, Emitter<Msg>& out) override {
-      const auto* value = std::get_if<Value>(&in.payload);
+      const auto* value = std::get_if<Value>(&in.payload());
       if (value == nullptr) return;
-      out.EmitDirect(value->v % 3, in.payload);
-      out.Emit(in.payload);  // Must NOT reach the direct subscriber.
+      out.EmitDirect(value->v % 3, in.payload());
+      out.Emit(in.payload());  // Must NOT reach the direct subscriber.
     }
   };
   Topology<Msg> topology;
@@ -267,7 +267,7 @@ TEST(Simulation, DirectGroupingDeliversToNamedInstance) {
 TEST(Simulation, NonDirectSubscriberIgnoresDirectEmissions) {
   struct DirectOnly : Bolt<Msg> {
     void Execute(const Envelope<Msg>& in, Emitter<Msg>& out) override {
-      if (std::get_if<Value>(&in.payload)) out.EmitDirect(0, in.payload);
+      if (std::get_if<Value>(&in.payload())) out.EmitDirect(0, in.payload());
     }
   };
   Topology<Msg> topology;
