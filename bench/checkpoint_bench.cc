@@ -1,0 +1,219 @@
+// Micro-benchmarks of the durability path (src/storage + the pipeline
+// codec): CRC-32C throughput (every durable byte is checksummed twice —
+// once framed on write, once verified on read), checkpoint write/commit
+// against both backends, chunk-parallel restore at several thread counts,
+// and the Encode/Decode cost of a realistically sized pipeline capture.
+// The memory backend isolates the format's CPU cost from disk; the posix
+// numbers (tmp directory) include the fsync discipline the commit protocol
+// actually pays.
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_main.h"
+
+#include "core/tagset.h"
+#include "ops/checkpoint_state.h"
+#include "ops/pipeline_checkpoint.h"
+#include "storage/checkpoint.h"
+#include "storage/crc32c.h"
+#include "storage/storage.h"
+
+namespace {
+
+using namespace corrtrack;
+
+// ---------------------------------------------------------------------------
+// CRC-32C: bytes/second over payloads spanning a chunk's size range.
+
+void BM_Crc32c(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::string payload(n, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(storage::Crc32c::Of(payload));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Crc32c)->Range(1 << 10, 8 << 20);
+
+// ---------------------------------------------------------------------------
+// Write / restore against the storage layer. The synthetic checkpoint
+// mirrors the pipeline's shape: k calculator sections dominating the
+// volume plus a handful of small control sections.
+
+storage::CheckpointData SyntheticCheckpoint(int sections,
+                                            size_t bytes_per_section) {
+  storage::CheckpointData data;
+  data.seq = 1;
+  data.docs_ingested = 1000000;
+  data.config_fingerprint = 0x5EED;
+  for (int s = 0; s < sections; ++s) {
+    char name[16];
+    snprintf(name, sizeof(name), "calc_%04d", s);
+    std::string payload(bytes_per_section, static_cast<char>('a' + s % 26));
+    data.sections.push_back({name, std::move(payload)});
+  }
+  return data;
+}
+
+std::shared_ptr<storage::Storage> OpenBackend(const std::string& scheme,
+                                              std::string* root) {
+  if (scheme == "memory") {
+    storage::MemoryStorage::Global()->Clear();
+    *root = "/bench_ckpt";
+    return std::shared_ptr<storage::Storage>(storage::MemoryStorage::Global(),
+                                             [](storage::Storage*) {});
+  }
+  const auto dir =
+      std::filesystem::temp_directory_path() / "corrtrack_ckpt_bench";
+  std::filesystem::remove_all(dir);
+  storage::OpenedStorage opened;
+  storage::OpenStorage("file://" + dir.string(), &opened);
+  *root = opened.root;
+  return opened.storage;
+}
+
+void RunWriteBench(benchmark::State& state, const std::string& scheme) {
+  const int sections = static_cast<int>(state.range(0));
+  const size_t bytes = static_cast<size_t>(state.range(1));
+  const storage::CheckpointData data = SyntheticCheckpoint(sections, bytes);
+  std::string root;
+  std::shared_ptr<storage::Storage> backend = OpenBackend(scheme, &root);
+  // keep = 1: steady-state GC cost (delete one, write one) per iteration,
+  // which is what a long-running pipeline pays.
+  storage::CheckpointWriter writer(backend, root, storage::RetryPolicy(),
+                                   /*keep=*/1);
+  uint64_t total_bytes = 0;
+  storage::CheckpointData versioned = data;
+  for (auto _ : state) {
+    ++versioned.seq;  // Each iteration commits a fresh directory.
+    uint64_t written = 0;
+    const storage::Status status = writer.Write(versioned, &written);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      break;
+    }
+    total_bytes += written;
+  }
+  backend->DeleteDirRecursive(root);
+  state.SetBytesProcessed(static_cast<int64_t>(total_bytes));
+  state.counters["sections"] = static_cast<double>(sections);
+}
+
+void BM_CheckpointWrite_Memory(benchmark::State& state) {
+  RunWriteBench(state, "memory");
+}
+// {sections, bytes/section}: a small elastic topology and a wide one.
+BENCHMARK(BM_CheckpointWrite_Memory)
+    ->Args({8, 1 << 16})
+    ->Args({8, 1 << 20})
+    ->Args({32, 1 << 18});
+
+void BM_CheckpointWrite_Posix(benchmark::State& state) {
+  RunWriteBench(state, "posix");
+}
+BENCHMARK(BM_CheckpointWrite_Posix)
+    ->Args({8, 1 << 16})
+    ->Args({8, 1 << 20})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CheckpointRestore_Memory(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  std::string root;
+  std::shared_ptr<storage::Storage> backend = OpenBackend("memory", &root);
+  storage::CheckpointWriter writer(backend, root);
+  const storage::CheckpointData data = SyntheticCheckpoint(32, 1 << 18);
+  uint64_t bytes = 0;
+  writer.Write(data, &bytes);
+  storage::CheckpointReader reader(backend, root, storage::RetryPolicy(),
+                                   threads);
+  for (auto _ : state) {
+    storage::CheckpointData loaded;
+    const storage::Status status = reader.ReadLatest(&loaded);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(loaded);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+  state.counters["restore_threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_CheckpointRestore_Memory)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// ---------------------------------------------------------------------------
+// Pipeline codec: the CPU-only cost of turning a capture into sections and
+// back, scaled by counter-table volume (the dominant term in practice).
+
+ops::PipelineCheckpointState SyntheticPipelineState(int calculators,
+                                                    int sets_per_calculator) {
+  ops::PipelineCheckpointState state;
+  state.docs_ingested = 1000000;
+  state.live_calculators = calculators;
+  state.max_calculators = calculators;
+  uint32_t x = 12345;
+  for (int c = 0; c < calculators; ++c) {
+    ops::CalculatorState cs;
+    cs.instance = c;
+    cs.counters.reserve(static_cast<size_t>(sets_per_calculator));
+    for (int s = 0; s < sets_per_calculator; ++s) {
+      x = x * 1664525u + 1013904223u;  // LCG: arbitrary distinct pairs.
+      TagId tags[2] = {static_cast<TagId>(x % 5000),
+                       static_cast<TagId>(x % 5000 + 1 + x % 97)};
+      cs.counters.emplace_back(TagSet::FromSorted(tags, tags + 2),
+                               1 + x % 1000);
+    }
+    state.calculators.push_back(std::move(cs));
+  }
+  for (int t = 0; t < 5000; ++t) {
+    state.parser.tags.push_back("tag_" + std::to_string(t));
+  }
+  return state;
+}
+
+void BM_EncodeCheckpoint(benchmark::State& state) {
+  const ops::PipelineCheckpointState pipeline_state =
+      SyntheticPipelineState(8, static_cast<int>(state.range(0)));
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    const storage::CheckpointData data =
+        ops::EncodeCheckpoint(pipeline_state, 1, 0x5EED);
+    bytes = 0;
+    for (const auto& section : data.sections) {
+      bytes += static_cast<int64_t>(section.payload.size());
+    }
+    benchmark::DoNotOptimize(data);
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+}
+BENCHMARK(BM_EncodeCheckpoint)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_DecodeCheckpoint(benchmark::State& state) {
+  const storage::CheckpointData data = ops::EncodeCheckpoint(
+      SyntheticPipelineState(8, static_cast<int>(state.range(0))), 1, 0x5EED);
+  int64_t bytes = 0;
+  for (const auto& section : data.sections) {
+    bytes += static_cast<int64_t>(section.payload.size());
+  }
+  for (auto _ : state) {
+    ops::PipelineCheckpointState decoded;
+    if (!ops::DecodeCheckpoint(data, &decoded)) {
+      state.SkipWithError("decode failed");
+      break;
+    }
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+}
+BENCHMARK(BM_DecodeCheckpoint)->Arg(1000)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+CORRTRACK_BENCHMARK_MAIN()

@@ -13,21 +13,35 @@
 // (§7.3 elastic repartitioning): the burst raises the window load, the
 // cost-model target-k policy grows k to match, and the resize trail is
 // printed alongside the trend ranking.
+//
+// Durability flags (storage layer):
+//   --checkpoint-every=N   write an epoch-consistent checkpoint every N
+//                          ingested documents
+//   --checkpoint-uri=URI   where checkpoints go (file://…, mem://…;
+//                          default file:///tmp/corrtrack_trend_ckpt)
+//   --restore-from=URI     resume from the newest valid checkpoint under
+//                          URI before ingest starts (crash recovery: kill
+//                          a checkpointing run, rerun with this flag, and
+//                          the ranking comes out identical)
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "gen/tweet_generator.h"
+#include "ops/checkpoint_runner.h"
 #include "ops/messages.h"
 #include "ops/metrics_sink.h"
 #include "ops/source.h"
 #include "ops/topology_builder.h"
 #include "ops/tracker_op.h"
-#include "stream/simulation.h"
+#include "stream/runtime.h"
+#include "stream/topology.h"
 
 namespace {
 
@@ -87,8 +101,28 @@ class BurstSpout : public stream::Spout<ops::Message> {
 
 int main(int argc, char** argv) {
   bool elastic = false;
+  uint64_t checkpoint_every = 0;
+  std::string checkpoint_uri;
+  std::string restore_from;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--elastic") == 0) elastic = true;
+    if (std::strcmp(argv[i], "--elastic") == 0) {
+      elastic = true;
+    } else if (std::strncmp(argv[i], "--checkpoint-every=", 19) == 0) {
+      checkpoint_every = std::strtoull(argv[i] + 19, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--checkpoint-uri=", 17) == 0) {
+      checkpoint_uri = argv[i] + 17;
+    } else if (std::strncmp(argv[i], "--restore-from=", 15) == 0) {
+      restore_from = argv[i] + 15;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s (try --elastic, --checkpoint-every=N, "
+                   "--checkpoint-uri=URI, --restore-from=URI)\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  if (checkpoint_every > 0 && checkpoint_uri.empty()) {
+    checkpoint_uri = "file:///tmp/corrtrack_trend_ckpt";
   }
 
   ops::PipelineConfig pipeline;
@@ -110,27 +144,73 @@ int main(int argc, char** argv) {
   workload.topics.num_topics = 120;
   workload.topics.tags_per_topic = 15;
 
-  stream::Topology<ops::Message> topology;
   const uint64_t num_docs =
       static_cast<uint64_t>(24 * 60 * workload.tagged_tps());
   auto spout = std::make_unique<BurstSpout>(workload, num_docs);
   ResizePrinter resizes;
-  const ops::TopologyHandles handles = ops::BuildCorrelationTopology(
-      &topology, std::move(spout), pipeline, elastic ? &resizes : nullptr,
-      /*with_centralized_baseline=*/false);
-  stream::SimulationRuntime<ops::Message> runtime(&topology);
-  runtime.Run(pipeline.report_period);
+
+  // Two run shapes, one harvest: the plain single Run, or the segmented
+  // checkpoint/restore protocol when any durability flag is set. The
+  // BurstSpout is deterministic for a fixed workload config, so a restored
+  // run resumes it by skipping the already-ingested prefix.
+  std::unique_ptr<stream::Topology<ops::Message>> topology;
+  std::unique_ptr<stream::Runtime<ops::Message>> runtime;
+  ops::TopologyHandles handles;
+  const bool durable = !checkpoint_uri.empty() || !restore_from.empty();
+  if (durable) {
+    ops::CheckpointRunnerOptions options;
+    options.checkpoint_uri = checkpoint_uri;
+    options.every_docs = checkpoint_every;
+    options.restore_uri = restore_from;
+    ops::CheckpointedRun run;
+    std::string error;
+    if (!ops::RunCheckpointedPipeline(
+            std::move(spout), pipeline, options,
+            elastic ? &resizes : nullptr,
+            /*with_centralized_baseline=*/false, /*tracker_sink=*/nullptr,
+            /*baseline_sink=*/nullptr,
+            /*final_flush_horizon=*/pipeline.report_period, &run, &error)) {
+      std::fprintf(stderr, "durable run failed: %s\n", error.c_str());
+      return 2;
+    }
+    topology = std::move(run.topology);
+    runtime = std::move(run.runtime);
+    handles = run.handles;
+    if (run.stats.restored) {
+      std::printf("restore: checkpoint %llu, resumed past %llu docs\n",
+                  static_cast<unsigned long long>(run.stats.restored_seq),
+                  static_cast<unsigned long long>(run.stats.restored_docs));
+    }
+    for (const ops::CheckpointEvent& event : run.stats.events) {
+      std::printf("checkpoint %llu: %llu docs, %llu bytes in %llu chunks "
+                  "(t=%lld min) %s\n",
+                  static_cast<unsigned long long>(event.seq),
+                  static_cast<unsigned long long>(event.docs_ingested),
+                  static_cast<unsigned long long>(event.bytes),
+                  static_cast<unsigned long long>(event.chunks),
+                  static_cast<long long>(event.time / kMillisPerMinute),
+                  event.ok ? "committed" : "FAILED");
+    }
+  } else {
+    topology = std::make_unique<stream::Topology<ops::Message>>();
+    handles = ops::BuildCorrelationTopology(
+        topology.get(), std::move(spout), pipeline,
+        elastic ? &resizes : nullptr,
+        /*with_centralized_baseline=*/false);
+    runtime = ops::MakeConfiguredRuntime(topology.get(), pipeline);
+    runtime->Run(pipeline.report_period);
+  }
   std::printf("runtime: %s (deterministic, 1 thread)\n",
-              stream::RuntimeKindName(runtime.kind()));
+              stream::RuntimeKindName(runtime->kind()));
   if (elastic) {
     std::printf("elastic: %d resizes, %d of max %d calculators live\n",
                 resizes.resizes,
-                runtime.ActiveParallelism(handles.calculator),
-                runtime.MaxParallelism(handles.calculator));
+                runtime->ActiveParallelism(handles.calculator),
+                runtime->MaxParallelism(handles.calculator));
   }
 
   const auto* tracker =
-      static_cast<ops::TrackerBolt*>(runtime.bolt(handles.tracker, 0));
+      static_cast<ops::TrackerBolt*>(runtime->bolt(handles.tracker, 0));
 
   // enBlogue-style shift score: |J_now - J_prev| per tagset, comparing each
   // reporting period with its predecessor.

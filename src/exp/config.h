@@ -6,6 +6,7 @@
 
 #include "gen/tweet_generator.h"
 #include "ops/pipeline_config.h"
+#include "storage/fault_injection.h"
 
 namespace corrtrack::exp {
 
@@ -30,6 +31,21 @@ struct ExperimentConfig {
   /// (ExperimentResult::serve_*). Off by default: the serving layer is not
   /// part of the paper's figures.
   bool with_serve_index = false;
+
+  /// Durability (storage layer): write an epoch-consistent checkpoint to
+  /// `checkpoint_uri` (file://…, mem://…) every `checkpoint_every_docs`
+  /// ingested documents; both must be set for checkpointing to engage.
+  /// `restore_uri` resumes from the newest valid checkpoint under that
+  /// root before ingest starts (the run aborts on a config-fingerprint
+  /// mismatch — wrong state is worse than no state).
+  std::string checkpoint_uri;
+  uint64_t checkpoint_every_docs = 0;
+  std::string restore_uri;
+
+  /// Fault schedule injected under the checkpoint *writer* (resilience
+  /// experiments): the run must complete with graceful degradation —
+  /// failed checkpoints logged and counted, ingest never stalled.
+  storage::FaultPlan checkpoint_faults;
 
   /// Applies the paper's tps parameter (raw tweets/second).
   void set_tps(double tps) { generator.tps = tps; }

@@ -1,7 +1,11 @@
 #include "exp/driver.h"
 
 #include <cmath>
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
 
 #include "core/check.h"
 #include "ops/centralized.h"
@@ -120,7 +124,6 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
                            config.series_stride,
                            config.pipeline.num_calculators);
 
-  stream::Topology<ops::Message> topology;
   auto spout = std::make_unique<ops::GeneratorSpout>(config.generator,
                                                      config.num_documents);
   std::unique_ptr<serve::CorrelationIndex> serve_index;
@@ -134,13 +137,54 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     serve_index = std::make_unique<serve::CorrelationIndex>(serve_config);
     serve_sink = std::make_unique<serve::IndexSink>(serve_index.get());
   }
-  const ops::TopologyHandles handles = ops::BuildCorrelationTopology(
-      &topology, std::move(spout), config.pipeline, &metrics,
-      config.with_centralized_baseline, serve_sink.get());
 
-  std::unique_ptr<stream::Runtime<ops::Message>> runtime =
-      ops::MakeConfiguredRuntime(&topology, config.pipeline);
-  runtime->Run(/*flush_horizon=*/config.pipeline.report_period);
+  // Two run shapes share all harvesting below: the plain single Run, and
+  // the segmented checkpoint/restore protocol (ops/checkpoint_runner.h)
+  // when durability knobs are set. `topology` must outlive `runtime`.
+  std::unique_ptr<stream::Topology<ops::Message>> topology;
+  std::unique_ptr<stream::Runtime<ops::Message>> runtime;
+  ops::TopologyHandles handles;
+  ops::CheckpointRunStats checkpoint_stats;
+  const bool durable =
+      !config.checkpoint_uri.empty() || !config.restore_uri.empty();
+  if (durable) {
+    ops::CheckpointRunnerOptions options;
+    options.checkpoint_uri = config.checkpoint_uri;
+    options.every_docs = config.checkpoint_every_docs;
+    options.restore_uri = config.restore_uri;
+    options.faults = config.checkpoint_faults;
+    if (serve_index != nullptr) {
+      serve::CorrelationIndex* index = serve_index.get();
+      options.export_serve = [index](std::string* out) {
+        index->ExportState(out);
+      };
+      options.restore_serve = [index](std::string_view blob) {
+        return index->RestoreState(blob);
+      };
+    }
+    ops::CheckpointedRun run;
+    std::string error;
+    const bool ok = ops::RunCheckpointedPipeline(
+        std::move(spout), config.pipeline, options, &metrics,
+        config.with_centralized_baseline, serve_sink.get(),
+        /*baseline_sink=*/nullptr,
+        /*final_flush_horizon=*/config.pipeline.report_period, &run, &error);
+    if (!ok) {
+      std::fprintf(stderr, "RunExperiment: %s\n", error.c_str());
+    }
+    CORRTRACK_CHECK(ok);
+    topology = std::move(run.topology);
+    runtime = std::move(run.runtime);
+    handles = run.handles;
+    checkpoint_stats = std::move(run.stats);
+  } else {
+    topology = std::make_unique<stream::Topology<ops::Message>>();
+    handles = ops::BuildCorrelationTopology(
+        topology.get(), std::move(spout), config.pipeline, &metrics,
+        config.with_centralized_baseline, serve_sink.get());
+    runtime = ops::MakeConfiguredRuntime(topology.get(), config.pipeline);
+    runtime->Run(/*flush_horizon=*/config.pipeline.report_period);
+  }
   metrics.OnRuntimeStats(runtime->stats());
   metrics.FinishSeries();
 
@@ -167,6 +211,15 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   result.peak_calculators = metrics.peak_calculators();
   result.series = metrics.series();
   result.repartition_events = metrics.repartitions();
+  result.checkpoints_written = checkpoint_stats.checkpoints_written;
+  result.checkpoints_failed = checkpoint_stats.checkpoints_failed;
+  result.checkpoint_bytes = checkpoint_stats.checkpoint_bytes;
+  result.restore_chunks = checkpoint_stats.restore_chunks;
+  result.storage_retries = checkpoint_stats.storage_retries;
+  result.storage_faults_injected = checkpoint_stats.storage_faults_injected;
+  result.restored = checkpoint_stats.restored;
+  result.restored_docs = checkpoint_stats.restored_docs;
+  result.checkpoint_events = std::move(checkpoint_stats.events);
 
   if (config.with_centralized_baseline && metrics.any_install()) {
     const auto* tracker = static_cast<ops::TrackerBolt*>(

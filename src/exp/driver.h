@@ -7,6 +7,7 @@
 
 #include "exp/config.h"
 #include "exp/metrics.h"
+#include "ops/checkpoint_runner.h"
 #include "stream/runtime.h"
 
 namespace corrtrack::exp {
@@ -68,6 +69,19 @@ struct ExperimentResult {
   // Figures 8/9 time series.
   std::vector<SeriesSample> series;
   std::vector<RepartitionEvent> repartition_events;
+
+  // Durability (storage layer): checkpoint/restore outcome counters and
+  // the per-attempt trail of the run (ExperimentConfig::checkpoint_uri and
+  // friends). All zero / empty when the run was not checkpointed.
+  uint64_t checkpoints_written = 0;
+  uint64_t checkpoints_failed = 0;
+  uint64_t checkpoint_bytes = 0;
+  uint64_t restore_chunks = 0;
+  uint64_t storage_retries = 0;
+  uint64_t storage_faults_injected = 0;
+  bool restored = false;
+  uint64_t restored_docs = 0;
+  std::vector<ops::CheckpointEvent> checkpoint_events;
 };
 
 /// Builds the Fig. 2 topology for `config`, streams the synthetic workload

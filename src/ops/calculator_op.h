@@ -2,6 +2,7 @@
 #define CORRTRACK_OPS_CALCULATOR_OP_H_
 
 #include "core/jaccard.h"
+#include "ops/checkpoint_state.h"
 #include "ops/messages.h"
 #include "ops/pipeline_config.h"
 #include "stream/topology.h"
@@ -68,6 +69,25 @@ class CalculatorBolt : public stream::Bolt<Message> {
 
   const SubsetCounterTable& counters() const { return counters_; }
   uint64_t quiesces() const { return quiesces_; }
+
+  /// Checkpoint support: export the unreported counters (sorted) and the
+  /// epoch stamp; restore injects them through Add() — counter tables are
+  /// linear, so the rebuilt table equals the captured one entry for entry.
+  void ExportState(CalculatorState* out) const {
+    out->instance = instance_;
+    out->epoch = epoch_;
+    out->quiesces = quiesces_;
+    out->counters = counters_.ExportCounters();
+  }
+
+  void RestoreState(const CalculatorState& state) {
+    epoch_ = state.epoch;
+    quiesces_ = state.quiesces;
+    counters_.Reset();
+    for (const auto& [tags, count] : state.counters) {
+      counters_.Add(tags, count);
+    }
+  }
 
  private:
   PipelineConfig config_;

@@ -6,6 +6,7 @@
 #include "core/flat_counter_table.h"
 #include "core/jaccard.h"
 #include "core/tagset.h"
+#include "ops/checkpoint_state.h"
 #include "ops/messages.h"
 #include "ops/period_sink.h"
 #include "ops/pipeline_config.h"
@@ -50,6 +51,34 @@ class CentralizedBolt : public stream::Bolt<Message> {
 
   const std::map<Timestamp, PeriodResults>& periods() const {
     return periods_;
+  }
+
+  /// Checkpoint support (same discipline as TrackerBolt: insertion-order
+  /// export/re-emplace, linear counter re-Add, sink not replayed).
+  void ExportState(CentralizedState* out) const {
+    out->counters = counters_.ExportCounters();
+    out->periods.clear();
+    for (const auto& [period_end, results] : periods_) {
+      std::vector<JaccardEstimate>& estimates = out->periods[period_end];
+      estimates.reserve(results.size());
+      for (const auto& [tags, estimate] : results) {
+        estimates.push_back(estimate);
+      }
+    }
+  }
+
+  void RestoreState(const CentralizedState& state) {
+    counters_.Reset();
+    for (const auto& [tags, count] : state.counters) {
+      counters_.Add(tags, count);
+    }
+    periods_.clear();
+    for (const auto& [period_end, estimates] : state.periods) {
+      PeriodResults& results = periods_[period_end];
+      for (const JaccardEstimate& estimate : estimates) {
+        results.emplace(estimate.tags, estimate);
+      }
+    }
   }
 
  private:

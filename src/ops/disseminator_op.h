@@ -7,6 +7,7 @@
 #include "core/flat_counter_table.h"
 #include "core/partition.h"
 #include "core/tagset.h"
+#include "ops/checkpoint_state.h"
 #include "ops/messages.h"
 #include "ops/metrics_sink.h"
 #include "ops/pipeline_config.h"
@@ -78,6 +79,14 @@ class DisseminatorBolt : public stream::Bolt<Message> {
   uint64_t handoff_entries_dropped() const {
     return handoff_entries_dropped_;
   }
+
+  /// Checkpoint support (ops/checkpoint_state.h): export collapses the COW
+  /// route table into a flat PartitionSetState; restore rebuilds it as an
+  /// owned copy. In-flight request/verdict flags that reference dropped
+  /// feedback messages are reset so the restored pipeline can re-issue
+  /// them instead of waiting forever (see RestoreState).
+  void ExportState(DisseminatorState* out) const;
+  void RestoreState(const DisseminatorState& state);
 
  private:
   void HandleDoc(const ParsedDoc& parsed, stream::Emitter<Message>& out);

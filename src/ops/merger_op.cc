@@ -171,4 +171,28 @@ void MergerBolt::HandleUncovered(const UncoveredTagset& uncovered,
   out.Emit(Message(std::move(decision)));
 }
 
+void MergerBolt::ExportState(MergerState* out) const {
+  out->has_master = master_ != nullptr;
+  if (out->has_master) {
+    FlattenPartitionSet(*master_, &out->master);
+  } else {
+    out->master = PartitionSetState();
+  }
+  out->epoch = epoch_;
+  out->single_additions = single_additions_;
+  out->grows = grows_;
+  out->had_pending_rounds = !rounds_.empty();
+}
+
+void MergerBolt::RestoreState(const MergerState& state) {
+  rounds_.clear();
+  master_.reset();
+  if (state.has_master) {
+    master_ = std::make_unique<PartitionSet>(RebuildPartitionSet(state.master));
+  }
+  epoch_ = state.epoch;
+  single_additions_ = state.single_additions;
+  grows_ = state.grows;
+}
+
 }  // namespace corrtrack::ops

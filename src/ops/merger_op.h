@@ -8,6 +8,7 @@
 
 #include "core/partition.h"
 #include "core/partitioning.h"
+#include "ops/checkpoint_state.h"
 #include "ops/messages.h"
 #include "ops/metrics_sink.h"
 #include "ops/pipeline_config.h"
@@ -55,6 +56,12 @@ class MergerBolt : public stream::Bolt<Message> {
   const PartitionSet* current_partitions() const { return master_.get(); }
   uint64_t single_additions() const { return single_additions_; }
   uint64_t grows() const { return grows_; }
+
+  /// Checkpoint support: master copy + epoch. Pending rounds are dropped
+  /// (their messages died with the cut) but recorded, so the checkpoint is
+  /// flagged clean_cut=false — durability first, observability attached.
+  void ExportState(MergerState* out) const;
+  void RestoreState(const MergerState& state);
 
  private:
   struct PendingRound {

@@ -74,6 +74,31 @@ class MetricsSink {
   virtual void OnRuntimeStats(const stream::RuntimeStats& stats) {
     (void)stats;
   }
+
+  /// A checkpoint attempt finished (ops/checkpoint_runner.h): sequence
+  /// number, spout position of the cut, bytes and chunks actually written,
+  /// and whether the commit succeeded. A failed attempt (`ok == false`,
+  /// zero bytes counted) is the graceful-degradation path — the pipeline
+  /// keeps running on the previous durable checkpoint.
+  virtual void OnCheckpoint(uint64_t seq, uint64_t docs_ingested,
+                            uint64_t bytes, size_t chunks, bool ok,
+                            Timestamp time) {
+    (void)seq;
+    (void)docs_ingested;
+    (void)bytes;
+    (void)chunks;
+    (void)ok;
+    (void)time;
+  }
+
+  /// A checkpoint was restored before ingest resumed: which sequence
+  /// number, the spout position it rewinds to, and the chunks read.
+  virtual void OnRestore(uint64_t seq, uint64_t docs_ingested,
+                         size_t chunks) {
+    (void)seq;
+    (void)docs_ingested;
+    (void)chunks;
+  }
 };
 
 /// Shared no-op sink for operators constructed without a harness.

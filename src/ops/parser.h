@@ -1,10 +1,13 @@
 #ifndef CORRTRACK_OPS_PARSER_H_
 #define CORRTRACK_OPS_PARSER_H_
 
+#include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/check.h"
 #include "core/tag_dictionary.h"
+#include "ops/checkpoint_state.h"
 #include "ops/messages.h"
 #include "stream/topology.h"
 
@@ -71,6 +74,26 @@ class ParserBolt : public stream::Bolt<Message> {
   }
 
   const TagDictionary& dictionary() const { return dictionary_; }
+
+  /// Checkpointing (ops/checkpoint_state.h): the dictionary's names in id
+  /// order — TagIds are first-arrival dense, so order is the whole state.
+  void ExportState(ParserState* out) const {
+    out->tags.clear();
+    out->tags.reserve(dictionary_.size());
+    for (size_t id = 0; id < dictionary_.size(); ++id) {
+      out->tags.emplace_back(dictionary_.Name(static_cast<TagId>(id)));
+    }
+  }
+
+  /// Replays the interning order into a freshly built bolt. The id check
+  /// holds by construction (empty dictionary, duplicate-free export).
+  void RestoreState(const ParserState& state) {
+    CORRTRACK_CHECK_EQ(dictionary_.size(), 0u);
+    for (size_t id = 0; id < state.tags.size(); ++id) {
+      CORRTRACK_CHECK_EQ(
+          static_cast<size_t>(dictionary_.GetOrAdd(state.tags[id])), id);
+    }
+  }
 
  private:
   bool extract_mentions_;

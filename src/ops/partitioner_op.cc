@@ -63,4 +63,23 @@ void PartitionerBolt::HandleRequest(const RepartitionRequest& request,
   out.Emit(Message(std::move(proposal)));
 }
 
+void PartitionerBolt::ExportState(PartitionerState* out) const {
+  out->instance = instance_;
+  out->last_token = last_token_;
+  out->answered_any = answered_any_;
+  out->window.assign(window_.begin(), window_.end());
+}
+
+void PartitionerBolt::RestoreState(const PartitionerState& state) {
+  last_token_ = state.last_token;
+  answered_any_ = state.answered_any;
+  // Rebuild the window by replaying its documents oldest-first: both
+  // bounds (time span, per-instance count) re-apply exactly as they did
+  // the first time, so eviction state matches the captured window.
+  window_ = SlidingWindow(window_.span(), window_.max_count());
+  for (const Document& doc : state.window) {
+    window_.Add(doc);
+  }
+}
+
 }  // namespace corrtrack::ops

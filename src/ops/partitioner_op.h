@@ -5,6 +5,7 @@
 
 #include "core/partitioning.h"
 #include "core/window.h"
+#include "ops/checkpoint_state.h"
 #include "ops/messages.h"
 #include "ops/pipeline_config.h"
 #include "stream/topology.h"
@@ -27,6 +28,11 @@ class PartitionerBolt : public stream::Bolt<Message> {
                stream::Emitter<Message>& out) override;
 
   size_t window_size() const { return window_.size(); }
+
+  /// Checkpoint support: the window's documents oldest-first (re-Add() in
+  /// order reproduces the eviction state) and the round-dedup token.
+  void ExportState(PartitionerState* out) const;
+  void RestoreState(const PartitionerState& state);
 
  private:
   void HandleDoc(const ParsedDoc& parsed);

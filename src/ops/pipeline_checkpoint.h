@@ -1,0 +1,56 @@
+#ifndef CORRTRACK_OPS_PIPELINE_CHECKPOINT_H_
+#define CORRTRACK_OPS_PIPELINE_CHECKPOINT_H_
+
+#include <cstdint>
+
+#include "ops/checkpoint_state.h"
+#include "ops/messages.h"
+#include "ops/pipeline_config.h"
+#include "ops/topology_builder.h"
+#include "storage/checkpoint.h"
+#include "stream/runtime.h"
+
+namespace corrtrack::ops {
+
+/// Capture / encode / decode between the live pipeline and the storage
+/// layer's CheckpointData. The division of labour:
+///
+///   bolts          Export/RestoreState       (ops/checkpoint_state.h)
+///   this file      capture + (de)serialise   (sections <-> state structs)
+///   storage        chunk frames, CRCs, the manifest commit protocol
+///
+/// One section per component instance — calc_<i>, part_<i>, and the
+/// singletons tracker / dissem / merger / central / serve — so the
+/// CheckpointReader's chunk-parallel restore has real parallelism to use.
+
+/// Fingerprint of every config knob the checkpoint format depends on
+/// (semantic state: algorithm, counts, periods, thresholds, seed, merge
+/// rule). Restore refuses a checkpoint whose fingerprint differs — counters
+/// from a run with a different window span or seed would be silently wrong,
+/// not just stale. Execution-substrate knobs (runtime kind, threads, queue
+/// capacities, affinity) are deliberately excluded: a checkpoint taken on
+/// the simulator restores onto the pool runtime and vice versa.
+uint64_t PipelineConfigFingerprint(const PipelineConfig& config);
+
+/// Captures every constructed bolt's state from a drained runtime (call
+/// only after Run() returned — the capture reads bolt internals without
+/// locks, which is safe exactly when no task is live). Pool-substrate slots
+/// that were never spawned are skipped; retirees keep their residual
+/// counters captured.
+PipelineCheckpointState CapturePipelineState(
+    stream::Runtime<Message>& runtime, const TopologyHandles& handles,
+    const PipelineConfig& config, uint64_t docs_ingested, Timestamp last_time);
+
+/// Serialises the captured state into the storage layer's checkpoint unit.
+storage::CheckpointData EncodeCheckpoint(const PipelineCheckpointState& state,
+                                         uint64_t seq, uint64_t fingerprint);
+
+/// Parses a loaded checkpoint back. Returns false on any malformed section
+/// (the storage layer's CRCs make that unreachable short of a version
+/// skew, but the decoder still refuses rather than trusting bounds).
+bool DecodeCheckpoint(const storage::CheckpointData& data,
+                      PipelineCheckpointState* out);
+
+}  // namespace corrtrack::ops
+
+#endif  // CORRTRACK_OPS_PIPELINE_CHECKPOINT_H_

@@ -149,6 +149,13 @@ struct PipelineConfig {
   /// compact (fill one package/NUMA domain first) or scatter (round-robin
   /// packages). Ignored by the simulation and threaded substrates.
   stream::AffinityPolicy affinity = stream::AffinityPolicy::kNone;
+
+  /// Virtual time the runtime starts at (RuntimeOptions::start_time): tick
+  /// schedules begin at the first period boundary strictly after it.
+  /// Checkpoint restore sets this to the cut's newest timestamp so a
+  /// restored mid-period counter table is not flushed by a stale catch-up
+  /// tick. 0 = the normal from-the-beginning schedule.
+  Timestamp virtual_start_time = 0;
 };
 
 }  // namespace corrtrack::ops

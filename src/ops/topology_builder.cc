@@ -27,7 +27,8 @@ TopologyHandles BuildCorrelationTopology(
     std::unique_ptr<stream::Spout<Message>> spout,
     const PipelineConfig& config, MetricsSink* metrics,
     bool with_centralized_baseline, PeriodSink* tracker_sink,
-    PeriodSink* baseline_sink) {
+    PeriodSink* baseline_sink,
+    std::shared_ptr<const PipelineCheckpointState> restore) {
   TopologyHandles handles;
   // The elastic install protocol's participants need the Calculator's
   // component id, which is only known after the components below are
@@ -40,40 +41,66 @@ TopologyHandles BuildCorrelationTopology(
 
   handles.parser = topology->AddBolt(
       "parser",
-      [config](int) {
-        return std::make_unique<ParserBolt>(config.parser_extract_mentions);
+      [config, restore](int) {
+        auto bolt =
+            std::make_unique<ParserBolt>(config.parser_extract_mentions);
+        if (restore != nullptr) bolt->RestoreState(restore->parser);
+        return bolt;
       },
       /*parallelism=*/1);
 
   handles.partitioner = topology->AddBolt(
       "partitioner",
-      [config](int instance) {
-        return std::make_unique<PartitionerBolt>(config, instance);
+      [config, restore](int instance) {
+        auto bolt = std::make_unique<PartitionerBolt>(config, instance);
+        if (restore != nullptr) {
+          for (const PartitionerState& state : restore->partitioners) {
+            if (state.instance == instance) {
+              bolt->RestoreState(state);
+              break;
+            }
+          }
+        }
+        return bolt;
       },
       config.num_partitioners);
 
   handles.merger = topology->AddBolt(
       "merger",
-      [config, metrics, wired](int) {
+      [config, metrics, wired, restore](int) {
         auto bolt = std::make_unique<MergerBolt>(config, metrics);
         bolt->set_calculator_component(wired->calculator);
+        if (restore != nullptr) bolt->RestoreState(restore->merger);
         return bolt;
       },
       /*parallelism=*/1);
 
   handles.disseminator = topology->AddBolt(
       "disseminator",
-      [config, metrics, wired](int) {
+      [config, metrics, wired, restore](int) {
         auto bolt = std::make_unique<DisseminatorBolt>(config, metrics);
         bolt->set_calculator_component(wired->calculator);
+        if (restore != nullptr) bolt->RestoreState(restore->disseminator);
         return bolt;
       },
       /*parallelism=*/1);
 
   handles.calculator = topology->AddBolt(
       "calculator",
-      [config](int instance) {
-        return std::make_unique<CalculatorBolt>(config, instance);
+      [config, restore](int instance) {
+        auto bolt = std::make_unique<CalculatorBolt>(config, instance);
+        if (restore != nullptr) {
+          // Pool-substrate spare slots are spawned lazily by the first
+          // resize that needs them; a match here restores a retiree's
+          // residual counters no matter when the factory finally runs.
+          for (const CalculatorState& state : restore->calculators) {
+            if (state.instance == instance) {
+              bolt->RestoreState(state);
+              break;
+            }
+          }
+        }
+        return bolt;
       },
       config.num_calculators, config.report_period);
   if (config.EffectiveMaxCalculators() > config.num_calculators) {
@@ -83,9 +110,11 @@ TopologyHandles BuildCorrelationTopology(
 
   handles.tracker = topology->AddBolt(
       "tracker",
-      [tracker_sink, config](int) {
-        return std::make_unique<TrackerBolt>(tracker_sink,
-                                             config.tracker_merge);
+      [tracker_sink, config, restore](int) {
+        auto bolt =
+            std::make_unique<TrackerBolt>(tracker_sink, config.tracker_merge);
+        if (restore != nullptr) bolt->RestoreState(restore->tracker);
+        return bolt;
       },
       /*parallelism=*/1);
 
@@ -133,8 +162,12 @@ TopologyHandles BuildCorrelationTopology(
   if (with_centralized_baseline) {
     handles.centralized = topology->AddBolt(
         "centralized",
-        [config, baseline_sink](int) {
-          return std::make_unique<CentralizedBolt>(config, baseline_sink);
+        [config, baseline_sink, restore](int) {
+          auto bolt = std::make_unique<CentralizedBolt>(config, baseline_sink);
+          if (restore != nullptr && restore->has_centralized) {
+            bolt->RestoreState(restore->centralized);
+          }
+          return bolt;
         },
         /*parallelism=*/1, config.report_period);
     topology->Subscribe(handles.centralized, handles.parser,
@@ -172,6 +205,7 @@ std::unique_ptr<stream::Runtime<Message>> MakeConfiguredRuntime(
                                : AutoSizeQueueCapacity(observed);
   options.num_threads = config.num_threads;
   options.affinity = config.affinity;
+  options.start_time = config.virtual_start_time;
   return stream::MakeRuntime<Message>(config.runtime, topology, options);
 }
 

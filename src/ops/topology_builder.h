@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "ops/checkpoint_state.h"
 #include "ops/messages.h"
 #include "ops/metrics_sink.h"
 #include "ops/period_sink.h"
@@ -51,12 +52,24 @@ struct TopologyHandles {
 /// observers to the Tracker and the Centralized baseline — the serving
 /// layer's ingest hooks (serve::IndexSink). Each sink is driven by exactly
 /// one bolt task, satisfying a CorrelationIndex's single-writer contract.
+///
+/// `restore` (optional) injects a checkpoint's captured state through the
+/// bolt factories: every bolt a factory constructs applies its matching
+/// state struct before the runtime ever schedules it, so a restored
+/// topology resumes exactly where the cut was taken. The pointer must stay
+/// valid until the runtime has been built (factories run at Runtime
+/// construction — and, on the pool substrate, lazily at the first resize
+/// that spawns a spare Calculator slot, so keep it alive for the whole
+/// run). Pass the topology's ORIGINAL config: the restored elastic
+/// parallelism is re-applied by the caller via
+/// TopologyControl::ResizeComponent, not by shifting build-time counts.
 TopologyHandles BuildCorrelationTopology(
     stream::Topology<Message>* topology,
     std::unique_ptr<stream::Spout<Message>> spout,
     const PipelineConfig& config, MetricsSink* metrics,
     bool with_centralized_baseline, PeriodSink* tracker_sink = nullptr,
-    PeriodSink* baseline_sink = nullptr);
+    PeriodSink* baseline_sink = nullptr,
+    std::shared_ptr<const PipelineCheckpointState> restore = nullptr);
 
 /// Queue-capacity auto-sizing for `PipelineConfig::queue_capacity == 0`:
 /// starting floor when no prior observation exists, and the doubling

@@ -6,6 +6,7 @@
 #include "core/flat_counter_table.h"
 #include "core/jaccard.h"
 #include "core/tagset.h"
+#include "ops/checkpoint_state.h"
 #include "ops/messages.h"
 #include "ops/period_sink.h"
 #include "stream/topology.h"
@@ -72,6 +73,36 @@ class TrackerBolt : public stream::Bolt<Message> {
   uint64_t reports_received() const { return reports_received_; }
   /// Newest partition epoch any report carried (resize observability).
   Epoch latest_epoch() const { return latest_epoch_; }
+
+  /// Checkpoint support: the full period map, each period's estimates in
+  /// the FlatTagSetMap's insertion order. Restore re-emplaces in that order
+  /// (keys are unique per period, so no merge fires) — the restored map
+  /// iterates identically to the captured one. The sink is NOT replayed:
+  /// the serving index checkpoints its own state (serve_blob).
+  void ExportState(TrackerState* out) const {
+    out->reports_received = reports_received_;
+    out->latest_epoch = latest_epoch_;
+    out->periods.clear();
+    for (const auto& [period_end, results] : periods_) {
+      std::vector<JaccardEstimate>& estimates = out->periods[period_end];
+      estimates.reserve(results.size());
+      for (const auto& [tags, estimate] : results) {
+        estimates.push_back(estimate);
+      }
+    }
+  }
+
+  void RestoreState(const TrackerState& state) {
+    reports_received_ = state.reports_received;
+    latest_epoch_ = state.latest_epoch;
+    periods_.clear();
+    for (const auto& [period_end, estimates] : state.periods) {
+      PeriodResults& results = periods_[period_end];
+      for (const JaccardEstimate& estimate : estimates) {
+        results.emplace(estimate.tags, estimate);
+      }
+    }
+  }
 
  private:
   PeriodSink* sink_;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <string>
+#include <string_view>
 
 #include "core/check.h"
+#include "storage/serialize.h"
 
 namespace corrtrack::serve {
 
@@ -203,6 +206,88 @@ std::shared_ptr<const ShardSnapshot> CorrelationIndex::BuildSnapshot(
     i = run_end;
   }
   return snapshot;
+}
+
+void CorrelationIndex::ExportState(std::string* out) const {
+  storage::ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(num_shards_));
+  w.PutU64(epoch_.load(std::memory_order_acquire));
+  w.PutI64(latest_period_.load(std::memory_order_acquire));
+  w.PutU64(recent_periods_.size());
+  for (const Timestamp t : recent_periods_) w.PutI64(t);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    const Shard& shard = shards_[s];
+    w.PutU64(shard.builder.size());
+    // Insertion order: FlatTagSetMap iterates in it, and restoring in the
+    // same order reproduces the builder's internal layout — and therefore
+    // every future snapshot — bit for bit.
+    for (const auto& [tags, entry] : shard.builder) {
+      w.PutU32(static_cast<uint32_t>(tags.size()));
+      for (const TagId tag : tags) w.PutU32(tag);
+      w.PutDouble(entry.coefficient);
+      w.PutU64(entry.intersection_count);
+      w.PutU64(entry.union_count);
+      w.PutI64(entry.period_end);
+    }
+  }
+  *out = w.str();
+}
+
+bool CorrelationIndex::RestoreState(std::string_view blob) {
+  storage::ByteReader r(blob);
+  uint32_t shards = 0;
+  uint64_t epoch = 0;
+  int64_t latest = 0;
+  uint64_t num_recent = 0;
+  if (!r.GetU32(&shards) || !r.GetU64(&epoch) || !r.GetI64(&latest) ||
+      !r.GetU64(&num_recent)) {
+    return false;
+  }
+  // The shard a tag hashes into depends on the shard count, so a blob from
+  // a differently configured index would scatter entries wrongly: refuse.
+  if (static_cast<size_t>(shards) != num_shards_) return false;
+  std::vector<Timestamp> recent;
+  recent.reserve(static_cast<size_t>(num_recent));
+  for (uint64_t i = 0; i < num_recent; ++i) {
+    int64_t t = 0;
+    if (!r.GetI64(&t)) return false;
+    recent.push_back(t);
+  }
+  for (size_t s = 0; s < num_shards_; ++s) {
+    Shard& shard = shards_[s];
+    shard.builder.clear();
+    shard.dirty = false;
+    uint64_t entries = 0;
+    if (!r.GetU64(&entries)) return false;
+    for (uint64_t i = 0; i < entries; ++i) {
+      uint32_t num_tags = 0;
+      if (!r.GetU32(&num_tags)) return false;
+      if (num_tags > static_cast<uint32_t>(kMaxTagsPerDocument)) return false;
+      TagId tag_buf[kMaxTagsPerDocument];
+      for (uint32_t t = 0; t < num_tags; ++t) {
+        if (!r.GetU32(&tag_buf[t])) return false;
+      }
+      // Exported via TagSet iteration, so the run is canonical already.
+      const TagSet tags = TagSet::FromSorted(tag_buf, tag_buf + num_tags);
+      BuilderEntry entry;
+      if (!r.GetDouble(&entry.coefficient) ||
+          !r.GetU64(&entry.intersection_count) ||
+          !r.GetU64(&entry.union_count) || !r.GetI64(&entry.period_end)) {
+        return false;
+      }
+      shard.builder.emplace(tags, entry);
+    }
+  }
+  recent_periods_ = std::move(recent);
+  latest_period_.store(latest, std::memory_order_release);
+  epoch_.store(epoch, std::memory_order_release);
+  // Republish every shard so readers serve the restored state immediately
+  // (the constructor's empty snapshots would otherwise linger until the
+  // next dirtying ApplyPeriod).
+  for (size_t s = 0; s < num_shards_; ++s) {
+    Publish(shards_[s], BuildSnapshot(s, epoch));
+  }
+  return true;
 }
 
 CorrelationIndex::Reader::Reader(const CorrelationIndex* index)

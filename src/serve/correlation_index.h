@@ -180,6 +180,17 @@ class CorrelationIndex {
 
   Reader NewReader() const { return Reader(this); }
 
+  /// Checkpoint support (writer-side, externally serialised like
+  /// ApplyPeriod): serialises the builder state — per-shard entries in
+  /// insertion order, the retention window and the publish counters — into
+  /// `out`. RestoreState parses a blob back, rebuilds every shard's builder
+  /// and republishes fresh snapshots, so a restored index serves exactly
+  /// what the captured one did. Returns false (leaving the index
+  /// untouched or cleared) on a malformed blob or a shard-count mismatch
+  /// with this index's configuration.
+  void ExportState(std::string* out) const;
+  bool RestoreState(std::string_view blob);
+
   /// Monotone publish counter: bumped once per ApplyPeriod that changed
   /// anything.
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }

@@ -1,0 +1,382 @@
+#include "storage/checkpoint.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "storage/crc32c.h"
+#include "storage/serialize.h"
+
+namespace corrtrack::storage {
+
+namespace {
+
+constexpr uint32_t kChunkMagic = 0x31435443u;     // "CTC1" little-endian.
+constexpr uint32_t kManifestMagic = 0x314d5443u;  // "CTM1".
+constexpr uint32_t kFormatVersion = 1;
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kManifestTmpName[] = "MANIFEST.tmp";
+constexpr char kDirPrefix[] = "checkpoint_";
+
+std::string EncodeChunkFrame(const std::string& payload) {
+  ByteWriter w;
+  w.PutU32(kChunkMagic);
+  w.PutU32(Crc32c::Of(payload));
+  w.PutU64(payload.size());
+  const std::string& header = w.str();
+  std::string frame;
+  frame.reserve(header.size() + payload.size());
+  frame.append(header);
+  frame.append(payload);
+  return frame;
+}
+
+Status DecodeChunkFrame(const std::string& frame, const std::string& what,
+                        uint64_t expect_size, uint32_t expect_crc,
+                        std::string* payload) {
+  ByteReader r(frame);
+  uint32_t magic = 0;
+  uint32_t crc = 0;
+  uint64_t size = 0;
+  if (!r.GetU32(&magic) || !r.GetU32(&crc) || !r.GetU64(&size)) {
+    return Status::Corruption("truncated chunk header: " + what);
+  }
+  if (magic != kChunkMagic) {
+    return Status::Corruption("bad chunk magic: " + what);
+  }
+  if (size != r.remaining() || size != expect_size || crc != expect_crc) {
+    return Status::Corruption("chunk size/crc does not match manifest: " +
+                              what);
+  }
+  // The frame body is everything after the fixed header.
+  const size_t header_size = sizeof(uint32_t) * 2 + sizeof(uint64_t);
+  std::string_view raw(frame);
+  raw.remove_prefix(header_size);
+  if (Crc32c::Of(raw) != crc) {
+    return Status::Corruption("chunk checksum mismatch: " + what);
+  }
+  payload->assign(raw.data(), raw.size());
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string CheckpointDirName(uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%010llu", kDirPrefix,
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+Status RetryOp(const RetryPolicy& policy, uint64_t* retries,
+               const std::function<Status()>& op) {
+  const int attempts = std::max(1, policy.max_attempts);
+  Status status;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    status = op();
+    if (status.ok() || !status.IsTransient()) return status;
+    if (attempt == attempts) break;
+    if (retries != nullptr) ++*retries;
+    const int backoff_ms = policy.base_backoff_ms << (attempt - 1);
+    if (backoff_ms > 0) {
+      if (policy.sleeper) {
+        policy.sleeper(backoff_ms);
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      }
+    }
+  }
+  return status;
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+CheckpointWriter::CheckpointWriter(std::shared_ptr<Storage> storage,
+                                   std::string root, RetryPolicy retry,
+                                   int keep)
+    : storage_(std::move(storage)),
+      root_(std::move(root)),
+      retry_(std::move(retry)),
+      keep_(std::max(1, keep)) {}
+
+Status CheckpointWriter::WriteFileDurably(const std::string& path,
+                                          const std::string& frame) {
+  // Whole-file retry granularity: a transient failure anywhere in
+  // open/append/sync restarts the file from scratch (O_TRUNC), so a
+  // half-appended attempt can never survive into the retried one.
+  return RetryOp(retry_, &retries_, [&]() {
+    std::unique_ptr<WritableFile> file;
+    Status status = storage_->NewWritableFile(path, &file);
+    if (!status.ok()) return status;
+    status = file->Append(frame);
+    if (!status.ok()) return status;
+    status = file->Sync();
+    if (!status.ok()) return status;
+    return file->Close();
+  });
+}
+
+Status CheckpointWriter::Write(const CheckpointData& data,
+                               uint64_t* bytes_written,
+                               uint64_t* chunks_written) {
+  if (bytes_written != nullptr) *bytes_written = 0;
+  if (chunks_written != nullptr) *chunks_written = 0;
+  const std::string dir = JoinPath(root_, CheckpointDirName(data.seq));
+
+  Status status = RetryOp(retry_, &retries_,
+                          [&]() { return storage_->CreateDirs(dir); });
+  if (!status.ok()) return status;
+  // Scrub leftovers of a previously failed attempt at this seq, so stale
+  // chunks can never be picked up by the manifest written below.
+  if (storage_->FileExists(JoinPath(dir, kManifestTmpName)).ok()) {
+    (void)storage_->DeleteFile(JoinPath(dir, kManifestTmpName));
+  }
+
+  uint64_t bytes = 0;
+  ByteWriter manifest;
+  manifest.PutU32(kManifestMagic);
+  manifest.PutU32(kFormatVersion);
+  manifest.PutU64(data.seq);
+  manifest.PutU64(data.docs_ingested);
+  manifest.PutI64(data.last_time);
+  manifest.PutU32(data.epoch);
+  manifest.PutU32(static_cast<uint32_t>(data.live_calculators));
+  manifest.PutU32(static_cast<uint32_t>(data.max_calculators));
+  manifest.PutU64(data.config_fingerprint);
+  manifest.PutU8(data.clean_cut ? 1 : 0);
+  manifest.PutU32(static_cast<uint32_t>(data.sections.size()));
+
+  for (const CheckpointSection& section : data.sections) {
+    const std::string frame = EncodeChunkFrame(section.payload);
+    status = WriteFileDurably(JoinPath(dir, section.name + ".chunk"), frame);
+    if (!status.ok()) {
+      (void)storage_->DeleteDirRecursive(dir);
+      return status;
+    }
+    bytes += frame.size();
+    manifest.PutBytes(section.name);
+    manifest.PutU64(section.payload.size());
+    manifest.PutU32(Crc32c::Of(section.payload));
+  }
+
+  // Self-checksummed tail: a torn manifest write (crash before the rename
+  // completed, short write, bit rot) fails validation and the whole
+  // directory is treated as absent.
+  std::string manifest_bytes = manifest.Take();
+  {
+    ByteWriter tail;
+    tail.PutU32(Crc32c::Of(manifest_bytes));
+    manifest_bytes += tail.str();
+  }
+  status = WriteFileDurably(JoinPath(dir, kManifestTmpName), manifest_bytes);
+  if (!status.ok()) {
+    (void)storage_->DeleteDirRecursive(dir);
+    return status;
+  }
+  status = RetryOp(retry_, &retries_, [&]() {
+    return storage_->RenameFile(JoinPath(dir, kManifestTmpName),
+                                JoinPath(dir, kManifestName));
+  });
+  if (!status.ok()) {
+    (void)storage_->DeleteDirRecursive(dir);
+    return status;
+  }
+  bytes += manifest_bytes.size();
+  if (bytes_written != nullptr) *bytes_written = bytes;
+  if (chunks_written != nullptr) {
+    *chunks_written = static_cast<uint64_t>(data.sections.size());
+  }
+
+  // Retention GC — only after a successful commit, and never the one just
+  // written. Failures here are ignored: the directory will be re-listed
+  // and re-scrubbed on the next write.
+  std::vector<std::string> names;
+  if (storage_->ListDirectory(root_, &names).ok()) {
+    std::vector<uint64_t> seqs;
+    for (const std::string& name : names) {
+      if (name.rfind(kDirPrefix, 0) != 0) continue;
+      const uint64_t seq =
+          std::strtoull(name.c_str() + sizeof(kDirPrefix) - 1, nullptr, 10);
+      if (seq < data.seq) seqs.push_back(seq);
+    }
+    std::sort(seqs.begin(), seqs.end());
+    const int excess = static_cast<int>(seqs.size()) - (keep_ - 1);
+    for (int i = 0; i < excess; ++i) {
+      (void)storage_->DeleteDirRecursive(
+          JoinPath(root_, CheckpointDirName(seqs[static_cast<size_t>(i)])));
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+CheckpointReader::CheckpointReader(std::shared_ptr<Storage> storage,
+                                   std::string root, RetryPolicy retry,
+                                   int num_threads)
+    : storage_(std::move(storage)),
+      root_(std::move(root)),
+      retry_(std::move(retry)),
+      num_threads_(std::max(1, num_threads)) {}
+
+Status CheckpointReader::ReadManifest(
+    uint64_t seq, CheckpointData* out,
+    std::vector<std::pair<uint64_t, uint32_t>>* chunk_meta) {
+  const std::string path =
+      JoinPath(JoinPath(root_, CheckpointDirName(seq)), kManifestName);
+  std::string bytes;
+  Status status = RetryOp(retry_, &retries_, [&]() {
+    return storage_->ReadFile(path, &bytes);
+  });
+  if (!status.ok()) return status;
+  if (bytes.size() < sizeof(uint32_t)) {
+    return Status::Corruption("manifest truncated: " + path);
+  }
+  const std::string_view body(bytes.data(), bytes.size() - sizeof(uint32_t));
+  ByteReader tail(
+      std::string_view(bytes.data() + body.size(), sizeof(uint32_t)));
+  uint32_t stored_crc = 0;
+  tail.GetU32(&stored_crc);
+  if (Crc32c::Of(body) != stored_crc) {
+    return Status::Corruption("manifest checksum mismatch: " + path);
+  }
+
+  ByteReader r(body);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint32_t epoch = 0;
+  uint32_t live = 0;
+  uint32_t max = 0;
+  uint8_t clean = 0;
+  uint32_t num_chunks = 0;
+  if (!r.GetU32(&magic) || magic != kManifestMagic || !r.GetU32(&version) ||
+      version != kFormatVersion || !r.GetU64(&out->seq) ||
+      !r.GetU64(&out->docs_ingested) || !r.GetI64(&out->last_time) ||
+      !r.GetU32(&epoch) || !r.GetU32(&live) || !r.GetU32(&max) ||
+      !r.GetU64(&out->config_fingerprint) || !r.GetU8(&clean) ||
+      !r.GetU32(&num_chunks)) {
+    return Status::Corruption("manifest header malformed: " + path);
+  }
+  out->epoch = epoch;
+  out->live_calculators = static_cast<int32_t>(live);
+  out->max_calculators = static_cast<int32_t>(max);
+  out->clean_cut = clean != 0;
+  out->sections.clear();
+  out->sections.resize(num_chunks);
+  chunk_meta->clear();
+  chunk_meta->resize(num_chunks);
+  for (uint32_t i = 0; i < num_chunks; ++i) {
+    uint64_t size = 0;
+    uint32_t crc = 0;
+    if (!r.GetString(&out->sections[i].name) || !r.GetU64(&size) ||
+        !r.GetU32(&crc)) {
+      return Status::Corruption("manifest chunk table malformed: " + path);
+    }
+    (*chunk_meta)[i] = {size, crc};
+  }
+  return Status::OK();
+}
+
+Status CheckpointReader::Read(uint64_t seq, CheckpointData* out) {
+  std::vector<std::pair<uint64_t, uint32_t>> chunk_meta;
+  Status status = ReadManifest(seq, out, &chunk_meta);
+  if (!status.ok()) return status;
+
+  const std::string dir = JoinPath(root_, CheckpointDirName(seq));
+  // Chunk-parallel restore: workers claim chunk indices off a shared
+  // counter; each chunk's frame checksum AND its manifest-recorded
+  // size/crc must match before the payload is accepted.
+  std::atomic<size_t> next{0};
+  std::atomic<uint64_t> retry_count{0};
+  std::mutex error_mutex;
+  Status first_error;
+  const auto worker = [&]() {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= out->sections.size()) return;
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error.ok()) return;
+      }
+      CheckpointSection& section = out->sections[i];
+      const std::string path = JoinPath(dir, section.name + ".chunk");
+      std::string frame;
+      uint64_t local_retries = 0;
+      Status s = RetryOp(retry_, &local_retries, [&]() {
+        return storage_->ReadFile(path, &frame);
+      });
+      retry_count.fetch_add(local_retries, std::memory_order_relaxed);
+      if (s.ok()) {
+        s = DecodeChunkFrame(frame, path, chunk_meta[i].first,
+                             chunk_meta[i].second, &section.payload);
+      }
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.ok()) first_error = s;
+        return;
+      }
+    }
+  };
+
+  const int threads = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(num_threads_),
+                       std::max<size_t>(1, out->sections.size())));
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  retries_ += retry_count.load(std::memory_order_relaxed);
+  if (!first_error.ok()) return first_error;
+  last_restore_chunks_ = out->sections.size();
+  return Status::OK();
+}
+
+Status CheckpointReader::ListValid(std::vector<uint64_t>* seqs) {
+  seqs->clear();
+  std::vector<std::string> names;
+  Status status = RetryOp(retry_, &retries_, [&]() {
+    return storage_->ListDirectory(root_, &names);
+  });
+  if (status.code() == StatusCode::kNotFound) return Status::OK();
+  if (!status.ok()) return status;
+  for (const std::string& name : names) {
+    if (name.rfind(kDirPrefix, 0) != 0) continue;
+    const uint64_t seq =
+        std::strtoull(name.c_str() + sizeof(kDirPrefix) - 1, nullptr, 10);
+    CheckpointData manifest_only;
+    std::vector<std::pair<uint64_t, uint32_t>> chunk_meta;
+    if (ReadManifest(seq, &manifest_only, &chunk_meta).ok()) {
+      seqs->push_back(seq);
+    }
+  }
+  std::sort(seqs->begin(), seqs->end());
+  return Status::OK();
+}
+
+Status CheckpointReader::ReadLatest(CheckpointData* out) {
+  std::vector<uint64_t> seqs;
+  Status status = ListValid(&seqs);
+  if (!status.ok()) return status;
+  // Newest first; fall back to older checkpoints when a newer one turns
+  // out to be damaged at chunk depth (its manifest validated, a chunk did
+  // not) — graceful degradation over hard failure.
+  for (auto it = seqs.rbegin(); it != seqs.rend(); ++it) {
+    status = Read(*it, out);
+    if (status.ok()) return status;
+    if (status.IsTransient()) return status;  // Storage down, not damage.
+  }
+  return seqs.empty()
+             ? Status::NotFound("no valid checkpoint under " + root_)
+             : status;
+}
+
+}  // namespace corrtrack::storage

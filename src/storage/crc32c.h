@@ -1,0 +1,49 @@
+#ifndef CORRTRACK_STORAGE_CRC32C_H_
+#define CORRTRACK_STORAGE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace corrtrack::storage {
+
+/// Software CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78)
+/// — the checksum every checkpoint chunk and the manifest tail carry. A
+/// byte-at-a-time table implementation: checkpoint I/O is dominated by
+/// serialisation and fsync, not the checksum, so portability wins over SSE4.2.
+class Crc32c {
+ public:
+  /// Extends `crc` (0 for a fresh checksum) over `data`.
+  static uint32_t Extend(uint32_t crc, const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    crc = ~crc;
+    for (size_t i = 0; i < n; ++i) {
+      crc = Table()[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+    }
+    return ~crc;
+  }
+
+  static uint32_t Of(std::string_view data) {
+    return Extend(0, data.data(), data.size());
+  }
+
+ private:
+  static const uint32_t* Table() {
+    static const uint32_t* const kTable = [] {
+      static uint32_t table[256];
+      for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t crc = i;
+        for (int j = 0; j < 8; ++j) {
+          crc = (crc & 1) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+        }
+        table[i] = crc;
+      }
+      return table;
+    }();
+    return kTable;
+  }
+};
+
+}  // namespace corrtrack::storage
+
+#endif  // CORRTRACK_STORAGE_CRC32C_H_

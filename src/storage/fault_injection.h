@@ -1,0 +1,127 @@
+#ifndef CORRTRACK_STORAGE_FAULT_INJECTION_H_
+#define CORRTRACK_STORAGE_FAULT_INJECTION_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/storage.h"
+
+namespace corrtrack::storage {
+
+/// The fault classes the decorator can inject. Two families:
+///  * silent data damage (kShortWrite, kReadCorruption) — the operation
+///    *succeeds*; only the checkpoint frame CRCs can catch it, which is
+///    what the corruption-detection tests pin.
+///  * reported errors (kNoSpace, kFsyncFail, kTornRename, kTransient) —
+///    the operation returns a Status; kTransient is the only retryable one.
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  kShortWrite,      ///< Append silently drops a suffix of the data.
+  kNoSpace,         ///< Append fails with kNoSpace (ENOSPC mid-write).
+  kFsyncFail,       ///< Sync fails with kIOError; durability unknown.
+  kReadCorruption,  ///< ReadFile succeeds but one bit is flipped.
+  kTornRename,      ///< RenameFile fails; the destination never appears.
+  kTransient,       ///< Any operation fails once with kUnavailable.
+};
+
+inline constexpr int kNumFaultKinds = 7;
+
+inline const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kShortWrite:
+      return "short_write";
+    case FaultKind::kNoSpace:
+      return "no_space";
+    case FaultKind::kFsyncFail:
+      return "fsync_fail";
+    case FaultKind::kReadCorruption:
+      return "read_corruption";
+    case FaultKind::kTornRename:
+      return "torn_rename";
+    case FaultKind::kTransient:
+      return "transient";
+  }
+  return "unknown";
+}
+
+/// One deterministic trigger: the `at_op`-th storage operation (the
+/// decorator numbers every call, including WritableFile ops) suffers
+/// `kind`. The fault-matrix tests aim these at exact protocol steps.
+struct FaultRule {
+  uint64_t at_op = 0;
+  FaultKind kind = FaultKind::kNone;
+};
+
+/// Seeded fault schedule. `probability` rolls an independent SplitMix64
+/// per operation index — deterministic for a given seed regardless of
+/// thread interleaving (the index, not wall time, drives the roll), so a
+/// failing sweep seed replays exactly. A rolled kind that cannot apply to
+/// the operation at hand (e.g. kShortWrite on a read) injects nothing.
+struct FaultPlan {
+  uint64_t seed = 0;
+  double probability = 0.0;
+  std::vector<FaultKind> kinds = {
+      FaultKind::kShortWrite, FaultKind::kNoSpace,  FaultKind::kFsyncFail,
+      FaultKind::kReadCorruption, FaultKind::kTornRename,
+      FaultKind::kTransient};
+  std::vector<FaultRule> rules;
+
+  bool enabled() const { return probability > 0.0 || !rules.empty(); }
+};
+
+/// Injection counters, by class.
+struct FaultStats {
+  uint64_t total = 0;
+  std::array<uint64_t, kNumFaultKinds> by_kind{};
+
+  uint64_t count(FaultKind kind) const {
+    return by_kind[static_cast<size_t>(kind)];
+  }
+};
+
+/// Decorator that wraps any backend in the seeded fault schedule. All
+/// checkpoint I/O in this repo goes through a Storage*, so wrapping here
+/// exercises every path the real backends have.
+class FaultInjectingStorage : public Storage {
+ public:
+  FaultInjectingStorage(std::shared_ptr<Storage> inner, FaultPlan plan);
+
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* file) override;
+  Status ReadFile(const std::string& path, std::string* out) override;
+  Status FileExists(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+  Status DeleteFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status ListDirectory(const std::string& path,
+                       std::vector<std::string>* names) override;
+  Status DeleteDirRecursive(const std::string& path) override;
+  const char* name() const override { return "fault-injecting"; }
+
+  FaultStats stats() const;
+  uint64_t ops() const { return op_counter_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class FaultWritableFile;
+
+  /// Draws the fault (if any) for the next operation, restricted to the
+  /// kinds in `applicable`. Returns kNone when the op proceeds cleanly.
+  FaultKind Draw(std::initializer_list<FaultKind> applicable);
+  void Count(FaultKind kind);
+
+  std::shared_ptr<Storage> inner_;
+  FaultPlan plan_;
+  std::atomic<uint64_t> op_counter_{0};
+  std::atomic<uint64_t> total_faults_{0};
+  std::array<std::atomic<uint64_t>, kNumFaultKinds> by_kind_{};
+};
+
+}  // namespace corrtrack::storage
+
+#endif  // CORRTRACK_STORAGE_FAULT_INJECTION_H_

@@ -1,0 +1,100 @@
+#ifndef CORRTRACK_STORAGE_STATUS_H_
+#define CORRTRACK_STORAGE_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace corrtrack::storage {
+
+/// Error taxonomy of the storage layer. The split that matters operationally
+/// is transient vs permanent: kUnavailable is the only code the checkpoint
+/// retry policy (checkpoint.h) retries — everything else fails the operation
+/// immediately (ENOSPC will not clear by waiting; a CRC mismatch never will).
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,       ///< Object/key does not exist.
+  kCorruption,     ///< Checksum mismatch, truncated frame, bad magic.
+  kNoSpace,        ///< ENOSPC-class failure; permanent until space frees.
+  kUnavailable,    ///< Transient backend hiccup; safe to retry.
+  kIOError,        ///< Other I/O failure (failed fsync, rename, close).
+  kInvalidArgument,
+  kFailedPrecondition,  ///< e.g. restoring under a different PipelineConfig.
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kNoSpace:
+      return "NoSpace";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+  }
+  return "Unknown";
+}
+
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NoSpace(std::string msg) {
+    return Status(StatusCode::kNoSpace, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Retryable per the checkpoint RetryPolicy.
+  bool IsTransient() const { return code_ == StatusCode::kUnavailable; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = StatusCodeName(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace corrtrack::storage
+
+#endif  // CORRTRACK_STORAGE_STATUS_H_

@@ -1,0 +1,370 @@
+#include "storage/storage.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <set>
+#include <system_error>
+
+namespace corrtrack::storage {
+
+namespace {
+
+Status ErrnoStatus(const std::string& op, const std::string& path, int err) {
+  const std::string msg = op + " " + path + ": " + std::strerror(err);
+  switch (err) {
+    case ENOENT:
+      return Status::NotFound(msg);
+    case ENOSPC:
+    case EDQUOT:
+      return Status::NoSpace(msg);
+    case EAGAIN:
+    case EINTR:
+      return Status::Unavailable(msg);
+    default:
+      return Status::IOError(msg);
+  }
+}
+
+/// Normalises a backend path: '/'-rooted, no trailing separator (so the
+/// memory backend's string keys compare consistently however callers join).
+std::string NormalizePath(std::string_view path) {
+  std::string p;
+  p.reserve(path.size() + 1);
+  if (path.empty() || path[0] != '/') p.push_back('/');
+  char prev = 0;
+  for (char c : path) {
+    if (c == '/' && prev == '/') continue;
+    p.push_back(c);
+    prev = c;
+  }
+  while (p.size() > 1 && p.back() == '/') p.pop_back();
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Posix backend (file://)
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write", path_, errno);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_, errno);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoStatus("close", path_, errno);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixStorage : public Storage {
+ public:
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* file) override {
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    *file = std::make_unique<PosixWritableFile>(fd, path);
+    return Status::OK();
+  }
+
+  Status ReadFile(const std::string& path, std::string* out) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    out->clear();
+    char buf[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const int err = errno;
+        ::close(fd);
+        return ErrnoStatus("read", path, err);
+      }
+      if (n == 0) break;
+      out->append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return Status::OK();
+  }
+
+  Status FileExists(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) return ErrnoStatus("stat", path, errno);
+    return Status::OK();
+  }
+
+  Status CreateDirs(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    if (ec) return Status::IOError("mkdir " + path + ": " + ec.message());
+    return Status::OK();
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return ErrnoStatus("unlink", path, errno);
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename", from + " -> " + to, errno);
+    }
+    return Status::OK();
+  }
+
+  Status ListDirectory(const std::string& path,
+                       std::vector<std::string>* names) override {
+    names->clear();
+    std::error_code ec;
+    std::filesystem::directory_iterator it(path, ec);
+    if (ec) {
+      return ec == std::errc::no_such_file_or_directory
+                 ? Status::NotFound("list " + path)
+                 : Status::IOError("list " + path + ": " + ec.message());
+    }
+    for (const auto& entry : it) {
+      names->push_back(entry.path().filename().string());
+    }
+    return Status::OK();
+  }
+
+  Status DeleteDirRecursive(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+    if (ec) return Status::IOError("rm -r " + path + ": " + ec.message());
+    return Status::OK();
+  }
+
+  const char* name() const override { return "posix"; }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Memory backend (mem://) — one process-global filesystem under a mutex.
+
+struct MemoryStorage::Impl {
+  std::mutex mutex;
+  std::map<std::string, std::string> files;  // Normalised path -> contents.
+  std::set<std::string> dirs;                // Normalised paths; "/" implied.
+};
+
+// Namespace scope (not anonymous) so it matches the friend declaration in
+// the header and can see MemoryStorage::Impl.
+class MemWritableFile : public WritableFile {
+ public:
+  MemWritableFile(std::shared_ptr<MemoryStorage::Impl> impl, std::string path)
+      : impl_(std::move(impl)), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override {
+    buffer_.append(data.data(), data.size());
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    // Publish on sync: before the first Sync the object is this file's
+    // private buffer, mirroring a page cache that hasn't been flushed.
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->files[path_] = buffer_;
+    return Status::OK();
+  }
+
+  Status Close() override {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->files[path_] = buffer_;
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<MemoryStorage::Impl> impl_;
+  std::string path_;
+  std::string buffer_;
+};
+
+MemoryStorage::MemoryStorage() : impl_(std::make_shared<Impl>()) {}
+
+MemoryStorage* MemoryStorage::Global() {
+  static MemoryStorage* const kGlobal = new MemoryStorage();
+  return kGlobal;
+}
+
+Status MemoryStorage::NewWritableFile(const std::string& path,
+                                      std::unique_ptr<WritableFile>* file) {
+  *file = std::make_unique<MemWritableFile>(impl_, NormalizePath(path));
+  return Status::OK();
+}
+
+Status MemoryStorage::ReadFile(const std::string& path, std::string* out) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->files.find(NormalizePath(path));
+  if (it == impl_->files.end()) return Status::NotFound("read " + path);
+  *out = it->second;
+  return Status::OK();
+}
+
+Status MemoryStorage::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const std::string p = NormalizePath(path);
+  if (impl_->files.count(p) > 0 || impl_->dirs.count(p) > 0) {
+    return Status::OK();
+  }
+  return Status::NotFound("stat " + path);
+}
+
+Status MemoryStorage::CreateDirs(const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::string p = NormalizePath(path);
+  // Register every ancestor so ListDirectory sees intermediate levels.
+  while (p.size() > 1) {
+    impl_->dirs.insert(p);
+    const size_t slash = p.rfind('/');
+    if (slash == 0 || slash == std::string::npos) break;
+    p.resize(slash);
+  }
+  return Status::OK();
+}
+
+Status MemoryStorage::DeleteFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->files.erase(NormalizePath(path)) == 0) {
+    return Status::NotFound("unlink " + path);
+  }
+  return Status::OK();
+}
+
+Status MemoryStorage::RenameFile(const std::string& from,
+                                 const std::string& to) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->files.find(NormalizePath(from));
+  if (it == impl_->files.end()) return Status::NotFound("rename " + from);
+  impl_->files[NormalizePath(to)] = std::move(it->second);
+  impl_->files.erase(it);
+  return Status::OK();
+}
+
+Status MemoryStorage::ListDirectory(const std::string& path,
+                                    std::vector<std::string>* names) {
+  names->clear();
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const std::string p = NormalizePath(path);
+  if (p != "/" && impl_->dirs.count(p) == 0) {
+    return Status::NotFound("list " + path);
+  }
+  const std::string prefix = p == "/" ? "/" : p + "/";
+  std::set<std::string> children;
+  const auto child_of = [&](const std::string& key) {
+    if (key.size() <= prefix.size() || key.compare(0, prefix.size(), prefix)) {
+      return;
+    }
+    const std::string rest = key.substr(prefix.size());
+    const size_t slash = rest.find('/');
+    children.insert(slash == std::string::npos ? rest : rest.substr(0, slash));
+  };
+  for (const auto& [key, value] : impl_->files) child_of(key);
+  for (const std::string& dir : impl_->dirs) child_of(dir);
+  names->assign(children.begin(), children.end());
+  return Status::OK();
+}
+
+Status MemoryStorage::DeleteDirRecursive(const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const std::string p = NormalizePath(path);
+  const std::string prefix = p == "/" ? "/" : p + "/";
+  const auto is_under = [&](const std::string& key) {
+    return key == p || key.compare(0, prefix.size(), prefix) == 0;
+  };
+  for (auto it = impl_->files.begin(); it != impl_->files.end();) {
+    it = is_under(it->first) ? impl_->files.erase(it) : std::next(it);
+  }
+  for (auto it = impl_->dirs.begin(); it != impl_->dirs.end();) {
+    it = is_under(*it) ? impl_->dirs.erase(it) : std::next(it);
+  }
+  return Status::OK();
+}
+
+void MemoryStorage::Clear() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->files.clear();
+  impl_->dirs.clear();
+}
+
+// ---------------------------------------------------------------------------
+// URI dispatch
+
+std::string JoinPath(std::string_view base, std::string_view name) {
+  std::string joined(base);
+  if (!joined.empty() && joined.back() == '/') joined.pop_back();
+  joined.push_back('/');
+  while (!name.empty() && name.front() == '/') name.remove_prefix(1);
+  joined.append(name.data(), name.size());
+  return joined;
+}
+
+Status OpenStorage(std::string_view uri, OpenedStorage* out) {
+  std::string_view scheme = "file";
+  std::string_view path = uri;
+  const size_t sep = uri.find("://");
+  if (sep != std::string_view::npos) {
+    scheme = uri.substr(0, sep);
+    path = uri.substr(sep + 3);
+  }
+  if (path.empty()) {
+    return Status::InvalidArgument("storage URI has no path: " +
+                                   std::string(uri));
+  }
+  if (scheme == "file") {
+    static const std::shared_ptr<Storage> kPosix =
+        std::make_shared<PosixStorage>();
+    out->storage = kPosix;
+    out->root = NormalizePath(path);
+    return Status::OK();
+  }
+  if (scheme == "mem") {
+    out->storage = std::shared_ptr<Storage>(MemoryStorage::Global(),
+                                            [](Storage*) {});
+    out->root = NormalizePath(path);
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown storage scheme '" +
+                                 std::string(scheme) + "' in " +
+                                 std::string(uri));
+}
+
+}  // namespace corrtrack::storage

@@ -1,0 +1,118 @@
+#ifndef CORRTRACK_STORAGE_STORAGE_H_
+#define CORRTRACK_STORAGE_STORAGE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/status.h"
+
+namespace corrtrack::storage {
+
+/// A sequentially written object. The checkpoint writer's durability
+/// discipline is Append* -> Sync -> Close; a file is not considered durable
+/// until Sync returned OK (and a manifest only points at files that were).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(std::string_view data) = 0;
+  /// Flushes the file's bytes to stable storage (posix: fsync).
+  virtual Status Sync() = 0;
+  /// Close without Sync makes no durability promise.
+  virtual Status Close() = 0;
+};
+
+/// Pluggable storage backend — the run-ai-streamer-style multi-backend
+/// surface, reduced to what a checkpoint needs: whole-object reads,
+/// sequential writes, atomic rename (the commit primitive), and directory
+/// listing (checkpoint discovery). Paths are '/'-separated and interpreted
+/// within the backend (posix: absolute filesystem paths; memory: keys).
+///
+/// Thread-safety: concurrent calls on *distinct* paths are safe on every
+/// backend (the chunk-parallel restore reads many files at once);
+/// concurrent mutation of one path is the caller's bug.
+class Storage {
+ public:
+  virtual ~Storage() = default;
+
+  virtual Status NewWritableFile(const std::string& path,
+                                 std::unique_ptr<WritableFile>* file) = 0;
+
+  /// Reads the whole object into `*out` (replaced, not appended).
+  virtual Status ReadFile(const std::string& path, std::string* out) = 0;
+
+  /// OK when the object exists, NotFound when it does not.
+  virtual Status FileExists(const std::string& path) = 0;
+
+  /// mkdir -p semantics; OK when the directory already exists.
+  virtual Status CreateDirs(const std::string& path) = 0;
+
+  virtual Status DeleteFile(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` — the manifest commit point: a
+  /// reader sees either the old object or the new one, never a mix.
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  /// Immediate children (file and directory names, no paths) of `path`.
+  virtual Status ListDirectory(const std::string& path,
+                               std::vector<std::string>* names) = 0;
+
+  /// rm -rf semantics; OK when `path` does not exist.
+  virtual Status DeleteDirRecursive(const std::string& path) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// A backend plus the root path the URI addressed within it.
+struct OpenedStorage {
+  std::shared_ptr<Storage> storage;
+  std::string root;
+};
+
+/// URI dispatch, the one place scheme strings are interpreted:
+///
+///   file:///var/ckpt      -> posix backend, root "/var/ckpt"
+///   mem://test/run1       -> in-memory backend, root "/test/run1"
+///
+/// The mem:// backend is one process-global filesystem: it outlives the
+/// pipeline that wrote to it, which is exactly what the kill-restore tests
+/// need (destroy the runtime, the "disk" survives). Unknown schemes return
+/// kInvalidArgument; a path with no scheme is treated as file://.
+Status OpenStorage(std::string_view uri, OpenedStorage* out);
+
+/// `base` + "/" + `name`, collapsing a duplicate separator.
+std::string JoinPath(std::string_view base, std::string_view name);
+
+/// The process-global in-memory backend behind mem:// (exposed for tests
+/// that want to reset it between cases).
+class MemoryStorage : public Storage {
+ public:
+  static MemoryStorage* Global();
+
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* file) override;
+  Status ReadFile(const std::string& path, std::string* out) override;
+  Status FileExists(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+  Status DeleteFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status ListDirectory(const std::string& path,
+                       std::vector<std::string>* names) override;
+  Status DeleteDirRecursive(const std::string& path) override;
+  const char* name() const override { return "memory"; }
+
+  /// Drops every object and directory (test isolation).
+  void Clear();
+
+ private:
+  friend class MemWritableFile;
+  struct Impl;
+  MemoryStorage();
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace corrtrack::storage
+
+#endif  // CORRTRACK_STORAGE_STORAGE_H_

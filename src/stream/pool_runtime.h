@@ -73,7 +73,8 @@ class PoolRuntime : public Runtime<Message> {
                          ? options.num_threads
                          : static_cast<int>(std::max(
                                1u, std::thread::hardware_concurrency()))),
-        affinity_(options.affinity) {
+        affinity_(options.affinity),
+        start_time_(options.start_time) {
     CORRTRACK_CHECK(topology != nullptr);
     CORRTRACK_CHECK_GT(queue_capacity_, 0u);
     Build();
@@ -123,7 +124,9 @@ class PoolRuntime : public Runtime<Message> {
             spout_component_)].spout.get();
     Message msg;
     Timestamp time = 0;
-    Timestamp last_time = 0;
+    // An empty stream's "last timestamp" is the resume point: a restored
+    // drain-only run still fires its flush-horizon ticks past the cut.
+    Timestamp last_time = start_time_;
     while (spout->Next(&msg, &time)) {
       CORRTRACK_CHECK_GE(time, last_time);
       last_time = time;
@@ -421,7 +424,7 @@ class PoolRuntime : public Runtime<Message> {
         }
         task->mailbox = std::make_unique<Mailbox>(capacity);
         task->tick_period = comp.tick_period;
-        task->next_tick = comp.tick_period > 0 ? comp.tick_period : 0;
+        task->next_tick = FirstTickAfter(comp.tick_period, start_time_);
         tasks_.push_back(std::move(task));
         arenas_.push_back(std::make_unique<PayloadArena<Message>>());
       }
@@ -799,6 +802,7 @@ class PoolRuntime : public Runtime<Message> {
   const size_t queue_capacity_;
   const int num_threads_;
   const AffinityPolicy affinity_;
+  const Timestamp start_time_;  // Resume point (checkpoint restore).
   int spout_component_ = -1;
   /// Per-task payload arenas (indexed by task id). Declared before the
   /// tasks so they outlive the mailboxes: residual feedback envelopes

@@ -162,7 +162,25 @@ struct RuntimeOptions {
   /// Pool runtime: worker-to-core pinning (see AffinityPolicy). The
   /// threaded and simulation substrates ignore it.
   AffinityPolicy affinity = AffinityPolicy::kNone;
+
+  /// Virtual time the stream resumes at (checkpoint restore): every tick
+  /// schedule starts at the first boundary *strictly after* this instant
+  /// instead of at one tick period. Without it, a Calculator restored with
+  /// mid-period counters would see every boundary since virtual time zero
+  /// fire as catch-up ticks on the first envelope and flush the restored
+  /// counters under long-gone period ends. 0 = fresh stream (all runtimes
+  /// honour it, including the simulator).
+  Timestamp start_time = 0;
 };
+
+/// First tick boundary a component with `period` fires after resuming at
+/// `start_time`: strictly greater than start_time, so a boundary exactly at
+/// the cut (which the pre-checkpoint run already fired) never re-fires.
+inline Timestamp FirstTickAfter(Timestamp period, Timestamp start_time) {
+  if (period <= 0) return 0;
+  if (start_time <= 0) return period;
+  return period * (start_time / period + 1);
+}
 
 /// Counters a runtime exposes after Run(), so backpressure and scheduling
 /// behaviour are observable (ops::MetricsSink::OnRuntimeStats forwards them

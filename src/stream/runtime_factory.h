@@ -11,8 +11,8 @@
 namespace corrtrack::stream {
 
 /// Instantiates the requested substrate for `topology`. The simulator
-/// ignores `options`; the threaded runtime uses queue_capacity; the pool
-/// uses both knobs. Layers with a PipelineConfig should prefer
+/// honours only start_time; the threaded runtime adds queue_capacity; the
+/// pool uses every knob. Layers with a PipelineConfig should prefer
 /// ops::MakeConfiguredRuntime, which maps the config's runtime knobs here.
 template <typename Message>
 std::unique_ptr<Runtime<Message>> MakeRuntime(
@@ -20,7 +20,7 @@ std::unique_ptr<Runtime<Message>> MakeRuntime(
     const RuntimeOptions& options = {}) {
   switch (kind) {
     case RuntimeKind::kSimulation:
-      return std::make_unique<SimulationRuntime<Message>>(topology);
+      return std::make_unique<SimulationRuntime<Message>>(topology, options);
     case RuntimeKind::kThreaded:
       return std::make_unique<ThreadedRuntime<Message>>(topology, options);
     case RuntimeKind::kPool:

@@ -40,9 +40,14 @@ namespace corrtrack::stream {
 template <typename Message>
 class SimulationRuntime : public Runtime<Message> {
  public:
-  explicit SimulationRuntime(Topology<Message>* topology)
-      : topology_(topology) {
+  explicit SimulationRuntime(Topology<Message>* topology,
+                             const RuntimeOptions& options = {})
+      : topology_(topology), start_time_(options.start_time) {
+    // Queue/thread knobs are meaningless here; start_time is honoured so a
+    // checkpoint-restored topology resumes its tick schedule mid-period
+    // instead of replaying every boundary since virtual time zero.
     CORRTRACK_CHECK(topology != nullptr);
+    now_ = start_time_;
     Build();
   }
 
@@ -58,7 +63,9 @@ class SimulationRuntime : public Runtime<Message> {
     Spout<Message>* spout = FindSpout();
     Message msg;
     Timestamp time = 0;
-    Timestamp last_time = 0;
+    // An empty stream's "last timestamp" is the resume point: a restored
+    // drain-only run still fires its flush-horizon ticks past the cut.
+    Timestamp last_time = start_time_;
     while (spout->Next(&msg, &time)) {
       CORRTRACK_CHECK_GE(time, last_time);
       last_time = time;
@@ -186,7 +193,7 @@ class SimulationRuntime : public Runtime<Message> {
         CORRTRACK_CHECK(task.bolt != nullptr);
         task.bolt->Prepare(task.addr, comp.parallelism);
         task.bolt->AttachControl(this);
-        task.next_tick = comp.tick_period > 0 ? comp.tick_period : 0;
+        task.next_tick = FirstTickAfter(comp.tick_period, start_time_);
         tasks_.push_back(std::move(task));
       }
     }
@@ -300,6 +307,7 @@ class SimulationRuntime : public Runtime<Message> {
   std::deque<std::pair<int, Envelope<Message>>> pending_;
   std::vector<uint64_t> delivered_;
   Timestamp now_ = 0;
+  Timestamp start_time_ = 0;  // Resume point (checkpoint restore).
   bool ran_ = false;
   uint64_t tasks_spawned_ = 0;
   uint64_t tasks_retired_ = 0;

@@ -76,7 +76,13 @@ class ThreadedRuntime : public Runtime<Message> {
   /// RuntimeOptions constructor (num_threads is ignored: this substrate is
   /// always one thread per task).
   ThreadedRuntime(Topology<Message>* topology, const RuntimeOptions& options)
-      : ThreadedRuntime(topology, options.queue_capacity) {}
+      : topology_(topology),
+        queue_capacity_(options.queue_capacity),
+        start_time_(options.start_time) {
+    CORRTRACK_CHECK(topology != nullptr);
+    CORRTRACK_CHECK_GT(queue_capacity_, 0u);
+    Build();
+  }
 
   ThreadedRuntime(const ThreadedRuntime&) = delete;
   ThreadedRuntime& operator=(const ThreadedRuntime&) = delete;
@@ -99,7 +105,9 @@ class ThreadedRuntime : public Runtime<Message> {
             spout_component_)].spout.get();
     Message msg;
     Timestamp time = 0;
-    Timestamp last_time = 0;
+    // An empty stream's "last timestamp" is the resume point: a restored
+    // drain-only run still fires its flush-horizon ticks past the cut.
+    Timestamp last_time = start_time_;
     DeliveryBuffer spout_buffer(tasks_.size());
     while (spout->Next(&msg, &time)) {
       CORRTRACK_CHECK_GE(time, last_time);
@@ -396,7 +404,7 @@ class ThreadedRuntime : public Runtime<Message> {
         task->bolt->AttachControl(this);
         task->queue = std::make_unique<BoundedQueue>(capacity);
         task->tick_period = comp.tick_period;
-        task->next_tick = comp.tick_period > 0 ? comp.tick_period : 0;
+        task->next_tick = FirstTickAfter(comp.tick_period, start_time_);
         tasks_.push_back(std::move(task));
         arenas_.push_back(std::make_unique<PayloadArena<Message>>());
       }
@@ -553,6 +561,7 @@ class ThreadedRuntime : public Runtime<Message> {
 
   Topology<Message>* topology_;
   size_t queue_capacity_;
+  Timestamp start_time_ = 0;  // Resume point (checkpoint restore).
   int spout_component_ = -1;
   /// Per-task payload arenas (indexed by task id). Declared before the
   /// tasks so they outlive the queues: residual feedback envelopes
