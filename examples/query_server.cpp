@@ -15,7 +15,8 @@
 //   top <tag> [k]        strongest sets containing <tag> ("#name" or id)
 //   lookup <t1> <t2> ..  exact coefficient of a tagset, with freshness
 //   scan <minJ> [limit]  all sets with coefficient >= minJ
-//   stats                index epoch / freshness / size
+//   stats                index epoch / freshness / size, snapshot age,
+//                        and per-op query-latency percentiles
 //   quit
 
 #include <unistd.h>
@@ -39,6 +40,8 @@
 #include "serve/correlation_index.h"
 #include "serve/index_sink.h"
 #include "stream/runtime.h"
+#include "telemetry/clock.h"
+#include "telemetry/pipeline_telemetry.h"
 
 namespace {
 
@@ -99,18 +102,41 @@ void PrintLookup(const serve::CorrelationIndex::Reader& reader,
 }
 
 void PrintStats(const serve::CorrelationIndex& index,
-                const serve::CorrelationIndex::Reader& reader) {
+                const serve::CorrelationIndex::Reader& reader,
+                const telemetry::MetricRegistry& registry) {
   std::printf(
       "index: %zu sets over %zu shards, epoch %llu, freshest period %lldms\n",
       reader.TotalSets(), index.num_shards(),
       static_cast<unsigned long long>(index.epoch()),
       static_cast<long long>(index.latest_period()));
+  const int64_t published = index.last_publish_wall_ns();
+  if (published != 0) {
+    std::printf("snapshot age: %.3fs since last publish\n",
+                static_cast<double>(telemetry::MonotonicNanos() - published) /
+                    1e9);
+  }
+  for (const char* op : {"top", "lookup", "scan"}) {
+    const std::string name =
+        std::string("corrtrack_serve_query_ns{op=\"") + op + "\"}";
+    const telemetry::LatencyHistogram* hist = registry.FindHistogram(name);
+    if (hist == nullptr) continue;
+    const telemetry::HistogramSnapshot snap = hist->Snapshot();
+    if (snap.count == 0) continue;
+    std::printf(
+        "query %-6s n=%-8llu p50=%lluns p90=%lluns p99=%lluns max=%lluns\n",
+        op, static_cast<unsigned long long>(snap.count),
+        static_cast<unsigned long long>(snap.ValueAtQuantile(0.5)),
+        static_cast<unsigned long long>(snap.ValueAtQuantile(0.9)),
+        static_cast<unsigned long long>(snap.ValueAtQuantile(0.99)),
+        static_cast<unsigned long long>(snap.max));
+  }
 }
 
 void RunDemo(const serve::CorrelationIndex& index,
-             const TagDictionary& dictionary) {
+             const TagDictionary& dictionary,
+             const telemetry::MetricRegistry& registry) {
   const serve::CorrelationIndex::Reader reader = index.NewReader();
-  PrintStats(index, reader);
+  PrintStats(index, reader, registry);
   std::vector<serve::ScoredSet> strongest;
   reader.Snapshot(0.0, &strongest);
   if (strongest.empty()) {
@@ -127,12 +153,15 @@ void RunDemo(const serve::CorrelationIndex& index,
   PrintTop(reader, strongest[0].tags[0], 5, dictionary);
   std::printf("\n");
   PrintLookup(reader, strongest[0].tags, dictionary);
+  std::printf("\n");
+  PrintStats(index, reader, registry);
 }
 
 void RunRepl(const serve::CorrelationIndex& index,
-             const TagDictionary& dictionary) {
+             const TagDictionary& dictionary,
+             const telemetry::MetricRegistry& registry) {
   const serve::CorrelationIndex::Reader reader = index.NewReader();
-  PrintStats(index, reader);
+  PrintStats(index, reader, registry);
   std::printf("commands: top <tag> [k] | lookup <t1> <t2> .. | "
               "scan <minJ> [limit] | stats | quit\n");
   std::string line;
@@ -143,7 +172,7 @@ void RunRepl(const serve::CorrelationIndex& index,
     if (!(words >> command)) continue;
     if (command == "quit" || command == "exit") break;
     if (command == "stats") {
-      PrintStats(index, reader);
+      PrintStats(index, reader, registry);
     } else if (command == "top") {
       std::string token;
       size_t k = 10;
@@ -247,7 +276,12 @@ int main(int argc, char** argv) {
   // The index ingests live from the Tracker task while the topology runs;
   // queries are answered after the stream drains (and could equally be
   // answered by concurrent readers mid-run — see bench/serve_bench.cc).
+  // Telemetry rides along so the `stats` command can report query-latency
+  // percentiles and snapshot age.
+  telemetry::PipelineTelemetry telemetry;
+  pipeline.telemetry = &telemetry;
   serve::CorrelationIndex index;
+  index.AttachTelemetry(&telemetry.registry);
   serve::IndexSink sink(&index);
 
   stream::Topology<ops::Message> topology;
@@ -270,9 +304,9 @@ int main(int argc, char** argv) {
   const auto* parser =
       static_cast<ops::ParserBolt*>(runtime->bolt(handles.parser, 0));
   if (interactive) {
-    RunRepl(index, parser->dictionary());
+    RunRepl(index, parser->dictionary(), telemetry.registry);
   } else {
-    RunDemo(index, parser->dictionary());
+    RunDemo(index, parser->dictionary(), telemetry.registry);
   }
   return 0;
 }

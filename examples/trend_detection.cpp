@@ -23,6 +23,14 @@
 //                          URI before ingest starts (crash recovery: kill
 //                          a checkpointing run, rerun with this flag, and
 //                          the ranking comes out identical)
+//
+// Observability flags (telemetry layer):
+//   --telemetry-every=N    attach a PipelineTelemetry and dump the metric
+//                          registry every N routed documents (plus a final
+//                          snapshot after the run)
+//   --telemetry-json       render dumps as JSON instead of Prometheus
+//                          text (also turns telemetry on by itself, with
+//                          only the final snapshot)
 
 #include <algorithm>
 #include <cstdio>
@@ -42,6 +50,8 @@
 #include "ops/tracker_op.h"
 #include "stream/runtime.h"
 #include "stream/topology.h"
+#include "telemetry/exposition.h"
+#include "telemetry/pipeline_telemetry.h"
 
 namespace {
 
@@ -58,6 +68,41 @@ class ResizePrinter : public ops::MetricsSink {
     ++resizes;
   }
   int resizes = 0;
+};
+
+/// ResizePrinter plus periodic telemetry exposition: renders the registry
+/// every `every` routed documents (--telemetry-every). The example runs
+/// the deterministic simulation substrate (one thread), so printing from
+/// the OnRouted hook is safe.
+class TelemetryDumper : public ResizePrinter {
+ public:
+  TelemetryDumper(telemetry::MetricRegistry* registry, uint64_t every,
+                  bool json)
+      : registry_(registry), every_(every), json_(json) {}
+
+  void OnRouted(int /*notified*/, Timestamp /*time*/) override {
+    if (registry_ == nullptr || every_ == 0) return;
+    if (++docs_ % every_ != 0) return;
+    std::printf("--- telemetry at %llu routed docs ---\n",
+                static_cast<unsigned long long>(docs_));
+    Dump();
+  }
+
+  void Dump() const {
+    if (registry_ == nullptr) return;
+    const telemetry::MetricsSnapshot snapshot = registry_->Snapshot();
+    const std::string rendered = json_
+                                     ? telemetry::RenderJson(snapshot)
+                                     : telemetry::RenderPrometheus(snapshot);
+    std::fputs(rendered.c_str(), stdout);
+    if (rendered.empty() || rendered.back() != '\n') std::fputs("\n", stdout);
+  }
+
+ private:
+  telemetry::MetricRegistry* registry_;
+  uint64_t every_;
+  bool json_;
+  uint64_t docs_ = 0;
 };
 
 /// A spout that plays a base stream and injects a bursting tag pair in the
@@ -104,6 +149,8 @@ int main(int argc, char** argv) {
   uint64_t checkpoint_every = 0;
   std::string checkpoint_uri;
   std::string restore_from;
+  uint64_t telemetry_every = 0;
+  bool telemetry_json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--elastic") == 0) {
       elastic = true;
@@ -113,14 +160,20 @@ int main(int argc, char** argv) {
       checkpoint_uri = argv[i] + 17;
     } else if (std::strncmp(argv[i], "--restore-from=", 15) == 0) {
       restore_from = argv[i] + 15;
+    } else if (std::strncmp(argv[i], "--telemetry-every=", 18) == 0) {
+      telemetry_every = std::strtoull(argv[i] + 18, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--telemetry-json") == 0) {
+      telemetry_json = true;
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (try --elastic, --checkpoint-every=N, "
-                   "--checkpoint-uri=URI, --restore-from=URI)\n",
+                   "--checkpoint-uri=URI, --restore-from=URI, "
+                   "--telemetry-every=N, --telemetry-json)\n",
                    argv[i]);
       return 2;
     }
   }
+  const bool with_telemetry = telemetry_every > 0 || telemetry_json;
   if (checkpoint_every > 0 && checkpoint_uri.empty()) {
     checkpoint_uri = "file:///tmp/corrtrack_trend_ckpt";
   }
@@ -144,10 +197,22 @@ int main(int argc, char** argv) {
   workload.topics.num_topics = 120;
   workload.topics.tags_per_topic = 15;
 
+  std::unique_ptr<telemetry::PipelineTelemetry> telemetry;
+  if (with_telemetry) {
+    telemetry = std::make_unique<telemetry::PipelineTelemetry>();
+    pipeline.telemetry = telemetry.get();
+  }
+
   const uint64_t num_docs =
       static_cast<uint64_t>(24 * 60 * workload.tagged_tps());
   auto spout = std::make_unique<BurstSpout>(workload, num_docs);
-  ResizePrinter resizes;
+  TelemetryDumper resizes(telemetry != nullptr ? &telemetry->registry
+                                               : nullptr,
+                          telemetry_every, telemetry_json);
+  // The sink slot doubles for resize printing and telemetry dumps; attach
+  // it whenever either consumer wants the hooks.
+  ops::MetricsSink* metrics_sink =
+      (elastic || with_telemetry) ? &resizes : nullptr;
 
   // Two run shapes, one harvest: the plain single Run, or the segmented
   // checkpoint/restore protocol when any durability flag is set. The
@@ -162,11 +227,11 @@ int main(int argc, char** argv) {
     options.checkpoint_uri = checkpoint_uri;
     options.every_docs = checkpoint_every;
     options.restore_uri = restore_from;
+    options.telemetry = telemetry.get();
     ops::CheckpointedRun run;
     std::string error;
     if (!ops::RunCheckpointedPipeline(
-            std::move(spout), pipeline, options,
-            elastic ? &resizes : nullptr,
+            std::move(spout), pipeline, options, metrics_sink,
             /*with_centralized_baseline=*/false, /*tracker_sink=*/nullptr,
             /*baseline_sink=*/nullptr,
             /*final_flush_horizon=*/pipeline.report_period, &run, &error)) {
@@ -194,8 +259,7 @@ int main(int argc, char** argv) {
   } else {
     topology = std::make_unique<stream::Topology<ops::Message>>();
     handles = ops::BuildCorrelationTopology(
-        topology.get(), std::move(spout), pipeline,
-        elastic ? &resizes : nullptr,
+        topology.get(), std::move(spout), pipeline, metrics_sink,
         /*with_centralized_baseline=*/false);
     runtime = ops::MakeConfiguredRuntime(topology.get(), pipeline);
     runtime->Run(pipeline.report_period);
@@ -207,6 +271,10 @@ int main(int argc, char** argv) {
                 resizes.resizes,
                 runtime->ActiveParallelism(handles.calculator),
                 runtime->MaxParallelism(handles.calculator));
+  }
+  if (telemetry != nullptr) {
+    std::printf("--- final telemetry snapshot ---\n");
+    resizes.Dump();
   }
 
   const auto* tracker =

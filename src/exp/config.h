@@ -47,6 +47,21 @@ struct ExperimentConfig {
   /// failed checkpoints logged and counted, ingest never stalled.
   storage::FaultPlan checkpoint_faults;
 
+  /// Observability: attach a telemetry::PipelineTelemetry to the run —
+  /// 1-in-`telemetry_sample_every` documents carry a trace span through
+  /// the pipeline, every stage and substrate records into the run's
+  /// metric registry, and the result surfaces per-stage / end-to-end
+  /// latency percentiles plus full Prometheus and JSON snapshots
+  /// (ExperimentResult::latency_stats and friends). Telemetry never
+  /// changes what the pipeline computes — the period maps are
+  /// bit-identical with it on or off (asserted by the differential test).
+  bool with_telemetry = false;
+  uint32_t telemetry_sample_every = 64;
+  /// When nonzero, a JSON snapshot of the registry is appended to
+  /// ExperimentResult::telemetry_trail every this-many routed documents
+  /// (the periodic exposition dump of the exp driver).
+  uint64_t telemetry_snapshot_every_docs = 0;
+
   /// Applies the paper's tps parameter (raw tweets/second).
   void set_tps(double tps) { generator.tps = tps; }
 

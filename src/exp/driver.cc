@@ -1,7 +1,6 @@
 #include "exp/driver.h"
 
 #include <cmath>
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -15,6 +14,9 @@
 #include "serve/correlation_index.h"
 #include "serve/index_sink.h"
 #include "stream/runtime.h"
+#include "telemetry/exposition.h"
+#include "telemetry/log.h"
+#include "telemetry/pipeline_telemetry.h"
 
 namespace corrtrack::exp {
 
@@ -117,12 +119,49 @@ void ValidateServeIndex(const serve::CorrelationIndex& index,
   }
 }
 
+/// Reduces the run's registry to the result surface: one LatencyStat per
+/// recorded histogram (empty series are dropped — a substrate that never
+/// blocked has no block-wait row) plus both full renderings.
+void HarvestTelemetry(const telemetry::MetricRegistry& registry,
+                      ExperimentResult* result) {
+  const telemetry::MetricsSnapshot snapshot = registry.Snapshot();
+  for (const auto& sample : snapshot.histograms) {
+    if (sample.hist.count == 0) continue;
+    LatencyStat stat;
+    stat.name = sample.name;
+    stat.count = sample.hist.count;
+    stat.mean = sample.hist.mean();
+    stat.p50 = sample.hist.ValueAtQuantile(0.5);
+    stat.p90 = sample.hist.ValueAtQuantile(0.9);
+    stat.p99 = sample.hist.ValueAtQuantile(0.99);
+    stat.max = sample.hist.max;
+    result->latency_stats.push_back(std::move(stat));
+  }
+  result->telemetry_json = telemetry::RenderJson(snapshot);
+  result->telemetry_prometheus = telemetry::RenderPrometheus(snapshot);
+}
+
 }  // namespace
 
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
   MetricsCollector metrics(config.pipeline.EffectiveMaxCalculators(),
                            config.series_stride,
                            config.pipeline.num_calculators);
+
+  // Telemetry wiring happens on a config copy: the bundle lives on this
+  // frame, outliving every borrower (bolts, runtime, checkpoint runner,
+  // serving index, collector).
+  std::unique_ptr<telemetry::PipelineTelemetry> telemetry;
+  ops::PipelineConfig pipeline = config.pipeline;
+  if (config.with_telemetry) {
+    telemetry = std::make_unique<telemetry::PipelineTelemetry>(
+        config.telemetry_sample_every);
+    pipeline.telemetry = telemetry.get();
+    if (config.telemetry_snapshot_every_docs > 0) {
+      metrics.AttachTelemetry(&telemetry->registry,
+                              config.telemetry_snapshot_every_docs);
+    }
+  }
 
   auto spout = std::make_unique<ops::GeneratorSpout>(config.generator,
                                                      config.num_documents);
@@ -135,6 +174,9 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     serve::ServeConfig serve_config;
     serve_config.merge = config.pipeline.tracker_merge;
     serve_index = std::make_unique<serve::CorrelationIndex>(serve_config);
+    if (telemetry != nullptr) {
+      serve_index->AttachTelemetry(&telemetry->registry);
+    }
     serve_sink = std::make_unique<serve::IndexSink>(serve_index.get());
   }
 
@@ -153,6 +195,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     options.every_docs = config.checkpoint_every_docs;
     options.restore_uri = config.restore_uri;
     options.faults = config.checkpoint_faults;
+    options.telemetry = telemetry.get();
     if (serve_index != nullptr) {
       serve::CorrelationIndex* index = serve_index.get();
       options.export_serve = [index](std::string* out) {
@@ -165,12 +208,12 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     ops::CheckpointedRun run;
     std::string error;
     const bool ok = ops::RunCheckpointedPipeline(
-        std::move(spout), config.pipeline, options, &metrics,
+        std::move(spout), pipeline, options, &metrics,
         config.with_centralized_baseline, serve_sink.get(),
         /*baseline_sink=*/nullptr,
         /*final_flush_horizon=*/config.pipeline.report_period, &run, &error);
     if (!ok) {
-      std::fprintf(stderr, "RunExperiment: %s\n", error.c_str());
+      CORRTRACK_LOG(kError, "exp", "RunExperiment: %s", error.c_str());
     }
     CORRTRACK_CHECK(ok);
     topology = std::move(run.topology);
@@ -180,9 +223,9 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   } else {
     topology = std::make_unique<stream::Topology<ops::Message>>();
     handles = ops::BuildCorrelationTopology(
-        topology.get(), std::move(spout), config.pipeline, &metrics,
+        topology.get(), std::move(spout), pipeline, &metrics,
         config.with_centralized_baseline, serve_sink.get());
-    runtime = ops::MakeConfiguredRuntime(topology.get(), config.pipeline);
+    runtime = ops::MakeConfiguredRuntime(topology.get(), pipeline);
     runtime->Run(/*flush_horizon=*/config.pipeline.report_period);
   }
   metrics.OnRuntimeStats(runtime->stats());
@@ -238,6 +281,12 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     const auto* tracker = static_cast<ops::TrackerBolt*>(
         runtime->bolt(handles.tracker, 0));
     ValidateServeIndex(*serve_index, *tracker, &result);
+  }
+  if (telemetry != nullptr) {
+    // Harvest AFTER the serve validation above so the serve query
+    // histograms the oracle pass exercised are part of the surface.
+    HarvestTelemetry(telemetry->registry, &result);
+    result.telemetry_trail = metrics.telemetry_trail();
   }
   return result;
 }

@@ -12,6 +12,19 @@
 
 namespace corrtrack::exp {
 
+/// One latency histogram of a telemetry-enabled run, reduced to the
+/// percentiles the result surface reports (µs except the serve query
+/// histograms, which are ns — the unit is in the name).
+struct LatencyStat {
+  std::string name;
+  uint64_t count = 0;
+  double mean = 0.0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+  uint64_t max = 0;
+};
+
 /// Everything the evaluation section reports, for one run.
 struct ExperimentResult {
   std::string label;
@@ -82,6 +95,17 @@ struct ExperimentResult {
   bool restored = false;
   uint64_t restored_docs = 0;
   std::vector<ops::CheckpointEvent> checkpoint_events;
+
+  // Observability (ExperimentConfig::with_telemetry): every latency
+  // histogram the run recorded — per-stage dwell/processing, doc and
+  // report end-to-end, runtime queue depths, serve query latency — as
+  // p50/p90/p99 rows, plus the full registry rendered both ways. All
+  // empty when telemetry is off.
+  std::vector<LatencyStat> latency_stats;
+  std::string telemetry_json;
+  std::string telemetry_prometheus;
+  /// Periodic JSON snapshots (telemetry_snapshot_every_docs), in order.
+  std::vector<std::string> telemetry_trail;
 };
 
 /// Builds the Fig. 2 topology for `config`, streams the synthetic workload

@@ -6,6 +6,8 @@
 #include "ops/messages.h"
 #include "ops/pipeline_config.h"
 #include "stream/topology.h"
+#include "telemetry/clock.h"
+#include "telemetry/pipeline_telemetry.h"
 
 namespace corrtrack::ops {
 
@@ -33,6 +35,24 @@ class CalculatorBolt : public stream::Bolt<Message> {
                stream::Emitter<Message>& out) override {
     if (const auto* notification = std::get_if<Notification>(&in.payload())) {
       if (notification->epoch > epoch_) epoch_ = notification->epoch;
+      telemetry::PipelineTelemetry* tel = config_.telemetry;
+      if (tel != nullptr && notification->trace.sampled()) {
+        const telemetry::TraceSpan& trace = notification->trace;
+        const int64_t t0 = telemetry::MonotonicNanos();
+        tel->calc_dwell->Record(
+            telemetry::SpanMicros(trace.hop_wall_ns, t0));
+        counters_.Observe(notification->tags);
+        const int64_t t1 = telemetry::MonotonicNanos();
+        tel->calc_proc->Record(telemetry::SpanMicros(t0, t1));
+        // End of the document's per-doc path: the Tracker only sees
+        // periodic aggregates, so e2e closes here.
+        tel->doc_e2e->Record(
+            telemetry::SpanMicros(trace.origin_wall_ns, t1));
+        const int64_t lag = in.time - trace.origin_virtual;
+        tel->doc_virtual_lag->Record(
+            lag > 0 ? static_cast<uint64_t>(lag) : 0u);
+        return;
+      }
       counters_.Observe(notification->tags);
       return;
     }
@@ -64,6 +84,15 @@ class CalculatorBolt : public stream::Bolt<Message> {
     report.estimates = counters_.ReportAll();
     counters_.Reset();
     if (report.estimates.empty()) return;
+    if (config_.telemetry != nullptr) {
+      // Reports are periodic (one per tick, not per doc), so every report
+      // carries a fresh span — the Tracker edge gets full coverage.
+      const int64_t now = telemetry::MonotonicNanos();
+      report.trace.trace_id = static_cast<uint64_t>(instance_) + 1;
+      report.trace.origin_wall_ns = now;
+      report.trace.hop_wall_ns = now;
+      report.trace.origin_virtual = tick_time;
+    }
     out.Emit(Message(std::move(report)));
   }
 

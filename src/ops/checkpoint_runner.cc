@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <cstdio>
 #include <limits>
 #include <memory>
 #include <string>
@@ -10,6 +9,9 @@
 
 #include "storage/status.h"
 #include "storage/storage.h"
+#include "telemetry/clock.h"
+#include "telemetry/log.h"
+#include "telemetry/pipeline_telemetry.h"
 
 namespace corrtrack::ops {
 
@@ -112,7 +114,13 @@ bool RunCheckpointedPipeline(std::unique_ptr<stream::Spout<Message>> spout,
     storage::CheckpointReader reader(opened.storage, opened.root,
                                      options.retry, options.restore_threads);
     storage::CheckpointData data;
+    const int64_t restore_t0 = telemetry::MonotonicNanos();
     status = reader.ReadLatest(&data);
+    if (options.telemetry != nullptr) {
+      options.telemetry->checkpoint_restore_us->Record(telemetry::SpanMicros(
+          restore_t0, telemetry::MonotonicNanos()));
+      options.telemetry->storage_retries->Increment(reader.retries());
+    }
     stats.storage_retries += reader.retries();
     if (!status.ok()) {
       if (error != nullptr) *error = "restore: " + status.ToString();
@@ -169,10 +177,13 @@ bool RunCheckpointedPipeline(std::unique_ptr<stream::Spout<Message>> spout,
     if (!status.ok()) {
       // Graceful degradation: an unusable checkpoint store must not stall
       // ingest. Log, count, run on without durability.
-      std::fprintf(stderr,
-                   "[checkpoint] disabled: open %s failed: %s\n",
-                   options.checkpoint_uri.c_str(), status.ToString().c_str());
+      CORRTRACK_LOG(kWarn, "checkpoint", "disabled: open %s failed: %s",
+                    options.checkpoint_uri.c_str(),
+                    status.ToString().c_str());
       ++stats.checkpoints_failed;
+      if (options.telemetry != nullptr) {
+        options.telemetry->checkpoints_failed->Increment();
+      }
       checkpointing = false;
     } else {
       // Resume the sequence numbering past any checkpoint already durable
@@ -248,7 +259,12 @@ bool RunCheckpointedPipeline(std::unique_ptr<stream::Spout<Message>> spout,
         EncodeCheckpoint(*captured, seq, fingerprint);
     uint64_t bytes = 0;
     uint64_t chunks = 0;
+    const int64_t write_t0 = telemetry::MonotonicNanos();
     const storage::Status status = writer->Write(data, &bytes, &chunks);
+    if (options.telemetry != nullptr) {
+      options.telemetry->checkpoint_write_us->Record(
+          telemetry::SpanMicros(write_t0, telemetry::MonotonicNanos()));
+    }
     CheckpointEvent event;
     event.seq = seq;
     event.docs_ingested = docs;
@@ -261,14 +277,20 @@ bool RunCheckpointedPipeline(std::unique_ptr<stream::Spout<Message>> spout,
       ++stats.checkpoints_written;
       stats.checkpoint_bytes += bytes;
       stats.checkpoint_chunks += chunks;
+      if (options.telemetry != nullptr) {
+        options.telemetry->checkpoints_written->Increment();
+      }
     } else {
       // Graceful degradation: log + count; the previous durable checkpoint
       // is untouched (manifest-last commit) and ingest continues.
-      std::fprintf(stderr, "[checkpoint] seq %llu at %llu docs failed: %s\n",
-                   static_cast<unsigned long long>(seq),
-                   static_cast<unsigned long long>(docs),
-                   status.ToString().c_str());
+      CORRTRACK_LOG(kWarn, "checkpoint", "seq %llu at %llu docs failed: %s",
+                    static_cast<unsigned long long>(seq),
+                    static_cast<unsigned long long>(docs),
+                    status.ToString().c_str());
       ++stats.checkpoints_failed;
+      if (options.telemetry != nullptr) {
+        options.telemetry->checkpoints_failed->Increment();
+      }
     }
     metrics->OnCheckpoint(seq, docs, event.bytes, event.chunks, status.ok(),
                           last_time);
@@ -291,7 +313,12 @@ bool RunCheckpointedPipeline(std::unique_ptr<stream::Spout<Message>> spout,
     runtime->Run(final_flush_horizon);
   }
 
-  if (writer != nullptr) stats.storage_retries += writer->retries();
+  if (writer != nullptr) {
+    stats.storage_retries += writer->retries();
+    if (options.telemetry != nullptr) {
+      options.telemetry->storage_retries->Increment(writer->retries());
+    }
+  }
   if (faulty != nullptr) stats.storage_faults_injected = faulty->stats().total;
 
   out->topology = std::move(topology);

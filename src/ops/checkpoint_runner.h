@@ -65,6 +65,12 @@ struct CheckpointRunnerOptions {
   /// free of a serve:: dependency — exp::RunExperiment binds the index.
   std::function<void(std::string*)> export_serve;
   std::function<bool(std::string_view)> restore_serve;
+
+  /// Optional instrumentation (borrowed, must outlive the run): checkpoint
+  /// write/restore timing histograms and outcome counters. Independent of
+  /// PipelineConfig::telemetry so storage timing can be captured even on
+  /// runs that leave the per-document path untraced.
+  telemetry::PipelineTelemetry* telemetry = nullptr;
 };
 
 /// One checkpoint attempt, for the experiment trail.

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "core/check.h"
+#include "telemetry/clock.h"
+#include "telemetry/pipeline_telemetry.h"
 
 namespace corrtrack::ops {
 
@@ -78,14 +80,37 @@ void DisseminatorBolt::HandleDoc(const ParsedDoc& parsed,
     return;
   }
 
+  telemetry::PipelineTelemetry* tel = config_.telemetry;
+  // One clock read per traced doc, taken at routing entry: the forwarded
+  // hop stamp is shared by every notification of this doc, so downstream
+  // dwell includes this stage's routing time for later subsets — an
+  // accepted error that keeps untraced and fan-out paths clock-free.
+  int64_t t0 = 0;
+  if (tel != nullptr && parsed.trace.sampled()) {
+    t0 = telemetry::MonotonicNanos();
+    tel->diss_dwell->Record(
+        telemetry::SpanMicros(parsed.trace.hop_wall_ns, t0));
+  }
+
   const TagSet& tags = parsed.doc.tags;
   const int notified = partitions()->Route(tags, &routed_scratch_);
   for (const RoutedSubset& routed : routed_scratch_) {
     Notification notification;
     notification.tags = routed.tags;
     notification.epoch = epoch_;
+    if (t0 != 0) {
+      notification.trace = parsed.trace;
+      notification.trace.hop_wall_ns = t0;
+    }
     out.EmitDirect(routed.partition, Message(std::move(notification)));
     metrics_->OnNotification(routed.partition);
+  }
+  if (tel != nullptr) {
+    tel->notifications_routed->Increment(static_cast<uint64_t>(notified));
+    if (t0 != 0) {
+      tel->diss_proc->Record(
+          telemetry::SpanMicros(t0, telemetry::MonotonicNanos()));
+    }
   }
   metrics_->OnRouted(notified, parsed.doc.time);
 

@@ -14,6 +14,7 @@
 #include "core/partitioning.h"
 #include "core/tagset.h"
 #include "core/types.h"
+#include "telemetry/trace.h"
 
 namespace corrtrack::ops {
 
@@ -42,9 +43,12 @@ struct RawTweet {
 };
 
 /// Parser -> {Partitioner (fields on tagset), Disseminator (shuffle),
-/// Centralized baseline (global)}: (timestamp_i, s_i).
+/// Centralized baseline (global)}: (timestamp_i, s_i). `trace` is the
+/// sampled telemetry span stamped by the Parser (trace_id 0 = untraced);
+/// stages deriving messages from a traced doc propagate it.
 struct ParsedDoc {
   Document doc;
+  telemetry::TraceSpan trace;
 };
 
 /// Partitioner -> Merger (global): the instance's proposal for repartition
@@ -68,10 +72,12 @@ struct FinalPartitions {
 };
 
 /// Disseminator -> Calculator (direct): a notification s_i^j — the subset
-/// of a document's tags held by the target Calculator.
+/// of a document's tags held by the target Calculator. `trace` is inherited
+/// from the originating ParsedDoc (hop re-stamped at the Disseminator).
 struct Notification {
   TagSet tags;
   Epoch epoch = 0;
+  telemetry::TraceSpan trace;
 };
 
 /// Disseminator -> Merger (global): tagset seen `sn` times with no covering
@@ -150,6 +156,9 @@ struct JaccardReport {
   Epoch epoch = 0;
   Timestamp period_end = 0;
   std::vector<JaccardEstimate> estimates;
+  /// Stamped fresh at the emitting Calculator's tick (reports are periodic,
+  /// not per-doc, so every report is traced when telemetry is attached).
+  telemetry::TraceSpan trace;
 };
 
 using Message =

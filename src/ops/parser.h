@@ -10,6 +10,8 @@
 #include "ops/checkpoint_state.h"
 #include "ops/messages.h"
 #include "stream/topology.h"
+#include "telemetry/clock.h"
+#include "telemetry/pipeline_telemetry.h"
 
 namespace corrtrack::ops {
 
@@ -26,19 +28,35 @@ class ParserBolt : public stream::Bolt<Message> {
   /// tags (§6.2's enrichment hook: "named entities, location, or
   /// sentiment ... interpreted as additional tags"). Mentions keep their
   /// '@' prefix in the dictionary, so #paris and @paris stay distinct.
-  explicit ParserBolt(bool extract_mentions = false)
-      : extract_mentions_(extract_mentions) {}
+  explicit ParserBolt(bool extract_mentions = false,
+                      telemetry::PipelineTelemetry* telemetry = nullptr)
+      : extract_mentions_(extract_mentions), telemetry_(telemetry) {}
 
   void Execute(const stream::Envelope<Message>& in,
                stream::Emitter<Message>& out) override {
     const auto* raw = std::get_if<RawTweet>(&in.payload());
     if (raw == nullptr) return;
+    // Sample *raw* documents (before the tag filter) so the 1-in-N cadence
+    // is deterministic in arrival order regardless of tag density.
+    const uint64_t trace_id =
+        telemetry_ != nullptr ? telemetry_->sampler.Next() : 0;
+    const int64_t t0 = trace_id != 0 ? telemetry::MonotonicNanos() : 0;
+    if (telemetry_ != nullptr) telemetry_->docs_parsed->Increment();
     const std::vector<TagId> tags = ExtractTags(raw->text);
     if (tags.empty()) return;  // Untagged tweets add nothing (§1.1).
     ParsedDoc parsed;
     parsed.doc.id = raw->id;
     parsed.doc.time = raw->time;
     parsed.doc.tags = TagSet(tags);
+    if (trace_id != 0) {
+      telemetry_->docs_sampled->Increment();
+      const int64_t now = telemetry::MonotonicNanos();
+      telemetry_->parser_proc->Record(telemetry::SpanMicros(t0, now));
+      parsed.trace.trace_id = trace_id;
+      parsed.trace.origin_wall_ns = t0;
+      parsed.trace.hop_wall_ns = now;
+      parsed.trace.origin_virtual = raw->time;
+    }
     out.Emit(Message(std::move(parsed)));
   }
 
@@ -97,6 +115,7 @@ class ParserBolt : public stream::Bolt<Message> {
 
  private:
   bool extract_mentions_;
+  telemetry::PipelineTelemetry* telemetry_;  // Null = no instrumentation.
   TagDictionary dictionary_;
 };
 

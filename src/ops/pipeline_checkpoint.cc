@@ -16,6 +16,7 @@
 #include "ops/partitioner_op.h"
 #include "ops/tracker_op.h"
 #include "storage/serialize.h"
+#include "telemetry/log.h"
 
 namespace corrtrack::ops {
 
@@ -501,6 +502,20 @@ storage::CheckpointData EncodeCheckpoint(const PipelineCheckpointState& state,
   return data;
 }
 
+namespace {
+
+/// Single refusal funnel so every malformed-section path names the section
+/// that tripped it (checksums already passed at storage depth, so a decode
+/// failure here means version skew or an encoder bug worth surfacing).
+bool RefuseSection(const std::string& name) {
+  CORRTRACK_LOG(kWarn, "checkpoint",
+                "decode refused: malformed or unknown section \"%s\"",
+                name.c_str());
+  return false;
+}
+
+}  // namespace
+
 bool DecodeCheckpoint(const storage::CheckpointData& data,
                       PipelineCheckpointState* out) {
   *out = PipelineCheckpointState();
@@ -515,35 +530,41 @@ bool DecodeCheckpoint(const storage::CheckpointData& data,
     if (ParseInstance(section.name, "calc", &instance)) {
       CalculatorState cs;
       if (!DecodeCalculator(section.payload, &cs) || cs.instance != instance) {
-        return false;
+        return RefuseSection(section.name);
       }
       out->calculators.push_back(std::move(cs));
     } else if (ParseInstance(section.name, "part", &instance)) {
       PartitionerState ps;
       if (!DecodePartitioner(section.payload, &ps) ||
           ps.instance != instance) {
-        return false;
+        return RefuseSection(section.name);
       }
       out->partitioners.push_back(std::move(ps));
     } else if (section.name == "parser") {
-      if (!DecodeParser(section.payload, &out->parser)) return false;
+      if (!DecodeParser(section.payload, &out->parser)) {
+        return RefuseSection(section.name);
+      }
     } else if (section.name == "tracker") {
-      if (!DecodeTracker(section.payload, &out->tracker)) return false;
+      if (!DecodeTracker(section.payload, &out->tracker)) {
+        return RefuseSection(section.name);
+      }
     } else if (section.name == "dissem") {
       if (!DecodeDisseminator(section.payload, &out->disseminator)) {
-        return false;
+        return RefuseSection(section.name);
       }
     } else if (section.name == "merger") {
-      if (!DecodeMerger(section.payload, &out->merger)) return false;
+      if (!DecodeMerger(section.payload, &out->merger)) {
+        return RefuseSection(section.name);
+      }
     } else if (section.name == "central") {
       if (!DecodeCentralized(section.payload, &out->centralized)) {
-        return false;
+        return RefuseSection(section.name);
       }
       out->has_centralized = true;
     } else if (section.name == "serve") {
       out->serve_blob = section.payload;
     } else {
-      return false;  // Unknown section: version skew, refuse.
+      return RefuseSection(section.name);  // Unknown: version skew, refuse.
     }
   }
   return true;

@@ -10,6 +10,10 @@
 #include "core/types.h"
 #include "stream/runtime.h"
 
+namespace corrtrack::telemetry {
+struct PipelineTelemetry;
+}  // namespace corrtrack::telemetry
+
 namespace corrtrack::ops {
 
 /// Knobs of the Fig. 2 topology, defaults per §8.2: P=10, k=10, thr=0.5,
@@ -156,6 +160,13 @@ struct PipelineConfig {
   /// restored mid-period counter table is not flushed by a stale catch-up
   /// tick. 0 = the normal from-the-beginning schedule.
   Timestamp virtual_start_time = 0;
+
+  /// Optional observability bundle (telemetry/pipeline_telemetry.h): when
+  /// set, the Parser samples trace spans, every stage records dwell/proc
+  /// histograms, and MakeConfiguredRuntime hands the bundle's registry to
+  /// the substrate. Borrowed, not owned; must outlive the run. Not part of
+  /// the checkpoint fingerprint — observability does not change semantics.
+  telemetry::PipelineTelemetry* telemetry = nullptr;
 };
 
 }  // namespace corrtrack::ops

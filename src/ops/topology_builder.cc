@@ -10,6 +10,7 @@
 #include "ops/partitioner_op.h"
 #include "ops/tracker_op.h"
 #include "stream/runtime_factory.h"
+#include "telemetry/pipeline_telemetry.h"
 
 namespace corrtrack::ops {
 
@@ -42,8 +43,8 @@ TopologyHandles BuildCorrelationTopology(
   handles.parser = topology->AddBolt(
       "parser",
       [config, restore](int) {
-        auto bolt =
-            std::make_unique<ParserBolt>(config.parser_extract_mentions);
+        auto bolt = std::make_unique<ParserBolt>(
+            config.parser_extract_mentions, config.telemetry);
         if (restore != nullptr) bolt->RestoreState(restore->parser);
         return bolt;
       },
@@ -111,8 +112,8 @@ TopologyHandles BuildCorrelationTopology(
   handles.tracker = topology->AddBolt(
       "tracker",
       [tracker_sink, config, restore](int) {
-        auto bolt =
-            std::make_unique<TrackerBolt>(tracker_sink, config.tracker_merge);
+        auto bolt = std::make_unique<TrackerBolt>(
+            tracker_sink, config.tracker_merge, config.telemetry);
         if (restore != nullptr) bolt->RestoreState(restore->tracker);
         return bolt;
       },
@@ -206,6 +207,9 @@ std::unique_ptr<stream::Runtime<Message>> MakeConfiguredRuntime(
   options.num_threads = config.num_threads;
   options.affinity = config.affinity;
   options.start_time = config.virtual_start_time;
+  if (config.telemetry != nullptr) {
+    options.metrics = &config.telemetry->registry;
+  }
   return stream::MakeRuntime<Message>(config.runtime, topology, options);
 }
 

@@ -10,6 +10,8 @@
 #include "ops/messages.h"
 #include "ops/period_sink.h"
 #include "stream/topology.h"
+#include "telemetry/clock.h"
+#include "telemetry/pipeline_telemetry.h"
 
 namespace corrtrack::ops {
 
@@ -34,13 +36,29 @@ class TrackerBolt : public stream::Bolt<Message> {
   /// the partial reports an elastic resize splits across Calculator owners
   /// (see EstimateMerge in core/jaccard.h).
   explicit TrackerBolt(PeriodSink* sink = nullptr,
-                       EstimateMerge merge = EstimateMerge::kMaxCN)
-      : sink_(sink), merge_(merge) {}
+                       EstimateMerge merge = EstimateMerge::kMaxCN,
+                       telemetry::PipelineTelemetry* telemetry = nullptr)
+      : sink_(sink), merge_(merge), telemetry_(telemetry) {}
 
   void Execute(const stream::Envelope<Message>& in,
                stream::Emitter<Message>& out) override {
     (void)out;
     if (std::get_if<JaccardReport>(&in.payload()) == nullptr) return;
+    int64_t t0 = 0;
+    if (telemetry_ != nullptr) {
+      const auto& traced = std::get<JaccardReport>(in.payload());
+      if (traced.trace.sampled()) {
+        t0 = telemetry::MonotonicNanos();
+        telemetry_->tracker_dwell->Record(
+            telemetry::SpanMicros(traced.trace.hop_wall_ns, t0));
+        telemetry_->report_e2e->Record(
+            telemetry::SpanMicros(traced.trace.origin_wall_ns, t0));
+        // Virtual lag of the report behind the period it closes.
+        const int64_t lag = in.time - traced.trace.origin_virtual;
+        telemetry_->report_virtual_lag->Record(
+            lag > 0 ? static_cast<uint64_t>(lag) : 0u);
+      }
+    }
     // Copy-on-write payload steal: the report edge is a filtered global
     // subscription, so when this envelope executes the Tracker is
     // normally the payload's last holder — MutablePayload() then mutates
@@ -61,6 +79,13 @@ class TrackerBolt : public stream::Bolt<Message> {
       auto [it, inserted] =
           results.emplace(estimate.tags, std::move(estimate));
       if (!inserted) MergeEstimate(&it->second, estimate, merge_);
+    }
+    if (telemetry_ != nullptr) {
+      telemetry_->reports_tracked->Increment();
+      if (t0 != 0) {
+        telemetry_->tracker_proc->Record(
+            telemetry::SpanMicros(t0, telemetry::MonotonicNanos()));
+      }
     }
   }
 
@@ -107,6 +132,7 @@ class TrackerBolt : public stream::Bolt<Message> {
  private:
   PeriodSink* sink_;
   EstimateMerge merge_;
+  telemetry::PipelineTelemetry* telemetry_;  // Null = no instrumentation.
   std::map<Timestamp, PeriodResults> periods_;
   uint64_t reports_received_ = 0;
   Epoch latest_epoch_ = 0;

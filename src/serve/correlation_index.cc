@@ -7,6 +7,7 @@
 
 #include "core/check.h"
 #include "storage/serialize.h"
+#include "telemetry/clock.h"
 
 namespace corrtrack::serve {
 
@@ -47,8 +48,33 @@ void CorrelationIndex::Publish(Shard& shard,
   shard.version.fetch_add(1, std::memory_order_release);
 }
 
+void CorrelationIndex::AttachTelemetry(telemetry::MetricRegistry* registry) {
+  if (registry == nullptr) {
+    query_top_hist_ = nullptr;
+    query_lookup_hist_ = nullptr;
+    query_scan_hist_ = nullptr;
+    apply_hist_ = nullptr;
+    epoch_gauge_ = nullptr;
+    latest_period_gauge_ = nullptr;
+    return;
+  }
+  // Queries are sub-microsecond on the cached-snapshot fast path, so their
+  // histograms record nanoseconds; the writer-side apply is µs-scale.
+  query_top_hist_ =
+      registry->GetHistogram("corrtrack_serve_query_ns{op=\"top\"}");
+  query_lookup_hist_ =
+      registry->GetHistogram("corrtrack_serve_query_ns{op=\"lookup\"}");
+  query_scan_hist_ =
+      registry->GetHistogram("corrtrack_serve_query_ns{op=\"scan\"}");
+  apply_hist_ = registry->GetHistogram("corrtrack_serve_apply_us");
+  epoch_gauge_ = registry->GetGauge("corrtrack_serve_epoch");
+  latest_period_gauge_ = registry->GetGauge("corrtrack_serve_latest_period");
+}
+
 void CorrelationIndex::ApplyPeriod(
     Timestamp period_end, const std::vector<JaccardEstimate>& estimates) {
+  const int64_t apply_t0 =
+      apply_hist_ != nullptr ? telemetry::MonotonicNanos() : 0;
   for (const JaccardEstimate& estimate : estimates) {
     if (estimate.tags.size() < 2) continue;
     // System-wide invariant (and the bound on owners[] below): nothing
@@ -118,10 +144,22 @@ void CorrelationIndex::ApplyPeriod(
     shard.dirty = false;
     published = true;
   }
-  if (published) epoch_.store(next_epoch, std::memory_order_release);
+  if (published) {
+    epoch_.store(next_epoch, std::memory_order_release);
+    last_publish_wall_ns_.store(telemetry::MonotonicNanos(),
+                                std::memory_order_relaxed);
+  }
   Timestamp latest = latest_period_.load(std::memory_order_relaxed);
   if (period_end > latest) {
     latest_period_.store(period_end, std::memory_order_release);
+  }
+  if (apply_hist_ != nullptr) {
+    apply_hist_->Record(
+        telemetry::SpanMicros(apply_t0, telemetry::MonotonicNanos()));
+    epoch_gauge_->Set(
+        static_cast<double>(epoch_.load(std::memory_order_relaxed)));
+    latest_period_gauge_->Set(static_cast<double>(
+        latest_period_.load(std::memory_order_relaxed)));
   }
 }
 
@@ -311,6 +349,8 @@ const ShardSnapshot* CorrelationIndex::Reader::Acquire(size_t shard) const {
 
 size_t CorrelationIndex::Reader::TopCorrelated(
     TagId tag, size_t k, std::vector<ScoredSet>* out) const {
+  telemetry::LatencyHistogram* hist = index_->query_top_hist_;
+  const int64_t t0 = hist != nullptr ? telemetry::MonotonicNanos() : 0;
   out->clear();
   const ShardSnapshot* snapshot = Acquire(index_->ShardOf(tag));
   const auto [postings, available] = snapshot->TopForTag(tag);
@@ -319,29 +359,43 @@ size_t CorrelationIndex::Reader::TopCorrelated(
     const ShardSnapshot::Entry& entry = snapshot->entries()[postings[i]];
     out->push_back({entry.tags, entry.coefficient, entry.period_end});
   }
+  if (hist != nullptr) {
+    const int64_t span = telemetry::MonotonicNanos() - t0;
+    hist->Record(span > 0 ? static_cast<uint64_t>(span) : 0u);
+  }
   return n;
 }
 
 std::optional<LookupResult> CorrelationIndex::Reader::Lookup(
     const TagSet& tags) const {
   if (tags.empty()) return std::nullopt;
+  telemetry::LatencyHistogram* hist = index_->query_lookup_hist_;
+  const int64_t t0 = hist != nullptr ? telemetry::MonotonicNanos() : 0;
   // Home shard: the shard of the set's smallest tag (tags are canonical,
   // so tags[0] is the minimum) — the one deterministic owner among the
   // shards the entry is replicated to.
   const ShardSnapshot* snapshot = Acquire(index_->ShardOf(tags[0]));
   const ShardSnapshot::Entry* entry = snapshot->FindSet(tags);
-  if (entry == nullptr) return std::nullopt;
-  LookupResult result;
-  result.coefficient = entry->coefficient;
-  result.intersection_count = entry->intersection_count;
-  result.union_count = entry->union_count;
-  result.period_end = entry->period_end;
-  result.epoch = snapshot->epoch();
+  std::optional<LookupResult> result;
+  if (entry != nullptr) {
+    result.emplace();
+    result->coefficient = entry->coefficient;
+    result->intersection_count = entry->intersection_count;
+    result->union_count = entry->union_count;
+    result->period_end = entry->period_end;
+    result->epoch = snapshot->epoch();
+  }
+  if (hist != nullptr) {
+    const int64_t span = telemetry::MonotonicNanos() - t0;
+    hist->Record(span > 0 ? static_cast<uint64_t>(span) : 0u);
+  }
   return result;
 }
 
 size_t CorrelationIndex::Reader::Snapshot(double min_jaccard,
                                           std::vector<ScoredSet>* out) const {
+  telemetry::LatencyHistogram* hist = index_->query_scan_hist_;
+  const int64_t t0 = hist != nullptr ? telemetry::MonotonicNanos() : 0;
   out->clear();
   for (size_t s = 0; s < index_->num_shards_; ++s) {
     const ShardSnapshot* snapshot = Acquire(s);
@@ -359,6 +413,10 @@ size_t CorrelationIndex::Reader::Snapshot(double min_jaccard,
               }
               return a.tags < b.tags;
             });
+  if (hist != nullptr) {
+    const int64_t span = telemetry::MonotonicNanos() - t0;
+    hist->Record(span > 0 ? static_cast<uint64_t>(span) : 0u);
+  }
   return out->size();
 }
 

@@ -15,6 +15,7 @@
 #include "core/tagset.h"
 #include "core/types.h"
 #include "serve/serve_config.h"
+#include "telemetry/registry.h"
 
 namespace corrtrack::serve {
 
@@ -180,6 +181,21 @@ class CorrelationIndex {
 
   Reader NewReader() const { return Reader(this); }
 
+  /// Registers this index's instruments in `registry` (query latency
+  /// histograms per op, apply latency, publish-epoch and freshness
+  /// gauges) and starts
+  /// recording into them. Call before readers or the writer run — the
+  /// handle installation itself is not synchronised. Null detaches.
+  void AttachTelemetry(telemetry::MetricRegistry* registry);
+
+  /// Wall clock (telemetry::MonotonicNanos) of the last ApplyPeriod that
+  /// published new snapshots; 0 until the first publish. Always maintained
+  /// (one relaxed store per publish), so "snapshot age" diagnostics work
+  /// even without an attached registry.
+  int64_t last_publish_wall_ns() const {
+    return last_publish_wall_ns_.load(std::memory_order_relaxed);
+  }
+
   /// Checkpoint support (writer-side, externally serialised like
   /// ApplyPeriod): serialises the builder state — per-shard entries in
   /// insertion order, the retention window and the publish counters — into
@@ -248,6 +264,15 @@ class CorrelationIndex {
   std::atomic<uint64_t> epoch_{0};
   std::atomic<Timestamp> latest_period_{0};
   std::vector<Timestamp> recent_periods_;  // Writer-only, ascending.
+  std::atomic<int64_t> last_publish_wall_ns_{0};
+  // Instrumentation handles (null = detached). Histogram Record is
+  // lock-free, so readers share them without coordination.
+  telemetry::LatencyHistogram* query_top_hist_ = nullptr;
+  telemetry::LatencyHistogram* query_lookup_hist_ = nullptr;
+  telemetry::LatencyHistogram* query_scan_hist_ = nullptr;
+  telemetry::LatencyHistogram* apply_hist_ = nullptr;
+  telemetry::Gauge* epoch_gauge_ = nullptr;
+  telemetry::Gauge* latest_period_gauge_ = nullptr;
 };
 
 }  // namespace corrtrack::serve

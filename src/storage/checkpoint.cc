@@ -9,6 +9,7 @@
 
 #include "storage/crc32c.h"
 #include "storage/serialize.h"
+#include "telemetry/log.h"
 
 namespace corrtrack::storage {
 
@@ -373,6 +374,10 @@ Status CheckpointReader::ReadLatest(CheckpointData* out) {
     status = Read(*it, out);
     if (status.ok()) return status;
     if (status.IsTransient()) return status;  // Storage down, not damage.
+    CORRTRACK_LOG(kWarn, "checkpoint",
+                  "seq %llu damaged (%s); falling back to an older checkpoint",
+                  static_cast<unsigned long long>(*it),
+                  status.ToString().c_str());
   }
   return seqs.empty()
              ? Status::NotFound("no valid checkpoint under " + root_)

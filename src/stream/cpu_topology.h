@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "stream/runtime.h"
+#include "telemetry/log.h"
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -129,6 +130,12 @@ inline CpuTopologyInfo QueryCpuTopology() {
     return info;
   }
 #endif
+  // Silent before the telemetry logger existed; the flat layout degrades
+  // every affinity policy, which is worth a note when diagnosing placement.
+  CORRTRACK_LOG(kInfo, "cpu_topology",
+                "sysfs CPU topology unreadable; using flat %d-CPU fallback "
+                "(affinity degrades to sequential pinning)",
+                n);
   for (int cpu = 0; cpu < n; ++cpu) {
     info.cpus.push_back({cpu, 0, cpu});
   }
@@ -216,7 +223,12 @@ inline bool PinCurrentThreadToCpu(int cpu) {
   cpu_set_t set;
   CPU_ZERO(&set);
   CPU_SET(cpu, &set);
-  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+  if (pthread_setaffinity_np(pthread_self(), sizeof(set), &set) != 0) {
+    CORRTRACK_LOG(kInfo, "cpu_topology",
+                  "pinning to cpu %d refused; worker proceeds unpinned", cpu);
+    return false;
+  }
+  return true;
 #else
   (void)cpu;
   return false;

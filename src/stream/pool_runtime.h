@@ -20,6 +20,8 @@
 #include "stream/routing.h"
 #include "stream/runtime.h"
 #include "stream/topology.h"
+#include "telemetry/clock.h"
+#include "telemetry/registry.h"
 
 namespace corrtrack::stream {
 
@@ -77,6 +79,16 @@ class PoolRuntime : public Runtime<Message> {
         start_time_(options.start_time) {
     CORRTRACK_CHECK(topology != nullptr);
     CORRTRACK_CHECK_GT(queue_capacity_, 0u);
+    if (options.metrics != nullptr) {
+      queue_depth_hist_ = options.metrics->GetHistogram(
+          "runtime_queue_depth{runtime=\"pool\"}");
+      block_wait_hist_ = options.metrics->GetHistogram(
+          "runtime_block_wait_us{runtime=\"pool\"}");
+      worker_steals_hist_ = options.metrics->GetHistogram(
+          "runtime_worker_steals{runtime=\"pool\"}");
+      worker_envelopes_hist_ = options.metrics->GetHistogram(
+          "runtime_worker_envelopes{runtime=\"pool\"}");
+    }
     Build();
   }
 
@@ -152,6 +164,20 @@ class PoolRuntime : public Runtime<Message> {
     }
     for (auto& worker : workers_) {
       if (worker->thread.joinable()) worker->thread.join();
+    }
+    // Per-worker/per-task distributions: scheduling skew that the summed
+    // RuntimeStats totals hide.
+    if (worker_steals_hist_ != nullptr) {
+      for (const auto& worker : workers_) {
+        worker_steals_hist_->Record(worker->steals);
+      }
+    }
+    if (worker_envelopes_hist_ != nullptr) {
+      for (const auto& task : tasks_) {
+        if (task->is_spout) continue;
+        worker_envelopes_hist_->Record(
+            task->delivered.load(std::memory_order_relaxed));
+      }
     }
   }
   using Runtime<Message>::Run;
@@ -272,7 +298,9 @@ class PoolRuntime : public Runtime<Message> {
   /// caller handles a full mailbox by helping or waiting on not_full.
   class Mailbox {
    public:
-    explicit Mailbox(size_t capacity) : capacity_(capacity) {}
+    explicit Mailbox(size_t capacity,
+                     telemetry::LatencyHistogram* depth_hist = nullptr)
+        : capacity_(capacity), depth_hist_(depth_hist) {}
 
     /// Moves items[*offset..) into the mailbox while capacity allows,
     /// advancing *offset. Returns true when everything fit.
@@ -282,6 +310,7 @@ class PoolRuntime : public Runtime<Message> {
         items_.push_back(std::move((*items)[(*offset)++]));
       }
       max_depth_ = std::max(max_depth_, items_.size());
+      if (depth_hist_ != nullptr) depth_hist_->Record(items_.size());
       return *offset == items->size();
     }
 
@@ -294,6 +323,7 @@ class PoolRuntime : public Runtime<Message> {
         items_.push_back(std::move((*items)[offset]));
       }
       max_depth_ = std::max(max_depth_, items_.size());
+      if (depth_hist_ != nullptr) depth_hist_->Record(items_.size());
     }
 
     /// Moves up to max_items into *out. Never blocks; returns the count.
@@ -330,6 +360,7 @@ class PoolRuntime : public Runtime<Message> {
 
    private:
     const size_t capacity_;
+    telemetry::LatencyHistogram* depth_hist_;  // Null = not recording.
     mutable std::mutex mutex_;
     std::condition_variable not_full_;
     std::deque<Item> items_;
@@ -422,7 +453,7 @@ class PoolRuntime : public Runtime<Message> {
           task->bolt->Prepare(task->addr, comp.parallelism);
           task->bolt->AttachControl(this);
         }
-        task->mailbox = std::make_unique<Mailbox>(capacity);
+        task->mailbox = std::make_unique<Mailbox>(capacity, queue_depth_hist_);
         task->tick_period = comp.tick_period;
         task->next_tick = FirstTickAfter(comp.tick_period, start_time_);
         tasks_.push_back(std::move(task));
@@ -581,6 +612,13 @@ class PoolRuntime : public Runtime<Message> {
       // be skipped by whoever pops it.
       RunSlice(task);
       return true;
+    }
+    if (block_wait_hist_ != nullptr) {
+      const int64_t blocked_at = telemetry::MonotonicNanos();
+      task->mailbox->WaitNotFull();
+      block_wait_hist_->Record(
+          telemetry::SpanMicros(blocked_at, telemetry::MonotonicNanos()));
+      return false;
     }
     task->mailbox->WaitNotFull();
     return false;
@@ -836,6 +874,10 @@ class PoolRuntime : public Runtime<Message> {
   std::atomic<uint64_t> tasks_retired_{0};
   std::atomic<uint64_t> payload_shares_{0};
   std::atomic<int> workers_pinned_{0};
+  telemetry::LatencyHistogram* queue_depth_hist_ = nullptr;
+  telemetry::LatencyHistogram* block_wait_hist_ = nullptr;
+  telemetry::LatencyHistogram* worker_steals_hist_ = nullptr;
+  telemetry::LatencyHistogram* worker_envelopes_hist_ = nullptr;
   /// Live instances per component (routing mask; elastic resize).
   std::unique_ptr<std::atomic<int>[]> active_;
 

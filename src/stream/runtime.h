@@ -6,6 +6,10 @@
 
 #include "core/types.h"
 
+namespace corrtrack::telemetry {
+class MetricRegistry;
+}  // namespace corrtrack::telemetry
+
 namespace corrtrack::stream {
 
 // The interface only names Bolt pointers; keeping the template layer out
@@ -171,6 +175,14 @@ struct RuntimeOptions {
   /// counters under long-gone period ends. 0 = fresh stream (all runtimes
   /// honour it, including the simulator).
   Timestamp start_time = 0;
+
+  /// Optional telemetry registry (telemetry/registry.h). When set, the
+  /// substrate records live distributions — queue depth at every push,
+  /// producer block-wait episodes, per-worker steal and delivery counts —
+  /// into `runtime_*` histograms, complementing the end-of-run totals in
+  /// RuntimeStats. nullptr (default) records nothing and costs nothing on
+  /// the hot path beyond one pointer test.
+  telemetry::MetricRegistry* metrics = nullptr;
 };
 
 /// First tick boundary a component with `period` fires after resuming at

@@ -15,6 +15,7 @@
 #include "stream/routing.h"
 #include "stream/runtime.h"
 #include "stream/topology.h"
+#include "telemetry/registry.h"
 
 namespace corrtrack::stream {
 
@@ -47,6 +48,12 @@ class SimulationRuntime : public Runtime<Message> {
     // checkpoint-restored topology resumes its tick schedule mid-period
     // instead of replaying every boundary since virtual time zero.
     CORRTRACK_CHECK(topology != nullptr);
+    if (options.metrics != nullptr) {
+      // The global pending deque is the simulator's only "queue": its depth
+      // distribution shows how deep cascades run per injected tuple.
+      queue_depth_hist_ = options.metrics->GetHistogram(
+          "runtime_queue_depth{runtime=\"simulation\"}");
+    }
     now_ = start_time_;
     Build();
   }
@@ -252,6 +259,9 @@ class SimulationRuntime : public Runtime<Message> {
     env.source = source;
     env.time = time;
     pending_.emplace_back(TaskId(component, instance), std::move(env));
+    if (queue_depth_hist_ != nullptr) {
+      queue_depth_hist_->Record(pending_.size());
+    }
   }
 
   /// Drains the cascade in global FIFO order.
@@ -306,6 +316,7 @@ class SimulationRuntime : public Runtime<Message> {
   std::vector<EdgeList<Message>> edges_;
   std::deque<std::pair<int, Envelope<Message>>> pending_;
   std::vector<uint64_t> delivered_;
+  telemetry::LatencyHistogram* queue_depth_hist_ = nullptr;
   Timestamp now_ = 0;
   Timestamp start_time_ = 0;  // Resume point (checkpoint restore).
   bool ran_ = false;

@@ -19,6 +19,8 @@
 #include "stream/routing.h"
 #include "stream/runtime.h"
 #include "stream/topology.h"
+#include "telemetry/clock.h"
+#include "telemetry/registry.h"
 
 namespace corrtrack::stream {
 
@@ -81,6 +83,14 @@ class ThreadedRuntime : public Runtime<Message> {
         start_time_(options.start_time) {
     CORRTRACK_CHECK(topology != nullptr);
     CORRTRACK_CHECK_GT(queue_capacity_, 0u);
+    if (options.metrics != nullptr) {
+      queue_depth_hist_ = options.metrics->GetHistogram(
+          "runtime_queue_depth{runtime=\"threaded\"}");
+      block_wait_hist_ = options.metrics->GetHistogram(
+          "runtime_block_wait_us{runtime=\"threaded\"}");
+      worker_envelopes_hist_ = options.metrics->GetHistogram(
+          "runtime_worker_envelopes{runtime=\"threaded\"}");
+    }
     Build();
   }
 
@@ -134,6 +144,15 @@ class ThreadedRuntime : public Runtime<Message> {
     }
     for (auto& task : tasks_) {
       if (task->thread.joinable()) task->thread.join();
+    }
+    if (worker_envelopes_hist_ != nullptr) {
+      // Per-worker delivery distribution: skew across bolt threads that the
+      // envelopes_moved total hides.
+      for (const auto& task : tasks_) {
+        if (task->is_spout) continue;
+        worker_envelopes_hist_->Record(
+            task->delivered.load(std::memory_order_relaxed));
+      }
     }
   }
   using Runtime<Message>::Run;
@@ -222,12 +241,19 @@ class ThreadedRuntime : public Runtime<Message> {
   /// overflow escape — see the class comment and routing.h).
   class BoundedQueue {
    public:
-    explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+    explicit BoundedQueue(size_t capacity,
+                          telemetry::LatencyHistogram* depth_hist = nullptr,
+                          telemetry::LatencyHistogram* block_hist = nullptr)
+        : capacity_(capacity),
+          depth_hist_(depth_hist),
+          block_hist_(block_hist) {}
 
     void Push(Item item) {
       std::unique_lock<std::mutex> lock(mutex_);
       if (items_.size() >= capacity_) {
         ++full_blocks_;  // Once per blocking episode, not per wait round.
+        const int64_t blocked_at =
+            block_hist_ != nullptr ? telemetry::MonotonicNanos() : 0;
         int stalled_rounds = 0;
         while (items_.size() >= capacity_) {
           const bool room =
@@ -239,9 +265,14 @@ class ThreadedRuntime : public Runtime<Message> {
             break;  // Spill over capacity to break a cyclic-full stall.
           }
         }
+        if (block_hist_ != nullptr) {
+          block_hist_->Record(telemetry::SpanMicros(
+              blocked_at, telemetry::MonotonicNanos()));
+        }
       }
       items_.push_back(std::move(item));
       max_depth_ = std::max(max_depth_, items_.size());
+      if (depth_hist_ != nullptr) depth_hist_->Record(items_.size());
       not_empty_.notify_one();
     }
 
@@ -252,11 +283,15 @@ class ThreadedRuntime : public Runtime<Message> {
       std::unique_lock<std::mutex> lock(mutex_);
       int stalled_rounds = 0;
       bool blocking = false;  // In a full-queue episode (counted once).
+      int64_t blocked_at = 0;
       while (offset < items->size()) {
         if (items_.size() >= capacity_) {
           if (!blocking) {
             blocking = true;
             ++full_blocks_;  // Once per episode, not per 1 ms wait round.
+            if (block_hist_ != nullptr) {
+              blocked_at = telemetry::MonotonicNanos();
+            }
           }
           const bool room =
               not_full_.wait_for(lock, std::chrono::milliseconds(1), [this] {
@@ -271,6 +306,10 @@ class ThreadedRuntime : public Runtime<Message> {
               items_.push_back(std::move((*items)[offset++]));
             }
             max_depth_ = std::max(max_depth_, items_.size());
+            if (block_hist_ != nullptr) {
+              block_hist_->Record(telemetry::SpanMicros(
+                  blocked_at, telemetry::MonotonicNanos()));
+            }
             not_empty_.notify_one();
             break;
           }
@@ -282,11 +321,16 @@ class ThreadedRuntime : public Runtime<Message> {
         }
         if (offset > before) {
           stalled_rounds = 0;  // Progress: reset the escape window.
+          if (blocking && block_hist_ != nullptr) {
+            block_hist_->Record(telemetry::SpanMicros(
+                blocked_at, telemetry::MonotonicNanos()));
+          }
           blocking = false;
         }
         max_depth_ = std::max(max_depth_, items_.size());
         not_empty_.notify_one();
       }
+      if (depth_hist_ != nullptr) depth_hist_->Record(items_.size());
       items->clear();
     }
 
@@ -321,6 +365,8 @@ class ThreadedRuntime : public Runtime<Message> {
 
    private:
     const size_t capacity_;
+    telemetry::LatencyHistogram* depth_hist_;  // Null = not recording.
+    telemetry::LatencyHistogram* block_hist_;
     mutable std::mutex mutex_;
     std::condition_variable not_empty_;
     std::condition_variable not_full_;
@@ -402,7 +448,8 @@ class ThreadedRuntime : public Runtime<Message> {
         task->bolt = comp.bolt_factory(i);
         task->bolt->Prepare(task->addr, comp.parallelism);
         task->bolt->AttachControl(this);
-        task->queue = std::make_unique<BoundedQueue>(capacity);
+        task->queue = std::make_unique<BoundedQueue>(
+            capacity, queue_depth_hist_, block_wait_hist_);
         task->tick_period = comp.tick_period;
         task->next_tick = FirstTickAfter(comp.tick_period, start_time_);
         tasks_.push_back(std::move(task));
@@ -574,6 +621,9 @@ class ThreadedRuntime : public Runtime<Message> {
   /// Live instances per component (routing mask; elastic resize).
   std::unique_ptr<std::atomic<int>[]> active_;
   std::vector<EdgeList<Message>> edges_;
+  telemetry::LatencyHistogram* queue_depth_hist_ = nullptr;
+  telemetry::LatencyHistogram* block_wait_hist_ = nullptr;
+  telemetry::LatencyHistogram* worker_envelopes_hist_ = nullptr;
   bool ran_ = false;
   std::mutex done_mutex_;
   std::condition_variable all_done_;

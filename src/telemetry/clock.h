@@ -1,0 +1,28 @@
+#ifndef CORRTRACK_TELEMETRY_CLOCK_H_
+#define CORRTRACK_TELEMETRY_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace corrtrack::telemetry {
+
+/// Monotonic wall clock for latency spans (trace stamps, stage timers).
+/// steady_clock, so spans never go negative across NTP slews; the epoch is
+/// arbitrary — only differences are meaningful.
+inline int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Nanosecond span -> microseconds, the unit every *_us histogram records.
+/// Clamps negative spans (a torn stamp from a concurrent writer) to zero
+/// instead of recording a wrapped uint64.
+inline uint64_t SpanMicros(int64_t start_ns, int64_t end_ns) {
+  const int64_t delta = end_ns - start_ns;
+  return delta > 0 ? static_cast<uint64_t>(delta) / 1000u : 0u;
+}
+
+}  // namespace corrtrack::telemetry
+
+#endif  // CORRTRACK_TELEMETRY_CLOCK_H_

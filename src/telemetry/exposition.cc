@@ -1,0 +1,164 @@
+#include "telemetry/exposition.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string_view>
+
+namespace corrtrack::telemetry {
+
+namespace {
+
+constexpr double kQuantiles[] = {0.5, 0.9, 0.99};
+constexpr const char* kQuantileLabels[] = {"0.5", "0.9", "0.99"};
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  *out += buf;
+}
+
+/// Splits `name` into the bare metric name and its baked-in label body
+/// ("" when unlabelled): `a{b="c"}` -> ("a", `b="c"`).
+void SplitName(std::string_view name, std::string_view* base,
+               std::string_view* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string_view::npos || name.back() != '}') {
+    *base = name;
+    *labels = {};
+    return;
+  }
+  *base = name.substr(0, brace);
+  *labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+void AppendSeries(std::string* out, std::string_view base,
+                  std::string_view suffix, std::string_view labels,
+                  std::string_view extra_label) {
+  *out += base;
+  *out += suffix;
+  if (!labels.empty() || !extra_label.empty()) {
+    *out += '{';
+    *out += labels;
+    if (!labels.empty() && !extra_label.empty()) *out += ',';
+    *out += extra_label;
+    *out += '}';
+  }
+}
+
+void AppendJsonKey(std::string* out, std::string_view key) {
+  *out += '"';
+  for (char c : key) {
+    if (c == '"' || c == '\\') *out += '\\';
+    *out += c;
+  }
+  *out += "\":";
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string_view last_typed;  // Base name the last # TYPE line covered.
+  auto type_line = [&](std::string_view base, const char* type) {
+    if (base == last_typed) return;  // Labelled series share one TYPE line.
+    out += "# TYPE ";
+    out += base;
+    out += ' ';
+    out += type;
+    out += '\n';
+    last_typed = base;
+  };
+
+  for (const auto& sample : snapshot.counters) {
+    std::string_view base, labels;
+    SplitName(sample.name, &base, &labels);
+    type_line(base, "counter");
+    out += sample.name;
+    out += ' ';
+    AppendU64(&out, sample.value);
+    out += '\n';
+  }
+  for (const auto& sample : snapshot.gauges) {
+    std::string_view base, labels;
+    SplitName(sample.name, &base, &labels);
+    type_line(base, "gauge");
+    out += sample.name;
+    out += ' ';
+    AppendDouble(&out, sample.value);
+    out += '\n';
+  }
+  for (const auto& sample : snapshot.histograms) {
+    std::string_view base, labels;
+    SplitName(sample.name, &base, &labels);
+    type_line(base, "summary");
+    for (size_t q = 0; q < 3; ++q) {
+      std::string extra = "quantile=\"";
+      extra += kQuantileLabels[q];
+      extra += '"';
+      AppendSeries(&out, base, "", labels, extra);
+      out += ' ';
+      AppendU64(&out, sample.hist.ValueAtQuantile(kQuantiles[q]));
+      out += '\n';
+    }
+    AppendSeries(&out, base, "_sum", labels, {});
+    out += ' ';
+    AppendU64(&out, sample.hist.sum);
+    out += '\n';
+    AppendSeries(&out, base, "_count", labels, {});
+    out += ' ';
+    AppendU64(&out, sample.hist.count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string RenderJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& sample : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonKey(&out, sample.name);
+    AppendU64(&out, sample.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& sample : snapshot.gauges) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonKey(&out, sample.name);
+    AppendDouble(&out, sample.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& sample : snapshot.histograms) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonKey(&out, sample.name);
+    out += "{\"count\":";
+    AppendU64(&out, sample.hist.count);
+    out += ",\"sum\":";
+    AppendU64(&out, sample.hist.sum);
+    out += ",\"max\":";
+    AppendU64(&out, sample.hist.max);
+    out += ",\"mean\":";
+    AppendDouble(&out, sample.hist.mean());
+    out += ",\"p50\":";
+    AppendU64(&out, sample.hist.ValueAtQuantile(0.5));
+    out += ",\"p90\":";
+    AppendU64(&out, sample.hist.ValueAtQuantile(0.9));
+    out += ",\"p99\":";
+    AppendU64(&out, sample.hist.ValueAtQuantile(0.99));
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace corrtrack::telemetry

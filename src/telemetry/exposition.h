@@ -1,0 +1,27 @@
+#ifndef CORRTRACK_TELEMETRY_EXPOSITION_H_
+#define CORRTRACK_TELEMETRY_EXPOSITION_H_
+
+#include <string>
+
+#include "telemetry/registry.h"
+
+namespace corrtrack::telemetry {
+
+/// Renders a snapshot in Prometheus text exposition format (v0.0.4).
+/// Counters and gauges become one sample each; histograms become summaries:
+/// `name{...,quantile="0.5"}` lines for p50/p90/p99 plus `name_sum` and
+/// `name_count`. Metric names carrying baked-in labels (`base{k="v"}`) are
+/// split so the quantile label is spliced into the existing label set.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+/// Renders a snapshot as a single-line JSON object:
+/// {"counters":{name:value,...},"gauges":{...},
+///  "histograms":{name:{"count":..,"sum":..,"max":..,"mean":..,
+///                      "p50":..,"p90":..,"p99":..},...}}
+/// Keys are sorted (registry snapshots are name-sorted), so output is
+/// deterministic for golden tests.
+std::string RenderJson(const MetricsSnapshot& snapshot);
+
+}  // namespace corrtrack::telemetry
+
+#endif  // CORRTRACK_TELEMETRY_EXPOSITION_H_

@@ -1,0 +1,195 @@
+#ifndef CORRTRACK_TELEMETRY_HISTOGRAM_H_
+#define CORRTRACK_TELEMETRY_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace corrtrack::telemetry {
+
+/// Point-in-time copy of a LatencyHistogram, safe to merge, render and
+/// query after the fact. Buckets follow the log2 sub-bucket layout
+/// documented on LatencyHistogram; quantile answers carry the layout's
+/// bounded relative error.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;  ///< Sum of recorded values (exact — not bucketed).
+  uint64_t max = 0;  ///< Largest recorded value (exact).
+  std::vector<uint64_t> buckets;
+
+  /// Adds `other` bucket-wise. Merging snapshots and then asking for a
+  /// quantile gives exactly the answer one histogram recording both
+  /// streams would give (bucket counts are additive).
+  void Merge(const HistogramSnapshot& other) {
+    count += other.count;
+    sum += other.sum;
+    if (other.max > max) max = other.max;
+    if (buckets.size() < other.buckets.size()) {
+      buckets.resize(other.buckets.size(), 0);
+    }
+    for (size_t i = 0; i < other.buckets.size(); ++i) {
+      buckets[i] += other.buckets[i];
+    }
+  }
+
+  double mean() const {
+    return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                     : 0.0;
+  }
+
+  /// Value at quantile q in [0, 1]: the representative (midpoint) of the
+  /// bucket holding the ceil(q * count)-th recorded value. 0 when empty.
+  uint64_t ValueAtQuantile(double q) const;
+};
+
+/// Concurrent log2-bucketed histogram for latency/size distributions.
+///
+/// Bucket layout (HDR-style): values below kSubBuckets are exact; above,
+/// each power-of-two octave is split into kSubBuckets linear sub-buckets,
+/// so a bucket spanning [v, v + w) has w/v <= 1/kSubBuckets — the quantile
+/// relative error is bounded by 12.5 % (6.25 % using midpoints) with
+/// kSubBits = 3, independent of the value's magnitude. Values at or above
+/// 2^(kMaxExponent+1) saturate into one overflow bucket (counted, and
+/// reported as the overflow bound rather than inventing a value).
+///
+/// Concurrency: recording is lock-free and wait-free — one relaxed
+/// fetch_add into a per-thread stripe (threads hash onto kStripes
+/// cache-line-padded counter arrays, so concurrent recorders do not share
+/// cache lines). Snapshot() merges the stripes with relaxed loads: the
+/// result is a consistent-enough view (every completed Record is either
+/// fully in or fully out once the recording threads are quiesced; during
+/// recording a snapshot may split a Record between count and sum by at
+/// most the in-flight operations).
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 3;
+  static constexpr int kSubBuckets = 1 << kSubBits;  // 8
+  static constexpr int kMaxExponent = 39;  // Values < 2^40 (~13 days in µs).
+  static constexpr size_t kNumBuckets =
+      static_cast<size_t>((kMaxExponent - kSubBits + 1) * kSubBuckets +
+                          kSubBuckets);
+  static constexpr size_t kOverflowBucket = kNumBuckets;  // One past the end.
+  static constexpr size_t kStripes = 8;  // Power of two.
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Index of the bucket holding `v`.
+  static size_t BucketIndex(uint64_t v) {
+    if (v < static_cast<uint64_t>(kSubBuckets)) return static_cast<size_t>(v);
+    int e = 63;
+    while ((v >> e) == 0) --e;  // e = floor(log2 v), v >= kSubBuckets here.
+    if (e > kMaxExponent) return kOverflowBucket;
+    return static_cast<size_t>(e - kSubBits) * kSubBuckets +
+           static_cast<size_t>(v >> (e - kSubBits));
+  }
+
+  /// Smallest value mapped to bucket `index` (inverse of BucketIndex).
+  static uint64_t BucketLowerBound(size_t index) {
+    const size_t octave = index / kSubBuckets;
+    if (octave == 0) return index;
+    const uint64_t sub = index % kSubBuckets;
+    return (static_cast<uint64_t>(kSubBuckets) + sub) << (octave - 1);
+  }
+
+  /// Width (number of distinct values) of bucket `index`.
+  static uint64_t BucketWidth(size_t index) {
+    const size_t octave = index / kSubBuckets;
+    return octave == 0 ? 1 : uint64_t{1} << (octave - 1);
+  }
+
+  /// Representative value of bucket `index` (midpoint): quantile answers
+  /// use it, halving the worst-case relative error of the lower bound.
+  static uint64_t BucketMidpoint(size_t index) {
+    if (index >= kOverflowBucket) {
+      // Saturated: report the overflow bound, not an invented midpoint.
+      return uint64_t{1} << (kMaxExponent + 1);
+    }
+    return BucketLowerBound(index) + (BucketWidth(index) - 1) / 2;
+  }
+
+  /// Records one observation. Lock-free hot path: one relaxed fetch_add
+  /// into this thread's stripe (plus sum/max upkeep on the same stripe).
+  void Record(uint64_t v) {
+    Stripe& stripe = stripes_[ThreadStripe()];
+    stripe.buckets[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    stripe.sum.fetch_add(v, std::memory_order_relaxed);
+    uint64_t seen = stripe.max.load(std::memory_order_relaxed);
+    while (v > seen && !stripe.max.compare_exchange_weak(
+                           seen, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Merges all stripes into one snapshot (cold path).
+  HistogramSnapshot Snapshot() const {
+    HistogramSnapshot snap;
+    snap.buckets.assign(kNumBuckets + 1, 0);
+    for (const Stripe& stripe : stripes_) {
+      for (size_t b = 0; b <= kNumBuckets; ++b) {
+        const uint64_t n = stripe.buckets[b].load(std::memory_order_relaxed);
+        snap.buckets[b] += n;
+        snap.count += n;
+      }
+      snap.sum += stripe.sum.load(std::memory_order_relaxed);
+      const uint64_t m = stripe.max.load(std::memory_order_relaxed);
+      if (m > snap.max) snap.max = m;
+    }
+    return snap;
+  }
+
+  /// Observations recorded so far (relaxed sum over stripes).
+  uint64_t count() const {
+    uint64_t total = 0;
+    for (const Stripe& stripe : stripes_) {
+      for (size_t b = 0; b <= kNumBuckets; ++b) {
+        total += stripe.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Stripe {
+    std::array<std::atomic<uint64_t>, kNumBuckets + 1> buckets{};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> max{0};
+  };
+
+  static size_t ThreadStripe() {
+    // Hash of the thread's id bits, computed once per thread. Distinct
+    // threads may share a stripe (kStripes bounds memory, not threads);
+    // sharing only costs a contended cache line, never correctness.
+    static std::atomic<size_t> next{0};
+    thread_local const size_t stripe =
+        next.fetch_add(1, std::memory_order_relaxed) & (kStripes - 1);
+    return stripe;
+  }
+
+  std::array<Stripe, kStripes> stripes_{};
+};
+
+inline uint64_t HistogramSnapshot::ValueAtQuantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      const uint64_t v = LatencyHistogram::BucketMidpoint(b);
+      // Never report past the exact maximum (the top bucket's midpoint can
+      // exceed it).
+      return v > max && max > 0 ? max : v;
+    }
+  }
+  return max;
+}
+
+}  // namespace corrtrack::telemetry
+
+#endif  // CORRTRACK_TELEMETRY_HISTOGRAM_H_

@@ -1,0 +1,114 @@
+#include "telemetry/log.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "telemetry/clock.h"
+
+namespace corrtrack::telemetry {
+
+namespace {
+
+LogLevel ParseLevel(const char* s) {
+  if (s == nullptr || *s == '\0') return LogLevel::kError;
+  if (std::strcmp(s, "off") == 0) return LogLevel::kOff;
+  if (std::strcmp(s, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(s, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(s, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(s, "debug") == 0) return LogLevel::kDebug;
+  return LogLevel::kError;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kOff:
+      break;
+  }
+  return "off";
+}
+
+std::atomic<int> g_level{-1};  // -1: not yet initialised from env.
+
+std::atomic<void (*)(const char*, void*)> g_sink{nullptr};
+std::atomic<void*> g_sink_arg{nullptr};
+
+}  // namespace
+
+LogLevel GlobalLogLevel() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level < 0) {
+    level = static_cast<int>(ParseLevel(std::getenv("CORRTRACK_LOG")));
+    // Racing initialisers parse the same env var; any order is fine.
+    g_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(level);
+}
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void SetLogSinkForTest(void (*sink)(const char* line, void* arg), void* arg) {
+  g_sink_arg.store(arg, std::memory_order_relaxed);
+  g_sink.store(sink, std::memory_order_relaxed);
+}
+
+bool LogSite::Admit() {
+  constexpr int64_t kRefillNs = 1'000'000'000;  // One token per second.
+  const int64_t now = MonotonicNanos();
+  int64_t deadline = bucket_refill_ns.load(std::memory_order_relaxed);
+  if (now >= deadline &&
+      bucket_refill_ns.compare_exchange_strong(deadline, now + kRefillNs,
+                                               std::memory_order_relaxed)) {
+    // Winner of the refill window grants itself one token's worth of
+    // admission directly (bypassing the bucket avoids overfill races).
+    return true;
+  }
+  uint32_t avail = tokens.load(std::memory_order_relaxed);
+  while (avail > 0) {
+    if (tokens.compare_exchange_weak(avail, avail - 1,
+                                     std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  suppressed.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void LogWrite(LogLevel level, const char* subsystem, uint64_t suppressed,
+              const char* format, ...) {
+  char message[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(message, sizeof(message), format, args);
+  va_end(args);
+
+  char line[640];
+  if (suppressed > 0) {
+    std::snprintf(line, sizeof(line),
+                  "[%s %s] %s (suppressed %llu)", LevelName(level), subsystem,
+                  message, static_cast<unsigned long long>(suppressed));
+  } else {
+    std::snprintf(line, sizeof(line), "[%s %s] %s", LevelName(level),
+                  subsystem, message);
+  }
+
+  auto* sink = g_sink.load(std::memory_order_relaxed);
+  if (sink != nullptr) {
+    sink(line, g_sink_arg.load(std::memory_order_relaxed));
+    return;
+  }
+  std::fprintf(stderr, "%s\n", line);
+}
+
+}  // namespace corrtrack::telemetry

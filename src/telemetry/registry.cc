@@ -1,0 +1,71 @@
+#include "telemetry/registry.h"
+
+#include <algorithm>
+
+namespace corrtrack::telemetry {
+
+namespace {
+
+template <typename Deque>
+auto* FindOrCreate(Deque* deque, std::string_view name) {
+  for (auto& named : *deque) {
+    if (named.name == name) return &named.metric;
+  }
+  deque->emplace_back();
+  deque->back().name = std::string(name);
+  return &deque->back().metric;
+}
+
+}  // namespace
+
+Counter* MetricRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return FindOrCreate(&counters_, name);
+}
+
+Gauge* MetricRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return FindOrCreate(&gauges_, name);
+}
+
+LatencyHistogram* MetricRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return FindOrCreate(&histograms_, name);
+}
+
+const LatencyHistogram* MetricRegistry::FindHistogram(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& named : histograms_) {
+    if (named.name == name) return &named.metric;
+  }
+  return nullptr;
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap.counters.reserve(counters_.size());
+    for (const auto& named : counters_) {
+      snap.counters.push_back({named.name, named.metric.value()});
+    }
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& named : gauges_) {
+      snap.gauges.push_back({named.name, named.metric.value()});
+    }
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& named : histograms_) {
+      snap.histograms.push_back({named.name, named.metric.Snapshot()});
+    }
+  }
+  std::sort(snap.counters.begin(), snap.counters.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  std::sort(snap.gauges.begin(), snap.gauges.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return snap;
+}
+
+}  // namespace corrtrack::telemetry

@@ -1,0 +1,102 @@
+#ifndef CORRTRACK_TELEMETRY_REGISTRY_H_
+#define CORRTRACK_TELEMETRY_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/histogram.h"
+
+namespace corrtrack::telemetry {
+
+/// Monotonic counter. Increment is one relaxed fetch_add — safe from any
+/// bolt or runtime worker without locks.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-write-wins gauge (double-valued).
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Point-in-time view of every registered metric, sorted by name — the
+/// input of the exposition renderers (telemetry/exposition.h). Histograms
+/// are carried as full snapshots so callers can extract any quantile.
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramSample {
+    std::string name;
+    HistogramSnapshot hist;
+  };
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+/// Named metric registry. Registration (Get*) takes a mutex and is meant
+/// for setup paths — call once, keep the returned pointer, record through
+/// it lock-free. Returned pointers are stable for the registry's lifetime
+/// (deque storage, never erased). Get* with an already-registered name
+/// returns the existing instrument, so independent components can share a
+/// metric by name.
+///
+/// Naming convention: Prometheus-style `base{label="value",...}` — the
+/// renderers split the brace part back into labels, so one logical metric
+/// can carry per-stage/per-op series (`corrtrack_stage_proc_us{stage="parser"}`).
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  LatencyHistogram* GetHistogram(std::string_view name);
+
+  /// Histogram lookup without creating: nullptr when `name` was never
+  /// registered (harvest paths that must not invent empty series).
+  const LatencyHistogram* FindHistogram(std::string_view name) const;
+
+  /// Merged, sorted view of everything registered so far. Safe to call
+  /// while recorders are running (see LatencyHistogram::Snapshot on the
+  /// consistency granted).
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  template <typename T>
+  struct Named {
+    std::string name;
+    T metric;
+  };
+
+  mutable std::mutex mutex_;  // Guards the deques' growth only.
+  std::deque<Named<Counter>> counters_;
+  std::deque<Named<Gauge>> gauges_;
+  std::deque<Named<LatencyHistogram>> histograms_;
+};
+
+}  // namespace corrtrack::telemetry
+
+#endif  // CORRTRACK_TELEMETRY_REGISTRY_H_

@@ -1,0 +1,53 @@
+#ifndef CORRTRACK_TELEMETRY_TRACE_H_
+#define CORRTRACK_TELEMETRY_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace corrtrack::telemetry {
+
+/// Envelope-carried trace span. Stamped onto a sampled document at the
+/// Parser and propagated (copied) through every derived message, so each
+/// downstream stage can compute, without any side lookup:
+///   dwell = now - hop_wall_ns    (time since the previous stage emitted)
+///   e2e   = now - origin_wall_ns (time since the Parser saw the raw doc)
+/// plus virtual-time lag against origin_virtual. A stage that forwards the
+/// message re-stamps hop_wall_ns with its own emit time.
+///
+/// trace_id == 0 means "not sampled" — the struct rides every message (4
+/// words) but untraced messages never touch the clock.
+struct TraceSpan {
+  uint64_t trace_id = 0;
+  int64_t origin_wall_ns = 0;  ///< MonotonicNanos() at the Parser.
+  int64_t hop_wall_ns = 0;     ///< MonotonicNanos() at the previous emit.
+  int64_t origin_virtual = 0;  ///< Envelope (virtual) time at the Parser.
+
+  bool sampled() const { return trace_id != 0; }
+};
+
+/// Deterministic 1-in-N sampler: document n (0-based arrival order) is
+/// sampled iff n % every == 0, so a replayed run traces exactly the same
+/// documents. every == 0 disables sampling entirely; every == 1 traces all.
+/// Returned ids are n + 1 (never 0, which TraceSpan reserves for
+/// "unsampled").
+class TraceSampler {
+ public:
+  explicit TraceSampler(uint32_t every) : every_(every) {}
+
+  /// Id for the next document, or 0 when it should pass untraced.
+  uint64_t Next() {
+    const uint64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+    if (every_ == 0 || n % every_ != 0) return 0;
+    return n + 1;
+  }
+
+  uint32_t every() const { return every_; }
+
+ private:
+  const uint32_t every_;
+  std::atomic<uint64_t> count_{0};
+};
+
+}  // namespace corrtrack::telemetry
+
+#endif  // CORRTRACK_TELEMETRY_TRACE_H_
