@@ -1,0 +1,246 @@
+// Socket-path benchmarks of the serving front end (src/net): whole-stack
+// request throughput and latency percentiles through a real loopback TCP
+// connection — accept, epoll, frame decode, shared queue, reader-thread
+// execution, coalesced flush — while a background writer keeps publishing
+// periods, so the numbers include live RCU churn exactly like serve_bench's
+// direct-reader measurements.
+//
+// The headline comparison is the batching A/B at 8 connections:
+//   BM_NetPipelinedTopCorrelated/depth:1/threads:8   (one frame per write)
+//   BM_NetPipelinedTopCorrelated/depth:16/threads:8  (16 frames per write)
+// Per-connection batching collapses the per-request syscall + queue-hop
+// cost, so depth:16 must clear >= 2x the depth:1 items/s (run_bench.sh
+// attests the measured ratio into BENCH_micro.json).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_main.h"
+
+#include "core/jaccard.h"
+#include "gen/tweet_generator.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "serve/correlation_index.h"
+#include "telemetry/clock.h"
+
+namespace {
+
+using namespace corrtrack;
+
+constexpr Timestamp kPeriodSpan = 5 * kMillisPerMinute;
+
+const std::vector<std::vector<JaccardEstimate>>& SharedPeriods() {
+  static const auto periods = [] {
+    constexpr int kNumPeriods = 4;
+    constexpr int kDocsPerPeriod = 15000;
+    gen::GeneratorConfig config;
+    config.seed = 99;
+    gen::TweetGenerator generator(config);
+    std::vector<std::vector<JaccardEstimate>> out;
+    out.reserve(kNumPeriods);
+    for (int p = 0; p < kNumPeriods; ++p) {
+      SubsetCounterTable counters;
+      for (int d = 0; d < kDocsPerPeriod; ++d) {
+        counters.Observe(generator.Next().tags);
+      }
+      out.push_back(counters.ReportAll(1));
+    }
+    return out;
+  }();
+  return periods;
+}
+
+std::vector<TagId> HotTags(
+    const std::vector<std::vector<JaccardEstimate>>& periods) {
+  std::vector<char> seen;
+  std::vector<TagId> tags;
+  for (const auto& period : periods) {
+    for (const JaccardEstimate& estimate : period) {
+      for (const TagId tag : estimate.tags) {
+        if (seen.size() <= tag) seen.resize(tag + 1, 0);
+        if (!seen[tag]) {
+          seen[tag] = 1;
+          tags.push_back(tag);
+        }
+      }
+    }
+  }
+  return tags;
+}
+
+/// One server for the whole binary: a pre-loaded index behind the epoll
+/// front end (2 net threads x 4 readers), plus a single-writer thread
+/// republishing periods at a throttled cadence. Every benchmark thread is
+/// its own TCP connection into this.
+struct NetHarness {
+  const std::vector<std::vector<JaccardEstimate>>& periods = SharedPeriods();
+  serve::CorrelationIndex index;
+  std::vector<TagId> hot_tags = HotTags(periods);
+  net::Server* server = nullptr;
+  std::atomic<bool> stop{false};
+  Timestamp next_period = 0;
+  std::thread writer;
+
+  NetHarness() {
+    for (const auto& period : periods) {
+      index.ApplyPeriod(next_period += kPeriodSpan, period);
+    }
+    net::ServerConfig config;
+    config.num_net_threads = 2;
+    config.num_reader_threads = 4;
+    server = new net::Server(&index, config);
+    std::string error;
+    if (!server->Start(&error)) {
+      std::fprintf(stderr, "net_bench: server start failed: %s\n",
+                   error.c_str());
+      std::abort();
+    }
+    writer = std::thread([this] {
+      size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        index.ApplyPeriod(next_period += kPeriodSpan,
+                          periods[i++ % periods.size()]);
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }
+    });
+  }
+  ~NetHarness() {
+    stop.store(true, std::memory_order_relaxed);
+    writer.join();
+    server->Stop();
+    delete server;
+  }
+};
+
+NetHarness& Net() {
+  static NetHarness harness;
+  return harness;
+}
+
+/// Sorted-vector percentile of per-thread latency samples; reported as
+/// kAvgThreads counters so the aggregate line carries a representative
+/// (cross-thread mean) percentile rather than a meaningless sum.
+void ReportPercentiles(benchmark::State& state,
+                       std::vector<uint64_t>* latencies_ns) {
+  if (latencies_ns->empty()) return;
+  std::sort(latencies_ns->begin(), latencies_ns->end());
+  auto at = [&](double q) {
+    const size_t rank = std::min(
+        latencies_ns->size() - 1,
+        static_cast<size_t>(q * static_cast<double>(latencies_ns->size())));
+    return static_cast<double>((*latencies_ns)[rank]) / 1000.0;  // us.
+  };
+  state.counters["p50_us"] =
+      benchmark::Counter(at(0.50), benchmark::Counter::kAvgThreads);
+  state.counters["p99_us"] =
+      benchmark::Counter(at(0.99), benchmark::Counter::kAvgThreads);
+}
+
+/// Unary round-trips: one request, one response, one syscall pair per
+/// request — the floor the batching A/B is measured against. Each
+/// benchmark thread is one connection.
+void BM_NetUnaryTopCorrelated(benchmark::State& state) {
+  NetHarness& net = Net();
+  net::Client client;
+  if (!client.Connect("127.0.0.1", net.server->port())) {
+    state.SkipWithError(client.last_error().c_str());
+    return;
+  }
+  std::vector<serve::ScoredSet> results;
+  std::vector<uint64_t> latencies_ns;
+  const size_t n = net.hot_tags.size();
+  size_t i = static_cast<size_t>(state.thread_index()) * 7919;
+  for (auto _ : state) {
+    const uint64_t start = telemetry::MonotonicNanos();
+    if (!client.TopCorrelated(net.hot_tags[i % n], 8, &results)) {
+      state.SkipWithError(client.last_error().c_str());
+      return;
+    }
+    latencies_ns.push_back(telemetry::MonotonicNanos() - start);
+    i += 13;
+  }
+  state.SetItemsProcessed(state.iterations());
+  ReportPercentiles(state, &latencies_ns);
+}
+BENCHMARK(BM_NetUnaryTopCorrelated)->Threads(1)->Threads(8)->UseRealTime();
+
+/// Pipelined round-trips at depth d: d frames staged into ONE write, the
+/// server drains them as ONE batch and answers with ONE coalesced flush.
+/// Items are requests, so items/s at depth:16 vs depth:1 is the batching
+/// speedup; the percentiles are per-request (batch round-trip / depth
+/// amortisation is what a pipelining client actually experiences).
+void BM_NetPipelinedTopCorrelated(benchmark::State& state) {
+  NetHarness& net = Net();
+  const size_t depth = static_cast<size_t>(state.range(0));
+  net::Client client;
+  if (!client.Connect("127.0.0.1", net.server->port())) {
+    state.SkipWithError(client.last_error().c_str());
+    return;
+  }
+  std::vector<net::Response> responses;
+  std::vector<uint64_t> latencies_ns;
+  const size_t n = net.hot_tags.size();
+  size_t i = static_cast<size_t>(state.thread_index()) * 7919;
+  for (auto _ : state) {
+    for (size_t d = 0; d < depth; ++d) {
+      client.QueueTopCorrelated(net.hot_tags[i % n], 8);
+      i += 13;
+    }
+    const uint64_t start = telemetry::MonotonicNanos();
+    if (!client.Flush(&responses)) {
+      state.SkipWithError(client.last_error().c_str());
+      return;
+    }
+    latencies_ns.push_back((telemetry::MonotonicNanos() - start) /
+                           static_cast<uint64_t>(depth));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(depth));
+  ReportPercentiles(state, &latencies_ns);
+}
+BENCHMARK(BM_NetPipelinedTopCorrelated)
+    ->ArgName("depth")
+    ->Arg(1)
+    ->Arg(16)
+    ->Threads(8)
+    ->UseRealTime();
+
+/// Mixed pipelined workload — the shape a dashboard fan-out produces: top
+/// queries, exact lookups and a stats poll in one batch.
+void BM_NetPipelinedMixed(benchmark::State& state) {
+  NetHarness& net = Net();
+  net::Client client;
+  if (!client.Connect("127.0.0.1", net.server->port())) {
+    state.SkipWithError(client.last_error().c_str());
+    return;
+  }
+  std::vector<net::Response> responses;
+  const size_t n = net.hot_tags.size();
+  size_t i = static_cast<size_t>(state.thread_index()) * 7919;
+  for (auto _ : state) {
+    for (int d = 0; d < 6; ++d) {
+      client.QueueTopCorrelated(net.hot_tags[i % n], 8);
+      i += 13;
+    }
+    client.QueueLookup(TagSet({net.hot_tags[i % n], net.hot_tags[(i + 13) % n]}));
+    client.QueueStats();
+    if (!client.Flush(&responses)) {
+      state.SkipWithError(client.last_error().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_NetPipelinedMixed)->Threads(4)->UseRealTime();
+
+}  // namespace
+
+CORRTRACK_BENCHMARK_MAIN();

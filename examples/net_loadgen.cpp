@@ -1,0 +1,206 @@
+// net_loadgen: multi-connection load generator for the binary serving
+// protocol — the operational complement of bench/net_bench (which owns the
+// attested numbers). Point it at a `example_query_server --listen=PORT`
+// (or any net::Server) and it drives C connections, each pipelining D
+// TopCorrelated/Lookup requests per flush, for S seconds, then prints
+// aggregate throughput and latency percentiles.
+//
+//   ./build/example_net_loadgen --port=PORT [--host=127.0.0.1]
+//       [--connections=8] [--depth=16] [--seconds=5] [--tags=4096]
+//       [--self-test]
+//
+// --self-test spins up an in-process server over a tiny synthetic index
+// and drives that instead (no --port needed) — this is what CI runs.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/jaccard.h"
+#include "gen/tweet_generator.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "serve/correlation_index.h"
+#include "telemetry/clock.h"
+
+namespace {
+
+using namespace corrtrack;
+
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int connections = 8;
+  int depth = 16;
+  double seconds = 5.0;
+  TagId tag_range = 4096;
+  bool self_test = false;
+};
+
+struct WorkerResult {
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  std::vector<uint64_t> latencies_ns;  // Per request, flush-amortised.
+};
+
+void WorkerLoop(const LoadgenOptions& options, unsigned seed,
+                const std::atomic<bool>& stop, WorkerResult* result) {
+  net::Client client;
+  if (!client.Connect(options.host, options.port)) {
+    std::fprintf(stderr, "connect: %s\n", client.last_error().c_str());
+    result->errors += 1;
+    return;
+  }
+  std::vector<net::Response> responses;
+  uint64_t rng = seed * 0x9E3779B97F4A7C15ull + 1;
+  while (!stop.load(std::memory_order_relaxed)) {
+    for (int d = 0; d < options.depth; ++d) {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      const TagId tag = static_cast<TagId>(rng % options.tag_range);
+      if ((rng & 7) == 0) {
+        client.QueueLookup(TagSet({tag, (tag + 1) % options.tag_range}));
+      } else {
+        client.QueueTopCorrelated(tag, 8);
+      }
+    }
+    const uint64_t start = telemetry::MonotonicNanos();
+    if (!client.Flush(&responses)) {
+      std::fprintf(stderr, "flush: %s\n", client.last_error().c_str());
+      result->errors += 1;
+      return;
+    }
+    const uint64_t per_request =
+        (telemetry::MonotonicNanos() - start) /
+        static_cast<uint64_t>(options.depth);
+    result->latencies_ns.push_back(per_request);
+    result->requests += static_cast<uint64_t>(options.depth);
+  }
+}
+
+uint64_t Percentile(std::vector<uint64_t>* sorted, double q) {
+  if (sorted->empty()) return 0;
+  const size_t rank =
+      std::min(sorted->size() - 1,
+               static_cast<size_t>(q * static_cast<double>(sorted->size())));
+  return (*sorted)[rank];
+}
+
+/// Tiny in-process target for --self-test: a few hundred synthetic pair
+/// sets so every query shape gets hits and misses.
+struct SelfTestServer {
+  serve::CorrelationIndex index;
+  std::unique_ptr<net::Server> server;
+
+  bool Start(uint16_t* port) {
+    gen::GeneratorConfig config;
+    config.seed = 7;
+    gen::TweetGenerator generator(config);
+    SubsetCounterTable counters;
+    for (int d = 0; d < 4000; ++d) counters.Observe(generator.Next().tags);
+    index.ApplyPeriod(1000, counters.ReportAll(1));
+    net::ServerConfig server_config;
+    server = std::make_unique<net::Server>(&index, server_config);
+    std::string error;
+    if (!server->Start(&error)) {
+      std::fprintf(stderr, "self-test server: %s\n", error.c_str());
+      return false;
+    }
+    *port = server->port();
+    return true;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadgenOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--host=", 7) == 0) {
+      options.host = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      options.port = static_cast<uint16_t>(std::atoi(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--connections=", 14) == 0) {
+      options.connections = std::atoi(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--depth=", 8) == 0) {
+      options.depth = std::atoi(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--seconds=", 10) == 0) {
+      options.seconds = std::atof(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--tags=", 7) == 0) {
+      options.tag_range = static_cast<TagId>(std::atoi(argv[i] + 7));
+    } else if (std::strcmp(argv[i], "--self-test") == 0) {
+      options.self_test = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+  if (options.connections < 1) options.connections = 1;
+  if (options.depth < 1) options.depth = 1;
+  if (options.tag_range < 2) options.tag_range = 2;
+
+  SelfTestServer self_test;
+  if (options.self_test) {
+    if (!self_test.Start(&options.port)) return 1;
+    if (options.seconds > 2.0) options.seconds = 2.0;  // CI budget.
+  }
+  if (options.port == 0) {
+    std::fprintf(stderr, "need --port=PORT (or --self-test)\n");
+    return 1;
+  }
+
+  std::printf("driving %d connection%s x depth %d at %s:%u for %.1fs\n",
+              options.connections, options.connections == 1 ? "" : "s",
+              options.depth, options.host.c_str(),
+              static_cast<unsigned>(options.port), options.seconds);
+
+  std::atomic<bool> stop{false};
+  std::vector<WorkerResult> results(
+      static_cast<size_t>(options.connections));
+  std::vector<std::thread> workers;
+  const uint64_t start_ns = telemetry::MonotonicNanos();
+  for (int c = 0; c < options.connections; ++c) {
+    workers.emplace_back(WorkerLoop, std::cref(options),
+                         static_cast<unsigned>(c + 1), std::cref(stop),
+                         &results[static_cast<size_t>(c)]);
+  }
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int64_t>(options.seconds * 1e3)));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : workers) t.join();
+  const double elapsed_s =
+      static_cast<double>(telemetry::MonotonicNanos() - start_ns) / 1e9;
+
+  uint64_t requests = 0, errors = 0;
+  std::vector<uint64_t> latencies;
+  for (WorkerResult& result : results) {
+    requests += result.requests;
+    errors += result.errors;
+    latencies.insert(latencies.end(), result.latencies_ns.begin(),
+                     result.latencies_ns.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  std::printf("%llu requests in %.2fs = %.0f req/s (%llu connection errors)\n",
+              static_cast<unsigned long long>(requests), elapsed_s,
+              static_cast<double>(requests) / elapsed_s,
+              static_cast<unsigned long long>(errors));
+  std::printf("latency (flush-amortised): p50=%.1fus p90=%.1fus p99=%.1fus "
+              "max=%.1fus\n",
+              static_cast<double>(Percentile(&latencies, 0.50)) / 1e3,
+              static_cast<double>(Percentile(&latencies, 0.90)) / 1e3,
+              static_cast<double>(Percentile(&latencies, 0.99)) / 1e3,
+              latencies.empty()
+                  ? 0.0
+                  : static_cast<double>(latencies.back()) / 1e3);
+  if (self_test.server != nullptr) self_test.server->Stop();
+  return errors == 0 ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 //   ./build/example_query_server [--docs=N] [--interactive | --demo]
 //                                [--runtime=KIND] [--threads=N]
 //                                [--affinity=none|compact|scatter]
+//                                [--listen=PORT] [--serve-seconds=N]
 //
 // Interactive commands:
 //   top <tag> [k]        strongest sets containing <tag> ("#name" or id)
@@ -18,9 +19,18 @@
 //   stats                index epoch / freshness / size, snapshot age,
 //                        and per-op query-latency percentiles
 //   quit
+//
+// --listen=PORT swaps the REPL for the binary-protocol network front end
+// (src/net): the server starts BEFORE the stream runs, so remote clients
+// (examples/net_loadgen, src/net/client.h) query the index live while the
+// topology is still publishing periods into it. PORT 0 picks an ephemeral
+// port (printed). --serve-seconds bounds how long the server stays up
+// after the stream drains (0 = until killed); CI smoke-tests use a small
+// bound. The REPL/demo remains the default when --listen is absent.
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,9 +39,11 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gen/tweet_generator.h"
+#include "net/server.h"
 #include "ops/messages.h"
 #include "ops/parser.h"
 #include "ops/pipeline_config.h"
@@ -167,6 +179,8 @@ void RunRepl(const serve::CorrelationIndex& index,
   std::string line;
   while (std::printf("> ") > 0 && std::fflush(stdout) == 0 &&
          std::getline(std::cin, line)) {
+    // Piped and CRLF input: strip the carriage return so "quit\r" quits.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     std::istringstream words(line);
     std::string command;
     if (!(words >> command)) continue;
@@ -180,7 +194,11 @@ void RunRepl(const serve::CorrelationIndex& index,
         std::printf("usage: top <tag> [k]\n");
         continue;
       }
-      words >> k;
+      // A partial line ("top #tag" with no k) or a garbage k must keep the
+      // default — a failed extraction writes 0, which would answer nothing.
+      if (!(words >> k)) k = 10;
+      if (k == 0) k = 1;
+      if (k > 10000) k = 10000;
       const std::optional<TagId> tag = ResolveTag(token, dictionary);
       if (!tag.has_value()) {
         std::printf("unknown tag %s\n", token.c_str());
@@ -203,9 +221,16 @@ void RunRepl(const serve::CorrelationIndex& index,
       if (!ok || tags.empty()) continue;
       PrintLookup(reader, TagSet(tags), dictionary);
     } else if (command == "scan") {
+      // Same partial-line discipline as `top`: missing or malformed
+      // numbers keep their defaults instead of collapsing to zero, and
+      // the threshold is clamped into the meaningful [0, 1] range.
       double min_jaccard = 0.5;
       size_t limit = 20;
-      words >> min_jaccard >> limit;
+      if (!(words >> min_jaccard)) min_jaccard = 0.5;
+      if (!(words >> limit)) limit = 20;
+      if (min_jaccard < 0.0) min_jaccard = 0.0;
+      if (min_jaccard > 1.0) min_jaccard = 1.0;
+      if (limit == 0) limit = 1;
       std::vector<serve::ScoredSet> results;
       const size_t n = reader.Snapshot(min_jaccard, &results);
       std::printf("%zu sets with J >= %.3f:\n", n, min_jaccard);
@@ -228,9 +253,22 @@ int main(int argc, char** argv) {
   stream::RuntimeKind runtime_kind = stream::RuntimeKind::kThreaded;
   stream::AffinityPolicy affinity = stream::AffinityPolicy::kNone;
   int num_threads = 0;
+  bool listen = false;
+  uint16_t listen_port = 0;
+  uint64_t serve_seconds = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--docs=", 7) == 0) {
       num_docs = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--listen=", 9) == 0) {
+      const unsigned long port = std::strtoul(argv[i] + 9, nullptr, 10);
+      if (port > 65535) {
+        std::fprintf(stderr, "bad --listen port '%s'\n", argv[i] + 9);
+        return 1;
+      }
+      listen = true;
+      listen_port = static_cast<uint16_t>(port);
+    } else if (std::strncmp(argv[i], "--serve-seconds=", 16) == 0) {
+      serve_seconds = std::strtoull(argv[i] + 16, nullptr, 10);
     } else if (std::strcmp(argv[i], "--interactive") == 0) {
       interactive = true;
     } else if (std::strcmp(argv[i], "--demo") == 0) {
@@ -290,6 +328,25 @@ int main(int argc, char** argv) {
       pipeline, /*metrics=*/nullptr, /*with_centralized_baseline=*/false,
       &sink);
   auto runtime = ops::MakeConfiguredRuntime(&topology, pipeline);
+
+  // With --listen the network front end comes up BEFORE the stream runs:
+  // remote clients race the live pipeline the same way REPL readers could,
+  // and the per-thread Reader caches chase the publishes.
+  std::unique_ptr<net::Server> server;
+  if (listen) {
+    net::ServerConfig server_config;
+    server_config.port = listen_port;
+    server_config.registry = &telemetry.registry;
+    server = std::make_unique<net::Server>(&index, server_config);
+    std::string error;
+    if (!server->Start(&error)) {
+      std::fprintf(stderr, "listen failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("serving binary protocol on 127.0.0.1:%u\n",
+                static_cast<unsigned>(server->port()));
+  }
+
   std::printf("streaming %llu documents through the topology "
               "(runtime: %s)...\n",
               static_cast<unsigned long long>(num_docs),
@@ -303,7 +360,17 @@ int main(int argc, char** argv) {
 
   const auto* parser =
       static_cast<ops::ParserBolt*>(runtime->bolt(handles.parser, 0));
-  if (interactive) {
+  if (listen) {
+    if (serve_seconds > 0) {
+      std::printf("stream drained; serving for %llus more\n",
+                  static_cast<unsigned long long>(serve_seconds));
+      std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+    } else {
+      std::printf("stream drained; serving until killed\n");
+      while (true) std::this_thread::sleep_for(std::chrono::seconds(3600));
+    }
+    server->Stop();
+  } else if (interactive) {
     RunRepl(index, parser->dictionary(), telemetry.registry);
   } else {
     RunDemo(index, parser->dictionary(), telemetry.registry);

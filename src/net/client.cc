@@ -1,0 +1,239 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace corrtrack::net {
+
+Client::~Client() { Close(); }
+
+bool Client::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Fail(std::string("socket: ") + strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Fail("bad host '" + host + "' (dotted quad expected)");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return Fail(std::string("connect: ") + strerror(errno));
+  }
+  // The unary path is one small frame per round-trip — exactly the shape
+  // Nagle would hold back behind delayed ACKs.
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  send_buf_.clear();
+  recv_buf_.clear();
+  pending_ = 0;
+  last_error_.clear();
+  return true;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  send_buf_.clear();
+  recv_buf_.clear();
+  pending_ = 0;
+}
+
+bool Client::Fail(const std::string& message) {
+  last_error_ = message;
+  Close();
+  return false;
+}
+
+// ------------------------------------------------------------- pipelined
+
+void Client::QueueTopCorrelated(TagId tag, uint32_t k) {
+  AppendTopCorrelatedRequest(next_id_++, tag, k, &send_buf_);
+  ++pending_;
+}
+
+void Client::QueueLookup(const TagSet& tags) {
+  AppendLookupRequest(next_id_++, tags, &send_buf_);
+  ++pending_;
+}
+
+void Client::QueueSnapshot(double min_jaccard, uint32_t limit) {
+  AppendSnapshotRequest(next_id_++, min_jaccard, limit, &send_buf_);
+  ++pending_;
+}
+
+void Client::QueuePing() {
+  AppendPingRequest(next_id_++, &send_buf_);
+  ++pending_;
+}
+
+void Client::QueueStats() {
+  AppendStatsRequest(next_id_++, &send_buf_);
+  ++pending_;
+}
+
+bool Client::Flush(std::vector<Response>* out) {
+  if (out != nullptr) out->clear();
+  if (fd_ < 0) return Fail("not connected");
+  const size_t expect = pending_;
+  pending_ = 0;
+  std::string frames = std::move(send_buf_);
+  send_buf_.clear();
+  size_t off = 0;
+  while (off < frames.size()) {
+    const ssize_t n = ::send(fd_, frames.data() + off, frames.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Fail(std::string("send: ") + strerror(errno));
+  }
+  return ReadResponses(expect, out);
+}
+
+bool Client::ReadResponses(size_t count, std::vector<Response>* out) {
+  size_t received = 0;
+  char buf[65536];
+  while (received < count) {
+    // Decode everything already buffered before reading more.
+    bool progressed = true;
+    while (progressed && received < count) {
+      Response response;
+      size_t consumed = 0;
+      std::string error;
+      const DecodeStatus status =
+          DecodeResponse(recv_buf_, &response, &consumed, &error);
+      switch (status) {
+        case DecodeStatus::kOk:
+          recv_buf_.erase(0, consumed);
+          if (response.op == Opcode::kError) {
+            return Fail("server error: " + response.error_message);
+          }
+          ++received;
+          if (out != nullptr) out->push_back(std::move(response));
+          break;
+        case DecodeStatus::kNeedMore:
+          progressed = false;
+          break;
+        case DecodeStatus::kError:
+          return Fail("protocol error: " + error);
+      }
+    }
+    if (received >= count) break;
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      recv_buf_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) return Fail("connection closed mid-response");
+    return Fail(std::string("recv: ") + strerror(errno));
+  }
+  return true;
+}
+
+// ----------------------------------------------------------------- unary
+
+bool Client::TopCorrelated(TagId tag, uint32_t k,
+                           std::vector<serve::ScoredSet>* out) {
+  QueueTopCorrelated(tag, k);
+  std::vector<Response> responses;
+  if (!Flush(&responses)) return false;
+  if (responses.size() != 1 || responses[0].op != Opcode::kScoredSets) {
+    return Fail("unexpected response to TopCorrelated");
+  }
+  *out = std::move(responses[0].scored);
+  return true;
+}
+
+bool Client::Lookup(const TagSet& tags,
+                    std::optional<serve::LookupResult>* out) {
+  QueueLookup(tags);
+  std::vector<Response> responses;
+  if (!Flush(&responses)) return false;
+  if (responses.size() != 1 || responses[0].op != Opcode::kLookupResult) {
+    return Fail("unexpected response to Lookup");
+  }
+  *out = responses[0].lookup;
+  return true;
+}
+
+bool Client::Snapshot(double min_jaccard, uint32_t limit,
+                      std::vector<serve::ScoredSet>* out) {
+  QueueSnapshot(min_jaccard, limit);
+  std::vector<Response> responses;
+  if (!Flush(&responses)) return false;
+  if (responses.size() != 1 || responses[0].op != Opcode::kSnapshotSets) {
+    return Fail("unexpected response to Snapshot");
+  }
+  *out = std::move(responses[0].scored);
+  return true;
+}
+
+bool Client::Ping() {
+  QueuePing();
+  std::vector<Response> responses;
+  if (!Flush(&responses)) return false;
+  if (responses.size() != 1 || responses[0].op != Opcode::kPong) {
+    return Fail("unexpected response to Ping");
+  }
+  return true;
+}
+
+bool Client::Stats(StatsResult* out) {
+  QueueStats();
+  std::vector<Response> responses;
+  if (!Flush(&responses)) return false;
+  if (responses.size() != 1 || responses[0].op != Opcode::kStatsResult) {
+    return Fail("unexpected response to Stats");
+  }
+  *out = responses[0].stats;
+  return true;
+}
+
+// ------------------------------------------------------------------- raw
+
+bool Client::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Fail("not connected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Fail(std::string("send: ") + strerror(errno));
+  }
+  return true;
+}
+
+std::string Client::ReadUntilClose(size_t max_bytes) {
+  std::string bytes = std::move(recv_buf_);
+  recv_buf_.clear();
+  char buf[65536];
+  while (fd_ >= 0 && bytes.size() < max_bytes) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      bytes.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EOF or error: the server hung up, as expected.
+  }
+  return bytes;
+}
+
+}  // namespace corrtrack::net

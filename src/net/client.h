@@ -1,0 +1,88 @@
+#ifndef CORRTRACK_NET_CLIENT_H_
+#define CORRTRACK_NET_CLIENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "serve/correlation_index.h"
+
+namespace corrtrack::net {
+
+/// Blocking client for the binary serving protocol — the consumer side used
+/// by the tests, the loopback differential suite and the load generator.
+/// Not thread-safe: one Client per thread (the connection is the unit of
+/// pipelining, like the server's per-connection batching).
+///
+/// Two usage shapes:
+///  * Unary: TopCorrelated/Lookup/Snapshot/Ping/Stats — one request, one
+///    syscall round-trip. This is the "batching off" arm of the A/B.
+///  * Pipelined: Queue* any number of requests, then Flush() — ONE write
+///    carrying every frame, then responses read back in request order.
+///    This is the "batching on" arm: the server decodes the whole burst in
+///    one readiness event, executes it as one batch and answers with one
+///    coalesced write.
+///
+/// All methods return false on connection/protocol failure with
+/// last_error() set; the connection is closed and must be Re-Connect()ed.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // Unary calls.
+  bool TopCorrelated(TagId tag, uint32_t k, std::vector<serve::ScoredSet>* out);
+  bool Lookup(const TagSet& tags, std::optional<serve::LookupResult>* out);
+  bool Snapshot(double min_jaccard, uint32_t limit,
+                std::vector<serve::ScoredSet>* out);
+  bool Ping();
+  bool Stats(StatsResult* out);
+
+  // Pipelined calls: stage frames, then Flush.
+  void QueueTopCorrelated(TagId tag, uint32_t k);
+  void QueueLookup(const TagSet& tags);
+  void QueueSnapshot(double min_jaccard, uint32_t limit);
+  void QueuePing();
+  void QueueStats();
+  size_t pending() const { return pending_; }
+
+  /// Writes every staged frame in one burst and reads exactly one response
+  /// per staged request, in order, into `*out` (cleared first). `out` may
+  /// be nullptr to discard (loadgen warm-up). A kError response from the
+  /// server fails the flush (the server closes after sending it).
+  bool Flush(std::vector<Response>* out);
+
+  /// Sends raw bytes as-is — the protocol-robustness tests use this to
+  /// probe the server with malformed frames. Returns false on send failure.
+  bool SendRaw(std::string_view bytes);
+
+  /// Reads until the peer closes (or `max_bytes` arrive); returns the raw
+  /// bytes. Used to observe error frames and connection teardown.
+  std::string ReadUntilClose(size_t max_bytes = 1 << 20);
+
+  const std::string& last_error() const { return last_error_; }
+
+ private:
+  bool Fail(const std::string& message);
+  bool ReadResponses(size_t count, std::vector<Response>* out);
+
+  int fd_ = -1;
+  uint32_t next_id_ = 1;
+  size_t pending_ = 0;
+  std::string send_buf_;
+  std::string recv_buf_;
+  std::string last_error_;
+};
+
+}  // namespace corrtrack::net
+
+#endif  // CORRTRACK_NET_CLIENT_H_

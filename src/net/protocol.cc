@@ -1,0 +1,326 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+#include "storage/serialize.h"
+
+namespace corrtrack::net {
+namespace {
+
+using storage::ByteReader;
+using storage::ByteWriter;
+
+/// Opens a frame in `*out`: writes a length placeholder plus the
+/// opcode/request-id header and returns the placeholder's offset for
+/// EndFrame to patch once the body is appended.
+size_t BeginFrame(Opcode op, uint32_t request_id, std::string* out) {
+  const size_t length_at = out->size();
+  const char zero[kLengthPrefixBytes] = {};
+  out->append(zero, kLengthPrefixBytes);
+  out->push_back(static_cast<char>(op));
+  uint32_t id = request_id;
+  out->append(reinterpret_cast<const char*>(&id), sizeof(id));
+  return length_at;
+}
+
+void EndFrame(size_t length_at, std::string* out) {
+  const uint32_t length =
+      static_cast<uint32_t>(out->size() - length_at - kLengthPrefixBytes);
+  std::memcpy(out->data() + length_at, &length, sizeof(length));
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutI64(int64_t v, std::string* out) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutDouble(double v, std::string* out) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits, out);
+}
+
+void PutTagSet(const TagSet& tags, std::string* out) {
+  out->push_back(static_cast<char>(tags.size()));
+  for (const TagId tag : tags) PutU32(tag, out);
+}
+
+/// Reads a u8-counted tag list and canonicalises it. Rejects counts above
+/// kMaxWireTags before allocating anything.
+bool GetTagSet(ByteReader* reader, TagSet* out) {
+  uint8_t n = 0;
+  if (!reader->GetU8(&n)) return false;
+  if (static_cast<size_t>(n) > kMaxWireTags) return false;
+  std::vector<TagId> tags(n);
+  for (uint8_t i = 0; i < n; ++i) {
+    if (!reader->GetU32(&tags[i])) return false;
+  }
+  *out = TagSet(tags);
+  return true;
+}
+
+/// Shared frame-layer parse: validates the length prefix and splits off one
+/// frame's opcode/request-id/body. Returns kNeedMore / kError per the
+/// header contract.
+DecodeStatus SplitFrame(std::string_view data, Opcode* op,
+                        uint32_t* request_id, std::string_view* body,
+                        size_t* consumed, std::string* error) {
+  if (data.size() < kLengthPrefixBytes) return DecodeStatus::kNeedMore;
+  uint32_t length;
+  std::memcpy(&length, data.data(), sizeof(length));
+  if (length < kFrameOverheadBytes - kLengthPrefixBytes ||
+      length > kMaxFrameBytes) {
+    if (error != nullptr) {
+      *error = "frame length " + std::to_string(length) + " out of bounds";
+    }
+    return DecodeStatus::kError;
+  }
+  if (data.size() < kLengthPrefixBytes + length) return DecodeStatus::kNeedMore;
+  *op = static_cast<Opcode>(data[kLengthPrefixBytes]);
+  std::memcpy(request_id, data.data() + kLengthPrefixBytes + 1,
+              sizeof(*request_id));
+  *body = data.substr(kFrameOverheadBytes,
+                      length - (kFrameOverheadBytes - kLengthPrefixBytes));
+  *consumed = kLengthPrefixBytes + length;
+  return DecodeStatus::kOk;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- encoders
+
+void AppendTopCorrelatedRequest(uint32_t request_id, TagId tag, uint32_t k,
+                                std::string* out) {
+  const size_t at = BeginFrame(Opcode::kTopCorrelated, request_id, out);
+  PutU32(tag, out);
+  PutU32(k, out);
+  EndFrame(at, out);
+}
+
+void AppendLookupRequest(uint32_t request_id, const TagSet& tags,
+                         std::string* out) {
+  const size_t at = BeginFrame(Opcode::kLookup, request_id, out);
+  PutTagSet(tags, out);
+  EndFrame(at, out);
+}
+
+void AppendSnapshotRequest(uint32_t request_id, double min_jaccard,
+                           uint32_t limit, std::string* out) {
+  const size_t at = BeginFrame(Opcode::kSnapshot, request_id, out);
+  PutDouble(min_jaccard, out);
+  PutU32(limit, out);
+  EndFrame(at, out);
+}
+
+void AppendPingRequest(uint32_t request_id, std::string* out) {
+  EndFrame(BeginFrame(Opcode::kPing, request_id, out), out);
+}
+
+void AppendStatsRequest(uint32_t request_id, std::string* out) {
+  EndFrame(BeginFrame(Opcode::kStats, request_id, out), out);
+}
+
+void AppendScoredSetsResponse(Opcode op, uint32_t request_id,
+                              const std::vector<serve::ScoredSet>& sets,
+                              std::string* out) {
+  const size_t at = BeginFrame(op, request_id, out);
+  PutU32(static_cast<uint32_t>(sets.size()), out);
+  for (const serve::ScoredSet& scored : sets) {
+    PutTagSet(scored.tags, out);
+    PutDouble(scored.coefficient, out);
+    PutI64(scored.period_end, out);
+  }
+  EndFrame(at, out);
+}
+
+void AppendLookupResponse(uint32_t request_id,
+                          const std::optional<serve::LookupResult>& result,
+                          std::string* out) {
+  const size_t at = BeginFrame(Opcode::kLookupResult, request_id, out);
+  out->push_back(result.has_value() ? 1 : 0);
+  if (result.has_value()) {
+    PutDouble(result->coefficient, out);
+    PutU64(result->intersection_count, out);
+    PutU64(result->union_count, out);
+    PutI64(result->period_end, out);
+    PutU64(result->epoch, out);
+  }
+  EndFrame(at, out);
+}
+
+void AppendPongResponse(uint32_t request_id, std::string* out) {
+  EndFrame(BeginFrame(Opcode::kPong, request_id, out), out);
+}
+
+void AppendStatsResponse(uint32_t request_id, const StatsResult& stats,
+                         std::string* out) {
+  const size_t at = BeginFrame(Opcode::kStatsResult, request_id, out);
+  PutU64(stats.epoch, out);
+  PutI64(stats.latest_period, out);
+  PutU64(stats.total_sets, out);
+  PutU64(stats.num_shards, out);
+  EndFrame(at, out);
+}
+
+void AppendErrorResponse(uint32_t request_id, ErrorCode code,
+                         std::string_view message, std::string* out) {
+  const size_t at = BeginFrame(Opcode::kError, request_id, out);
+  PutU32(static_cast<uint32_t>(code), out);
+  PutU64(message.size(), out);
+  out->append(message.data(), message.size());
+  EndFrame(at, out);
+}
+
+// ------------------------------------------------------------- decoders
+
+DecodeStatus DecodeRequest(std::string_view data, Request* out,
+                           size_t* consumed, ErrorCode* error_code,
+                           std::string* error) {
+  Opcode op;
+  uint32_t request_id;
+  std::string_view body;
+  const DecodeStatus frame =
+      SplitFrame(data, &op, &request_id, &body, consumed, error);
+  if (frame != DecodeStatus::kOk) {
+    if (frame == DecodeStatus::kError) *error_code = ErrorCode::kBadFrame;
+    return frame;
+  }
+  Request request;
+  request.op = op;
+  request.request_id = request_id;
+  ByteReader reader(body);
+  bool ok = true;
+  switch (op) {
+    case Opcode::kTopCorrelated:
+      ok = reader.GetU32(&request.tag) && reader.GetU32(&request.k);
+      break;
+    case Opcode::kLookup:
+      ok = GetTagSet(&reader, &request.tags);
+      break;
+    case Opcode::kSnapshot: {
+      ok = reader.GetDouble(&request.min_jaccard) &&
+           reader.GetU32(&request.limit);
+      break;
+    }
+    case Opcode::kPing:
+    case Opcode::kStats:
+      break;
+    default:
+      *error_code = ErrorCode::kBadOpcode;
+      if (error != nullptr) {
+        *error = "unknown request opcode " +
+                 std::to_string(static_cast<unsigned>(op));
+      }
+      return DecodeStatus::kError;
+  }
+  // Strict bodies: trailing bytes mean version skew or garbage — refuse
+  // rather than silently ignoring what a future field might mean.
+  if (!ok || !reader.empty()) {
+    *error_code = ErrorCode::kBadBody;
+    if (error != nullptr) {
+      *error = std::string("malformed ") + RequestOpLabel(op) + " body";
+    }
+    return DecodeStatus::kError;
+  }
+  *out = std::move(request);
+  return DecodeStatus::kOk;
+}
+
+DecodeStatus DecodeResponse(std::string_view data, Response* out,
+                            size_t* consumed, std::string* error) {
+  Opcode op;
+  uint32_t request_id;
+  std::string_view body;
+  const DecodeStatus frame =
+      SplitFrame(data, &op, &request_id, &body, consumed, error);
+  if (frame != DecodeStatus::kOk) return frame;
+  Response response;
+  response.op = op;
+  response.request_id = request_id;
+  ByteReader reader(body);
+  bool ok = true;
+  switch (op) {
+    case Opcode::kScoredSets:
+    case Opcode::kSnapshotSets: {
+      uint32_t n = 0;
+      ok = reader.GetU32(&n);
+      // Each entry is at least ntags(1) + coef(8) + period(8) bytes: a
+      // hostile count cannot reserve more than the frame itself carries.
+      if (ok && static_cast<size_t>(n) * 17 > body.size()) ok = false;
+      if (ok) response.scored.reserve(n);
+      for (uint32_t i = 0; ok && i < n; ++i) {
+        serve::ScoredSet scored;
+        ok = GetTagSet(&reader, &scored.tags) &&
+             reader.GetDouble(&scored.coefficient) &&
+             reader.GetI64(&scored.period_end);
+        if (ok) response.scored.push_back(std::move(scored));
+      }
+      break;
+    }
+    case Opcode::kLookupResult: {
+      uint8_t found = 0;
+      ok = reader.GetU8(&found);
+      if (ok && found != 0) {
+        serve::LookupResult result;
+        ok = reader.GetDouble(&result.coefficient) &&
+             reader.GetU64(&result.intersection_count) &&
+             reader.GetU64(&result.union_count) &&
+             reader.GetI64(&result.period_end) && reader.GetU64(&result.epoch);
+        if (ok) response.lookup = result;
+      }
+      break;
+    }
+    case Opcode::kPong:
+      break;
+    case Opcode::kStatsResult:
+      ok = reader.GetU64(&response.stats.epoch) &&
+           reader.GetI64(&response.stats.latest_period) &&
+           reader.GetU64(&response.stats.total_sets) &&
+           reader.GetU64(&response.stats.num_shards);
+      break;
+    case Opcode::kError: {
+      uint32_t code = 0;
+      ok = reader.GetU32(&code) && reader.GetString(&response.error_message);
+      response.error_code = static_cast<ErrorCode>(code);
+      break;
+    }
+    default:
+      if (error != nullptr) {
+        *error = "unknown response opcode " +
+                 std::to_string(static_cast<unsigned>(op));
+      }
+      return DecodeStatus::kError;
+  }
+  if (!ok || !reader.empty()) {
+    if (error != nullptr) *error = "malformed response body";
+    return DecodeStatus::kError;
+  }
+  *out = std::move(response);
+  return DecodeStatus::kOk;
+}
+
+const char* RequestOpLabel(Opcode op) {
+  switch (op) {
+    case Opcode::kTopCorrelated:
+      return "top";
+    case Opcode::kLookup:
+      return "lookup";
+    case Opcode::kSnapshot:
+      return "scan";
+    case Opcode::kPing:
+      return "ping";
+    case Opcode::kStats:
+      return "stats";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace corrtrack::net

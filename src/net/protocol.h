@@ -1,0 +1,167 @@
+#ifndef CORRTRACK_NET_PROTOCOL_H_
+#define CORRTRACK_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/tagset.h"
+#include "core/types.h"
+#include "serve/correlation_index.h"
+
+namespace corrtrack::net {
+
+/// Wire format of the serving front end: a compact length-prefixed binary
+/// framing of the CorrelationIndex query API, designed so a connection can
+/// pipeline many requests and the server can coalesce many responses into
+/// one write.
+///
+///   frame    := u32 length | u8 opcode | u32 request_id | body
+///   length   := byte count of everything after the prefix
+///               (opcode + request_id + body), 5 <= length <= kMaxFrameBytes
+///
+/// All integers are little-endian (the storage codec's convention — the
+/// supported targets are LE); doubles travel as IEEE-754 bit patterns, so
+/// every coefficient round-trips *bit-identically* and the loopback
+/// differential tests can compare against direct Reader calls with
+/// operator==. Responses echo the request_id and are returned in request
+/// order per connection (the server executes one decoded batch at a time
+/// per connection), so clients never reorder.
+///
+/// Decode errors (oversized length, unknown opcode, malformed body) are
+/// connection-fatal by design: the server answers with one kError frame and
+/// closes. A truncated frame is not an error — it is simply not decodable
+/// yet (kNeedMore) until the rest of the bytes arrive; a mid-frame
+/// disconnect just drops the partial tail.
+inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
+
+/// Frame header bytes: u32 length prefix + u8 opcode + u32 request id.
+inline constexpr size_t kLengthPrefixBytes = 4;
+inline constexpr size_t kFrameOverheadBytes = kLengthPrefixBytes + 1 + 4;
+
+/// Bound on tags per Lookup request / response entry. Wider than
+/// kMaxTagsPerDocument so the protocol never silently truncates a set the
+/// index could serve, but tight enough that a hostile frame cannot make the
+/// decoder allocate unboundedly.
+inline constexpr size_t kMaxWireTags = 32;
+
+/// Server-side clamp on TopCorrelated's k: far above ServeConfig's
+/// top_k_capacity bound (so clamping never changes an answer) while keeping
+/// a hostile k=2^32-1 from pre-reserving gigabytes.
+inline constexpr uint32_t kMaxTopK = 1u << 16;
+
+enum class Opcode : uint8_t {
+  // Requests.
+  kTopCorrelated = 0x01,  ///< body: u32 tag | u32 k
+  kLookup = 0x02,         ///< body: u8 ntags | ntags * u32 tag
+  kSnapshot = 0x03,       ///< body: f64 min_jaccard | u32 limit (0 = all)
+  kPing = 0x04,           ///< empty body
+  kStats = 0x05,          ///< empty body
+  // Responses (request opcode | 0x80).
+  kScoredSets = 0x81,   ///< u32 n | n * (u8 ntags | tags | f64 coef | i64 period)
+  kLookupResult = 0x82, ///< u8 found [| f64 coef | u64 inter | u64 union | i64 period | u64 epoch]
+  kSnapshotSets = 0x83, ///< same body as kScoredSets (distinct op echoes the request kind)
+  kPong = 0x84,         ///< empty body
+  kStatsResult = 0x85,  ///< u64 epoch | i64 latest_period | u64 total_sets | u64 num_shards
+  kError = 0xFF,        ///< u32 code | bytes message
+};
+
+/// kError codes.
+enum class ErrorCode : uint32_t {
+  kBadFrame = 1,     ///< length prefix out of bounds.
+  kBadOpcode = 2,    ///< opcode is not a request the server knows.
+  kBadBody = 3,      ///< body truncated, overlong, or field out of range.
+};
+
+/// One decoded request, any kind (the opcode says which fields are live).
+struct Request {
+  Opcode op = Opcode::kPing;
+  uint32_t request_id = 0;
+  // kTopCorrelated:
+  TagId tag = 0;
+  uint32_t k = 0;
+  // kLookup:
+  TagSet tags;
+  // kSnapshot:
+  double min_jaccard = 0.0;
+  uint32_t limit = 0;
+};
+
+struct StatsResult {
+  uint64_t epoch = 0;
+  Timestamp latest_period = 0;
+  uint64_t total_sets = 0;
+  uint64_t num_shards = 0;
+};
+
+/// One decoded response, any kind.
+struct Response {
+  Opcode op = Opcode::kError;
+  uint32_t request_id = 0;
+  // kScoredSets / kSnapshotSets:
+  std::vector<serve::ScoredSet> scored;
+  // kLookupResult:
+  std::optional<serve::LookupResult> lookup;
+  // kStatsResult:
+  StatsResult stats;
+  // kError:
+  ErrorCode error_code = ErrorCode::kBadFrame;
+  std::string error_message;
+};
+
+// ---------------------------------------------------------------------------
+// Encoders: append one complete frame to `*out`. Encoding never fails —
+// size limits are enforced at decode (and by the kMaxWireTags contract on
+// the caller for Lookup).
+// ---------------------------------------------------------------------------
+void AppendTopCorrelatedRequest(uint32_t request_id, TagId tag, uint32_t k,
+                                std::string* out);
+void AppendLookupRequest(uint32_t request_id, const TagSet& tags,
+                         std::string* out);
+void AppendSnapshotRequest(uint32_t request_id, double min_jaccard,
+                           uint32_t limit, std::string* out);
+void AppendPingRequest(uint32_t request_id, std::string* out);
+void AppendStatsRequest(uint32_t request_id, std::string* out);
+
+void AppendScoredSetsResponse(Opcode op, uint32_t request_id,
+                              const std::vector<serve::ScoredSet>& sets,
+                              std::string* out);
+void AppendLookupResponse(uint32_t request_id,
+                          const std::optional<serve::LookupResult>& result,
+                          std::string* out);
+void AppendPongResponse(uint32_t request_id, std::string* out);
+void AppendStatsResponse(uint32_t request_id, const StatsResult& stats,
+                         std::string* out);
+void AppendErrorResponse(uint32_t request_id, ErrorCode code,
+                         std::string_view message, std::string* out);
+
+// ---------------------------------------------------------------------------
+// Decoders.
+// ---------------------------------------------------------------------------
+enum class DecodeStatus {
+  kOk,        ///< One frame decoded; *consumed bytes were eaten.
+  kNeedMore,  ///< The buffer holds a prefix of a valid frame — read more.
+  kError,     ///< The connection is off the rails; *error says how.
+};
+
+/// Decodes one request frame from the front of `data`. On kOk fills `*out`
+/// and sets `*consumed` to the frame's full size (prefix included). On
+/// kError `*error` receives a diagnostic and `*error_code` the wire code to
+/// send back. kNeedMore touches nothing.
+DecodeStatus DecodeRequest(std::string_view data, Request* out,
+                           size_t* consumed, ErrorCode* error_code,
+                           std::string* error);
+
+/// Decodes one response frame from the front of `data` (client side).
+DecodeStatus DecodeResponse(std::string_view data, Response* out,
+                            size_t* consumed, std::string* error);
+
+/// Human-readable op label for telemetry series ("top", "lookup", "scan",
+/// "ping", "stats"); "?" for non-request opcodes.
+const char* RequestOpLabel(Opcode op);
+
+}  // namespace corrtrack::net
+
+#endif  // CORRTRACK_NET_PROTOCOL_H_

@@ -1,0 +1,150 @@
+#ifndef CORRTRACK_NET_SERVER_H_
+#define CORRTRACK_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/shared_queue.h"
+#include "serve/correlation_index.h"
+#include "telemetry/registry.h"
+
+namespace corrtrack::net {
+
+struct ServerConfig {
+  /// TCP port to listen on; 0 picks an ephemeral port (read it back with
+  /// Server::port() — the tests and benches bind this way).
+  uint16_t port = 0;
+
+  /// Dotted-quad address to bind. Loopback by default: the in-repo
+  /// consumers are the tests, benches and the loadgen example; a real
+  /// deployment flips this to "0.0.0.0" explicitly.
+  std::string bind_address = "127.0.0.1";
+
+  /// Network threads: each owns an epoll instance and a disjoint set of
+  /// connections (sockets are never shared across threads, so connection
+  /// state needs no locks — the bolt discipline, applied to sockets).
+  int num_net_threads = 1;
+
+  /// Index reader threads: each executes decoded batches against its own
+  /// CorrelationIndex::Reader (per-thread snapshot caches, lock-free
+  /// steady-state reads).
+  int num_reader_threads = 2;
+
+  /// Shared-queue capacity backstop (see SharedQueue). Sized above any
+  /// realistic connection count so producers never block the event loop.
+  size_t queue_capacity = 4096;
+
+  /// Per-readiness-event read budget: bytes drained from one socket before
+  /// the loop moves on (fairness under pipelined flooding; level-triggered
+  /// epoll re-delivers the rest).
+  size_t max_read_per_event = 256 * 1024;
+
+  /// Optional metrics sink: when set, the server registers and records the
+  /// corrtrack_net_* instruments (socket-to-socket spans, per-op request
+  /// counters, byte/connection counters).
+  telemetry::MetricRegistry* registry = nullptr;
+};
+
+/// The network serving front end over a CorrelationIndex: a non-blocking
+/// epoll event loop speaking the length-prefixed binary protocol of
+/// net/protocol.h.
+///
+/// Threading model (responder / shared-queue split):
+///
+///   accept -> [net thread: epoll, decode, flush]  x N
+///                 |  RequestBatch (all frames drained in one readiness event)
+///                 v
+///            SharedQueue (bounded MPMC)
+///                 |
+///                 v
+///            [reader thread: CorrelationIndex::Reader, encode]  x M
+///                 |  completed batch (responses coalesced into one buffer)
+///                 v
+///            owning net thread (eventfd wake) -> one write per batch
+///
+/// Batching is the headline perf lever: every frame already sitting in the
+/// socket when it turns readable travels the queue as ONE batch, is
+/// executed by one reader thread, and comes back as ONE coalesced response
+/// buffer flushed with one write — so a client pipelining d requests pays
+/// ~2 syscalls and 2 queue hops per d requests instead of per request.
+///
+/// Ordering and flow control: at most one batch per connection is in
+/// flight (EPOLLIN is parked while it executes). Responses therefore come
+/// back in request order per connection, and a connection can never flood
+/// the queue faster than it drains.
+///
+/// Error containment: any decode error (bad length, unknown opcode,
+/// malformed body) makes the connection answer one kError frame and close
+/// — after any in-flight batch's responses flush. The index is never
+/// touched by a malformed frame, and every buffer is reclaimed with the
+/// connection (ASan-gated in CI).
+///
+/// Lifetime: the index must outlive the server; Stop() (or the destructor)
+/// joins every thread before returning.
+class Server {
+ public:
+  Server(const serve::CorrelationIndex* index, const ServerConfig& config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the threads. False (with `*error` set) when
+  /// the socket setup fails; the server is then inert and Stop is a no-op.
+  bool Start(std::string* error);
+
+  /// Stops accepting, drains in-flight batches, closes every connection
+  /// and joins all threads. Idempotent.
+  void Stop();
+
+  /// The bound port (after a successful Start) — the ephemeral port when
+  /// config.port was 0.
+  uint16_t port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  struct Connection;
+  struct RequestBatch;
+  struct NetThread;
+  struct Instruments;
+
+  void NetThreadMain(int thread_index);
+  void ReaderThreadMain();
+
+  // Event-loop helpers (called on the owning net thread only).
+  void AcceptReady(NetThread& net);
+  void AdoptIntake(NetThread& net);
+  void ProcessCompletions(NetThread& net);
+  void HandleReadable(NetThread& net, Connection& conn);
+  void DecodeAndSubmit(NetThread& net, Connection& conn);
+  /// Returns false when the flush closed the connection (fatal write error
+  /// or an orderly close-after-drain) — `conn` is dead then.
+  bool FlushWrites(NetThread& net, Connection& conn);
+  void UpdateInterest(NetThread& net, Connection& conn);
+  void CloseConnection(NetThread& net, uint64_t conn_id);
+
+  const serve::CorrelationIndex* index_;
+  ServerConfig config_;
+  std::unique_ptr<Instruments> instruments_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+
+  std::vector<std::unique_ptr<NetThread>> net_threads_;
+  std::vector<std::thread> reader_threads_;
+  std::unique_ptr<SharedQueue<std::unique_ptr<RequestBatch>>> queue_;
+  std::atomic<uint64_t> next_conn_id_{16};  // Low ids are epoll sentinels.
+  std::atomic<int> next_net_thread_{0};     // Round-robin accept dispatch.
+};
+
+}  // namespace corrtrack::net
+
+#endif  // CORRTRACK_NET_SERVER_H_

@@ -1,0 +1,83 @@
+#ifndef CORRTRACK_NET_SHARED_QUEUE_H_
+#define CORRTRACK_NET_SHARED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace corrtrack::net {
+
+/// Bounded MPMC queue between the network threads (producers: one decoded
+/// request batch per socket-readiness event) and the index reader threads
+/// (consumers). Mutex + condvar rather than a lock-free ring on purpose:
+/// the unit of transfer is a whole pipelined *batch*, so queue operations
+/// are amortised over many requests and never show up next to the epoll
+/// and index costs around them — and the simple form is trivially TSan-
+/// clean, which is a CI gate on exactly this path.
+///
+/// Capacity is a backstop, not a working limit: the server holds at most
+/// one batch in flight per connection (ordering + flow control), so
+/// occupancy is bounded by the connection count and Push effectively never
+/// blocks when capacity >= connections.
+template <typename T>
+class SharedQueue {
+ public:
+  explicit SharedQueue(size_t capacity) : capacity_(capacity) {}
+
+  SharedQueue(const SharedQueue&) = delete;
+  SharedQueue& operator=(const SharedQueue&) = delete;
+
+  /// Blocks while full. Returns false (dropping `item`) once closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Returns false only when the queue is closed AND
+  /// drained — consumers finish every batch that made it in before Close.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Wakes every waiter; subsequent Push fails, Pop drains then fails.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  const size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace corrtrack::net
+
+#endif  // CORRTRACK_NET_SHARED_QUEUE_H_

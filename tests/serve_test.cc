@@ -277,8 +277,12 @@ TEST(IndexSink, IngestIsBitIdenticalToTrackerAndBaselinePeriods) {
 
 /// N readers + 1 writer race on a live index. Run under the TSan CI job,
 /// this is the gate on the RCU-style snapshot swap; the invariant checks
-/// catch torn or stale-beyond-one-publish reads on any build.
-TEST(CorrelationIndex, ConcurrentReadersSingleWriterStayCoherent) {
+/// catch torn or stale-beyond-one-publish reads on any build. Parameterized
+/// by reader count: the 4-reader shape approximates the historical serving
+/// mix, the 64-reader shape oversubscribes every core so the scheduler
+/// preempts readers mid-query and parks them across many publishes.
+void RunConcurrentReadersSingleWriterStress(unsigned num_readers,
+                                            uint64_t query_target) {
   // Pre-generate realistic period batches off-thread.
   gen::GeneratorConfig config;
   config.seed = 55;
@@ -349,7 +353,9 @@ TEST(CorrelationIndex, ConcurrentReadersSingleWriterStayCoherent) {
   };
 
   std::vector<std::thread> readers;
-  for (unsigned r = 0; r < 4; ++r) readers.emplace_back(read_loop, r + 1);
+  for (unsigned r = 0; r < num_readers; ++r) {
+    readers.emplace_back(read_loop, r + 1);
+  }
   for (int p = 1; p < kPeriods; ++p) {
     index.ApplyPeriod(static_cast<Timestamp>(p) * 1000, periods[p]);
   }
@@ -364,7 +370,7 @@ TEST(CorrelationIndex, ConcurrentReadersSingleWriterStayCoherent) {
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(20);
   TagId sentinel = kSentinelBase;
-  while (queries.load(std::memory_order_relaxed) < 20000 &&
+  while (queries.load(std::memory_order_relaxed) < query_target &&
          std::chrono::steady_clock::now() < deadline) {
     index.ApplyPeriod(static_cast<Timestamp>(kPeriods - 1) * 1000,
                       {Estimate({sentinel, sentinel + 1}, 0.5, 5, 10)});
@@ -398,6 +404,20 @@ TEST(CorrelationIndex, ConcurrentReadersSingleWriterStayCoherent) {
     EXPECT_EQ(raced_all[i].coefficient, expected_all[i].coefficient);
     EXPECT_EQ(raced_all[i].period_end, expected_all[i].period_end);
   }
+}
+
+TEST(CorrelationIndex, ConcurrentReadersSingleWriterStayCoherent) {
+  RunConcurrentReadersSingleWriterStress(/*num_readers=*/4,
+                                         /*query_target=*/20000);
+}
+
+/// The serving-tier shape: 64 reader threads (far past core count) racing
+/// one publisher. Oversubscription forces preemption inside Lookup and
+/// TopCorrelated, so reader caches go stale across many epochs before
+/// being touched again — the worst case for the version-counter refresh.
+TEST(CorrelationIndex, SixtyFourConcurrentReadersSingleWriterStayCoherent) {
+  RunConcurrentReadersSingleWriterStress(/*num_readers=*/64,
+                                         /*query_target=*/60000);
 }
 
 }  // namespace

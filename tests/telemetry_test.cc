@@ -253,6 +253,77 @@ TEST(Exposition, JsonGolden) {
   EXPECT_EQ(RenderJson(GoldenSnapshot()), expected);
 }
 
+/// A registry carrying the serving front end's corrtrack_net_* instrument
+/// names (src/net/server.cc) with hand-picked deterministic values — all
+/// histogram samples are < 8 so the bucketed quantiles are exact and the
+/// rendered text is byte-stable.
+MetricsSnapshot NetGoldenSnapshot() {
+  static MetricRegistry* registry = [] {
+    auto* r = new MetricRegistry();
+    r->GetCounter("corrtrack_net_connections_total")->Increment(1);
+    r->GetCounter("corrtrack_net_disconnects_total")->Increment(1);
+    r->GetCounter("corrtrack_net_protocol_errors_total");
+    r->GetCounter("corrtrack_net_batches_total")->Increment(2);
+    r->GetCounter("corrtrack_net_bytes_read_total")->Increment(84);
+    r->GetCounter("corrtrack_net_bytes_written_total")->Increment(160);
+    r->GetCounter("corrtrack_net_requests_total{op=\"top\"}")->Increment(1);
+    r->GetCounter("corrtrack_net_requests_total{op=\"lookup\"}")->Increment(1);
+    r->GetGauge("corrtrack_net_open_connections")->Set(0);
+    LatencyHistogram* top = r->GetHistogram(
+        "corrtrack_net_request_ns{op=\"top\"}");
+    for (int i = 0; i < 3; ++i) top->Record(5);
+    LatencyHistogram* decode = r->GetHistogram(
+        "corrtrack_net_stage_ns{stage=\"decode\"}");
+    decode->Record(7);
+    decode->Record(7);
+    return r;
+  }();
+  return registry->Snapshot();
+}
+
+TEST(Exposition, NetPrometheusGolden) {
+  const std::string expected =
+      "# TYPE corrtrack_net_batches_total counter\n"
+      "corrtrack_net_batches_total 2\n"
+      "# TYPE corrtrack_net_bytes_read_total counter\n"
+      "corrtrack_net_bytes_read_total 84\n"
+      "# TYPE corrtrack_net_bytes_written_total counter\n"
+      "corrtrack_net_bytes_written_total 160\n"
+      "# TYPE corrtrack_net_connections_total counter\n"
+      "corrtrack_net_connections_total 1\n"
+      "# TYPE corrtrack_net_disconnects_total counter\n"
+      "corrtrack_net_disconnects_total 1\n"
+      "# TYPE corrtrack_net_protocol_errors_total counter\n"
+      "corrtrack_net_protocol_errors_total 0\n"
+      "# TYPE corrtrack_net_requests_total counter\n"
+      "corrtrack_net_requests_total{op=\"lookup\"} 1\n"
+      "corrtrack_net_requests_total{op=\"top\"} 1\n"
+      "# TYPE corrtrack_net_open_connections gauge\n"
+      "corrtrack_net_open_connections 0\n"
+      "# TYPE corrtrack_net_request_ns summary\n"
+      "corrtrack_net_request_ns{op=\"top\",quantile=\"0.5\"} 5\n"
+      "corrtrack_net_request_ns{op=\"top\",quantile=\"0.9\"} 5\n"
+      "corrtrack_net_request_ns{op=\"top\",quantile=\"0.99\"} 5\n"
+      "corrtrack_net_request_ns_sum{op=\"top\"} 15\n"
+      "corrtrack_net_request_ns_count{op=\"top\"} 3\n"
+      "# TYPE corrtrack_net_stage_ns summary\n"
+      "corrtrack_net_stage_ns{stage=\"decode\",quantile=\"0.5\"} 7\n"
+      "corrtrack_net_stage_ns{stage=\"decode\",quantile=\"0.9\"} 7\n"
+      "corrtrack_net_stage_ns{stage=\"decode\",quantile=\"0.99\"} 7\n"
+      "corrtrack_net_stage_ns_sum{stage=\"decode\"} 14\n"
+      "corrtrack_net_stage_ns_count{stage=\"decode\"} 2\n";
+  EXPECT_EQ(RenderPrometheus(NetGoldenSnapshot()), expected);
+}
+
+TEST(Exposition, NetJsonGoldenCarriesCountersAndSpans) {
+  const std::string json = RenderJson(NetGoldenSnapshot());
+  EXPECT_NE(json.find("\"corrtrack_net_batches_total\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"corrtrack_net_request_ns{op=\\\"top\\\"}\":"
+                      "{\"count\":3,\"sum\":15,\"max\":5,\"mean\":5,"
+                      "\"p50\":5,\"p90\":5,\"p99\":5}"),
+            std::string::npos);
+}
+
 TEST(Exposition, LabelledSeriesShareOneTypeLine) {
   MetricRegistry registry;
   registry.GetHistogram("h{a=\"1\"}")->Record(5);
