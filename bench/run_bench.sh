@@ -174,6 +174,33 @@ if 1 in batched and 16 in batched and batched[1] > 0:
     speedup = batched[16] / batched[1]
     merged.setdefault("context", {})["net_batching_speedup_8conn"] = round(
         speedup, 2)
+# Attest the overload containment: accepted-request p99 on the
+# under-provisioned server at ~2x reader saturation vs uncontended (the
+# PR gate is <= 3x), plus the shed count proving admission control
+# actually engaged (a zero here would mean the "overloaded" arm never
+# overloaded anything).
+overload_p99 = {}
+overload_shed = None
+for bench in merged["benchmarks"]:
+    name = bench.get("name", "")
+    if re.match(r"BM_NetOverloadUncontended(?:/[^/]+)*$", name) \
+            and "p99_us" in bench:
+        overload_p99["uncontended"] = bench["p99_us"]
+    if re.match(r"BM_NetOverloadSaturated(?:/[^/]+)*$", name) \
+            and "p99_us" in bench:
+        overload_p99["saturated"] = bench["p99_us"]
+        overload_shed = bench.get("shed")
+if "uncontended" in overload_p99 and "saturated" in overload_p99 \
+        and overload_p99["uncontended"] > 0:
+    context = merged.setdefault("context", {})
+    context["net_overload_p99_ratio"] = round(
+        overload_p99["saturated"] / overload_p99["uncontended"], 2)
+    context["net_overload_uncontended_p99_us"] = round(
+        overload_p99["uncontended"], 1)
+    context["net_overload_accepted_p99_us"] = round(
+        overload_p99["saturated"], 1)
+    if overload_shed is not None:
+        context["net_overload_shed_requests"] = int(overload_shed)
 # Label the host so thread-scaling rows are interpretable: worker-count
 # sweeps from a single-core container measure scheduling overhead, not
 # scaling, and must be read as such.
@@ -197,5 +224,5 @@ with open(out_path, "w") as f:
     f.write("\n")
 PY
 echo "wrote ${REPO_ROOT}/BENCH_micro.json (pipeline + serve + runtime +" \
-     "telemetry + net; host cores, traced-pipeline overhead and net" \
-     "batching speedup in context)"
+     "telemetry + net; host cores, traced-pipeline overhead, net batching" \
+     "speedup and overload p99 ratio in context)"

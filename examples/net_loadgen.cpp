@@ -7,10 +7,17 @@
 //
 //   ./build/example_net_loadgen --port=PORT [--host=127.0.0.1]
 //       [--connections=8] [--depth=16] [--seconds=5] [--tags=4096]
-//       [--self-test]
+//       [--self-test] [--chaos] [--chaos-seed=N]
 //
 // --self-test spins up an in-process server over a tiny synthetic index
 // and drives that instead (no --port needed) — this is what CI runs.
+//
+// --chaos (self-test only) interposes a seeded FaultInjectingSocketOps on
+// the server's connection I/O: short reads/writes, EINTR/EAGAIN storms and
+// connection resets hit the byte stream at random op indices. Workers
+// tolerate dead connections by reconnecting, so the soak passes as long as
+// the server survives and keeps answering — connection errors are expected
+// and reported, not fatal. This is the CI chaos soak.
 
 #include <algorithm>
 #include <atomic>
@@ -43,6 +50,9 @@ struct LoadgenOptions {
   double seconds = 5.0;
   TagId tag_range = 4096;
   bool self_test = false;
+  bool seconds_set = false;
+  bool chaos = false;
+  uint64_t chaos_seed = 0xC4A05;
 };
 
 struct WorkerResult {
@@ -54,14 +64,23 @@ struct WorkerResult {
 void WorkerLoop(const LoadgenOptions& options, unsigned seed,
                 const std::atomic<bool>& stop, WorkerResult* result) {
   net::Client client;
-  if (!client.Connect(options.host, options.port)) {
+  bool connected = client.Connect(options.host, options.port);
+  if (!connected) {
     std::fprintf(stderr, "connect: %s\n", client.last_error().c_str());
     result->errors += 1;
-    return;
+    if (!options.chaos) return;
   }
   std::vector<net::Response> responses;
   uint64_t rng = seed * 0x9E3779B97F4A7C15ull + 1;
   while (!stop.load(std::memory_order_relaxed)) {
+    if (!connected) {
+      // Chaos mode: a reset fault killed the connection; dial again. The
+      // server owes nothing on the dead connection, the new one must work.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      connected = client.Connect(options.host, options.port);
+      if (!connected) result->errors += 1;
+      continue;
+    }
     for (int d = 0; d < options.depth; ++d) {
       rng ^= rng << 13;
       rng ^= rng >> 7;
@@ -75,9 +94,14 @@ void WorkerLoop(const LoadgenOptions& options, unsigned seed,
     }
     const uint64_t start = telemetry::MonotonicNanos();
     if (!client.Flush(&responses)) {
-      std::fprintf(stderr, "flush: %s\n", client.last_error().c_str());
       result->errors += 1;
-      return;
+      if (!options.chaos) {
+        std::fprintf(stderr, "flush: %s\n", client.last_error().c_str());
+        return;
+      }
+      client.Close();
+      connected = false;
+      continue;
     }
     const uint64_t per_request =
         (telemetry::MonotonicNanos() - start) /
@@ -99,9 +123,10 @@ uint64_t Percentile(std::vector<uint64_t>* sorted, double q) {
 /// sets so every query shape gets hits and misses.
 struct SelfTestServer {
   serve::CorrelationIndex index;
+  std::unique_ptr<net::FaultInjectingSocketOps> faults;
   std::unique_ptr<net::Server> server;
 
-  bool Start(uint16_t* port) {
+  bool Start(uint16_t* port, bool chaos, uint64_t chaos_seed) {
     gen::GeneratorConfig config;
     config.seed = 7;
     gen::TweetGenerator generator(config);
@@ -109,6 +134,17 @@ struct SelfTestServer {
     for (int d = 0; d < 4000; ++d) counters.Observe(generator.Next().tags);
     index.ApplyPeriod(1000, counters.ReportAll(1));
     net::ServerConfig server_config;
+    if (chaos) {
+      // Every fault kind in the plan, ~2% of server-side I/O operations.
+      // Transparent faults (short/EINTR/EAGAIN) must be invisible to the
+      // workers; resets/EPIPE kill one connection each and the worker
+      // reconnects. Seeded so a failing soak replays exactly.
+      net::SocketFaultPlan plan;
+      plan.seed = chaos_seed;
+      plan.probability = 0.02;
+      faults = std::make_unique<net::FaultInjectingSocketOps>(plan);
+      server_config.socket_ops = faults.get();
+    }
     server = std::make_unique<net::Server>(&index, server_config);
     std::string error;
     if (!server->Start(&error)) {
@@ -135,10 +171,15 @@ int main(int argc, char** argv) {
       options.depth = std::atoi(argv[i] + 8);
     } else if (std::strncmp(argv[i], "--seconds=", 10) == 0) {
       options.seconds = std::atof(argv[i] + 10);
+      options.seconds_set = true;
     } else if (std::strncmp(argv[i], "--tags=", 7) == 0) {
       options.tag_range = static_cast<TagId>(std::atoi(argv[i] + 7));
     } else if (std::strcmp(argv[i], "--self-test") == 0) {
       options.self_test = true;
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      options.chaos = true;
+    } else if (std::strncmp(argv[i], "--chaos-seed=", 13) == 0) {
+      options.chaos_seed = std::strtoull(argv[i] + 13, nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 1;
@@ -148,10 +189,20 @@ int main(int argc, char** argv) {
   if (options.depth < 1) options.depth = 1;
   if (options.tag_range < 2) options.tag_range = 2;
 
+  if (options.chaos && !options.self_test) {
+    std::fprintf(stderr, "--chaos requires --self-test (the fault injector "
+                         "wraps the in-process server)\n");
+    return 1;
+  }
+
   SelfTestServer self_test;
   if (options.self_test) {
-    if (!self_test.Start(&options.port)) return 1;
-    if (options.seconds > 2.0) options.seconds = 2.0;  // CI budget.
+    if (!self_test.Start(&options.port, options.chaos, options.chaos_seed)) {
+      return 1;
+    }
+    // CI budget: clamp the default duration, but honour an explicit
+    // --seconds= (the chaos soak runs 60s on purpose).
+    if (!options.seconds_set && options.seconds > 2.0) options.seconds = 2.0;
   }
   if (options.port == 0) {
     std::fprintf(stderr, "need --port=PORT (or --self-test)\n");
@@ -202,5 +253,16 @@ int main(int argc, char** argv) {
                   ? 0.0
                   : static_cast<double>(latencies.back()) / 1e3);
   if (self_test.server != nullptr) self_test.server->Stop();
+  if (options.chaos) {
+    // Soak verdict: the server must have kept answering through the storm.
+    // Connection errors are the injector doing its job, not failures.
+    const net::SocketFaultStats stats = self_test.faults->stats();
+    std::printf("chaos: %llu faults injected over %llu socket ops "
+                "(%llu connection errors tolerated)\n",
+                static_cast<unsigned long long>(stats.total),
+                static_cast<unsigned long long>(self_test.faults->ops()),
+                static_cast<unsigned long long>(errors));
+    return requests > 0 ? 0 : 1;
+  }
   return errors == 0 ? 0 : 1;
 }

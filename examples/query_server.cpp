@@ -11,6 +11,7 @@
 //                                [--runtime=KIND] [--threads=N]
 //                                [--affinity=none|compact|scatter]
 //                                [--listen=PORT] [--serve-seconds=N]
+//                                [--drain-deadline-ms=N]
 //
 // Interactive commands:
 //   top <tag> [k]        strongest sets containing <tag> ("#name" or id)
@@ -25,8 +26,12 @@
 // (examples/net_loadgen, src/net/client.h) query the index live while the
 // topology is still publishing periods into it. PORT 0 picks an ephemeral
 // port (printed). --serve-seconds bounds how long the server stays up
-// after the stream drains (0 = until killed); CI smoke-tests use a small
-// bound. The REPL/demo remains the default when --listen is absent.
+// after the stream drains (0 = until signalled); CI smoke-tests use a
+// small bound. SIGTERM/SIGINT trigger a graceful drain: the listener
+// closes, every response already owed to a connection is flushed, then
+// the process exits — --drain-deadline-ms bounds how long stragglers get
+// before being cut off (default 10s). The REPL/demo remains the default
+// when --listen is absent.
 
 #include <unistd.h>
 
@@ -44,6 +49,7 @@
 
 #include "gen/tweet_generator.h"
 #include "net/server.h"
+#include "net/signal_drain.h"
 #include "ops/messages.h"
 #include "ops/parser.h"
 #include "ops/pipeline_config.h"
@@ -256,6 +262,7 @@ int main(int argc, char** argv) {
   bool listen = false;
   uint16_t listen_port = 0;
   uint64_t serve_seconds = 0;
+  int64_t drain_deadline_ms = 10'000;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--docs=", 7) == 0) {
       num_docs = std::strtoull(argv[i] + 7, nullptr, 10);
@@ -269,6 +276,8 @@ int main(int argc, char** argv) {
       listen_port = static_cast<uint16_t>(port);
     } else if (std::strncmp(argv[i], "--serve-seconds=", 16) == 0) {
       serve_seconds = std::strtoull(argv[i] + 16, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--drain-deadline-ms=", 20) == 0) {
+      drain_deadline_ms = std::strtoll(argv[i] + 20, nullptr, 10);
     } else if (std::strcmp(argv[i], "--interactive") == 0) {
       interactive = true;
     } else if (std::strcmp(argv[i], "--demo") == 0) {
@@ -361,15 +370,28 @@ int main(int argc, char** argv) {
   const auto* parser =
       static_cast<ops::ParserBolt*>(runtime->bolt(handles.parser, 0));
   if (listen) {
+    // SIGTERM/SIGINT turn into a graceful drain: stop accepting, deliver
+    // every response owed to already-received requests (bounded by
+    // --drain-deadline-ms), then close — so `kill <pid>` never cuts a
+    // client off mid-batch.
+    net::SignalDrainer drainer;
     if (serve_seconds > 0) {
       std::printf("stream drained; serving for %llus more\n",
                   static_cast<unsigned long long>(serve_seconds));
-      std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+      drainer.WaitForSignal(static_cast<int>(serve_seconds * 1000));
     } else {
-      std::printf("stream drained; serving until killed\n");
-      while (true) std::this_thread::sleep_for(std::chrono::seconds(3600));
+      std::printf("stream drained; serving until SIGTERM\n");
+      drainer.WaitForSignal(-1);
     }
-    server->Stop();
+    if (drainer.signaled() != 0) {
+      std::printf("signal %d: draining (deadline %llums)\n",
+                  drainer.signaled(),
+                  static_cast<unsigned long long>(drain_deadline_ms));
+    }
+    const bool drained = server->Drain(drain_deadline_ms);
+    std::printf("%s\n", drained ? "drained cleanly"
+                                : "drain deadline hit; remaining "
+                                  "connections were cut off");
   } else if (interactive) {
     RunRepl(index, parser->dictionary(), telemetry.registry);
   } else {

@@ -127,6 +127,13 @@ void AppendStatsRequest(uint32_t request_id, std::string* out) {
   EndFrame(BeginFrame(Opcode::kStats, request_id, out), out);
 }
 
+void AppendDeadlineRequest(uint32_t request_id, uint32_t budget_ms,
+                           std::string* out) {
+  const size_t at = BeginFrame(Opcode::kDeadline, request_id, out);
+  PutU32(budget_ms, out);
+  EndFrame(at, out);
+}
+
 void AppendScoredSetsResponse(Opcode op, uint32_t request_id,
                               const std::vector<serve::ScoredSet>& sets,
                               std::string* out) {
@@ -166,6 +173,13 @@ void AppendStatsResponse(uint32_t request_id, const StatsResult& stats,
   PutI64(stats.latest_period, out);
   PutU64(stats.total_sets, out);
   PutU64(stats.num_shards, out);
+  EndFrame(at, out);
+}
+
+void AppendDeadlineAckResponse(uint32_t request_id, uint32_t effective_ms,
+                               std::string* out) {
+  const size_t at = BeginFrame(Opcode::kDeadlineAck, request_id, out);
+  PutU32(effective_ms, out);
   EndFrame(at, out);
 }
 
@@ -211,6 +225,9 @@ DecodeStatus DecodeRequest(std::string_view data, Request* out,
     }
     case Opcode::kPing:
     case Opcode::kStats:
+      break;
+    case Opcode::kDeadline:
+      ok = reader.GetU32(&request.budget_ms);
       break;
     default:
       *error_code = ErrorCode::kBadOpcode;
@@ -279,6 +296,9 @@ DecodeStatus DecodeResponse(std::string_view data, Response* out,
     }
     case Opcode::kPong:
       break;
+    case Opcode::kDeadlineAck:
+      ok = reader.GetU32(&response.effective_deadline_ms);
+      break;
     case Opcode::kStatsResult:
       ok = reader.GetU64(&response.stats.epoch) &&
            reader.GetI64(&response.stats.latest_period) &&
@@ -318,6 +338,8 @@ const char* RequestOpLabel(Opcode op) {
       return "ping";
     case Opcode::kStats:
       return "stats";
+    case Opcode::kDeadline:
+      return "deadline";
     default:
       return "?";
   }

@@ -59,21 +59,38 @@ enum class Opcode : uint8_t {
   kSnapshot = 0x03,       ///< body: f64 min_jaccard | u32 limit (0 = all)
   kPing = 0x04,           ///< empty body
   kStats = 0x05,          ///< empty body
+  kDeadline = 0x06,       ///< body: u32 budget_ms (0 clears). Directive: sets
+                          ///< the per-request deadline budget for every
+                          ///< FOLLOWING request on this connection. The
+                          ///< server clamps to its configured maximum and
+                          ///< acknowledges the effective value.
   // Responses (request opcode | 0x80).
   kScoredSets = 0x81,   ///< u32 n | n * (u8 ntags | tags | f64 coef | i64 period)
   kLookupResult = 0x82, ///< u8 found [| f64 coef | u64 inter | u64 union | i64 period | u64 epoch]
   kSnapshotSets = 0x83, ///< same body as kScoredSets (distinct op echoes the request kind)
   kPong = 0x84,         ///< empty body
   kStatsResult = 0x85,  ///< u64 epoch | i64 latest_period | u64 total_sets | u64 num_shards
+  kDeadlineAck = 0x86,  ///< u32 effective_ms (after the server clamp)
   kError = 0xFF,        ///< u32 code | bytes message
 };
 
-/// kError codes.
+/// kError codes. The first family (kBadFrame/kBadOpcode/kBadBody) is
+/// connection-fatal: the server answers once and closes. The overload
+/// family (kOverloaded/kDeadlineExceeded) is PER-REQUEST: the frame echoes
+/// the request_id, counts as that request's response, and the connection
+/// stays open — clients retry (with backoff) or give up per request.
 enum class ErrorCode : uint32_t {
   kBadFrame = 1,     ///< length prefix out of bounds.
   kBadOpcode = 2,    ///< opcode is not a request the server knows.
   kBadBody = 3,      ///< body truncated, overlong, or field out of range.
+  kOverloaded = 4,   ///< Admission control shed the request; retry later.
+  kDeadlineExceeded = 5,  ///< Deadline budget expired before execution.
 };
+
+/// True for the per-request, connection-surviving error family.
+inline bool IsPerRequestError(ErrorCode code) {
+  return code == ErrorCode::kOverloaded || code == ErrorCode::kDeadlineExceeded;
+}
 
 /// One decoded request, any kind (the opcode says which fields are live).
 struct Request {
@@ -87,6 +104,13 @@ struct Request {
   // kSnapshot:
   double min_jaccard = 0.0;
   uint32_t limit = 0;
+  // kDeadline: the client-proposed budget (0 clears).
+  uint32_t budget_ms = 0;
+  /// Server-side only (never on the wire): the absolute monotonic deadline
+  /// stamped at decode from the connection's effective budget, 0 = none.
+  /// Enforced at reader-thread dequeue — expired work is answered
+  /// kDeadlineExceeded without touching the index.
+  int64_t deadline_ns = 0;
 };
 
 struct StatsResult {
@@ -106,6 +130,8 @@ struct Response {
   std::optional<serve::LookupResult> lookup;
   // kStatsResult:
   StatsResult stats;
+  // kDeadlineAck:
+  uint32_t effective_deadline_ms = 0;
   // kError:
   ErrorCode error_code = ErrorCode::kBadFrame;
   std::string error_message;
@@ -124,6 +150,8 @@ void AppendSnapshotRequest(uint32_t request_id, double min_jaccard,
                            uint32_t limit, std::string* out);
 void AppendPingRequest(uint32_t request_id, std::string* out);
 void AppendStatsRequest(uint32_t request_id, std::string* out);
+void AppendDeadlineRequest(uint32_t request_id, uint32_t budget_ms,
+                           std::string* out);
 
 void AppendScoredSetsResponse(Opcode op, uint32_t request_id,
                               const std::vector<serve::ScoredSet>& sets,
@@ -134,6 +162,8 @@ void AppendLookupResponse(uint32_t request_id,
 void AppendPongResponse(uint32_t request_id, std::string* out);
 void AppendStatsResponse(uint32_t request_id, const StatsResult& stats,
                          std::string* out);
+void AppendDeadlineAckResponse(uint32_t request_id, uint32_t effective_ms,
+                               std::string* out);
 void AppendErrorResponse(uint32_t request_id, ErrorCode code,
                          std::string_view message, std::string* out);
 
@@ -159,7 +189,7 @@ DecodeStatus DecodeResponse(std::string_view data, Response* out,
                             size_t* consumed, std::string* error);
 
 /// Human-readable op label for telemetry series ("top", "lookup", "scan",
-/// "ping", "stats"); "?" for non-request opcodes.
+/// "ping", "stats", "deadline"); "?" for non-request opcodes.
 const char* RequestOpLabel(Opcode op);
 
 }  // namespace corrtrack::net

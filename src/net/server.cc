@@ -9,11 +9,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
 
+#include "net/timer_wheel.h"
 #include "telemetry/clock.h"
 #include "telemetry/log.h"
 
@@ -34,6 +36,12 @@ void RecordNs(telemetry::LatencyHistogram* hist, int64_t span_ns) {
 
 void Bump(telemetry::Counter* counter, uint64_t n = 1) {
   if (counter != nullptr && n != 0) counter->Increment(n);
+}
+
+/// Timer-wheel ids multiplex two timers per connection.
+constexpr uint64_t IdleTimerId(uint64_t conn_id) { return conn_id << 1; }
+constexpr uint64_t StallTimerId(uint64_t conn_id) {
+  return (conn_id << 1) | 1;
 }
 
 }  // namespace
@@ -60,6 +68,15 @@ struct Server::Connection {
   uint32_t interest = 0;     // Events currently registered with epoll.
 
   int64_t arrival_ns = 0;  // First byte of the batch being accumulated.
+
+  /// Effective deadline budget from the connection's last kDeadline
+  /// directive (already clamped); 0 falls back to default_deadline_ms.
+  uint32_t deadline_ms = 0;
+
+  // Timeout bookkeeping (only touched when the reapers are configured).
+  int64_t last_activity_ns = 0;
+  int64_t last_write_progress_ns = 0;
+  bool write_stall_armed = false;
 };
 
 /// One decoded batch in flight: every complete frame drained from one
@@ -90,6 +107,20 @@ struct Server::NetThread {
 
   /// Connections owned by this thread — touched by this thread only.
   std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns;
+
+  /// Idle / write-stall timers for this thread's connections; swept after
+  /// each epoll round when either reaper is configured.
+  TimerWheel wheel;
+};
+
+/// Why a connection is being torn down — routes the close into the right
+/// counter so operators can tell shed load from broken peers.
+enum class Server::CloseReason {
+  kNormal,      // Peer hangup, protocol error, fatal socket error, Stop.
+  kIdle,        // Idle reaper fired.
+  kWriteStall,  // Write-stall (slowloris) reaper fired.
+  kSlowClient,  // Write buffer cap exceeded.
+  kDrain,       // Graceful drain finished this connection's owed work.
 };
 
 struct Server::Instruments {
@@ -97,14 +128,21 @@ struct Server::Instruments {
   telemetry::LatencyHistogram* stage_queue = nullptr;
   telemetry::LatencyHistogram* stage_execute = nullptr;
   telemetry::LatencyHistogram* stage_flush = nullptr;
-  telemetry::LatencyHistogram* request_ns[5] = {};  // Indexed by OpIndex.
-  telemetry::Counter* requests_total[5] = {};
+  telemetry::LatencyHistogram* request_ns[6] = {};  // Indexed by OpIndex.
+  telemetry::Counter* requests_total[6] = {};
   telemetry::Counter* connections = nullptr;
   telemetry::Counter* disconnects = nullptr;
   telemetry::Counter* protocol_errors = nullptr;
   telemetry::Counter* batches = nullptr;
   telemetry::Counter* bytes_read = nullptr;
   telemetry::Counter* bytes_written = nullptr;
+  telemetry::Counter* shed_requests = nullptr;
+  telemetry::Counter* deadline_exceeded = nullptr;
+  telemetry::Counter* timeout_closed_idle = nullptr;
+  telemetry::Counter* timeout_closed_write_stall = nullptr;
+  telemetry::Counter* accept_rejected = nullptr;
+  telemetry::Counter* slow_client_closed = nullptr;
+  telemetry::Counter* drain_closed = nullptr;
   telemetry::Gauge* open_connections = nullptr;
   std::atomic<int64_t> open_count{0};
 
@@ -118,8 +156,10 @@ struct Server::Instruments {
         return 2;
       case Opcode::kPing:
         return 3;
+      case Opcode::kStats:
+        return 4;
       default:
-        return 4;  // kStats.
+        return 5;  // kDeadline.
     }
   }
 
@@ -133,9 +173,9 @@ struct Server::Instruments {
         registry->GetHistogram("corrtrack_net_stage_ns{stage=\"execute\"}");
     stage_flush =
         registry->GetHistogram("corrtrack_net_stage_ns{stage=\"flush\"}");
-    static constexpr Opcode kOps[5] = {Opcode::kTopCorrelated, Opcode::kLookup,
+    static constexpr Opcode kOps[6] = {Opcode::kTopCorrelated, Opcode::kLookup,
                                        Opcode::kSnapshot, Opcode::kPing,
-                                       Opcode::kStats};
+                                       Opcode::kStats, Opcode::kDeadline};
     for (const Opcode op : kOps) {
       const std::string label = RequestOpLabel(op);
       request_ns[OpIndex(op)] = registry->GetHistogram(
@@ -150,6 +190,18 @@ struct Server::Instruments {
     batches = registry->GetCounter("corrtrack_net_batches_total");
     bytes_read = registry->GetCounter("corrtrack_net_bytes_read_total");
     bytes_written = registry->GetCounter("corrtrack_net_bytes_written_total");
+    shed_requests = registry->GetCounter("corrtrack_net_shed_requests_total");
+    deadline_exceeded =
+        registry->GetCounter("corrtrack_net_deadline_exceeded_total");
+    timeout_closed_idle =
+        registry->GetCounter("corrtrack_net_timeout_closed_total{kind=\"idle\"}");
+    timeout_closed_write_stall = registry->GetCounter(
+        "corrtrack_net_timeout_closed_total{kind=\"write_stall\"}");
+    accept_rejected =
+        registry->GetCounter("corrtrack_net_accept_rejected_total");
+    slow_client_closed =
+        registry->GetCounter("corrtrack_net_slow_client_closed_total");
+    drain_closed = registry->GetCounter("corrtrack_net_drain_closed_total");
     open_connections = registry->GetGauge("corrtrack_net_open_connections");
   }
 
@@ -176,6 +228,8 @@ Server::Server(const serve::CorrelationIndex* index,
   if (config_.num_net_threads < 1) config_.num_net_threads = 1;
   if (config_.num_reader_threads < 1) config_.num_reader_threads = 1;
   if (config_.queue_capacity < 1) config_.queue_capacity = 1;
+  sock_ = config_.socket_ops != nullptr ? config_.socket_ops
+                                        : SocketOps::Real();
 }
 
 Server::~Server() { Stop(); }
@@ -257,6 +311,7 @@ bool Server::Start(std::string* error) {
     net_threads_.push_back(std::move(net));
   }
 
+  draining_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   started_ = true;
   for (int i = 0; i < config_.num_reader_threads; ++i) {
@@ -301,6 +356,39 @@ void Server::Stop() {
   listen_fd_ = -1;
   queue_.reset();
   started_ = false;
+  draining_.store(false, std::memory_order_release);
+}
+
+bool Server::Drain(int64_t deadline_ms) {
+  if (!started_) return true;
+  bool expected = false;
+  if (draining_.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel)) {
+    CORRTRACK_LOG(kInfo, "net", "drain: stop accepting, finishing owed work");
+    // Unblocks pending accepts with EINVAL; AcceptReady treats any
+    // non-EINTR failure as "drained" and stops. fd ownership stays with
+    // Stop so the teardown path is identical either way.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    for (auto& net : net_threads_) {
+      uint64_t wake = 1;
+      [[maybe_unused]] ssize_t n =
+          ::write(net->event_fd, &wake, sizeof(wake));
+    }
+  }
+  const int64_t give_up_ns =
+      telemetry::MonotonicNanos() + deadline_ms * 1'000'000;
+  bool drained = instruments_->open_count.load(std::memory_order_acquire) == 0;
+  while (!drained && telemetry::MonotonicNanos() < give_up_ns) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    drained = instruments_->open_count.load(std::memory_order_acquire) == 0;
+  }
+  if (!drained) {
+    CORRTRACK_LOG(kWarn, "net",
+                  "drain deadline (%lld ms) expired with connections open",
+                  static_cast<long long>(deadline_ms));
+  }
+  Stop();
+  return drained;
 }
 
 // --------------------------------------------------------- reader threads
@@ -316,6 +404,19 @@ void Server::ReaderThreadMain() {
     const int64_t dequeued_ns = telemetry::MonotonicNanos();
     RecordNs(ins.stage_queue, dequeued_ns - batch->enqueue_ns);
     for (const Request& request : batch->requests) {
+      // Deadline enforcement happens HERE, at dequeue: a request whose
+      // budget burned away in the queue is answered without touching the
+      // index — under overload that converts wasted work into fast
+      // failures the client already knows how to interpret.
+      if (request.deadline_ns != 0 && request.op != Opcode::kDeadline &&
+          dequeued_ns > request.deadline_ns) {
+        AppendErrorResponse(request.request_id, ErrorCode::kDeadlineExceeded,
+                            "deadline expired before execution",
+                            &batch->responses);
+        Bump(ins.deadline_exceeded);
+        Bump(ins.requests_total[Instruments::OpIndex(request.op)]);
+        continue;
+      }
       switch (request.op) {
         case Opcode::kTopCorrelated: {
           const uint32_t k = request.k < kMaxTopK ? request.k : kMaxTopK;
@@ -339,6 +440,13 @@ void Server::ReaderThreadMain() {
         }
         case Opcode::kPing:
           AppendPongResponse(request.request_id, &batch->responses);
+          break;
+        case Opcode::kDeadline:
+          // The directive itself was applied at decode on the net thread
+          // (budget_ms holds the post-clamp value); here we only owe the
+          // in-order acknowledgement.
+          AppendDeadlineAckResponse(request.request_id, request.budget_ms,
+                                    &batch->responses);
           break;
         case Opcode::kStats:
         default: {
@@ -368,9 +476,13 @@ void Server::ReaderThreadMain() {
 
 void Server::NetThreadMain(int thread_index) {
   NetThread& net = *net_threads_[thread_index];
+  const bool timers =
+      config_.idle_timeout_ms > 0 || config_.write_stall_timeout_ms > 0;
+  const int wait_ms =
+      timers ? static_cast<int>(net.wheel.tick_ns() / 1'000'000) : -1;
   epoll_event events[64];
   while (!net.stop.load(std::memory_order_acquire)) {
-    const int n = ::epoll_wait(net.epoll_fd, events, 64, -1);
+    const int n = ::epoll_wait(net.epoll_fd, events, 64, wait_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
@@ -389,7 +501,7 @@ void Server::NetThreadMain(int thread_index) {
         auto it = net.conns.find(data);
         if (it == net.conns.end()) continue;  // Closed earlier this round.
         if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
-          CloseConnection(net, data);
+          CloseConnection(net, data, CloseReason::kNormal);
           continue;
         }
         if ((events[i].events & EPOLLIN) != 0) {
@@ -401,6 +513,8 @@ void Server::NetThreadMain(int thread_index) {
         }
       }
     }
+    if (timers) AdvanceTimers(net);
+    if (draining_.load(std::memory_order_acquire)) DrainSweep(net);
   }
 }
 
@@ -411,6 +525,17 @@ void Server::AcceptReady(NetThread& net) {
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // EAGAIN: drained. Anything else: retry on next readiness.
+    }
+    if (draining_.load(std::memory_order_acquire) ||
+        (config_.max_connections > 0 &&
+         instruments_->open_count.load(std::memory_order_relaxed) >=
+             static_cast<int64_t>(config_.max_connections))) {
+      // Hard cap (or drain): reject at the door. The close delivers RST —
+      // the peer learns immediately instead of queueing behind a server
+      // that would never serve it.
+      ::close(fd);
+      Bump(instruments_->accept_rejected);
+      continue;
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -454,6 +579,13 @@ void Server::AdoptIntake(NetThread& net) {
       instruments_->ConnectionClosed();
       continue;
     }
+    if (config_.idle_timeout_ms > 0) {
+      conn->last_activity_ns = telemetry::MonotonicNanos();
+      net.wheel.Schedule(IdleTimerId(conn->id),
+                         conn->last_activity_ns +
+                             static_cast<int64_t>(config_.idle_timeout_ms) *
+                                 1'000'000);
+    }
     net.conns.emplace(conn->id, std::move(conn));
   }
 }
@@ -472,6 +604,7 @@ void Server::ProcessCompletions(NetThread& net) {
     if (it == net.conns.end()) continue;
     Connection& conn = *it->second;
     const int64_t flush_start_ns = telemetry::MonotonicNanos();
+    conn.last_activity_ns = flush_start_ns;
     conn.out_buf.append(batch->responses);
     conn.executing = false;
     if (!conn.pending_error.empty()) {
@@ -496,13 +629,16 @@ void Server::ProcessCompletions(NetThread& net) {
 }
 
 void Server::HandleReadable(NetThread& net, Connection& conn) {
-  if (conn.executing || conn.closing || conn.peer_closed) return;
+  if (conn.executing || conn.closing || conn.peer_closed ||
+      draining_.load(std::memory_order_acquire)) {
+    return;
+  }
   if (conn.in_buf.empty()) conn.arrival_ns = telemetry::MonotonicNanos();
   char buf[65536];
   size_t total = 0;
   bool fatal = false;
   while (total < config_.max_read_per_event) {
-    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    const ssize_t n = sock_->Recv(conn.fd, buf, sizeof(buf));
     if (n > 0) {
       conn.in_buf.append(buf, static_cast<size_t>(n));
       total += static_cast<size_t>(n);
@@ -518,8 +654,11 @@ void Server::HandleReadable(NetThread& net, Connection& conn) {
     break;
   }
   Bump(instruments_->bytes_read, total);
+  if (total > 0 && config_.idle_timeout_ms > 0) {
+    conn.last_activity_ns = telemetry::MonotonicNanos();
+  }
   if (fatal) {
-    CloseConnection(net, conn.id);
+    CloseConnection(net, conn.id, CloseReason::kNormal);
     return;
   }
   DecodeAndSubmit(net, conn);
@@ -527,61 +666,113 @@ void Server::HandleReadable(NetThread& net, Connection& conn) {
 
 void Server::DecodeAndSubmit(NetThread& net, Connection& conn) {
   if (conn.executing || conn.closing) return;
-  std::vector<Request> requests;
-  std::string_view view(conn.in_buf.data() + conn.in_off,
-                        conn.in_buf.size() - conn.in_off);
-  while (!view.empty()) {
-    Request request;
-    size_t consumed = 0;
-    ErrorCode code = ErrorCode::kBadFrame;
-    std::string message;
-    const DecodeStatus status =
-        DecodeRequest(view, &request, &consumed, &code, &message);
-    if (status == DecodeStatus::kNeedMore) break;
-    if (status == DecodeStatus::kError) {
-      Bump(instruments_->protocol_errors);
-      // request_id 0: the id of a frame that failed to decode is untrusted.
-      AppendErrorResponse(0, code, message, &conn.pending_error);
-      break;
+  Instruments& ins = *instruments_;
+  const size_t batch_cap = config_.max_requests_per_batch;
+  bool decode_error = false;
+  // Outer loop: one decoded GROUP per iteration. A group that the queue
+  // admits becomes the connection's in-flight batch and we return; a group
+  // that admission control refuses is shed wholesale (per-request
+  // kOverloaded frames appended in order) and we decode the next group, so
+  // complete frames never sit in in_buf with nothing scheduled to revisit
+  // them (level-triggered epoll only re-reports SOCKET bytes).
+  while (true) {
+    std::vector<Request> requests;
+    std::string_view view(conn.in_buf.data() + conn.in_off,
+                          conn.in_buf.size() - conn.in_off);
+    const int64_t decode_ns = telemetry::MonotonicNanos();
+    while (!view.empty()) {
+      if (batch_cap != 0 && requests.size() >= batch_cap) break;
+      Request request;
+      size_t consumed = 0;
+      ErrorCode code = ErrorCode::kBadFrame;
+      std::string message;
+      const DecodeStatus status =
+          DecodeRequest(view, &request, &consumed, &code, &message);
+      if (status == DecodeStatus::kNeedMore) break;
+      if (status == DecodeStatus::kError) {
+        Bump(ins.protocol_errors);
+        // request_id 0: the id of a frame that failed to decode is
+        // untrusted.
+        AppendErrorResponse(0, code, message, &conn.pending_error);
+        decode_error = true;
+        break;
+      }
+      if (request.op == Opcode::kDeadline) {
+        // Connection-level directive, applied immediately so it governs
+        // every following request — including the rest of this group.
+        uint32_t effective = request.budget_ms;
+        if (effective > config_.max_deadline_ms) {
+          effective = config_.max_deadline_ms;
+        }
+        conn.deadline_ms = effective;
+        request.budget_ms = effective;  // Echoed in the kDeadlineAck.
+      } else {
+        const uint32_t budget = conn.deadline_ms != 0
+                                    ? conn.deadline_ms
+                                    : config_.default_deadline_ms;
+        if (budget != 0) {
+          request.deadline_ns =
+              decode_ns + static_cast<int64_t>(budget) * 1'000'000;
+        }
+      }
+      requests.push_back(std::move(request));
+      view.remove_prefix(consumed);
+      conn.in_off += consumed;
     }
-    requests.push_back(std::move(request));
-    view.remove_prefix(consumed);
-    conn.in_off += consumed;
+    if (conn.in_off > 0) {
+      conn.in_buf.erase(0, conn.in_off);
+      conn.in_off = 0;
+    }
+    if (requests.empty()) break;
+
+    // Admission control. The watermark sheds early (before the queue is
+    // outright full); TryPush failure is the no-watermark backstop. Either
+    // way the net thread NEVER blocks on the queue.
+    bool shed = config_.shed_occupancy_watermark > 0 &&
+                queue_->size() >= config_.shed_occupancy_watermark;
+    if (!shed) {
+      RecordNs(ins.stage_decode, decode_ns - conn.arrival_ns);
+      auto batch = std::make_unique<RequestBatch>();
+      batch->conn_id = conn.id;
+      batch->net_thread = net.index;
+      batch->requests = std::move(requests);
+      batch->arrival_ns = conn.arrival_ns;
+      batch->enqueue_ns = decode_ns;
+      conn.executing = true;
+      if (queue_->TryPush(batch)) {
+        Bump(ins.batches);
+        UpdateInterest(net, conn);
+        // A decode error behind valid frames waits in pending_error; the
+        // completion path appends it after the answers and closes.
+        return;
+      }
+      conn.executing = false;
+      requests = std::move(batch->requests);  // Reclaim for the shed path.
+      shed = true;
+    }
+    if (shed) {
+      for (const Request& request : requests) {
+        if (request.op == Opcode::kDeadline) {
+          // The directive already took effect at decode; only the ack is
+          // owed, and the net thread can write it without the index.
+          AppendDeadlineAckResponse(request.request_id, request.budget_ms,
+                                    &conn.out_buf);
+        } else {
+          AppendErrorResponse(request.request_id, ErrorCode::kOverloaded,
+                              "shed: server overloaded", &conn.out_buf);
+          Bump(ins.shed_requests);
+        }
+      }
+    }
+    if (decode_error) break;
   }
-  if (conn.in_off > 0) {
-    conn.in_buf.erase(0, conn.in_off);
-    conn.in_off = 0;
-  }
-  const bool decode_error = !conn.pending_error.empty();
-  if (!requests.empty()) {
-    const int64_t now_ns = telemetry::MonotonicNanos();
-    RecordNs(instruments_->stage_decode, now_ns - conn.arrival_ns);
-    Bump(instruments_->batches);
-    auto batch = std::make_unique<RequestBatch>();
-    batch->conn_id = conn.id;
-    batch->net_thread = net.index;
-    batch->requests = std::move(requests);
-    batch->arrival_ns = conn.arrival_ns;
-    batch->enqueue_ns = now_ns;
-    conn.executing = true;
-    UpdateInterest(net, conn);
-    queue_->Push(std::move(batch));
-    // A decode error behind valid frames waits in pending_error; the
-    // completion path appends it after the answers and closes.
-    return;
-  }
+
   if (decode_error) {
     conn.out_buf.append(conn.pending_error);
     conn.pending_error.clear();
     conn.closing = true;
-    if (!FlushWrites(net, conn)) return;
-    UpdateInterest(net, conn);
-    return;
   }
-  if (conn.peer_closed && conn.out_off >= conn.out_buf.size()) {
-    CloseConnection(net, conn.id);
-    return;
-  }
+  if (!FlushWrites(net, conn)) return;
   UpdateInterest(net, conn);
 }
 
@@ -589,8 +780,8 @@ bool Server::FlushWrites(NetThread& net, Connection& conn) {
   size_t written = 0;
   while (conn.out_off < conn.out_buf.size()) {
     const ssize_t n =
-        ::send(conn.fd, conn.out_buf.data() + conn.out_off,
-               conn.out_buf.size() - conn.out_off, MSG_NOSIGNAL);
+        sock_->Send(conn.fd, conn.out_buf.data() + conn.out_off,
+                    conn.out_buf.size() - conn.out_off);
     if (n > 0) {
       conn.out_off += static_cast<size_t>(n);
       written += static_cast<size_t>(n);
@@ -599,25 +790,74 @@ bool Server::FlushWrites(NetThread& net, Connection& conn) {
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
     Bump(instruments_->bytes_written, written);
-    CloseConnection(net, conn.id);
+    CloseConnection(net, conn.id, CloseReason::kNormal);
     return false;
   }
   Bump(instruments_->bytes_written, written);
+  const bool stall_reaper = config_.write_stall_timeout_ms > 0;
+  if (written > 0 && (stall_reaper || config_.idle_timeout_ms > 0)) {
+    const int64_t now_ns = telemetry::MonotonicNanos();
+    conn.last_write_progress_ns = now_ns;
+    conn.last_activity_ns = now_ns;
+  }
   if (conn.out_off >= conn.out_buf.size()) {
     conn.out_buf.clear();
     conn.out_off = 0;
-    if (conn.closing || (conn.peer_closed && !conn.executing)) {
-      CloseConnection(net, conn.id);
+    if (conn.closing ||
+        ((conn.peer_closed ||
+          draining_.load(std::memory_order_acquire)) &&
+         !conn.executing && !HasPendingFrame(conn))) {
+      const CloseReason reason = (conn.closing || conn.peer_closed)
+                                     ? CloseReason::kNormal
+                                     : CloseReason::kDrain;
+      CloseConnection(net, conn.id, reason);
       return false;
+    }
+  } else {
+    const size_t backlog = conn.out_buf.size() - conn.out_off;
+    if (config_.max_write_buffer_bytes > 0 &&
+        backlog > config_.max_write_buffer_bytes) {
+      // The peer is reading slower than it queries (or not at all):
+      // dropping it bounds our memory — the protocol has no way to
+      // un-send half a frame anyway.
+      CloseConnection(net, conn.id, CloseReason::kSlowClient);
+      return false;
+    }
+    if (stall_reaper && !conn.write_stall_armed) {
+      const int64_t now_ns = telemetry::MonotonicNanos();
+      if (conn.last_write_progress_ns == 0) {
+        conn.last_write_progress_ns = now_ns;
+      }
+      net.wheel.Schedule(
+          StallTimerId(conn.id),
+          now_ns +
+              static_cast<int64_t>(config_.write_stall_timeout_ms) *
+                  1'000'000);
+      conn.write_stall_armed = true;
     }
   }
   UpdateInterest(net, conn);
   return true;
 }
 
+bool Server::HasPendingFrame(const Connection& conn) {
+  const size_t avail = conn.in_buf.size() - conn.in_off;
+  if (avail < kLengthPrefixBytes) return false;
+  uint32_t length;
+  std::memcpy(&length, conn.in_buf.data() + conn.in_off, sizeof(length));
+  // A garbage length will fail decode with a connection-fatal error the
+  // moment it is looked at; "pending" only needs to cover frames a drain
+  // or EOF close would otherwise silently drop.
+  if (length > kMaxFrameBytes) return true;
+  return avail >= kLengthPrefixBytes + length;
+}
+
 void Server::UpdateInterest(NetThread& net, Connection& conn) {
   uint32_t want = 0;
-  if (!conn.executing && !conn.closing && !conn.peer_closed) want |= EPOLLIN;
+  if (!conn.executing && !conn.closing && !conn.peer_closed &&
+      !draining_.load(std::memory_order_acquire)) {
+    want |= EPOLLIN;
+  }
   if (conn.out_off < conn.out_buf.size()) want |= EPOLLOUT;
   if (want == conn.interest) return;
   epoll_event ev{};
@@ -627,9 +867,87 @@ void Server::UpdateInterest(NetThread& net, Connection& conn) {
   conn.interest = want;
 }
 
-void Server::CloseConnection(NetThread& net, uint64_t conn_id) {
+void Server::AdvanceTimers(NetThread& net) {
+  const int64_t now_ns = telemetry::MonotonicNanos();
+  net.wheel.Advance(now_ns, [&](uint64_t timer_id) {
+    const uint64_t conn_id = timer_id >> 1;
+    auto it = net.conns.find(conn_id);
+    if (it == net.conns.end()) return;
+    Connection& conn = *it->second;
+    if (timer_id == StallTimerId(conn_id)) {
+      conn.write_stall_armed = false;
+      if (conn.out_off >= conn.out_buf.size()) return;  // Drained meanwhile.
+      const int64_t stall_deadline =
+          conn.last_write_progress_ns +
+          static_cast<int64_t>(config_.write_stall_timeout_ms) * 1'000'000;
+      if (now_ns < stall_deadline) {
+        net.wheel.Schedule(timer_id, stall_deadline);
+        conn.write_stall_armed = true;
+        return;
+      }
+      CloseConnection(net, conn_id, CloseReason::kWriteStall);
+      return;
+    }
+    // Idle timer: lazy check against the last recorded activity — the hot
+    // path only stamps a timestamp, never touches the wheel.
+    const int64_t idle_deadline =
+        conn.last_activity_ns +
+        static_cast<int64_t>(config_.idle_timeout_ms) * 1'000'000;
+    if (conn.executing || conn.out_off < conn.out_buf.size() ||
+        now_ns < idle_deadline) {
+      net.wheel.Schedule(timer_id, now_ns < idle_deadline
+                                       ? idle_deadline
+                                       : now_ns +
+                                             static_cast<int64_t>(
+                                                 config_.idle_timeout_ms) *
+                                                 1'000'000);
+      return;
+    }
+    CloseConnection(net, conn_id, CloseReason::kIdle);
+  });
+}
+
+void Server::DrainSweep(NetThread& net) {
+  // Snapshot ids first: DecodeAndSubmit / FlushWrites may erase from conns.
+  std::vector<uint64_t> ids;
+  ids.reserve(net.conns.size());
+  for (const auto& [id, conn] : net.conns) ids.push_back(id);
+  for (const uint64_t id : ids) {
+    auto it = net.conns.find(id);
+    if (it == net.conns.end()) continue;
+    Connection& conn = *it->second;
+    if (conn.executing) {
+      UpdateInterest(net, conn);  // Park EPOLLIN; close comes at completion.
+      continue;
+    }
+    // Decodes any frames received before the drain began (submitting or
+    // shedding them), flushes, and closes once nothing is owed.
+    DecodeAndSubmit(net, conn);
+  }
+}
+
+void Server::CloseConnection(NetThread& net, uint64_t conn_id,
+                             CloseReason reason) {
   auto it = net.conns.find(conn_id);
   if (it == net.conns.end()) return;
+  switch (reason) {
+    case CloseReason::kIdle:
+      Bump(instruments_->timeout_closed_idle);
+      break;
+    case CloseReason::kWriteStall:
+      Bump(instruments_->timeout_closed_write_stall);
+      break;
+    case CloseReason::kSlowClient:
+      Bump(instruments_->slow_client_closed);
+      break;
+    case CloseReason::kDrain:
+      Bump(instruments_->drain_closed);
+      break;
+    case CloseReason::kNormal:
+      break;
+  }
+  net.wheel.Cancel(IdleTimerId(conn_id));
+  net.wheel.Cancel(StallTimerId(conn_id));
   ::close(it->second->fd);
   net.conns.erase(it);
   instruments_->ConnectionClosed();

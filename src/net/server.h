@@ -10,6 +10,7 @@
 
 #include "net/protocol.h"
 #include "net/shared_queue.h"
+#include "net/socket_ops.h"
 #include "serve/correlation_index.h"
 #include "telemetry/registry.h"
 
@@ -44,9 +45,56 @@ struct ServerConfig {
   /// epoll re-delivers the rest).
   size_t max_read_per_event = 256 * 1024;
 
+  // ------------------------------------------------ overload protection
+
+  /// Ceiling on the per-request deadline budget a client may propose with
+  /// a kDeadline directive; proposals above it are clamped and the clamp
+  /// is echoed back in the kDeadlineAck. 0 disables deadlines entirely.
+  uint32_t max_deadline_ms = 60'000;
+
+  /// Deadline budget applied to connections that never proposed one.
+  /// 0 (the default) means such requests never expire.
+  uint32_t default_deadline_ms = 0;
+
+  /// Admission-control watermark: when the shared queue holds at least
+  /// this many batches, newly decoded request groups are shed with
+  /// per-request kOverloaded errors instead of being enqueued. 0 sheds
+  /// only when the queue is outright full (TryPush refuses) — the event
+  /// loop never blocks on the queue either way.
+  size_t shed_occupancy_watermark = 0;
+
+  /// Cap on requests bundled into one batch. Oversized pipelined floods
+  /// are split: the first `max_requests_per_batch` frames travel now, the
+  /// rest stay buffered and follow when the batch completes. 0 = no cap.
+  size_t max_requests_per_batch = 0;
+
+  /// Hard cap on concurrently open connections; accepts beyond it are
+  /// closed immediately (counted corrtrack_net_accept_rejected_total).
+  /// 0 = unlimited.
+  size_t max_connections = 0;
+
+  /// Per-connection bound on buffered-but-unsent response bytes. A client
+  /// that stops reading while responses pile up is closed (counted
+  /// corrtrack_net_slow_client_closed_total) instead of growing the
+  /// buffer without bound.
+  size_t max_write_buffer_bytes = 64 * 1024 * 1024;
+
+  /// Close connections with no inbound traffic and nothing in flight for
+  /// this long. 0 disables the idle reaper.
+  uint32_t idle_timeout_ms = 0;
+
+  /// Close connections whose pending responses make no write progress for
+  /// this long (slowloris containment). 0 disables the write-stall reaper.
+  uint32_t write_stall_timeout_ms = 0;
+
+  /// Socket I/O indirection: null uses the real recv/send. Tests inject a
+  /// FaultInjectingSocketOps here to storm the serving path with short
+  /// reads, EINTR, EAGAIN, resets and EPIPE.
+  SocketOps* socket_ops = nullptr;
+
   /// Optional metrics sink: when set, the server registers and records the
   /// corrtrack_net_* instruments (socket-to-socket spans, per-op request
-  /// counters, byte/connection counters).
+  /// counters, byte/connection counters, overload counters).
   telemetry::MetricRegistry* registry = nullptr;
 };
 
@@ -78,11 +126,23 @@ struct ServerConfig {
 /// back in request order per connection, and a connection can never flood
 /// the queue faster than it drains.
 ///
+/// Overload protection: admission is decided on the net thread at submit
+/// time — a full (or watermarked) queue sheds the whole decoded group with
+/// per-request kOverloaded frames rather than blocking the event loop, so
+/// one saturated reader pool degrades into fast rejections, not stalled
+/// epoll. Requests carry an absolute deadline stamped at decode (client
+/// budget via the kDeadline directive, clamped to max_deadline_ms);
+/// expired work is answered kDeadlineExceeded at reader dequeue without
+/// touching the index. A per-net-thread timer wheel reaps idle and
+/// write-stalled connections; a connection cap rejects at accept; a write
+/// buffer cap closes clients that stop reading their responses.
+///
 /// Error containment: any decode error (bad length, unknown opcode,
 /// malformed body) makes the connection answer one kError frame and close
 /// — after any in-flight batch's responses flush. The index is never
 /// touched by a malformed frame, and every buffer is reclaimed with the
-/// connection (ASan-gated in CI).
+/// connection (ASan-gated in CI). The per-request kOverloaded /
+/// kDeadlineExceeded family, by contrast, leaves the connection open.
 ///
 /// Lifetime: the index must outlive the server; Stop() (or the destructor)
 /// joins every thread before returning.
@@ -102,17 +162,26 @@ class Server {
   /// and joins all threads. Idempotent.
   void Stop();
 
+  /// Graceful shutdown: stops accepting, delivers every response owed to
+  /// already-received requests, closes connections as they finish, then
+  /// Stop()s. Connections still owing work when `deadline_ms` elapses are
+  /// cut off by Stop. Returns true when everything drained in time.
+  /// Idempotent with Stop; safe to call from a signal-handling thread.
+  bool Drain(int64_t deadline_ms);
+
   /// The bound port (after a successful Start) — the ephemeral port when
   /// config.port was 0.
   uint16_t port() const { return port_; }
 
   bool running() const { return running_.load(std::memory_order_acquire); }
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
 
  private:
   struct Connection;
   struct RequestBatch;
   struct NetThread;
   struct Instruments;
+  enum class CloseReason;
 
   void NetThreadMain(int thread_index);
   void ReaderThreadMain();
@@ -123,19 +192,27 @@ class Server {
   void ProcessCompletions(NetThread& net);
   void HandleReadable(NetThread& net, Connection& conn);
   void DecodeAndSubmit(NetThread& net, Connection& conn);
-  /// Returns false when the flush closed the connection (fatal write error
-  /// or an orderly close-after-drain) — `conn` is dead then.
+  /// Returns false when the flush closed the connection (fatal write error,
+  /// write-buffer overrun, or an orderly close-after-drain) — `conn` is
+  /// dead then.
   bool FlushWrites(NetThread& net, Connection& conn);
+  /// True when in_buf holds at least one complete (or provably bad) frame
+  /// — work a drain or EOF close must not silently drop.
+  static bool HasPendingFrame(const Connection& conn);
   void UpdateInterest(NetThread& net, Connection& conn);
-  void CloseConnection(NetThread& net, uint64_t conn_id);
+  void CloseConnection(NetThread& net, uint64_t conn_id, CloseReason reason);
+  void AdvanceTimers(NetThread& net);
+  void DrainSweep(NetThread& net);
 
   const serve::CorrelationIndex* index_;
   ServerConfig config_;
+  SocketOps* sock_ = nullptr;
   std::unique_ptr<Instruments> instruments_;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
   bool started_ = false;
 
   std::vector<std::unique_ptr<NetThread>> net_threads_;

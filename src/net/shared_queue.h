@@ -41,6 +41,20 @@ class SharedQueue {
     return true;
   }
 
+  /// Non-blocking admission: false when full or closed, leaving `item`
+  /// intact so the caller can answer kOverloaded instead of stalling (the
+  /// net threads' overload-shedding path — an event loop must never park
+  /// on a queue it shares with other connections' traffic).
+  bool TryPush(T& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Blocks while empty. Returns false only when the queue is closed AND
   /// drained — consumers finish every batch that made it in before Close.
   bool Pop(T* out) {

@@ -1,0 +1,84 @@
+#include "net/signal_drain.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+
+namespace corrtrack::net {
+
+namespace {
+
+// Process-global state shared with the (async-signal-safe) handler.
+int g_pipe[2] = {-1, -1};
+std::atomic<int> g_signo{0};
+struct sigaction g_prev_term;
+struct sigaction g_prev_int;
+
+void OnSignal(int signo) {
+  g_signo.store(signo, std::memory_order_release);
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(g_pipe[1], &byte, 1);
+}
+
+}  // namespace
+
+SignalDrainer::SignalDrainer() {
+  if (g_pipe[0] >= 0) return;  // A live instance already owns the handlers.
+  if (::pipe(g_pipe) != 0) {
+    g_pipe[0] = g_pipe[1] = -1;
+    return;
+  }
+  ::fcntl(g_pipe[0], F_SETFD, FD_CLOEXEC);
+  ::fcntl(g_pipe[1], F_SETFD, FD_CLOEXEC);
+  // The write end must never block inside a handler.
+  ::fcntl(g_pipe[1], F_SETFL, O_NONBLOCK);
+  g_signo.store(0, std::memory_order_release);
+  struct sigaction sa{};
+  sa.sa_handler = OnSignal;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGTERM, &sa, &g_prev_term);
+  ::sigaction(SIGINT, &sa, &g_prev_int);
+  installed_ = true;
+}
+
+SignalDrainer::~SignalDrainer() {
+  if (!installed_) return;
+  ::sigaction(SIGTERM, &g_prev_term, nullptr);
+  ::sigaction(SIGINT, &g_prev_int, nullptr);
+  ::close(g_pipe[0]);
+  ::close(g_pipe[1]);
+  g_pipe[0] = g_pipe[1] = -1;
+  g_signo.store(0, std::memory_order_release);
+}
+
+int SignalDrainer::WaitForSignal(int timeout_ms) {
+  if (!installed_) return 0;
+  const int already = g_signo.load(std::memory_order_acquire);
+  if (already != 0) return already;
+  pollfd pfd{g_pipe[0], POLLIN, 0};
+  while (true) {
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0 && errno == EINTR) {
+      // The signal itself interrupts poll; the self-pipe byte (or the
+      // atomic) tells us whether it was ours.
+      const int signo = g_signo.load(std::memory_order_acquire);
+      if (signo != 0) return signo;
+      continue;
+    }
+    if (ready <= 0) return g_signo.load(std::memory_order_acquire);
+    char drain[16];
+    [[maybe_unused]] ssize_t n = ::read(g_pipe[0], drain, sizeof(drain));
+    return g_signo.load(std::memory_order_acquire);
+  }
+}
+
+int SignalDrainer::signaled() const {
+  return installed_ ? g_signo.load(std::memory_order_acquire) : 0;
+}
+
+}  // namespace corrtrack::net

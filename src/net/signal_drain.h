@@ -1,0 +1,36 @@
+#ifndef CORRTRACK_NET_SIGNAL_DRAIN_H_
+#define CORRTRACK_NET_SIGNAL_DRAIN_H_
+
+namespace corrtrack::net {
+
+/// Self-pipe bridge from SIGTERM/SIGINT to the serving loop: the handler
+/// (async-signal-safe: one write) pokes a pipe; WaitForSignal blocks on
+/// the read end. query_server --listen uses this to turn a SIGTERM into
+/// Server::Drain instead of an abrupt exit, so every owed response is
+/// delivered before the process goes away.
+///
+/// At most one instance may be live at a time (signal dispositions are
+/// process-global); the constructor installs the handlers, the destructor
+/// restores what was there before. Tests drive it with raise(SIGTERM).
+class SignalDrainer {
+ public:
+  SignalDrainer();
+  ~SignalDrainer();
+
+  SignalDrainer(const SignalDrainer&) = delete;
+  SignalDrainer& operator=(const SignalDrainer&) = delete;
+
+  /// Blocks until SIGTERM or SIGINT arrives (or `timeout_ms` elapses when
+  /// >= 0). Returns the signal number, or 0 on timeout.
+  int WaitForSignal(int timeout_ms = -1);
+
+  /// Non-blocking check: the signal that has arrived so far, 0 if none.
+  int signaled() const;
+
+ private:
+  bool installed_ = false;
+};
+
+}  // namespace corrtrack::net
+
+#endif  // CORRTRACK_NET_SIGNAL_DRAIN_H_

@@ -1,0 +1,154 @@
+#ifndef CORRTRACK_NET_SOCKET_OPS_H_
+#define CORRTRACK_NET_SOCKET_OPS_H_
+
+#include <sys/types.h>
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace corrtrack::net {
+
+/// Socket I/O indirection: the server and client route every recv/send
+/// through a SocketOps so the chaos tests can interpose deterministic
+/// faults on the byte stream — the serving-path twin of
+/// storage::FaultInjectingStorage. The default instance forwards straight
+/// to the syscalls; production code never pays more than one virtual call
+/// per (already syscall-priced) I/O operation.
+class SocketOps {
+ public:
+  virtual ~SocketOps() = default;
+
+  /// recv(fd, buf, len, 0) semantics: bytes read, 0 on EOF, -1 with errno.
+  virtual ssize_t Recv(int fd, void* buf, size_t len);
+
+  /// send(fd, buf, len, MSG_NOSIGNAL) semantics.
+  virtual ssize_t Send(int fd, const void* buf, size_t len);
+
+  /// The process-wide pass-through instance (used whenever a config leaves
+  /// its socket_ops null).
+  static SocketOps* Real();
+};
+
+/// The fault classes the injecting decorator can impose on one I/O call.
+/// Two families, mirroring storage::FaultKind's split:
+///  * transparent faults (kShortRead, kShortWrite, kEintrRead, kEintrWrite,
+///    kEagainRead, kEagainWrite) — no byte is ever lost or duplicated, so a
+///    CORRECT caller retries/continues and the answers stay bit-identical;
+///    a caller with a broken partial-I/O loop corrupts or hangs, which is
+///    exactly what the chaos matrix hunts.
+///  * connection-fatal faults (kResetRead, kResetWrite, kPipeWrite) — the
+///    operation reports a dead peer; the contract under test is
+///    containment: one connection dies cleanly, everything else keeps
+///    serving.
+enum class SocketFaultKind : uint8_t {
+  kNone = 0,
+  kShortRead,    ///< Recv is truncated to 1 byte (rest stays buffered).
+  kShortWrite,   ///< Send writes only the first byte (rest stays owed).
+  kEintrRead,    ///< Recv fails EINTR without consuming anything.
+  kEintrWrite,   ///< Send fails EINTR without writing anything.
+  kEagainRead,   ///< Recv fails EAGAIN (spurious readiness).
+  kEagainWrite,  ///< Send fails EAGAIN (full socket buffer).
+  kResetRead,    ///< Recv fails ECONNRESET.
+  kResetWrite,   ///< Send fails ECONNRESET.
+  kPipeWrite,    ///< Send fails EPIPE (peer closed its read side).
+};
+
+inline constexpr int kNumSocketFaultKinds = 10;
+
+inline const char* SocketFaultKindName(SocketFaultKind kind) {
+  switch (kind) {
+    case SocketFaultKind::kNone:
+      return "none";
+    case SocketFaultKind::kShortRead:
+      return "short_read";
+    case SocketFaultKind::kShortWrite:
+      return "short_write";
+    case SocketFaultKind::kEintrRead:
+      return "eintr_read";
+    case SocketFaultKind::kEintrWrite:
+      return "eintr_write";
+    case SocketFaultKind::kEagainRead:
+      return "eagain_read";
+    case SocketFaultKind::kEagainWrite:
+      return "eagain_write";
+    case SocketFaultKind::kResetRead:
+      return "reset_read";
+    case SocketFaultKind::kResetWrite:
+      return "reset_write";
+    case SocketFaultKind::kPipeWrite:
+      return "pipe_write";
+  }
+  return "unknown";
+}
+
+/// One deterministic trigger: the `at_op`-th I/O operation (the decorator
+/// numbers every Recv and Send across all fds) suffers `kind`, and — for
+/// EAGAIN storms — the following `repeat - 1` operations do too.
+struct SocketFaultRule {
+  uint64_t at_op = 0;
+  SocketFaultKind kind = SocketFaultKind::kNone;
+  uint64_t repeat = 1;
+};
+
+/// Seeded fault schedule, the socket twin of storage::FaultPlan.
+/// `probability` rolls an independent SplitMix64 per operation index —
+/// deterministic for a given seed regardless of thread interleaving (the
+/// op index, not wall time, drives the roll), so a failing chaos seed
+/// replays exactly. A rolled kind that cannot apply to the operation at
+/// hand (e.g. kShortWrite on a Recv) injects nothing.
+struct SocketFaultPlan {
+  uint64_t seed = 0;
+  double probability = 0.0;
+  std::vector<SocketFaultKind> kinds = {
+      SocketFaultKind::kShortRead,  SocketFaultKind::kShortWrite,
+      SocketFaultKind::kEintrRead,  SocketFaultKind::kEintrWrite,
+      SocketFaultKind::kEagainRead, SocketFaultKind::kEagainWrite,
+      SocketFaultKind::kResetRead,  SocketFaultKind::kResetWrite,
+      SocketFaultKind::kPipeWrite};
+  std::vector<SocketFaultRule> rules;
+
+  bool enabled() const { return probability > 0.0 || !rules.empty(); }
+};
+
+/// Injection counters, by class.
+struct SocketFaultStats {
+  uint64_t total = 0;
+  std::array<uint64_t, kNumSocketFaultKinds> by_kind{};
+
+  uint64_t count(SocketFaultKind kind) const {
+    return by_kind[static_cast<size_t>(kind)];
+  }
+};
+
+/// Decorator imposing the seeded schedule on real socket I/O. Thread-safe:
+/// the op counter is atomic and every draw depends only on the op index,
+/// so concurrent connections share one plan without losing determinism of
+/// the *sequence* of injected kinds (which op gets which fault can vary
+/// with interleaving; the tests that need exact targeting use single
+/// connections or rules).
+class FaultInjectingSocketOps : public SocketOps {
+ public:
+  explicit FaultInjectingSocketOps(SocketFaultPlan plan);
+
+  ssize_t Recv(int fd, void* buf, size_t len) override;
+  ssize_t Send(int fd, const void* buf, size_t len) override;
+
+  SocketFaultStats stats() const;
+  uint64_t ops() const { return op_counter_.load(std::memory_order_relaxed); }
+
+ private:
+  SocketFaultKind Draw(uint64_t op, bool is_read);
+  void Count(SocketFaultKind kind);
+
+  SocketFaultPlan plan_;
+  std::atomic<uint64_t> op_counter_{0};
+  std::atomic<uint64_t> total_faults_{0};
+  std::array<std::atomic<uint64_t>, kNumSocketFaultKinds> by_kind_{};
+};
+
+}  // namespace corrtrack::net
+
+#endif  // CORRTRACK_NET_SOCKET_OPS_H_

@@ -1,0 +1,109 @@
+#ifndef CORRTRACK_NET_TIMER_WHEEL_H_
+#define CORRTRACK_NET_TIMER_WHEEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace corrtrack::net {
+
+/// Hashed timing wheel driving the per-connection timeouts (idle close,
+/// write-stall close, deadline housekeeping) on the epoll loop. One wheel
+/// per net thread, touched by that thread only — no locks, matching the
+/// connection-ownership discipline.
+///
+/// Design: `num_slots` buckets of `tick_ns` granularity; a timer lands in
+/// slot (deadline / tick) % slots. Advance() sweeps the slots between the
+/// last sweep and `now`, expiring entries whose deadline has passed and
+/// re-filing entries hashed into a swept slot for a *future* round.
+/// Reschedules and cancels are O(1) lazy: the id -> deadline map is
+/// authoritative and stale slot entries are dropped when their slot is
+/// swept. All operations are amortised O(1) per timer per wheel
+/// revolution; a wheel with nothing due costs one empty-slot scan per
+/// elapsed tick.
+///
+/// Timeout handling wants coarse ticks (a connection closed a few ms after
+/// its idle deadline is indistinguishable from one closed exactly on it),
+/// so the default granularity trades precision for near-zero idle cost.
+class TimerWheel {
+ public:
+  explicit TimerWheel(int64_t tick_ns = 10'000'000, size_t num_slots = 64)
+      : tick_ns_(tick_ns > 0 ? tick_ns : 1), slots_(num_slots ? num_slots : 1) {}
+
+  /// Schedules (or reschedules) the timer for `id` at `deadline_ns`. A
+  /// deadline landing in an already-swept tick files into the next sweep's
+  /// slot so it fires on the next Advance, not a revolution later.
+  void Schedule(uint64_t id, int64_t deadline_ns) {
+    deadlines_[id] = deadline_ns;
+    int64_t tick = deadline_ns / tick_ns_;
+    if (tick <= last_tick_) tick = last_tick_ + 1;
+    slots_[static_cast<size_t>(tick) % slots_.size()].push_back(
+        {id, deadline_ns});
+  }
+
+  void Cancel(uint64_t id) { deadlines_.erase(id); }
+
+  bool empty() const { return deadlines_.empty(); }
+  size_t size() const { return deadlines_.size(); }
+  int64_t tick_ns() const { return tick_ns_; }
+
+  /// Sweeps every slot between the previous Advance and `now_ns`, invoking
+  /// `on_expire(id)` for each timer whose deadline has passed. Expired
+  /// timers are removed before any callback runs, so a callback may freely
+  /// Schedule (including rescheduling its own id) or Cancel.
+  template <typename Fn>
+  void Advance(int64_t now_ns, Fn&& on_expire) {
+    if (deadlines_.empty()) {
+      last_tick_ = now_ns / tick_ns_;
+      return;
+    }
+    const int64_t now_tick = now_ns / tick_ns_;
+    // A gap longer than one revolution visits every slot exactly once.
+    int64_t from_tick = last_tick_ + 1;
+    if (now_tick - from_tick >= static_cast<int64_t>(slots_.size())) {
+      from_tick = now_tick - static_cast<int64_t>(slots_.size()) + 1;
+    }
+    std::vector<uint64_t> expired;
+    std::vector<std::pair<uint64_t, int64_t>> refile;
+    for (int64_t tick = from_tick; tick <= now_tick; ++tick) {
+      auto& slot = slots_[static_cast<size_t>(tick) % slots_.size()];
+      size_t keep = 0;
+      for (size_t i = 0; i < slot.size(); ++i) {
+        const auto [id, deadline] = slot[i];
+        const auto it = deadlines_.find(id);
+        if (it == deadlines_.end() || it->second != deadline) {
+          continue;  // Cancelled or rescheduled: stale entry, drop it.
+        }
+        if (deadline <= now_ns) {
+          deadlines_.erase(it);
+          expired.push_back(id);
+        } else if (deadline / tick_ns_ <= now_tick) {
+          // Due later within an already-swept tick: re-file for the next
+          // sweep rather than waiting out a full wheel revolution.
+          refile.push_back(slot[i]);
+        } else {
+          slot[keep++] = slot[i];  // Future revolution of this slot.
+        }
+      }
+      slot.resize(keep);
+    }
+    last_tick_ = now_tick;
+    for (const auto& entry : refile) {
+      slots_[static_cast<size_t>(now_tick + 1) % slots_.size()].push_back(
+          entry);
+    }
+    for (const uint64_t id : expired) on_expire(id);
+  }
+
+ private:
+  int64_t tick_ns_;
+  int64_t last_tick_ = -1;
+  std::vector<std::vector<std::pair<uint64_t, int64_t>>> slots_;
+  std::unordered_map<uint64_t, int64_t> deadlines_;
+};
+
+}  // namespace corrtrack::net
+
+#endif  // CORRTRACK_NET_TIMER_WHEEL_H_

@@ -100,6 +100,53 @@ TEST(NetProtocol, EmptyBodyRequestsRoundTrip) {
   EXPECT_EQ(stats.request_id, 2u);
 }
 
+TEST(NetProtocol, DeadlineRequestAndAckRoundTrip) {
+  std::string wire;
+  AppendDeadlineRequest(77, 1500, &wire);
+  size_t consumed = 0;
+  const Request request = MustDecodeRequest(wire, &consumed);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(request.op, Opcode::kDeadline);
+  EXPECT_EQ(request.request_id, 77u);
+  EXPECT_EQ(request.budget_ms, 1500u);
+  EXPECT_EQ(request.deadline_ns, 0);  // Server-side field never on the wire.
+
+  std::string ack;
+  AppendDeadlineAckResponse(77, 1000, &ack);
+  const Response response = MustDecodeResponse(ack, &consumed);
+  EXPECT_EQ(consumed, ack.size());
+  EXPECT_EQ(response.op, Opcode::kDeadlineAck);
+  EXPECT_EQ(response.request_id, 77u);
+  EXPECT_EQ(response.effective_deadline_ms, 1000u);
+}
+
+TEST(NetProtocol, TruncatedDeadlineBodyErrors) {
+  std::string wire;
+  AppendDeadlineRequest(5, 250, &wire);
+  // Chop two bytes off the u32 budget and shrink the length prefix to
+  // match: a syntactically well-framed request with a short body.
+  wire.resize(wire.size() - 2);
+  uint32_t length;
+  std::memcpy(&length, wire.data(), sizeof(length));
+  length -= 2;
+  std::memcpy(wire.data(), &length, sizeof(length));
+  Request request;
+  size_t consumed = 0;
+  ErrorCode code;
+  std::string error;
+  EXPECT_EQ(DecodeRequest(wire, &request, &consumed, &code, &error),
+            DecodeStatus::kError);
+  EXPECT_EQ(code, ErrorCode::kBadBody);
+}
+
+TEST(NetProtocol, PerRequestErrorFamilyIsExactlyTheOverloadCodes) {
+  EXPECT_TRUE(IsPerRequestError(ErrorCode::kOverloaded));
+  EXPECT_TRUE(IsPerRequestError(ErrorCode::kDeadlineExceeded));
+  EXPECT_FALSE(IsPerRequestError(ErrorCode::kBadFrame));
+  EXPECT_FALSE(IsPerRequestError(ErrorCode::kBadOpcode));
+  EXPECT_FALSE(IsPerRequestError(ErrorCode::kBadBody));
+}
+
 TEST(NetProtocol, ScoredSetsResponseRoundTrips) {
   const std::vector<serve::ScoredSet> sets = {
       Scored({1, 2}, 0.75, 5000), Scored({3, 4, 5}, 1.0 / 3.0, 10000)};
